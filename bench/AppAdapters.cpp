@@ -1,0 +1,208 @@
+//===- bench/AppAdapters.cpp -----------------------------------------------==//
+
+#include "bench/AppAdapters.h"
+
+#include "apps/BinSearch.h"
+#include "apps/Compose.h"
+#include "apps/DotProduct.h"
+#include "apps/Hash.h"
+#include "apps/Heapsort.h"
+#include "apps/Marshal.h"
+#include "apps/MatScale.h"
+#include "apps/Newton.h"
+#include "apps/Power.h"
+#include "apps/Query.h"
+
+#include <cstring>
+
+using namespace tcc;
+using namespace tcc::bench;
+using namespace tcc::apps;
+using namespace tcc::core;
+
+volatile long long tcc::bench::Sink = 0;
+
+namespace {
+
+/// Forces a result to be observed without volatile compound assignment.
+void sink(long long V) { Sink = Sink + V; }
+
+int sumOf5(int A, int B, int C, int D, int E) {
+  return A + 2 * B + 3 * C + 4 * D + 5 * E;
+}
+
+} // namespace
+
+struct AppSet::Impl {
+  HashApp Hash;
+  MatScaleApp Ms;
+  HeapsortApp Heap;
+  NewtonApp Ntn;
+  ComposeApp Cmp;
+  QueryApp Query;
+  MarshalApp Mshl;
+  PowerApp Pow;
+  BinSearchApp Binary;
+  DotProductApp Dp;
+
+  // Scratch state.
+  std::vector<int> MsBuf;
+  std::vector<HeapRecord> HeapPristine, HeapBuf;
+  std::vector<std::uint32_t> CmpDst;
+  std::uint8_t MshlBuf[32] = {};
+  std::vector<int> DpCol;
+
+  Impl() {
+    MsBuf = Ms.matrix();
+    HeapPristine = Heap.data();
+    HeapBuf = HeapPristine;
+    CmpDst.resize(Cmp.words());
+    MarshalApp::marshal5StaticO2(MshlBuf, 1, 2, 3, 4, 5);
+    DpCol.resize(Dp.size());
+    for (unsigned I = 0; I < Dp.size(); ++I)
+      DpCol[I] = static_cast<int>(I * 7 % 101) - 50;
+  }
+};
+
+AppSet::AppSet() : P(std::make_unique<Impl>()) {
+  Impl &S = *P;
+
+  Cases.push_back(AppCase{
+      "hash",
+      [&S] {
+        sink(S.Hash.lookupStaticO0(S.Hash.presentKey()));
+        sink(S.Hash.lookupStaticO0(S.Hash.absentKey()));
+      },
+      [&S] {
+        sink(S.Hash.lookupStaticO2(S.Hash.presentKey()));
+        sink(S.Hash.lookupStaticO2(S.Hash.absentKey()));
+      },
+      [&S](const CompileOptions &O) { return S.Hash.specialize(O); },
+      [&S](void *E) {
+        auto *F = reinterpret_cast<int (*)(int)>(E);
+        sink(F(S.Hash.presentKey()));
+        sink(F(S.Hash.absentKey()));
+      },
+  });
+
+  Cases.push_back(AppCase{
+      "ms",
+      [&S] { S.Ms.scaleStaticO0(S.MsBuf.data()); },
+      [&S] { S.Ms.scaleStaticO2(S.MsBuf.data()); },
+      [&S](const CompileOptions &O) { return S.Ms.specialize(O); },
+      [&S](void *E) { reinterpret_cast<void (*)(int *)>(E)(S.MsBuf.data()); },
+  });
+
+  Cases.push_back(AppCase{
+      "heap",
+      [&S] {
+        S.HeapBuf = S.HeapPristine;
+        S.Heap.sortStaticO0(S.HeapBuf.data());
+      },
+      [&S] {
+        S.HeapBuf = S.HeapPristine;
+        S.Heap.sortStaticO2(S.HeapBuf.data());
+      },
+      [&S](const CompileOptions &O) { return S.Heap.specialize(O); },
+      [&S](void *E) {
+        S.HeapBuf = S.HeapPristine;
+        reinterpret_cast<void (*)(HeapRecord *)>(E)(S.HeapBuf.data());
+      },
+  });
+
+  Cases.push_back(AppCase{
+      "ntn",
+      [&S] { sink(static_cast<long long>(S.Ntn.solveStaticO0(3.0))); },
+      [&S] { sink(static_cast<long long>(S.Ntn.solveStaticO2(3.0))); },
+      [&S](const CompileOptions &O) { return S.Ntn.specialize(O); },
+      [](void *E) {
+        sink(static_cast<long long>(
+            reinterpret_cast<double (*)(double)>(E)(3.0)));
+      },
+  });
+
+  Cases.push_back(AppCase{
+      "cmp",
+      [&S] { sink(S.Cmp.pipeStaticO0(S.CmpDst.data())); },
+      [&S] { sink(S.Cmp.pipeStaticO2(S.CmpDst.data())); },
+      [&S](const CompileOptions &O) { return S.Cmp.specialize(O); },
+      [&S](void *E) {
+        sink(reinterpret_cast<int (*)(std::uint32_t *)>(E)(S.CmpDst.data()));
+      },
+  });
+
+  Cases.push_back(AppCase{
+      "query",
+      [&S] { sink(S.Query.countStaticO0(S.Query.benchmarkQuery())); },
+      [&S] { sink(S.Query.countStaticO2(S.Query.benchmarkQuery())); },
+      [&S](const CompileOptions &O) {
+        return S.Query.specialize(S.Query.benchmarkQuery(), O);
+      },
+      [&S](void *E) {
+        sink(S.Query.countCompiled(
+            reinterpret_cast<int (*)(const Record *)>(E)));
+      },
+  });
+
+  Cases.push_back(AppCase{
+      "mshl",
+      [&S] { MarshalApp::marshal5StaticO0(S.MshlBuf, 1, 2, 3, 4, 5); },
+      [&S] { MarshalApp::marshal5StaticO2(S.MshlBuf, 1, 2, 3, 4, 5); },
+      [&S](const CompileOptions &O) { return S.Mshl.buildMarshaler(O); },
+      [&S](void *E) {
+        reinterpret_cast<void (*)(int, int, int, int, int, std::uint8_t *)>(
+            E)(1, 2, 3, 4, 5, S.MshlBuf);
+      },
+  });
+
+  Cases.push_back(AppCase{
+      "umshl",
+      [&S] { sink(MarshalApp::unmarshal5StaticO0(S.MshlBuf, &sumOf5)); },
+      [&S] { sink(MarshalApp::unmarshal5StaticO2(S.MshlBuf, &sumOf5)); },
+      [&S](const CompileOptions &O) {
+        return S.Mshl.buildUnmarshaler(
+            reinterpret_cast<const void *>(&sumOf5), O);
+      },
+      [&S](void *E) {
+        sink(reinterpret_cast<int (*)(const std::uint8_t *)>(E)(S.MshlBuf));
+      },
+  });
+
+  Cases.push_back(AppCase{
+      "pow",
+      [&S] { sink(S.Pow.powStaticO0(7)); },
+      [&S] { sink(S.Pow.powStaticO2(7)); },
+      [&S](const CompileOptions &O) { return S.Pow.specialize(O); },
+      [](void *E) { sink(reinterpret_cast<int (*)(int)>(E)(7)); },
+  });
+
+  Cases.push_back(AppCase{
+      "binary",
+      [&S] {
+        sink(S.Binary.findStaticO0(S.Binary.presentKey()));
+        sink(S.Binary.findStaticO0(S.Binary.absentKey()));
+      },
+      [&S] {
+        sink(S.Binary.findStaticO2(S.Binary.presentKey()));
+        sink(S.Binary.findStaticO2(S.Binary.absentKey()));
+      },
+      [&S](const CompileOptions &O) { return S.Binary.specialize(O); },
+      [&S](void *E) {
+        auto *F = reinterpret_cast<int (*)(int)>(E);
+        sink(F(S.Binary.presentKey()));
+        sink(F(S.Binary.absentKey()));
+      },
+  });
+
+  Cases.push_back(AppCase{
+      "dp",
+      [&S] { sink(S.Dp.dotStaticO0(S.DpCol.data())); },
+      [&S] { sink(S.Dp.dotStaticO2(S.DpCol.data())); },
+      [&S](const CompileOptions &O) { return S.Dp.specialize(O); },
+      [&S](void *E) {
+        sink(reinterpret_cast<int (*)(const int *)>(E)(S.DpCol.data()));
+      },
+  });
+}
+
+AppSet::~AppSet() = default;

@@ -1,0 +1,58 @@
+//===- bench/AppAdapters.h - Uniform driver over the 11 benchmarks -*- C++-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wraps the paper's eleven benchmark programs (§6.2) in a uniform
+/// interface: a static baseline at each optimization level, a specializer,
+/// and a runner for the generated code. One "operation" is the repeated
+/// unit the paper times (e.g. two hash lookups, one matrix scale, one
+/// database scan).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_BENCH_APPADAPTERS_H
+#define TICKC_BENCH_APPADAPTERS_H
+
+#include "core/Compile.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace bench {
+
+struct AppCase {
+  std::string Name;
+  std::function<void()> RunStaticO0;
+  std::function<void()> RunStaticO2;
+  std::function<core::CompiledFn(const core::CompileOptions &)> Specialize;
+  /// Runs one operation through a previously compiled entry point.
+  std::function<void(void *Entry)> RunDynamic;
+};
+
+/// Owns the workloads and scratch buffers behind the AppCase closures.
+class AppSet {
+public:
+  AppSet();
+  ~AppSet();
+  const std::vector<AppCase> &cases() const { return Cases; }
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> P;
+  std::vector<AppCase> Cases;
+};
+
+/// Defeats dead-code elimination of baseline results.
+extern volatile long long Sink;
+
+} // namespace bench
+} // namespace tcc
+
+#endif // TICKC_BENCH_APPADAPTERS_H

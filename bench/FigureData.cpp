@@ -1,0 +1,50 @@
+//===- bench/FigureData.cpp ------------------------------------------------==//
+
+#include "bench/FigureData.h"
+
+using namespace tcc;
+using namespace tcc::bench;
+using namespace tcc::core;
+
+std::vector<FigureRow> tcc::bench::measureFigureRows(AppSet &Set) {
+  std::vector<FigureRow> Rows;
+  for (const AppCase &App : Set.cases()) {
+    FigureRow Row;
+    Row.Name = App.Name;
+    Row.NsStaticO0 = nsPerOp(App.RunStaticO0);
+    Row.NsStaticO2 = nsPerOp(App.RunStaticO2);
+
+    CompileOptions VO;
+    VO.Backend = BackendKind::VCode;
+    Row.VCodeCost = measureCompile(App.Specialize, VO);
+    {
+      CompiledFn F = App.Specialize(VO);
+      void *E = F.entry();
+      Row.NsVCode = nsPerOp([&] { App.RunDynamic(E); });
+    }
+
+    CompileOptions IO;
+    IO.Backend = BackendKind::ICode;
+    Row.ICodeCost = measureCompile(App.Specialize, IO);
+    {
+      CompiledFn F = App.Specialize(IO);
+      void *E = F.entry();
+      Row.NsICode = nsPerOp([&] { App.RunDynamic(E); });
+    }
+
+    CompileOptions GO = IO;
+    GO.RegAlloc = icode::RegAllocKind::GraphColor;
+    Row.ICodeCostColor = measureCompile(App.Specialize, GO);
+
+    Rows.push_back(std::move(Row));
+  }
+  return Rows;
+}
+
+double tcc::bench::crossover(double CompileNs, double NsDynamic,
+                             double NsStatic) {
+  if (NsDynamic >= NsStatic)
+    return -1; // The paper's "no vertical bar": never pays off.
+  double N = CompileNs / (NsStatic - NsDynamic);
+  return N < 1 ? 1 : N;
+}

@@ -1,0 +1,44 @@
+//===- bench/FigureData.h - Measurements behind Figures 4-7 -----*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_BENCH_FIGUREDATA_H
+#define TICKC_BENCH_FIGUREDATA_H
+
+#include "bench/AppAdapters.h"
+#include "bench/Harness.h"
+
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace bench {
+
+/// One benchmark's full measurement: per-operation run times for the four
+/// compiler configurations of §6.1, plus dynamic-compilation costs.
+struct FigureRow {
+  std::string Name;
+  double NsStaticO0 = 0; ///< lcc stand-in.
+  double NsStaticO2 = 0; ///< gcc stand-in.
+  double NsVCode = 0;
+  double NsICode = 0;
+  CompileCost VCodeCost;
+  CompileCost ICodeCost;      ///< Linear-scan allocator.
+  CompileCost ICodeCostColor; ///< Graph-coloring allocator.
+};
+
+/// Measures every benchmark. Each figure binary renders a different view
+/// of the same rows.
+std::vector<FigureRow> measureFigureRows(AppSet &Set);
+
+/// Crossover point: invocations needed before compile cost amortizes
+/// against the given static baseline; < 0 when dynamic code never wins.
+double crossover(double CompileNs, double NsDynamic, double NsStatic);
+
+} // namespace bench
+} // namespace tcc
+
+#endif // TICKC_BENCH_FIGUREDATA_H

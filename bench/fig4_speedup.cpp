@@ -1,0 +1,39 @@
+//===- bench/fig4_speedup.cpp - Paper Figure 4 ------------------------------==//
+//
+// "Ratio of run time of static code to run time of dynamic code: a ratio
+// greater than one means that dynamic code generation is profitable."
+// Four series per benchmark: {icode,vcode} x {lcc(-O0), gcc(-O2)}.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/FigureData.h"
+
+#include <cstdio>
+
+using namespace tcc;
+using namespace tcc::bench;
+
+int main() {
+  std::printf("Figure 4: ratio (static run time / dynamic run time)\n");
+  std::printf("paper: generally > 1, up to ~10x; umshl < 1 vs its tuned "
+              "static stand-in;\n");
+  std::printf("hash/ms < 1 under VCODE but > 1 under ICODE\n");
+  printRule();
+  std::printf("%-8s %12s %12s %12s %12s\n", "bench", "icode-lcc",
+              "vcode-lcc", "icode-gcc", "vcode-gcc");
+  printRule();
+  AppSet Set;
+  std::vector<FigureRow> Rows = measureFigureRows(Set);
+  for (const FigureRow &R : Rows)
+    std::printf("%-8s %12.2f %12.2f %12.2f %12.2f\n", R.Name.c_str(),
+                R.NsStaticO0 / R.NsICode, R.NsStaticO0 / R.NsVCode,
+                R.NsStaticO2 / R.NsICode, R.NsStaticO2 / R.NsVCode);
+  printRule();
+  std::printf("raw ns/op:\n");
+  std::printf("%-8s %12s %12s %12s %12s\n", "bench", "static-O0",
+              "static-O2", "icode", "vcode");
+  for (const FigureRow &R : Rows)
+    std::printf("%-8s %12.1f %12.1f %12.1f %12.1f\n", R.Name.c_str(),
+                R.NsStaticO0, R.NsStaticO2, R.NsICode, R.NsVCode);
+  return 0;
+}

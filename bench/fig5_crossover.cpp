@@ -1,0 +1,43 @@
+//===- bench/fig5_crossover.cpp - Paper Figure 5 -----------------------------==//
+//
+// "The cross-over point ... is the number of times that a piece of dynamic
+// code must be executed in order for the sum of the cost of its invocations
+// and its compilation to be less than or equal to the cost of the same
+// number of invocations of static code." No bar where dynamic never wins.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/FigureData.h"
+
+#include <cstdio>
+
+using namespace tcc;
+using namespace tcc::bench;
+
+static void printCell(double N) {
+  if (N < 0)
+    std::printf(" %11s", "never");
+  else
+    std::printf(" %11.0f", N);
+}
+
+int main() {
+  std::printf("Figure 5: cross-over point (runs until codegen amortizes)\n");
+  std::printf("paper: usually <= a few hundred; 1 for ms-icode/cmp/query; "
+              "never for umshl\nand for hash/ms under VCODE; ntn crosses "
+              "over sooner under ICODE than VCODE\n");
+  printRule();
+  std::printf("%-8s %12s %12s %12s %12s\n", "bench", "icode-lcc",
+              "vcode-lcc", "icode-gcc", "vcode-gcc");
+  printRule();
+  AppSet Set;
+  for (const FigureRow &R : measureFigureRows(Set)) {
+    std::printf("%-8s", R.Name.c_str());
+    printCell(crossover(R.ICodeCost.TotalNs, R.NsICode, R.NsStaticO0));
+    printCell(crossover(R.VCodeCost.TotalNs, R.NsVCode, R.NsStaticO0));
+    printCell(crossover(R.ICodeCost.TotalNs, R.NsICode, R.NsStaticO2));
+    printCell(crossover(R.VCodeCost.TotalNs, R.NsVCode, R.NsStaticO2));
+    std::printf("\n");
+  }
+  return 0;
+}

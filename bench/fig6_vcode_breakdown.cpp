@@ -1,0 +1,38 @@
+//===- bench/fig6_vcode_breakdown.cpp - Paper Figure 6 -----------------------==//
+//
+// "The VCODE back end generates code at between 100 and 500 cycles per
+// generated instruction. The cost of manipulating closures and other
+// meta-data is negligible: almost all the time is spent actually emitting
+// binary code."
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/FigureData.h"
+
+#include <cstdio>
+
+using namespace tcc;
+using namespace tcc::bench;
+using namespace tcc::core;
+
+int main() {
+  std::printf("Figure 6: VCODE dynamic compilation cost breakdown\n");
+  std::printf("(cycles per generated instruction; paper: 100-500, emission-"
+              "dominated)\n");
+  printRule();
+  std::printf("%-8s %8s %12s %12s %12s\n", "bench", "instrs", "closure",
+              "emit", "total c/i");
+  printRule();
+  AppSet Set;
+  for (const AppCase &App : Set.cases()) {
+    CompileOptions VO;
+    VO.Backend = BackendKind::VCode;
+    CompileCost Cost = measureCompile(App.Specialize, VO);
+    double CPN = cyclesPerNano();
+    double Closure = Cost.SpecNs * CPN / Cost.MachineInstrs;
+    double Emit = Cost.InstantiateNs * CPN / Cost.MachineInstrs;
+    std::printf("%-8s %8u %12.1f %12.1f %12.1f\n", App.Name.c_str(),
+                Cost.MachineInstrs, Closure, Emit, Closure + Emit);
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+//===- bench/fig7_icode_breakdown.cpp - Paper Figure 7 -----------------------==//
+//
+// "The ICODE back end generates code at a speed between approximately 1000
+// and 2500 cycles per generated instruction. ... Approximately 70-80% of
+// the ICODE code generation cost is due to register allocation and related
+// operations, such as computing live variables and building live ranges.
+// The linear scan register allocation algorithm outperforms the graph
+// coloring allocator in all cases but one [binary], sometimes by up to a
+// factor of two (dp)."
+//
+// For each benchmark: left column = linear scan, right = graph coloring.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/FigureData.h"
+
+#include <cstdio>
+
+using namespace tcc;
+using namespace tcc::bench;
+using namespace tcc::core;
+
+int main() {
+  std::printf("Figure 7: ICODE compilation breakdown, cycles per generated "
+              "instruction\n");
+  std::printf("(columns per allocator: LS = linear scan, GC = graph "
+              "coloring)\n");
+  printRule();
+  std::printf("%-8s %7s | %8s %8s %8s %8s %8s | %9s %9s\n", "bench",
+              "instrs", "closure", "IRbuild", "flow/live", "regalloc",
+              "emit", "LS tot", "GC tot");
+  printRule();
+  AppSet Set;
+  for (const AppCase &App : Set.cases()) {
+    CompileOptions IO;
+    IO.Backend = BackendKind::ICode;
+    CompileCost LS = measureCompile(App.Specialize, IO);
+    CompileOptions GO = IO;
+    GO.RegAlloc = icode::RegAllocKind::GraphColor;
+    CompileCost GC = measureCompile(App.Specialize, GO);
+
+    double CPN = cyclesPerNano();
+    auto PerInstr = [&](double Ns, unsigned Instrs) {
+      return Ns * CPN / Instrs;
+    };
+    const icode::CompileStats &S = LS.Stats.ICode;
+    double Closure = PerInstr(LS.SpecNs, LS.MachineInstrs);
+    double IRBuild =
+        static_cast<double>(LS.Stats.CyclesWalk) / LS.MachineInstrs;
+    double FlowLive = static_cast<double>(S.CyclesFlowGraph +
+                                          S.CyclesLiveness +
+                                          S.CyclesIntervals) /
+                      LS.MachineInstrs;
+    double RegAlloc = static_cast<double>(S.CyclesRegAlloc) /
+                      LS.MachineInstrs;
+    double Emit = static_cast<double>(S.CyclesEmit + S.CyclesPeephole) /
+                  LS.MachineInstrs;
+    double LsTotal = PerInstr(LS.TotalNs, LS.MachineInstrs);
+    double GcTotal = PerInstr(GC.TotalNs, GC.MachineInstrs);
+    std::printf("%-8s %7u | %8.0f %8.0f %8.0f %8.0f %8.0f | %9.0f %9.0f\n",
+                App.Name.c_str(), LS.MachineInstrs, Closure, IRBuild,
+                FlowLive, RegAlloc, Emit, LsTotal, GcTotal);
+  }
+  printRule();
+  std::printf("regalloc-only comparison (cycles/instr):\n");
+  std::printf("%-8s %14s %14s %10s\n", "bench", "linear scan",
+              "graph color", "GC/LS");
+  AppSet Set2;
+  for (const AppCase &App : Set2.cases()) {
+    CompileOptions IO;
+    IO.Backend = BackendKind::ICode;
+    CompileCost LS = measureCompile(App.Specialize, IO);
+    CompileOptions GO = IO;
+    GO.RegAlloc = icode::RegAllocKind::GraphColor;
+    CompileCost GC = measureCompile(App.Specialize, GO);
+    double LsRa = static_cast<double>(LS.Stats.ICode.CyclesRegAlloc) /
+                  LS.MachineInstrs;
+    double GcRa = static_cast<double>(GC.Stats.ICode.CyclesRegAlloc) /
+                  GC.MachineInstrs;
+    std::printf("%-8s %14.0f %14.0f %10.2f\n", App.Name.c_str(), LsRa, GcRa,
+                GcRa / (LsRa > 0 ? LsRa : 1));
+  }
+  return 0;
+}

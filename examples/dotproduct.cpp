@@ -1,0 +1,72 @@
+//===- examples/dotproduct.cpp - The paper's §4.4 running example ---------===//
+//
+// Specializes a dot product against a run-time constant sparse row, both
+// ways the paper shows: explicit spec-time composition, and dynamic loop
+// unrolling with derived run-time constants. Prints the generated-code
+// sizes so the effect of dead-zero elimination is visible.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/DotProduct.h"
+#include "core/Compile.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace tcc;
+using namespace tcc::core;
+
+int main() {
+  // A sparse run-time constant row.
+  static int Row[12] = {4, 0, 0, 7, 1, 0, 0, 0, 2, 0, 5, 0};
+  const unsigned N = 12;
+
+  // --- Variant 1: spec-time composition (paper §4.4, first listing) ----------
+  Context C1;
+  VSpec Col1 = C1.paramPtr(0);
+  Expr Sum = C1.intConst(0);
+  for (unsigned K = 0; K < N; ++K) {
+    if (!Row[K])
+      continue;
+    Sum = Sum + C1.index(Expr(Col1), C1.rcInt(static_cast<int>(K)),
+                         MemType::I32) *
+                    C1.rcInt(Row[K]);
+  }
+  CompiledFn F1 = compileFn(C1, C1.ret(Sum), EvalType::Int);
+
+  // --- Variant 2: dynamic loop unrolling (second listing) ---------------------
+  Context C2;
+  VSpec Col2 = C2.paramPtr(0);
+  VSpec K = C2.localInt(), Acc = C2.localInt();
+  Expr RowK = C2.rtEval(C2.index(C2.rcPtr(Row), Expr(K), MemType::I32));
+  Stmt Body = C2.ifStmt(
+      RowK != C2.intConst(0),
+      C2.assign(Acc, Expr(Acc) +
+                         C2.index(Expr(Col2), Expr(K), MemType::I32) * RowK));
+  Stmt Fn2 = C2.block({
+      C2.assign(Acc, C2.intConst(0)),
+      C2.forStmt(K, C2.intConst(0), vcode::CmpKind::LtS,
+                 C2.rcInt(static_cast<int>(N)), C2.intConst(1), Body),
+      C2.ret(Acc),
+  });
+  CompiledFn F2 = compileFn(C2, Fn2, EvalType::Int);
+
+  // --- Compare against a plain loop ---------------------------------------------
+  std::vector<int> Col = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  int Want = 0;
+  for (unsigned I = 0; I < N; ++I)
+    Want += Col[I] * Row[I];
+
+  int R1 = F1.as<int(const int *)>()(Col.data());
+  int R2 = F2.as<int(const int *)>()(Col.data());
+  std::printf("reference: %d\n", Want);
+  std::printf("spec-time composition:   %d  (%u instructions)\n", R1,
+              F1.stats().MachineInstrs);
+  std::printf("dynamic loop unrolling:  %d  (%u instructions)\n", R2,
+              F2.stats().MachineInstrs);
+  std::printf("\nThe generated code contains one multiply-add per *nonzero* "
+              "row entry;\nzero entries were eliminated at instantiation "
+              "time, and small coefficients\nwere strength-reduced to "
+              "shifts and adds.\n");
+  return R1 == Want && R2 == Want ? 0 : 1;
+}

@@ -1,0 +1,50 @@
+//===- examples/marshal_rpc.cpp - Dynamic function-call construction ------===//
+//
+// The paper's mshl/umshl scenario as a miniature RPC stub generator: from a
+// format string, generate (1) a marshaler that packs arguments into a byte
+// vector and (2) an unmarshaler that unpacks the vector and *calls* the
+// handler — "ANSI C simply does not provide mechanisms for dynamically
+// constructing function calls with varying numbers of arguments" (§6.2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Marshal.h"
+
+#include <cstdio>
+
+using namespace tcc;
+using namespace tcc::apps;
+using namespace tcc::core;
+
+static int handler(int A, int B, int C, int D, int E) {
+  std::printf("  handler(%d, %d, %d, %d, %d) invoked by generated code\n",
+              A, B, C, D, E);
+  return A + B + C + D + E;
+}
+
+int main() {
+  MarshalApp App("iiiii");
+  CompileOptions Opts;
+  Opts.Backend = BackendKind::ICode;
+
+  std::printf("generating marshal/unmarshal stubs for format \"iiiii\"...\n");
+  CompiledFn M = App.buildMarshaler(Opts);
+  CompiledFn U = App.buildUnmarshaler(
+      reinterpret_cast<const void *>(&handler), Opts);
+  std::printf("marshaler: %u instructions; unmarshaler: %u instructions\n\n",
+              M.stats().MachineInstrs, U.stats().MachineInstrs);
+
+  // "Send": pack five arguments into the wire buffer.
+  std::uint8_t Wire[32] = {0};
+  M.as<void(int, int, int, int, int, std::uint8_t *)>()(10, 20, 30, 40, 50,
+                                                        Wire);
+  std::printf("wire buffer:");
+  for (int I = 0; I < 20; ++I)
+    std::printf(" %02x", Wire[I]);
+  std::printf("\n");
+
+  // "Receive": unpack and dispatch to the handler.
+  int Result = U.as<int(const std::uint8_t *)>()(Wire);
+  std::printf("unmarshal returned %d\n", Result);
+  return Result == 150 ? 0 : 1;
+}

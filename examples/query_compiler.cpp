@@ -1,0 +1,60 @@
+//===- examples/query_compiler.cpp - Small-language compilation -----------===//
+//
+// The paper's `query` scenario as a standalone application: a toy database
+// query language whose queries are compiled to machine code at run time and
+// then run over the database at native speed, contrasted with the
+// interpreter. ("The query languages used to interrogate databases are
+// well-known targets for dynamic code generation" — §6.2.)
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Query.h"
+#include "bench/Harness.h"
+
+#include <cstdio>
+
+using namespace tcc;
+using namespace tcc::apps;
+using namespace tcc::bench;
+using namespace tcc::core;
+
+int main() {
+  QueryApp App(200000, /*Seed=*/42);
+
+  std::printf("database: %zu records {age, income, children, education, "
+              "status}\n",
+              App.records().size());
+  std::printf("query: (age > 40 && income < 50000) || (children == 2 && "
+              "education > 12) || status == 3\n\n");
+
+  // Interpret.
+  double NsInterp = nsPerOp([&] {
+    volatile int N = App.countStaticO2(App.benchmarkQuery());
+    (void)N;
+  });
+  int CountInterp = App.countStaticO2(App.benchmarkQuery());
+
+  // Compile, then scan with native code.
+  CompileOptions Opts;
+  Opts.Backend = BackendKind::ICode;
+  CompiledFn F = App.specialize(App.benchmarkQuery(), Opts);
+  auto *Match = F.as<int(const Record *)>();
+  double NsCompiled = nsPerOp([&] {
+    volatile int N = App.countCompiled(Match);
+    (void)N;
+  });
+  int CountCompiled = App.countCompiled(Match);
+
+  std::printf("interpreted scan: %8.2f ms  -> %d matches\n", NsInterp / 1e6,
+              CountInterp);
+  std::printf("compiled scan:    %8.2f ms  -> %d matches\n",
+              NsCompiled / 1e6, CountCompiled);
+  std::printf("query compilation took %.1f us and %u machine instructions\n",
+              static_cast<double>(F.stats().CyclesTotal) / cyclesPerNano() /
+                  1e3,
+              F.stats().MachineInstrs);
+  std::printf("speedup: %.1fx; the compiled query pays for itself within "
+              "one scan.\n",
+              NsInterp / NsCompiled);
+  return CountInterp == CountCompiled ? 0 : 1;
+}

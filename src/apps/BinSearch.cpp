@@ -1,0 +1,80 @@
+//===- apps/BinSearch.cpp --------------------------------------------------==//
+
+#include "apps/BinSearch.h"
+
+#include "apps/StaticOpt.h"
+
+#include <algorithm>
+#include <random>
+
+using namespace tcc;
+using namespace tcc::apps;
+using namespace tcc::core;
+
+#define TICKC_BSEARCH_BODY                                                     \
+  {                                                                            \
+    int Lo = 0, Hi = static_cast<int>(N) - 1;                                  \
+    while (Lo <= Hi) {                                                         \
+      int Mid = (Lo + Hi) / 2;                                                 \
+      if (A[Mid] == Key)                                                       \
+        return Mid;                                                            \
+      if (A[Mid] < Key)                                                        \
+        Lo = Mid + 1;                                                          \
+      else                                                                     \
+        Hi = Mid - 1;                                                          \
+    }                                                                          \
+    return -1;                                                                 \
+  }
+
+TICKC_STATIC_O0 static int findO0(const int *A, unsigned N, int Key)
+    TICKC_BSEARCH_BODY
+
+TICKC_STATIC_O2 static int findO2(const int *A, unsigned N, int Key)
+    TICKC_BSEARCH_BODY
+
+BinSearchApp::BinSearchApp(unsigned Count, unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  Sorted.reserve(Count);
+  int V = 0;
+  for (unsigned I = 0; I < Count; ++I) {
+    V += 1 + static_cast<int>(Rng() % 50);
+    Sorted.push_back(V);
+  }
+  Absent = Sorted.back() + 7;
+}
+
+int BinSearchApp::findStaticO0(int Key) const {
+  return findO0(Sorted.data(), static_cast<unsigned>(Sorted.size()), Key);
+}
+
+int BinSearchApp::findStaticO2(int Key) const {
+  return findO2(Sorted.data(), static_cast<unsigned>(Sorted.size()), Key);
+}
+
+namespace {
+
+/// Builds the decision tree for Sorted[Lo..Hi] at specification time —
+/// recursion over run-time constants composing nested if cspecs.
+Stmt buildTree(Context &C, VSpec Key, const std::vector<int> &Sorted, int Lo,
+               int Hi) {
+  if (Lo > Hi)
+    return C.ret(C.intConst(-1));
+  int Mid = (Lo + Hi) / 2;
+  return C.block({
+      C.ifStmt(Expr(Key) == C.rcInt(Sorted[static_cast<std::size_t>(Mid)]),
+               C.ret(C.rcInt(Mid))),
+      C.ifStmt(Expr(Key) > C.rcInt(Sorted[static_cast<std::size_t>(Mid)]),
+               buildTree(C, Key, Sorted, Mid + 1, Hi),
+               buildTree(C, Key, Sorted, Lo, Mid - 1)),
+  });
+}
+
+} // namespace
+
+CompiledFn BinSearchApp::specialize(const CompileOptions &Opts) const {
+  Context C;
+  VSpec Key = C.paramInt(0);
+  Stmt Tree =
+      buildTree(C, Key, Sorted, 0, static_cast<int>(Sorted.size()) - 1);
+  return compileFn(C, Tree, EvalType::Int, Opts);
+}

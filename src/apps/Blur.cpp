@@ -1,0 +1,105 @@
+//===- apps/Blur.cpp -------------------------------------------------------==//
+
+#include "apps/Blur.h"
+
+#include "apps/StaticOpt.h"
+
+#include <random>
+
+using namespace tcc;
+using namespace tcc::apps;
+using namespace tcc::core;
+
+#define TICKC_BLUR_BODY                                                        \
+  {                                                                            \
+    for (int Y = 0; Y < H; ++Y)                                                \
+      for (int X = 0; X < W; ++X) {                                            \
+        int Sum = 0, Cnt = 0;                                                  \
+        for (int Dy = -R; Dy <= R; ++Dy)                                       \
+          for (int Dx = -R; Dx <= R; ++Dx) {                                   \
+            int YY = Y + Dy, XX = X + Dx;                                      \
+            if (YY >= 0 && YY < H && XX >= 0 && XX < W) {                      \
+              Sum += Src[YY * W + XX];                                         \
+              ++Cnt;                                                           \
+            }                                                                  \
+          }                                                                    \
+        Dst[Y * W + X] = Sum / Cnt;                                            \
+      }                                                                        \
+  }
+
+TICKC_STATIC_O0 static void blurO0(const std::int32_t *Src, std::int32_t *Dst,
+                                   int W, int H, int R) TICKC_BLUR_BODY
+
+TICKC_STATIC_O2 static void blurO2(const std::int32_t *Src, std::int32_t *Dst,
+                                   int W, int H, int R) TICKC_BLUR_BODY
+
+BlurApp::BlurApp(unsigned Width, unsigned Height, unsigned Radius,
+                 unsigned Seed)
+    : W(Width), H(Height), R(Radius), Src(Width * Height) {
+  std::mt19937 Rng(Seed);
+  for (std::int32_t &P : Src)
+    P = static_cast<int>(Rng() % 256);
+}
+
+void BlurApp::blurStaticO0(std::int32_t *Dst) const {
+  blurO0(Src.data(), Dst, static_cast<int>(W), static_cast<int>(H),
+         static_cast<int>(R));
+}
+
+void BlurApp::blurStaticO2(std::int32_t *Dst) const {
+  blurO2(Src.data(), Dst, static_cast<int>(W), static_cast<int>(H),
+         static_cast<int>(R));
+}
+
+CompiledFn BlurApp::specialize(const CompileOptions &Opts) const {
+  Context C;
+  VSpec Dst = C.paramPtr(0);
+  VSpec X = C.localInt(), Y = C.localInt();
+  VSpec Dy = C.localInt(), Dx = C.localInt();
+  VSpec Sum = C.localInt(), Cnt = C.localInt();
+  VSpec YY = C.localInt(), XX = C.localInt();
+
+  auto Wc = [&] { return C.rcInt(static_cast<int>(W)); };
+  auto Hc = [&] { return C.rcInt(static_cast<int>(H)); };
+  Expr SrcBase = C.rcPtr(Src.data());
+
+  // Innermost accumulate with run-time-constant boundary checks; dy/dx are
+  // derived run-time constants (kernel loops unroll), so yy = y + dy folds
+  // to an add-immediate and yy*W strength-reduces.
+  Stmt Accum = C.block({
+      C.assign(YY, Expr(Y) + Expr(Dy)),
+      C.assign(XX, Expr(X) + Expr(Dx)),
+      C.ifStmt((Expr(YY) >= C.intConst(0)) && (Expr(YY) < Hc()) &&
+                   (Expr(XX) >= C.intConst(0)) && (Expr(XX) < Wc()),
+               C.block({
+                   C.assign(Sum,
+                            Expr(Sum) +
+                                C.index(SrcBase,
+                                        Expr(YY) * Wc() + Expr(XX),
+                                        MemType::I32)),
+                   C.assign(Cnt, Expr(Cnt) + C.intConst(1)),
+               })),
+  });
+  int Rad = static_cast<int>(R);
+  Stmt KernelLoops = C.forStmt(
+      Dy, C.rcInt(-Rad), CmpKind::LeS, C.rcInt(Rad), C.intConst(1),
+      C.forStmt(Dx, C.rcInt(-Rad), CmpKind::LeS, C.rcInt(Rad), C.intConst(1),
+                Accum));
+  Stmt PixelBody = C.block({
+      C.assign(Sum, C.intConst(0)),
+      C.assign(Cnt, C.intConst(0)),
+      KernelLoops,
+      C.storeIndex(Expr(Dst), Expr(Y) * Wc() + Expr(X), MemType::I32,
+                   Expr(Sum) / Expr(Cnt)),
+  });
+  Stmt Fn = C.block({
+      C.forStmt(Y, C.intConst(0), CmpKind::LtS, Hc(), C.intConst(1),
+                C.forStmt(X, C.intConst(0), CmpKind::LtS, Wc(),
+                          C.intConst(1), PixelBody)),
+      C.retVoid(),
+  });
+  // The kernel loops (2R+1 iterations) unroll; the image loops stay rolled.
+  CompileOptions O = Opts;
+  O.UnrollLimit = 2 * R + 1;
+  return compileFn(C, Fn, EvalType::Void, O);
+}

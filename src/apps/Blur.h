@@ -1,0 +1,55 @@
+//===- apps/Blur.h - The xv Blur experiment ----------------------*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's xv case study (§6.2, "Putting it all together"): xv's Blur
+/// applies a user-sized all-ones convolution matrix, so convolution is the
+/// average of the neighborhood; the inner loops are bounded by the run-time
+/// constant kernel size and full of boundary checks against run-time
+/// constants (image extents). tcc unrolls the kernel loops and folds the
+/// checks. xv itself is UI scaffolding around this kernel, so the kernel is
+/// reproduced verbatim over a synthetic 640x480 image (see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_APPS_BLUR_H
+#define TICKC_APPS_BLUR_H
+
+#include "core/Compile.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace tcc {
+namespace apps {
+
+class BlurApp {
+public:
+  BlurApp(unsigned Width = 640, unsigned Height = 480, unsigned Radius = 1,
+          unsigned Seed = 9);
+
+  void blurStaticO0(std::int32_t *Dst) const;
+  void blurStaticO2(std::int32_t *Dst) const;
+
+  /// Instantiates `void blur(int32_t *dst)` with extents, radius, and the
+  /// source image hardwired; kernel loops unrolled.
+  core::CompiledFn specialize(const core::CompileOptions &Opts) const;
+
+  unsigned width() const { return W; }
+  unsigned height() const { return H; }
+  unsigned pixels() const { return W * H; }
+  const std::int32_t *source() const { return Src.data(); }
+
+private:
+  unsigned W, H, R;
+  std::vector<std::int32_t> Src;
+};
+
+} // namespace apps
+} // namespace tcc
+
+#endif // TICKC_APPS_BLUR_H

@@ -1,0 +1,90 @@
+//===- apps/Compose.cpp ----------------------------------------------------==//
+
+#include "apps/Compose.h"
+
+#include "apps/StaticOpt.h"
+
+#include <random>
+
+using namespace tcc;
+using namespace tcc::apps;
+using namespace tcc::core;
+
+// The data-manipulation layers, reached through function pointers in the
+// static pipeline.
+static std::uint32_t byteswapStep(std::uint32_t W) {
+  return ((W >> 24) & 0xFFu) | ((W >> 8) & 0xFF00u) | ((W << 8) & 0xFF0000u) |
+         (W << 24);
+}
+static std::uint32_t checksumStep(std::uint32_t Sum, std::uint32_t W) {
+  return Sum + W;
+}
+
+#define TICKC_CMP_BODY                                                         \
+  {                                                                            \
+    std::uint32_t Sum = 0;                                                     \
+    for (unsigned I = 0; I < N; ++I) {                                         \
+      std::uint32_t W = Src[I];                                                \
+      Sum = Ck(Sum, W);                                                        \
+      Dst[I] = Bs(W);                                                          \
+    }                                                                          \
+    return Sum;                                                                \
+  }
+
+TICKC_STATIC_O0 static std::uint32_t
+pipeO0(const std::uint32_t *Src, std::uint32_t *Dst, unsigned N,
+       std::uint32_t (*Ck)(std::uint32_t, std::uint32_t),
+       std::uint32_t (*Bs)(std::uint32_t)) TICKC_CMP_BODY
+
+TICKC_STATIC_O2 static std::uint32_t
+pipeO2(const std::uint32_t *Src, std::uint32_t *Dst, unsigned N,
+       std::uint32_t (*Ck)(std::uint32_t, std::uint32_t),
+       std::uint32_t (*Bs)(std::uint32_t)) TICKC_CMP_BODY
+
+ComposeApp::ComposeApp(unsigned Bytes, unsigned Seed) : Src(Bytes / 4) {
+  std::mt19937 Rng(Seed);
+  for (std::uint32_t &W : Src)
+    W = Rng();
+}
+
+std::uint32_t ComposeApp::pipeStaticO0(std::uint32_t *Dst) const {
+  return pipeO0(Src.data(), Dst, words(), &checksumStep, &byteswapStep);
+}
+
+std::uint32_t ComposeApp::pipeStaticO2(std::uint32_t *Dst) const {
+  return pipeO2(Src.data(), Dst, words(), &checksumStep, &byteswapStep);
+}
+
+CompiledFn ComposeApp::specialize(const CompileOptions &Opts) const {
+  Context C;
+  VSpec Dst = C.paramPtr(0);
+  VSpec I = C.localInt();
+  VSpec W = C.localInt();
+  VSpec Sum = C.localInt();
+
+  // The two layers as cspec builders: composition fuses them into the copy
+  // loop with no calls.
+  auto Checksum = [&](Expr Acc, Expr Word) { return Acc + Word; };
+  auto Byteswap = [&](Expr Word) {
+    Expr B0 = (Word >> C.intConst(24)) & C.intConst(0xFF);
+    Expr B1 = (Word >> C.intConst(8)) & C.intConst(0xFF00);
+    Expr B2 = (Word << C.intConst(8)) & C.intConst(0xFF0000);
+    Expr B3 = Word << C.intConst(24);
+    return B0 | B1 | B2 | B3;
+  };
+
+  Stmt Body = C.block({
+      C.assign(W, C.index(C.rcPtr(Src.data()), Expr(I), MemType::I32)),
+      C.assign(Sum, Checksum(Expr(Sum), Expr(W))),
+      C.storeIndex(Expr(Dst), Expr(I), MemType::I32, Byteswap(Expr(W))),
+  });
+  Stmt Fn = C.block({
+      C.assign(Sum, C.intConst(0)),
+      C.forStmt(I, C.intConst(0), CmpKind::LtS,
+                C.rcInt(static_cast<int>(words())), C.intConst(1), Body),
+      C.ret(Sum),
+  });
+  CompileOptions O = Opts;
+  O.UnrollLimit = 64; // 1024 words: keep the copy loop rolled.
+  return compileFn(C, Fn, EvalType::Int, O);
+}

@@ -1,0 +1,68 @@
+//===- apps/DotProduct.cpp -------------------------------------------------==//
+
+#include "apps/DotProduct.h"
+
+#include "apps/StaticOpt.h"
+
+#include <random>
+
+using namespace tcc;
+using namespace tcc::apps;
+using namespace tcc::core;
+
+#define TICKC_DP_BODY                                                          \
+  {                                                                            \
+    int Sum = 0;                                                               \
+    for (unsigned K = 0; K < N; ++K)                                           \
+      if (Row[K])                                                              \
+        Sum += Col[K] * Row[K];                                                \
+    return Sum;                                                                \
+  }
+
+TICKC_STATIC_O0 static int dotO0(const int *Col, const int *Row, unsigned N)
+    TICKC_DP_BODY
+
+TICKC_STATIC_O2 static int dotO2(const int *Col, const int *Row, unsigned N)
+    TICKC_DP_BODY
+
+DotProductApp::DotProductApp(unsigned N, double ZeroFraction, unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  Row.resize(N);
+  for (int &V : Row) {
+    if (static_cast<double>(Rng() % 1000) / 1000.0 < ZeroFraction)
+      V = 0;
+    else
+      V = static_cast<int>(Rng() % 16) + 1; // Small: strength-reducible.
+  }
+}
+
+int DotProductApp::dotStaticO0(const int *Col) const {
+  return dotO0(Col, Row.data(), size());
+}
+
+int DotProductApp::dotStaticO2(const int *Col) const {
+  return dotO2(Col, Row.data(), size());
+}
+
+CompiledFn DotProductApp::specialize(const CompileOptions &Opts) const {
+  // `{ int k, sum = 0;
+  //    for (k = 0; k < $n; k++) if ($row[k]) sum += col[k] * $row[k];
+  //    return sum; }                                 (paper §4.4, verbatim)
+  Context C;
+  VSpec Col = C.paramPtr(0);
+  VSpec K = C.localInt();
+  VSpec Sum = C.localInt();
+  Expr RowK = C.rtEval(C.index(C.rcPtr(Row.data()), Expr(K), MemType::I32));
+  Stmt Body =
+      C.ifStmt(RowK != C.intConst(0),
+               C.assign(Sum, Expr(Sum) +
+                                 C.index(Expr(Col), Expr(K), MemType::I32) *
+                                     RowK));
+  Stmt Fn = C.block({
+      C.assign(Sum, C.intConst(0)),
+      C.forStmt(K, C.intConst(0), CmpKind::LtS,
+                C.rcInt(static_cast<int>(size())), C.intConst(1), Body),
+      C.ret(Sum),
+  });
+  return compileFn(C, Fn, EvalType::Int, Opts);
+}

@@ -1,0 +1,52 @@
+//===- apps/DotProduct.h - Sparse dot product with rt-const row -*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's `dp` benchmark — the running example of §4.4: the dot
+/// product of a vector with a run-time constant row. The dynamic version
+/// unrolls the loop over the row, skips zero entries entirely (dead code
+/// elimination on `$row[k]`), and strength-reduces the multiplies by the
+/// hardwired coefficients, yielding straight-line code with "no branches
+/// and no loop induction variable".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_APPS_DOTPRODUCT_H
+#define TICKC_APPS_DOTPRODUCT_H
+
+#include "core/Compile.h"
+
+#include <vector>
+
+namespace tcc {
+namespace apps {
+
+class DotProductApp {
+public:
+  /// Builds a length-\p N run-time-constant row with roughly the given
+  /// fraction of zero entries.
+  DotProductApp(unsigned N = 64, double ZeroFraction = 0.5,
+                unsigned Seed = 4);
+
+  int dotStaticO0(const int *Col) const;
+  int dotStaticO2(const int *Col) const;
+
+  /// Instantiates `int dot(const int *col)` via the paper's dynamically
+  /// unrolled formulation.
+  core::CompiledFn specialize(const core::CompileOptions &Opts) const;
+
+  unsigned size() const { return static_cast<unsigned>(Row.size()); }
+  const std::vector<int> &row() const { return Row; }
+
+private:
+  std::vector<int> Row;
+};
+
+} // namespace apps
+} // namespace tcc
+
+#endif // TICKC_APPS_DOTPRODUCT_H

@@ -1,0 +1,102 @@
+//===- apps/Hash.cpp -------------------------------------------------------==//
+
+#include "apps/Hash.h"
+
+#include "apps/StaticOpt.h"
+
+#include <cassert>
+#include <random>
+
+using namespace tcc;
+using namespace tcc::apps;
+using namespace tcc::core;
+
+// The static lookup body, stamped once per optimization level. Keys are
+// positive and the multiplier small, so the signed modulo agrees with the
+// unsigned one and with the dynamic version's strength-reduced form.
+#define TICKC_HASH_LOOKUP_BODY                                                 \
+  {                                                                            \
+    int H = (Key * HashApp::Multiplier) % static_cast<int>(Size);             \
+    while (Keys[H] != HashApp::Empty && Keys[H] != Key)                        \
+      H = (H + 1) % static_cast<int>(Size);                                    \
+    return Keys[H] == Key ? Vals[H] : -1;                                      \
+  }
+
+TICKC_STATIC_O0 static int lookupO0(const int *Keys, const int *Vals,
+                                    unsigned Size, int Key)
+    TICKC_HASH_LOOKUP_BODY
+
+TICKC_STATIC_O2 static int lookupO2(const int *Keys, const int *Vals,
+                                    unsigned Size, int Key)
+    TICKC_HASH_LOOKUP_BODY
+
+HashApp::HashApp(unsigned TableSize, unsigned NumEntries, unsigned Seed)
+    : Size(TableSize), Keys(TableSize, Empty), Vals(TableSize, 0) {
+  assert((TableSize & (TableSize - 1)) == 0 && "table size must be 2^k");
+  assert(NumEntries < TableSize && "table must not be full");
+  std::mt19937 Rng(Seed);
+  unsigned Inserted = 0;
+  while (Inserted < NumEntries) {
+    int Key = static_cast<int>(Rng() % 1000000) + 1;
+    int H = (Key * Multiplier) % static_cast<int>(Size);
+    bool Dup = false;
+    while (Keys[H] != Empty) {
+      if (Keys[H] == Key) {
+        Dup = true;
+        break;
+      }
+      H = (H + 1) % static_cast<int>(Size);
+    }
+    if (Dup)
+      continue;
+    Keys[H] = Key;
+    Vals[H] = Key * 2 + 1;
+    if (Inserted == NumEntries / 2)
+      PresentKey = Key;
+    ++Inserted;
+  }
+  AbsentKey = 1000001;
+  while (true) {
+    bool Clash = false;
+    for (int K : Keys)
+      Clash |= K == AbsentKey;
+    if (!Clash)
+      break;
+    ++AbsentKey;
+  }
+}
+
+int HashApp::lookupStaticO0(int Key) const {
+  return lookupO0(Keys.data(), Vals.data(), Size, Key);
+}
+
+int HashApp::lookupStaticO2(int Key) const {
+  return lookupO2(Keys.data(), Vals.data(), Size, Key);
+}
+
+CompiledFn HashApp::specialize(const CompileOptions &Opts) const {
+  Context C;
+  VSpec Key = C.paramInt(0);
+  VSpec H = C.localInt();
+  VSpec Probe = C.localInt();
+  Expr KeysBase = C.rcPtr(Keys.data());
+  Expr ValsBase = C.rcPtr(Vals.data());
+  auto SizeC = [&] { return C.rcInt(static_cast<int>(Size)); };
+
+  // h = (key * $M) % $S;   — multiplier and size become immediates; the
+  // multiply and modulo strength-reduce (shift/add and mask-style code).
+  Stmt Init = C.assign(H, (Expr(Key) * C.rcInt(Multiplier)) % SizeC());
+  // while (keys[h] != EMPTY && keys[h] != key) h = (h + 1) % $S;
+  Expr KeyAtH = C.index(KeysBase, Expr(H), MemType::I32);
+  Expr Continue = (KeyAtH != C.rcInt(Empty)) && (KeyAtH != Expr(Key));
+  Stmt Loop = C.whileStmt(
+      Continue, C.assign(H, (Expr(H) + C.intConst(1)) % SizeC()));
+  // return keys[h] == key ? vals[h] : -1;
+  Stmt Tail = C.block({
+      C.assign(Probe, C.index(KeysBase, Expr(H), MemType::I32)),
+      C.ifStmt(Expr(Probe) == Expr(Key),
+               C.ret(C.index(ValsBase, Expr(H), MemType::I32)),
+               C.ret(C.intConst(-1))),
+  });
+  return compileFn(C, C.block({Init, Loop, Tail}), EvalType::Int, Opts);
+}

@@ -1,0 +1,62 @@
+//===- apps/Hash.h - Run-time-constant hash table lookup -------*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's `hash` benchmark (§6.2, "Run-time constants"): a generic
+/// open-addressing hash table whose size and scatter multiplier are fixed
+/// at run time. The `C version hardwires both into the instruction stream,
+/// strength-reducing the multiply and the modulo; the static version loads
+/// them from memory and divides. The experiment looks up two values, one
+/// present and one absent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_APPS_HASH_H
+#define TICKC_APPS_HASH_H
+
+#include "core/Compile.h"
+
+#include <vector>
+
+namespace tcc {
+namespace apps {
+
+class HashApp {
+public:
+  /// Builds a table of \p NumEntries entries in a \p TableSize-slot table
+  /// (TableSize must be a power of two).
+  HashApp(unsigned TableSize = 1024, unsigned NumEntries = 512,
+          unsigned Seed = 1);
+
+  /// Non-optimized static baseline (the paper's lcc stand-in).
+  int lookupStaticO0(int Key) const;
+  /// Optimized static baseline (the gcc stand-in).
+  int lookupStaticO2(int Key) const;
+
+  /// Instantiates `int lookup(int key)` with table base, size, and
+  /// multiplier as run-time constants.
+  core::CompiledFn specialize(const core::CompileOptions &Opts) const;
+
+  int presentKey() const { return PresentKey; }
+  int absentKey() const { return AbsentKey; }
+  unsigned tableSize() const { return Size; }
+
+  static constexpr int Empty = -1;
+  static constexpr int Multiplier = 17;
+
+private:
+  unsigned Size;
+  std::vector<int> Keys;
+  std::vector<int> Vals;
+  int PresentKey = 0;
+  int AbsentKey = 0;
+};
+
+} // namespace apps
+} // namespace tcc
+
+#endif // TICKC_APPS_HASH_H

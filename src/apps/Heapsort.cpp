@@ -1,0 +1,144 @@
+//===- apps/Heapsort.cpp ---------------------------------------------------==//
+
+#include "apps/Heapsort.h"
+
+#include "apps/StaticOpt.h"
+
+#include <cstring>
+#include <random>
+
+using namespace tcc;
+using namespace tcc::apps;
+using namespace tcc::core;
+
+// Generic static heapsort: element size is a run-time parameter, elements
+// move through memcpy — the paper's unspecialized baseline.
+#define TICKC_HEAP_BODY                                                        \
+  {                                                                            \
+    char Tmp[64];                                                              \
+    char *B = static_cast<char *>(Base);                                       \
+    auto KeyAt = [&](int I) {                                                  \
+      int K;                                                                   \
+      std::memcpy(&K, B + static_cast<long>(I) * ESize, 4);                    \
+      return K;                                                                \
+    };                                                                         \
+    auto Swap = [&](int I, int J) {                                            \
+      std::memcpy(Tmp, B + static_cast<long>(I) * ESize, ESize);               \
+      std::memcpy(B + static_cast<long>(I) * ESize,                            \
+                  B + static_cast<long>(J) * ESize, ESize);                    \
+      std::memcpy(B + static_cast<long>(J) * ESize, Tmp, ESize);               \
+    };                                                                         \
+    auto SiftDown = [&](int Root, int End) {                                   \
+      while (2 * Root + 1 <= End) {                                            \
+        int Child = 2 * Root + 1;                                              \
+        if (Child + 1 <= End && KeyAt(Child) < KeyAt(Child + 1))               \
+          ++Child;                                                             \
+        if (KeyAt(Root) < KeyAt(Child)) {                                      \
+          Swap(Root, Child);                                                   \
+          Root = Child;                                                        \
+        } else                                                                 \
+          break;                                                               \
+      }                                                                        \
+    };                                                                         \
+    for (int Start = N / 2 - 1; Start >= 0; --Start)                           \
+      SiftDown(Start, N - 1);                                                  \
+    for (int End = N - 1; End > 0; --End) {                                    \
+      Swap(0, End);                                                            \
+      SiftDown(0, End - 1);                                                    \
+    }                                                                          \
+  }
+
+TICKC_STATIC_O0 static void heapO0(void *Base, int N, unsigned ESize)
+    TICKC_HEAP_BODY
+
+TICKC_STATIC_O2 static void heapO2(void *Base, int N, unsigned ESize)
+    TICKC_HEAP_BODY
+
+HeapsortApp::HeapsortApp(unsigned Count, unsigned Seed) : Data(Count) {
+  std::mt19937 Rng(Seed);
+  for (HeapRecord &R : Data) {
+    R.Key = static_cast<int>(Rng() % 1000000);
+    R.Payload[0] = static_cast<int>(Rng());
+    R.Payload[1] = static_cast<int>(Rng());
+  }
+}
+
+void HeapsortApp::sortStaticO0(HeapRecord *A) const {
+  heapO0(A, static_cast<int>(Data.size()), sizeof(HeapRecord));
+}
+
+void HeapsortApp::sortStaticO2(HeapRecord *A) const {
+  heapO2(A, static_cast<int>(Data.size()), sizeof(HeapRecord));
+}
+
+CompiledFn HeapsortApp::specialize(const CompileOptions &Opts) const {
+  constexpr int ESize = sizeof(HeapRecord);
+  Context C;
+  VSpec Base = C.paramPtr(0);
+  VSpec Root = C.localInt(), Child = C.localInt(), End = C.localInt(),
+        Start = C.localInt();
+  VSpec AddrA = C.localPtr(), AddrB = C.localPtr();
+  VSpec T1 = C.localInt(), T2 = C.localInt();
+
+  // addr(i) = base + i * $esize — the index scaling strength-reduces.
+  auto Addr = [&](Expr I) {
+    return C.binary(BinOp::Add, Expr(Base),
+                    C.toLong(I) * C.rcLong(ESize));
+  };
+  auto KeyAt = [&](Expr I) { return C.loadMem(MemType::I32, Addr(I)); };
+
+  // The specialized swap cspec: ESize/4 word moves, unrolled at
+  // specification time — the paper's "code fragment to swap the contents
+  // of two memory regions" composed into the sort.
+  auto Swap = [&](Expr I, Expr J) {
+    std::vector<Stmt> Moves;
+    Moves.push_back(C.assign(AddrA, Addr(I)));
+    Moves.push_back(C.assign(AddrB, Addr(J)));
+    for (int W = 0; W < ESize / 4; ++W) {
+      Expr OffA = C.binary(BinOp::Add, Expr(AddrA), C.rcLong(4 * W));
+      Expr OffB = C.binary(BinOp::Add, Expr(AddrB), C.rcLong(4 * W));
+      Moves.push_back(C.assign(T1, C.loadMem(MemType::I32, OffA)));
+      Moves.push_back(C.assign(T2, C.loadMem(MemType::I32, OffB)));
+      Moves.push_back(C.storeMem(MemType::I32, OffA, Expr(T2)));
+      Moves.push_back(C.storeMem(MemType::I32, OffB, Expr(T1)));
+    }
+    return C.block(Moves);
+  };
+
+  // siftDown(root, end) with both phases sharing the body via a spec-time
+  // helper (composition again).
+  auto SiftDown = [&](Expr RootInit, Expr EndV) {
+    Stmt Body = C.block({
+        C.assign(Child, Expr(Root) * C.intConst(2) + C.intConst(1)),
+        C.ifStmt(Expr(Child) > EndV, C.breakStmt()),
+        C.ifStmt((Expr(Child) + C.intConst(1) <= EndV) &&
+                     (KeyAt(Expr(Child)) <
+                      KeyAt(Expr(Child) + C.intConst(1))),
+                 C.assign(Child, Expr(Child) + C.intConst(1))),
+        C.ifStmt(KeyAt(Expr(Root)) < KeyAt(Expr(Child)),
+                 C.block({Swap(Expr(Root), Expr(Child)),
+                          C.assign(Root, Expr(Child))}),
+                 C.breakStmt()),
+    });
+    return C.block({C.assign(Root, RootInit),
+                    C.whileStmt(C.intConst(1), Body)});
+  };
+
+  int N = static_cast<int>(Data.size());
+  Stmt Phase1 = C.block({
+      C.assign(Start, C.rcInt(N / 2 - 1)),
+      C.whileStmt(Expr(Start) >= C.intConst(0),
+                  C.block({SiftDown(Expr(Start), C.rcInt(N - 1)),
+                           C.assign(Start, Expr(Start) - C.intConst(1))})),
+  });
+  Stmt Phase2 = C.block({
+      C.assign(End, C.rcInt(N - 1)),
+      C.whileStmt(Expr(End) > C.intConst(0),
+                  C.block({Swap(C.intConst(0), Expr(End)),
+                           SiftDown(C.intConst(0),
+                                    Expr(End) - C.intConst(1)),
+                           C.assign(End, Expr(End) - C.intConst(1))})),
+  });
+  return compileFn(C, C.block({Phase1, Phase2, C.retVoid()}),
+                   EvalType::Void, Opts);
+}

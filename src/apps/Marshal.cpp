@@ -1,0 +1,83 @@
+//===- apps/Marshal.cpp ----------------------------------------------------==//
+
+#include "apps/Marshal.h"
+
+#include "apps/StaticOpt.h"
+#include "support/Error.h"
+
+#include <cstring>
+
+using namespace tcc;
+using namespace tcc::apps;
+using namespace tcc::core;
+
+#define TICKC_MSHL_BODY                                                        \
+  {                                                                            \
+    std::memcpy(Buf + 0, &A0, 4);                                              \
+    std::memcpy(Buf + 4, &A1, 4);                                              \
+    std::memcpy(Buf + 8, &A2, 4);                                              \
+    std::memcpy(Buf + 12, &A3, 4);                                             \
+    std::memcpy(Buf + 16, &A4, 4);                                             \
+  }
+
+TICKC_STATIC_O0 void MarshalApp::marshal5StaticO0(std::uint8_t *Buf, int A0,
+                                                  int A1, int A2, int A3,
+                                                  int A4) TICKC_MSHL_BODY
+
+TICKC_STATIC_O2 void MarshalApp::marshal5StaticO2(std::uint8_t *Buf, int A0,
+                                                  int A1, int A2, int A3,
+                                                  int A4) TICKC_MSHL_BODY
+
+#define TICKC_UMSHL_BODY                                                       \
+  {                                                                            \
+    int A[5];                                                                  \
+    std::memcpy(A, Buf, 20);                                                   \
+    return Fn(A[0], A[1], A[2], A[3], A[4]);                                   \
+  }
+
+TICKC_STATIC_O0 int
+MarshalApp::unmarshal5StaticO0(const std::uint8_t *Buf,
+                               int (*Fn)(int, int, int, int, int))
+    TICKC_UMSHL_BODY
+
+TICKC_STATIC_O2 int
+MarshalApp::unmarshal5StaticO2(const std::uint8_t *Buf,
+                               int (*Fn)(int, int, int, int, int))
+    TICKC_UMSHL_BODY
+
+CompiledFn MarshalApp::buildMarshaler(const CompileOptions &Opts) const {
+  // The generated function's signature is derived from the format string
+  // at run time: args 0..n-1 are the values, arg n is the buffer.
+  Context C;
+  std::vector<Stmt> Stores;
+  unsigned N = numArgs();
+  VSpec Buf = C.paramPtr(N);
+  for (unsigned I = 0; I < N; ++I) {
+    if (Format[I] != 'i')
+      reportFatalError("marshal format supports 'i' arguments");
+    VSpec Arg = C.paramInt(I);
+    Stores.push_back(C.storeMem(
+        MemType::I32,
+        C.binary(BinOp::Add, Expr(Buf), C.rcLong(4 * I)), Expr(Arg)));
+  }
+  Stores.push_back(C.retVoid());
+  return compileFn(C, C.block(Stores), EvalType::Void, Opts);
+}
+
+CompiledFn MarshalApp::buildUnmarshaler(const void *Target,
+                                        const CompileOptions &Opts) const {
+  Context C;
+  VSpec Buf = C.paramPtr(0);
+  std::vector<Expr> Args;
+  for (unsigned I = 0; I < numArgs(); ++I) {
+    if (Format[I] != 'i')
+      reportFatalError("marshal format supports 'i' arguments");
+    Args.push_back(C.loadMem(
+        MemType::I32,
+        C.binary(BinOp::Add, Expr(Buf), C.rcLong(4 * I))));
+  }
+  // The call with a run-time determined argument count — impossible to
+  // write in ANSI C.
+  return compileFn(C, C.ret(C.callC(Target, EvalType::Int, Args)),
+                   EvalType::Int, Opts);
+}

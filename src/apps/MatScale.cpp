@@ -1,0 +1,54 @@
+//===- apps/MatScale.cpp ---------------------------------------------------==//
+
+#include "apps/MatScale.h"
+
+#include "apps/StaticOpt.h"
+
+#include <random>
+
+using namespace tcc;
+using namespace tcc::apps;
+using namespace tcc::core;
+
+#define TICKC_MS_BODY                                                          \
+  {                                                                            \
+    for (unsigned I = 0; I < N; ++I)                                           \
+      M[I] = M[I] * Factor;                                                    \
+  }
+
+TICKC_STATIC_O0 static void scaleO0(int *M, unsigned N, int Factor)
+    TICKC_MS_BODY
+
+TICKC_STATIC_O2 static void scaleO2(int *M, unsigned N, int Factor)
+    TICKC_MS_BODY
+
+MatScaleApp::MatScaleApp(unsigned Dim, int Factor, unsigned Seed)
+    : Dim(Dim), Factor(Factor), Data(Dim * Dim) {
+  std::mt19937 Rng(Seed);
+  for (int &V : Data)
+    V = static_cast<int>(Rng() % 1000) - 500;
+}
+
+void MatScaleApp::scaleStaticO0(int *M) const { scaleO0(M, elems(), Factor); }
+void MatScaleApp::scaleStaticO2(int *M) const { scaleO2(M, elems(), Factor); }
+
+CompiledFn MatScaleApp::specialize(const CompileOptions &Opts) const {
+  Context C;
+  VSpec M = C.paramPtr(0);
+  VSpec I = C.localInt();
+  // for (i = 0; i < $n; ++i) m[i] = m[i] * $factor;
+  // The element count is large, so the loop stays a loop (the unroll limit
+  // guards against pathological code growth, paper §4.4); the multiply by
+  // the run-time constant factor strength-reduces.
+  CompileOptions O = Opts;
+  O.UnrollLimit = 64;
+  Stmt Body = C.storeIndex(
+      Expr(M), Expr(I), MemType::I32,
+      C.index(Expr(M), Expr(I), MemType::I32) * C.rcInt(Factor));
+  Stmt Fn = C.block({
+      C.forStmt(I, C.intConst(0), CmpKind::LtS,
+                C.rcInt(static_cast<int>(elems())), C.intConst(1), Body),
+      C.retVoid(),
+  });
+  return compileFn(C, Fn, EvalType::Void, O);
+}

@@ -1,0 +1,84 @@
+//===- apps/Newton.cpp -----------------------------------------------------==//
+
+#include "apps/Newton.h"
+
+#include "apps/StaticOpt.h"
+
+using namespace tcc;
+using namespace tcc::apps;
+using namespace tcc::core;
+
+// The parameterized pieces, reached through function pointers in the static
+// versions (the paper's point: indirect calls block inlining).
+static double fOf(double X) { return (X + 1) * (X + 1) * (X + 1); }
+static double fPrimeOf(double X) { return 3 * (X + 1) * (X + 1); }
+
+#define TICKC_NTN_BODY                                                         \
+  {                                                                            \
+    double X = X0;                                                             \
+    for (unsigned I = 0; I < MaxIter; ++I) {                                   \
+      double FX = F(X);                                                        \
+      if (FX < Tol && FX > -Tol)                                               \
+        break;                                                                 \
+      X = X - FX / FP(X);                                                      \
+    }                                                                          \
+    return X;                                                                  \
+  }
+
+TICKC_STATIC_O0 static double solveO0(double X0, double Tol, unsigned MaxIter,
+                                      double (*F)(double),
+                                      double (*FP)(double)) TICKC_NTN_BODY
+
+TICKC_STATIC_O2 static double solveO2(double X0, double Tol, unsigned MaxIter,
+                                      double (*F)(double),
+                                      double (*FP)(double)) TICKC_NTN_BODY
+
+double NewtonApp::solveStaticO0(double X0) const {
+  return solveO0(X0, Tol, MaxIter, &fOf, &fPrimeOf);
+}
+
+double NewtonApp::solveStaticO2(double X0) const {
+  return solveO2(X0, Tol, MaxIter, &fOf, &fPrimeOf);
+}
+
+CompiledFn NewtonApp::specialize(const CompileOptions &Opts) const {
+  Context C;
+  VSpec X0 = C.paramDouble(0);
+  VSpec X = C.localDouble();
+  VSpec FX = C.localDouble();
+  VSpec T = C.localDouble();
+  VSpec One = C.localDouble(), Three = C.localDouble();
+  VSpec TolHi = C.localDouble(), TolLo = C.localDouble();
+  VSpec I = C.localInt();
+
+  // The cspecs a client would hand to the solver; composition splices them
+  // into the loop body — "dynamically inline the code referenced by
+  // arbitrary function pointers" (paper §6.2). Constants are hoisted into
+  // locals once, outside the loop, as a `C programmer would write them.
+  auto FSpec = [&](Expr /*V: T = V+1 precomputed*/) {
+    return Expr(T) * Expr(T) * Expr(T);
+  };
+  auto FPrimeSpec = [&] { return Expr(Three) * Expr(T) * Expr(T); };
+
+  Stmt Body = C.block({
+      C.assign(T, Expr(X) + Expr(One)),
+      C.assign(FX, FSpec(Expr(X))),
+      C.ifStmt((Expr(FX) < Expr(TolHi)) && (Expr(FX) > Expr(TolLo)),
+               C.breakStmt()),
+      C.assign(X, Expr(X) - Expr(FX) / FPrimeSpec()),
+  });
+  Stmt Fn = C.block({
+      C.assign(X, Expr(X0)),
+      C.assign(One, C.doubleConst(1.0)),
+      C.assign(Three, C.doubleConst(3.0)),
+      C.assign(TolHi, C.rcDouble(Tol)),
+      C.assign(TolLo, C.rcDouble(-Tol)),
+      C.forStmt(I, C.intConst(0), CmpKind::LtS,
+                C.intConst(static_cast<int>(MaxIter)), C.intConst(1), Body),
+      C.ret(X),
+  });
+  // MaxIter is a plain constant; keep the loop rolled like the baseline.
+  CompileOptions O = Opts;
+  O.UnrollLimit = 0;
+  return compileFn(C, Fn, EvalType::Double, O);
+}

@@ -1,0 +1,61 @@
+//===- apps/Power.cpp ------------------------------------------------------==//
+
+#include "apps/Power.h"
+
+#include "apps/StaticOpt.h"
+
+using namespace tcc;
+using namespace tcc::apps;
+using namespace tcc::core;
+
+#define TICKC_POW_BODY                                                         \
+  {                                                                            \
+    int R = 1;                                                                 \
+    int B = X;                                                                 \
+    unsigned E = N;                                                            \
+    while (E) {                                                                \
+      if (E & 1)                                                               \
+        R = R * B;                                                             \
+      B = B * B;                                                               \
+      E >>= 1;                                                                 \
+    }                                                                          \
+    return R;                                                                  \
+  }
+
+TICKC_STATIC_O0 static int powO0(int X, unsigned N) TICKC_POW_BODY
+
+TICKC_STATIC_O2 static int powO2(int X, unsigned N) TICKC_POW_BODY
+
+int PowerApp::powStaticO0(int X) const { return powO0(X, Exponent); }
+int PowerApp::powStaticO2(int X) const { return powO2(X, Exponent); }
+
+CompiledFn PowerApp::specialize(const CompileOptions &Opts) const {
+  // Square-and-multiply composed at specification time: the exponent loop
+  // runs *now*, leaving only multiplies in the dynamic code — exactly the
+  // `C cspec-composition formulation of partial evaluation.
+  Context C;
+  VSpec X = C.paramInt(0);
+  VSpec Base = C.localInt();
+  VSpec Acc = C.localInt();
+  // The exponent loop runs at specification time; each iteration composes
+  // one multiply *statement*, so the squarings interleave correctly with
+  // the accumulating multiplies.
+  std::vector<Stmt> Steps;
+  Steps.push_back(C.assign(Base, Expr(X)));
+  bool HaveAcc = false;
+  unsigned E = Exponent;
+  while (E) {
+    if (E & 1) {
+      Steps.push_back(C.assign(
+          Acc, HaveAcc ? Expr(Acc) * Expr(Base) : Expr(Base)));
+      HaveAcc = true;
+    }
+    E >>= 1;
+    if (E)
+      Steps.push_back(C.assign(Base, Expr(Base) * Expr(Base)));
+  }
+  if (!HaveAcc)
+    Steps.push_back(C.assign(Acc, C.intConst(1))); // x^0
+  Steps.push_back(C.ret(Acc));
+  return compileFn(C, C.block(Steps), EvalType::Int, Opts);
+}

@@ -1,0 +1,45 @@
+//===- apps/Power.h - Partial evaluation of exponentiation -----*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's `pow` benchmark (§6.2, "Dynamic partial evaluation"):
+/// specializing x^n for a fixed exponent "reduces the exponentiation
+/// algorithm to a minimum number of multiplication and squaring
+/// operations". The benchmark instantiates x^13; the static version runs a
+/// general integer power loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_APPS_POWER_H
+#define TICKC_APPS_POWER_H
+
+#include "core/Compile.h"
+
+namespace tcc {
+namespace apps {
+
+class PowerApp {
+public:
+  explicit PowerApp(unsigned Exponent = 13) : Exponent(Exponent) {}
+
+  int powStaticO0(int X) const;
+  int powStaticO2(int X) const;
+
+  /// Instantiates `int pow(int x)` as a straight-line square-and-multiply
+  /// chain composed at specification time.
+  core::CompiledFn specialize(const core::CompileOptions &Opts) const;
+
+  unsigned exponent() const { return Exponent; }
+
+private:
+  unsigned Exponent;
+};
+
+} // namespace apps
+} // namespace tcc
+
+#endif // TICKC_APPS_POWER_H

@@ -1,0 +1,88 @@
+//===- apps/Query.h - Small query-language compilation ----------*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's `query` benchmark (§6.2, "Small language compilation"): a
+/// query language of boolean expressions over record fields. The static
+/// version interprets queries "using a pair of switch statements"; the `C
+/// version compiles each query to machine code and scans the database with
+/// it. The experiment runs a five-comparison query over 2000 records.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_APPS_QUERY_H
+#define TICKC_APPS_QUERY_H
+
+#include "core/Compile.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace tcc {
+namespace apps {
+
+/// One database record.
+struct Record {
+  std::int32_t Age;
+  std::int32_t Income;
+  std::int32_t Children;
+  std::int32_t Education;
+  std::int32_t Status;
+};
+
+/// Query AST: either a field comparison or a boolean combination.
+struct QueryNode {
+  enum KindT : std::uint8_t { CmpField, And, Or } Kind;
+  // CmpField:
+  enum FieldT : std::uint8_t {
+    FAge,
+    FIncome,
+    FChildren,
+    FEducation,
+    FStatus
+  } Field = FAge;
+  enum OpT : std::uint8_t { Eq, Ne, Lt, Le, Gt, Ge } Op = Eq;
+  std::int32_t Value = 0;
+  // And/Or:
+  const QueryNode *L = nullptr;
+  const QueryNode *R = nullptr;
+};
+
+class QueryApp {
+public:
+  explicit QueryApp(unsigned NumRecords = 2000, unsigned Seed = 6);
+
+  /// The paper-style benchmark query: five binary comparisons.
+  const QueryNode *benchmarkQuery() const { return &Q[0]; }
+
+  /// Counts matching records by interpreting the query per record.
+  int countStaticO0(const QueryNode *Q) const;
+  int countStaticO2(const QueryNode *Q) const;
+
+  /// Compiles the query into `int match(const Record *)` and returns it;
+  /// scanning then runs native code per record.
+  core::CompiledFn specialize(const QueryNode *Q,
+                              const core::CompileOptions &Opts) const;
+
+  /// Scans the database with a compiled matcher.
+  int countCompiled(int (*Match)(const Record *)) const;
+
+  /// Interprets \p Q against one record (optimized build) — reference for
+  /// per-record agreement checks.
+  static int matchStatic(const QueryNode *Q, const Record *R);
+
+  const std::vector<Record> &records() const { return Db; }
+
+private:
+  std::vector<Record> Db;
+  QueryNode Q[9];
+};
+
+} // namespace apps
+} // namespace tcc
+
+#endif // TICKC_APPS_QUERY_H

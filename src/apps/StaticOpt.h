@@ -1,0 +1,30 @@
+//===- apps/StaticOpt.h - Per-function optimization control ----*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper measures each benchmark's static version twice: compiled by
+/// lcc (non-optimizing) and by GNU CC (optimizing). We reproduce the
+/// bracket with per-function optimization levels: TICKC_STATIC_O0 stands in
+/// for lcc, TICKC_STATIC_O2 for gcc. Each benchmark stamps its body once
+/// per level through a macro so that no code is shared (inlining across
+/// levels would blur the comparison).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_APPS_STATICOPT_H
+#define TICKC_APPS_STATICOPT_H
+
+// Auto-vectorization is disabled in the optimizing stand-in: the paper's
+// 1996-era GNU CC predates SIMD ISAs, and leaving it on would compare
+// scalar dynamic code against vector static code — a dimension orthogonal
+// to dynamic compilation. EXPERIMENTS.md reports this calibration.
+#define TICKC_STATIC_O0 __attribute__((optimize("O0"), noinline))
+#define TICKC_STATIC_O2                                                        \
+  __attribute__((optimize("O2", "no-tree-vectorize", "no-tree-slp-vectorize"),\
+                 noinline))
+
+#endif // TICKC_APPS_STATICOPT_H

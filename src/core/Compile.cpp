@@ -1,0 +1,1400 @@
+//===- core/Compile.cpp - CGF walk over specification trees ---------------==//
+//
+// The code-generating-function walk (paper §4.2/§4.4). One templated walker
+// serves both back ends: instantiated over vcode::VCode it is the one-pass
+// emitter with getreg/putreg discipline; over icode::ICode it lays down IR
+// for the global allocator. The automatic dynamic partial evaluation —
+// run-time constant folding, strength reduction, loop unrolling with derived
+// run-time constants, and dead-branch elimination — lives in this walk.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compile.h"
+
+#include "support/Error.h"
+#include "support/Timing.h"
+
+#include <bit>
+#include <cassert>
+#include <climits>
+#include <optional>
+#include <vector>
+
+using namespace tcc;
+using namespace tcc::core;
+
+namespace {
+
+// --- Run-time-constant interpretation ---------------------------------------
+
+/// A value computed at instantiation time.
+struct RcVal {
+  EvalType T = EvalType::Int;
+  std::int64_t I = 0;
+  double D = 0;
+
+  static RcVal ofInt(std::int64_t V, EvalType T = EvalType::Int) {
+    RcVal R;
+    R.T = T;
+    R.I = T == EvalType::Int ? static_cast<std::int32_t>(V) : V;
+    return R;
+  }
+  static RcVal ofDouble(double V) {
+    RcVal R;
+    R.T = EvalType::Double;
+    R.D = V;
+    return R;
+  }
+  bool isFp() const { return T == EvalType::Double; }
+  double asDouble() const { return isFp() ? D : static_cast<double>(I); }
+  bool truthy() const { return isFp() ? D != 0 : I != 0; }
+};
+
+/// Evaluates expressions whose value is known at instantiation time. The
+/// environment carries derived run-time constants (unrolled induction
+/// variables). With AllowLoads (inside an explicit `$`/rtEval), memory is
+/// read immediately — this is how `$row[k]` becomes an immediate.
+class RcEvaluator {
+public:
+  explicit RcEvaluator(unsigned NumLocals) : Env(NumLocals) {}
+
+  std::vector<std::optional<RcVal>> Env;
+
+  /// Binds a derived run-time constant (unrolled induction variable).
+  void bind(std::int32_t Id, const RcVal &V) {
+    auto &Slot = Env[static_cast<std::size_t>(Id)];
+    if (!Slot)
+      ++NumBound;
+    Slot = V;
+  }
+  void unbind(std::int32_t Id) {
+    auto &Slot = Env[static_cast<std::size_t>(Id)];
+    if (Slot)
+      --NumBound;
+    Slot.reset();
+  }
+  bool isBound(std::int32_t Id) const {
+    return Env[static_cast<std::size_t>(Id)].has_value();
+  }
+
+  std::optional<RcVal> eval(const ExprNode *N, bool AllowLoads) const {
+    // O(1) rejection from specification-time flags: without it, deep
+    // expression chains re-walk their subtrees at every node and the CGF
+    // walk goes quadratic.
+    if (N->Flags & EF_HasCall)
+      return std::nullopt;
+    if (!AllowLoads && (N->Flags & EF_HasMemOp))
+      return std::nullopt;
+    if ((N->Flags & EF_HasLocal) && NumBound == 0)
+      return std::nullopt;
+    switch (N->Kind) {
+    case ExprKind::ConstInt:
+      return RcVal::ofInt(N->IntVal, EvalType::Int);
+    case ExprKind::ConstLong:
+      return RcVal::ofInt(N->IntVal, N->Type);
+    case ExprKind::ConstDouble:
+      return RcVal::ofDouble(N->FpVal);
+    case ExprKind::Local:
+      return Env[static_cast<std::size_t>(N->LocalId)];
+    case ExprKind::RtEval:
+      return eval(N->A, /*AllowLoads=*/true);
+    case ExprKind::FreeVar:
+      if (!AllowLoads)
+        return std::nullopt;
+      return loadFrom(N->PtrVal, static_cast<MemType>(N->OpByte));
+    case ExprKind::Load: {
+      if (!AllowLoads)
+        return std::nullopt;
+      auto Addr = eval(N->A, AllowLoads);
+      if (!Addr)
+        return std::nullopt;
+      return loadFrom(reinterpret_cast<const void *>(
+                          static_cast<std::uintptr_t>(Addr->I)),
+                      static_cast<MemType>(N->OpByte));
+    }
+    case ExprKind::Unary:
+      return evalUnary(N, AllowLoads);
+    case ExprKind::Binary:
+      return evalBinary(N, AllowLoads);
+    case ExprKind::Cmp:
+      return evalCmp(N, AllowLoads);
+    case ExprKind::Cond: {
+      auto C = eval(N->A, AllowLoads);
+      if (!C)
+        return std::nullopt;
+      return eval(C->truthy() ? N->B : N->C, AllowLoads);
+    }
+    case ExprKind::Call:
+      return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+private:
+  unsigned NumBound = 0; ///< Bound Env entries; gates the HasLocal check.
+
+  static RcVal loadFrom(const void *P, MemType M) {
+    switch (M) {
+    case MemType::I8:
+      return RcVal::ofInt(*static_cast<const std::int8_t *>(P));
+    case MemType::U8:
+      return RcVal::ofInt(*static_cast<const std::uint8_t *>(P));
+    case MemType::I16:
+      return RcVal::ofInt(*static_cast<const std::int16_t *>(P));
+    case MemType::U16:
+      return RcVal::ofInt(*static_cast<const std::uint16_t *>(P));
+    case MemType::I32:
+      return RcVal::ofInt(*static_cast<const std::int32_t *>(P));
+    case MemType::I64:
+      return RcVal::ofInt(*static_cast<const std::int64_t *>(P),
+                          EvalType::Long);
+    case MemType::P64:
+      return RcVal::ofInt(static_cast<std::int64_t>(
+                              *static_cast<const std::uintptr_t *>(P)),
+                          EvalType::Ptr);
+    case MemType::F64:
+      return RcVal::ofDouble(*static_cast<const double *>(P));
+    }
+    return RcVal::ofInt(0);
+  }
+
+  std::optional<RcVal> evalUnary(const ExprNode *N, bool AllowLoads) const {
+    auto V = eval(N->A, AllowLoads);
+    if (!V)
+      return std::nullopt;
+    switch (static_cast<UnOp>(N->OpByte)) {
+    case UnOp::Neg:
+      if (V->isFp())
+        return RcVal::ofDouble(-V->D);
+      return RcVal::ofInt(-V->I, N->Type);
+    case UnOp::Not:
+      return RcVal::ofInt(~V->I, N->Type);
+    case UnOp::LogNot:
+      return RcVal::ofInt(!V->truthy());
+    case UnOp::IntToDouble:
+    case UnOp::LongToDouble:
+      return RcVal::ofDouble(static_cast<double>(V->I));
+    case UnOp::DoubleToInt:
+      return RcVal::ofInt(static_cast<std::int32_t>(V->D));
+    case UnOp::IntToLong:
+      return RcVal::ofInt(V->I, EvalType::Long);
+    case UnOp::LongToInt:
+      return RcVal::ofInt(static_cast<std::int32_t>(V->I));
+    case UnOp::Bitcast:
+      return RcVal::ofInt(V->I, N->Type);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<RcVal> evalBinary(const ExprNode *N, bool AllowLoads) const {
+    auto O = static_cast<BinOp>(N->OpByte);
+    auto A = eval(N->A, AllowLoads);
+    if (!A)
+      return std::nullopt;
+    // Short-circuit forms may decide on the left operand alone.
+    if (O == BinOp::LogAnd && !A->truthy())
+      return RcVal::ofInt(0);
+    if (O == BinOp::LogOr && A->truthy())
+      return RcVal::ofInt(1);
+    auto B = eval(N->B, AllowLoads);
+    if (!B)
+      return std::nullopt;
+    if (O == BinOp::LogAnd || O == BinOp::LogOr)
+      return RcVal::ofInt(B->truthy());
+    if (N->Type == EvalType::Double) {
+      double X = A->asDouble(), Y = B->asDouble();
+      switch (O) {
+      case BinOp::Add:
+        return RcVal::ofDouble(X + Y);
+      case BinOp::Sub:
+        return RcVal::ofDouble(X - Y);
+      case BinOp::Mul:
+        return RcVal::ofDouble(X * Y);
+      case BinOp::Div:
+        return RcVal::ofDouble(X / Y);
+      default:
+        return std::nullopt;
+      }
+    }
+    std::int64_t X = A->I, Y = B->I;
+    std::int64_t R;
+    switch (O) {
+    case BinOp::Add:
+      R = X + Y;
+      break;
+    case BinOp::Sub:
+      R = X - Y;
+      break;
+    case BinOp::Mul:
+      R = X * Y;
+      break;
+    case BinOp::Div:
+      if (Y == 0 || (Y == -1 && X == INT64_MIN))
+        return std::nullopt; // Leave the trap to runtime.
+      R = X / Y;
+      break;
+    case BinOp::Mod:
+      if (Y == 0 || (Y == -1 && X == INT64_MIN))
+        return std::nullopt;
+      R = X % Y;
+      break;
+    case BinOp::And:
+      R = X & Y;
+      break;
+    case BinOp::Or:
+      R = X | Y;
+      break;
+    case BinOp::Xor:
+      R = X ^ Y;
+      break;
+    case BinOp::Shl:
+      R = static_cast<std::int64_t>(static_cast<std::int32_t>(X)
+                                    << (Y & 31));
+      break;
+    case BinOp::Shr:
+      R = static_cast<std::int32_t>(X) >> (Y & 31);
+      break;
+    default:
+      return std::nullopt;
+    }
+    return RcVal::ofInt(R, N->Type);
+  }
+
+  std::optional<RcVal> evalCmp(const ExprNode *N, bool AllowLoads) const {
+    auto A = eval(N->A, AllowLoads);
+    auto B = eval(N->B, AllowLoads);
+    if (!A || !B)
+      return std::nullopt;
+    auto K = static_cast<CmpKind>(N->OpByte);
+    bool R = false;
+    if (A->isFp() || B->isFp()) {
+      double X = A->asDouble(), Y = B->asDouble();
+      switch (K) {
+      case CmpKind::Eq:
+        R = X == Y;
+        break;
+      case CmpKind::Ne:
+        R = X != Y;
+        break;
+      case CmpKind::LtS:
+      case CmpKind::LtU:
+        R = X < Y;
+        break;
+      case CmpKind::LeS:
+      case CmpKind::LeU:
+        R = X <= Y;
+        break;
+      case CmpKind::GtS:
+      case CmpKind::GtU:
+        R = X > Y;
+        break;
+      case CmpKind::GeS:
+      case CmpKind::GeU:
+        R = X >= Y;
+        break;
+      }
+    } else {
+      std::int64_t X = A->I, Y = B->I;
+      auto UX = static_cast<std::uint64_t>(X), UY = static_cast<std::uint64_t>(Y);
+      switch (K) {
+      case CmpKind::Eq:
+        R = X == Y;
+        break;
+      case CmpKind::Ne:
+        R = X != Y;
+        break;
+      case CmpKind::LtS:
+        R = X < Y;
+        break;
+      case CmpKind::LeS:
+        R = X <= Y;
+        break;
+      case CmpKind::GtS:
+        R = X > Y;
+        break;
+      case CmpKind::GeS:
+        R = X >= Y;
+        break;
+      case CmpKind::LtU:
+        R = UX < UY;
+        break;
+      case CmpKind::LeU:
+        R = UX <= UY;
+        break;
+      case CmpKind::GtU:
+        R = UX > UY;
+        break;
+      case CmpKind::GeU:
+        R = UX >= UY;
+        break;
+      }
+    }
+    return RcVal::ofInt(R);
+  }
+};
+
+// --- Backend traits -----------------------------------------------------------
+
+template <class B> struct BackendTraits;
+
+template <> struct BackendTraits<vcode::VCode> {
+  static constexpr bool OnePass = true;
+  using LabelT = vcode::Label;
+  static int allocI(vcode::VCode &V) { return V.getreg(); }
+  static void freeI(vcode::VCode &V, int R) { V.putreg(R); }
+  static int allocF(vcode::VCode &V) { return V.getfreg(); }
+  static void freeF(vcode::VCode &V, int R) { V.putfreg(R); }
+  /// Memory-resident double location (safe across emitted calls).
+  static int allocMemF(vcode::VCode &V) {
+    return vcode::VCode::spillReg(V.allocSlot());
+  }
+};
+
+template <> struct BackendTraits<icode::ICode> {
+  static constexpr bool OnePass = false;
+  using LabelT = icode::ILabel;
+  static int allocI(icode::ICode &IC) { return IC.newIntReg(); }
+  static void freeI(icode::ICode &, int) {}
+  static int allocF(icode::ICode &IC) { return IC.newFloatReg(); }
+  static void freeF(icode::ICode &, int) {}
+  static int allocMemF(icode::ICode &IC) { return IC.newFloatReg(); }
+};
+
+// --- Tree predicates -------------------------------------------------------------
+
+bool exprHasCall(const ExprNode *N) {
+  if (!N)
+    return false;
+  if (N->Kind == ExprKind::Call)
+    return true;
+  if (exprHasCall(N->A) || exprHasCall(N->B) || exprHasCall(N->C))
+    return true;
+  for (std::uint32_t I = 0; I < N->ArgC; ++I)
+    if (exprHasCall(N->ArgV[I]))
+      return true;
+  return false;
+}
+
+bool stmtHasCall(const StmtNode *S) {
+  if (!S)
+    return false;
+  if (exprHasCall(S->E) || exprHasCall(S->E2) || exprHasCall(S->E3))
+    return true;
+  if (stmtHasCall(S->S1) || stmtHasCall(S->S2))
+    return true;
+  for (std::uint32_t I = 0; I < S->BodyC; ++I)
+    if (stmtHasCall(S->BodyV[I]))
+      return true;
+  return false;
+}
+
+/// True if \p S assigns to local \p Id or uses it as a loop induction var.
+bool assignsLocal(const StmtNode *S, std::int32_t Id) {
+  if (!S)
+    return false;
+  if ((S->Kind == StmtKind::AssignLocal || S->Kind == StmtKind::For) &&
+      S->LocalId == Id)
+    return true;
+  if (assignsLocal(S->S1, Id) || assignsLocal(S->S2, Id))
+    return true;
+  for (std::uint32_t I = 0; I < S->BodyC; ++I)
+    if (assignsLocal(S->BodyV[I], Id))
+      return true;
+  return false;
+}
+
+/// True if \p S contains control flow that could escape an unrolled copy of
+/// a loop body (break/continue/goto/label).
+bool hasEscapingControl(const StmtNode *S) {
+  if (!S)
+    return false;
+  switch (S->Kind) {
+  case StmtKind::Break:
+  case StmtKind::Continue:
+  case StmtKind::Goto:
+  case StmtKind::LabelDef:
+    return true;
+  case StmtKind::While:
+  case StmtKind::For:
+    // Break/continue inside a nested loop bind to that loop; only its own
+    // body's gotos/labels escape. Conservatively recurse anyway.
+    break;
+  default:
+    break;
+  }
+  if (hasEscapingControl(S->S1) || hasEscapingControl(S->S2))
+    return true;
+  for (std::uint32_t I = 0; I < S->BodyC; ++I)
+    if (hasEscapingControl(S->BodyV[I]))
+      return true;
+  return false;
+}
+
+// --- The walker ---------------------------------------------------------------------
+
+template <class BE> class Walker {
+  using TR = BackendTraits<BE>;
+  using LabelT = typename TR::LabelT;
+
+  /// A value produced by expression code generation.
+  struct Val {
+    int R = 0;
+    bool Temp = false;
+    bool Fp = false;
+  };
+
+public:
+  Walker(Context &Ctx, BE &Back, EvalType RetType, const CompileOptions &Opts)
+      : Ctx(Ctx), Back(Back), RetType(RetType), Opts(Opts),
+        Rc(static_cast<unsigned>(Ctx.locals().size())),
+        LocalLoc(Ctx.locals().size(), INT_MIN),
+        UserLabels(Ctx.numDynLabels()) {}
+
+  void run(const StmtNode *Body) {
+    BodyHasCalls = stmtHasCall(Body);
+    if constexpr (TR::OnePass)
+      Back.enter();
+    bindParams();
+    genStmt(Body);
+    // Fall-off-the-end return.
+    if (RetType == EvalType::Void) {
+      Back.retVoid();
+    } else if (RetType == EvalType::Double) {
+      int R = TR::allocF(Back);
+      Back.setD(R, 0);
+      Back.retD(R);
+    } else {
+      int R = TR::allocI(Back);
+      Back.setI(R, 0);
+      RetType == EvalType::Int ? Back.retI(R) : Back.retL(R);
+    }
+  }
+
+private:
+  // --- Locations -----------------------------------------------------------
+  bool localIsFp(std::int32_t Id) const {
+    return Ctx.locals()[static_cast<std::size_t>(Id)].Type ==
+           EvalType::Double;
+  }
+
+  int localLoc(std::int32_t Id) {
+    int &Loc = LocalLoc[static_cast<std::size_t>(Id)];
+    if (Loc != INT_MIN)
+      return Loc;
+    if (localIsFp(Id))
+      Loc = (TR::OnePass && BodyHasCalls) ? TR::allocMemF(Back)
+                                          : TR::allocF(Back);
+    else
+      Loc = TR::allocI(Back);
+    return Loc;
+  }
+
+  void bindParams() {
+    const std::vector<LocalInfo> &Locals = Ctx.locals();
+    for (std::size_t Id = 0; Id < Locals.size(); ++Id) {
+      if (Locals[Id].ArgIndex < 0)
+        continue;
+      int Loc = localLoc(static_cast<std::int32_t>(Id));
+      if (Locals[Id].Type == EvalType::Double)
+        Back.bindArgD(static_cast<unsigned>(Locals[Id].ArgIndex), Loc);
+      else
+        Back.bindArgI(static_cast<unsigned>(Locals[Id].ArgIndex), Loc);
+    }
+  }
+
+  void freeVal(const Val &V) {
+    if (!V.Temp)
+      return;
+    if (V.Fp)
+      TR::freeF(Back, V.R);
+    else
+      TR::freeI(Back, V.R);
+  }
+
+  LabelT userLabel(std::int32_t Id) {
+    auto &L = UserLabels[static_cast<std::size_t>(Id)];
+    if (!L)
+      L = Back.newLabel();
+    return *L;
+  }
+
+  // --- Run-time constants as emitted values ---------------------------------
+  Val materialize(const RcVal &V) {
+    if (V.isFp()) {
+      int R = TR::allocF(Back);
+      Back.setD(R, V.D);
+      return Val{R, true, true};
+    }
+    int R = TR::allocI(Back);
+    if (V.T == EvalType::Int)
+      Back.setI(R, static_cast<std::int32_t>(V.I));
+    else
+      Back.setL(R, V.I);
+    return Val{R, true, false};
+  }
+
+  // --- Expressions ------------------------------------------------------------
+  Val genExpr(const ExprNode *N) {
+    // Automatic run-time-constant folding (paper §4.4) — pure parts only;
+    // memory is read early only under an explicit $ (RtEval).
+    if (N->Kind != ExprKind::ConstInt) // Trivial leaves handled below anyway.
+      if (auto V = Rc.eval(N, /*AllowLoads=*/false))
+        return materialize(*V);
+
+    switch (N->Kind) {
+    case ExprKind::ConstInt: {
+      int R = TR::allocI(Back);
+      Back.setI(R, static_cast<std::int32_t>(N->IntVal));
+      return Val{R, true, false};
+    }
+    case ExprKind::ConstLong: {
+      int R = TR::allocI(Back);
+      Back.setL(R, N->IntVal);
+      return Val{R, true, false};
+    }
+    case ExprKind::ConstDouble: {
+      int R = TR::allocF(Back);
+      Back.setD(R, N->FpVal);
+      return Val{R, true, true};
+    }
+    case ExprKind::RtEval: {
+      auto V = Rc.eval(N->A, /*AllowLoads=*/true);
+      if (!V)
+        reportFatalError("$-expression is not a run-time constant at "
+                         "instantiation time");
+      return materialize(*V);
+    }
+    case ExprKind::FreeVar: {
+      int Addr = TR::allocI(Back);
+      Back.setP(Addr, N->PtrVal);
+      auto M = static_cast<MemType>(N->OpByte);
+      if (M == MemType::F64) {
+        int D = TR::allocF(Back);
+        Back.ldD(D, Addr, 0);
+        TR::freeI(Back, Addr);
+        return Val{D, true, true};
+      }
+      emitLoad(M, Addr, Addr);
+      return Val{Addr, true, false};
+    }
+    case ExprKind::Local: {
+      std::int32_t Id = N->LocalId;
+      if (auto &Bound = Rc.Env[static_cast<std::size_t>(Id)])
+        return materialize(*Bound); // Derived run-time constant.
+      return Val{localLoc(Id), false, localIsFp(Id)};
+    }
+    case ExprKind::Load: {
+      auto [Addr, Off] = genAddress(N->A);
+      auto M = static_cast<MemType>(N->OpByte);
+      if (M == MemType::F64) {
+        int D = TR::allocF(Back);
+        Back.ldD(D, Addr.R, Off);
+        freeVal(Addr);
+        return Val{D, true, true};
+      }
+      int D = Addr.Temp ? Addr.R : TR::allocI(Back);
+      emitLoad(M, D, Addr.R, Off);
+      return Val{D, true, false};
+    }
+    case ExprKind::Unary:
+      return genUnary(N);
+    case ExprKind::Binary:
+      return genBinary(N);
+    case ExprKind::Cmp:
+      return genCmp(N);
+    case ExprKind::Call:
+      return genCall(N);
+    case ExprKind::Cond:
+      return genCondExpr(N);
+    }
+    tcc_unreachable("bad expr kind");
+  }
+
+  /// Evaluates an address expression, peeling a run-time-constant added
+  /// offset into the instruction's displacement field — the addressing-mode
+  /// selection a CGF performs during instruction selection.
+  std::pair<Val, std::int32_t> genAddress(const ExprNode *N) {
+    if (N->Kind == ExprKind::Binary &&
+        static_cast<BinOp>(N->OpByte) == BinOp::Add &&
+        (N->Type == EvalType::Ptr || N->Type == EvalType::Long)) {
+      if (auto BC = Rc.eval(N->B, false))
+        if (!BC->isFp() && BC->I >= INT32_MIN && BC->I <= INT32_MAX &&
+            !Rc.eval(N->A, false))
+          return {genExpr(N->A), static_cast<std::int32_t>(BC->I)};
+      if (auto AC = Rc.eval(N->A, false))
+        if (!AC->isFp() && AC->I >= INT32_MIN && AC->I <= INT32_MAX)
+          return {genExpr(N->B), static_cast<std::int32_t>(AC->I)};
+    }
+    return {genExpr(N), 0};
+  }
+
+  void emitLoad(MemType M, int Dst, int Base, std::int32_t Off = 0) {
+    switch (M) {
+    case MemType::I8:
+      Back.ldI8s(Dst, Base, Off);
+      break;
+    case MemType::U8:
+      Back.ldI8u(Dst, Base, Off);
+      break;
+    case MemType::I16:
+      Back.ldI16s(Dst, Base, Off);
+      break;
+    case MemType::U16:
+      Back.ldI16u(Dst, Base, Off);
+      break;
+    case MemType::I32:
+      Back.ldI(Dst, Base, Off);
+      break;
+    case MemType::I64:
+    case MemType::P64:
+      Back.ldL(Dst, Base, Off);
+      break;
+    case MemType::F64:
+      tcc_unreachable("F64 handled by caller");
+    }
+  }
+
+  Val genUnary(const ExprNode *N) {
+    auto O = static_cast<UnOp>(N->OpByte);
+    if (O == UnOp::LogNot) {
+      Val A = genExpr(N->A);
+      int D = A.Temp ? A.R : TR::allocI(Back);
+      Back.cmpSetII(CmpKind::Eq, D, A.R, 0);
+      return Val{D, true, false};
+    }
+    Val A = genExpr(N->A);
+    switch (O) {
+    case UnOp::Neg:
+      if (N->Type == EvalType::Double) {
+        int D = A.Temp ? A.R : TR::allocF(Back);
+        Back.negD(D, A.R);
+        return Val{D, true, true};
+      }
+      if (N->Type == EvalType::Int) {
+        int D = A.Temp ? A.R : TR::allocI(Back);
+        Back.negI(D, A.R);
+        return Val{D, true, false};
+      }
+      {
+        // 64-bit negate: 0 - x.
+        int Z = TR::allocI(Back);
+        Back.setL(Z, 0);
+        Back.subL(Z, Z, A.R);
+        freeVal(A);
+        return Val{Z, true, false};
+      }
+    case UnOp::Not: {
+      int D = A.Temp ? A.R : TR::allocI(Back);
+      Back.notI(D, A.R);
+      return Val{D, true, false};
+    }
+    case UnOp::IntToDouble: {
+      int D = TR::allocF(Back);
+      Back.cvtIToD(D, A.R);
+      freeVal(A);
+      return Val{D, true, true};
+    }
+    case UnOp::LongToDouble: {
+      int D = TR::allocF(Back);
+      Back.cvtLToD(D, A.R);
+      freeVal(A);
+      return Val{D, true, true};
+    }
+    case UnOp::DoubleToInt: {
+      int D = TR::allocI(Back);
+      Back.cvtDToI(D, A.R);
+      freeVal(A);
+      return Val{D, true, false};
+    }
+    case UnOp::IntToLong: {
+      int D = A.Temp ? A.R : TR::allocI(Back);
+      Back.sextIToL(D, A.R);
+      return Val{D, true, false};
+    }
+    case UnOp::LongToInt:
+    case UnOp::Bitcast: {
+      if (A.Temp)
+        return A;
+      int D = TR::allocI(Back);
+      Back.movL(D, A.R);
+      return Val{D, true, false};
+    }
+    case UnOp::LogNot:
+      break;
+    }
+    tcc_unreachable("bad unary op");
+  }
+
+  /// Evaluates the two operands of a binary/compare node, heavier subtree
+  /// first (the paper's ordering heuristic generalized: minimize temporaries
+  /// spanning nested cspec generation).
+  void genOperands(const ExprNode *N, Val &A, Val &B) {
+    if (N->B->RegNeed > N->A->RegNeed) {
+      B = genExpr(N->B);
+      A = genExpr(N->A);
+    } else {
+      A = genExpr(N->A);
+      B = genExpr(N->B);
+    }
+  }
+
+  Val genBinary(const ExprNode *N) {
+    auto O = static_cast<BinOp>(N->OpByte);
+    if (O == BinOp::LogAnd || O == BinOp::LogOr)
+      return genLogicalValue(N);
+
+    // Strength reduction / immediate forms when one operand is a run-time
+    // constant (paper §4.4).
+    if (N->Type == EvalType::Int) {
+      if (auto BC = Rc.eval(N->B, false))
+        return genBinII(O, N->A, static_cast<std::int32_t>(BC->I));
+      if (auto AC = Rc.eval(N->A, false))
+        if (O == BinOp::Add || O == BinOp::Mul || O == BinOp::And ||
+            O == BinOp::Or || O == BinOp::Xor)
+          return genBinII(O, N->B, static_cast<std::int32_t>(AC->I));
+    }
+    if (N->Type == EvalType::Long || N->Type == EvalType::Ptr) {
+      if (auto BC = Rc.eval(N->B, false))
+        if (BC->I >= INT32_MIN && BC->I <= INT32_MAX &&
+            (O == BinOp::Add || O == BinOp::Mul || O == BinOp::Sub)) {
+          Val A = genExpr(N->A);
+          int D = A.Temp ? A.R : TR::allocI(Back);
+          auto Imm = static_cast<std::int32_t>(BC->I);
+          if (O == BinOp::Add)
+            Back.addLI(D, A.R, Imm);
+          else if (O == BinOp::Sub)
+            Back.addLI(D, A.R, -Imm);
+          else
+            Back.mulLI(D, A.R, Imm);
+          return Val{D, true, false};
+        }
+    }
+
+    Val A, B;
+    genOperands(N, A, B);
+    bool Fp = N->Type == EvalType::Double;
+    int D;
+    if (A.Temp)
+      D = A.R;
+    else if (B.Temp)
+      D = B.R; // Backends handle d==b aliasing for all ops.
+    else
+      D = Fp ? TR::allocF(Back) : TR::allocI(Back);
+
+    if (Fp) {
+      switch (O) {
+      case BinOp::Add:
+        Back.addD(D, A.R, B.R);
+        break;
+      case BinOp::Sub:
+        Back.subD(D, A.R, B.R);
+        break;
+      case BinOp::Mul:
+        Back.mulD(D, A.R, B.R);
+        break;
+      case BinOp::Div:
+        Back.divD(D, A.R, B.R);
+        break;
+      default:
+        tcc_unreachable("bad double op");
+      }
+    } else if (N->Type == EvalType::Int) {
+      switch (O) {
+      case BinOp::Add:
+        Back.addI(D, A.R, B.R);
+        break;
+      case BinOp::Sub:
+        Back.subI(D, A.R, B.R);
+        break;
+      case BinOp::Mul:
+        Back.mulI(D, A.R, B.R);
+        break;
+      case BinOp::Div:
+        Back.divI(D, A.R, B.R);
+        break;
+      case BinOp::Mod:
+        Back.modI(D, A.R, B.R);
+        break;
+      case BinOp::And:
+        Back.andI(D, A.R, B.R);
+        break;
+      case BinOp::Or:
+        Back.orI(D, A.R, B.R);
+        break;
+      case BinOp::Xor:
+        Back.xorI(D, A.R, B.R);
+        break;
+      case BinOp::Shl:
+        Back.shlI(D, A.R, B.R);
+        break;
+      case BinOp::Shr:
+        Back.shrI(D, A.R, B.R);
+        break;
+      default:
+        tcc_unreachable("bad int op");
+      }
+    } else {
+      switch (O) {
+      case BinOp::Add:
+        Back.addL(D, A.R, B.R);
+        break;
+      case BinOp::Sub:
+        Back.subL(D, A.R, B.R);
+        break;
+      case BinOp::Mul:
+        Back.mulL(D, A.R, B.R);
+        break;
+      default:
+        tcc_unreachable("bad long op");
+      }
+    }
+    // Free whichever temp was not recycled into D.
+    if (A.Temp && A.R != D)
+      freeVal(A);
+    if (B.Temp && B.R != D)
+      freeVal(B);
+    return Val{D, true, Fp};
+  }
+
+  Val genBinII(BinOp O, const ExprNode *AN, std::int32_t Imm) {
+    Val A = genExpr(AN);
+    int D = A.Temp ? A.R : TR::allocI(Back);
+    switch (O) {
+    case BinOp::Add:
+      Back.addII(D, A.R, Imm);
+      break;
+    case BinOp::Sub:
+      Back.subII(D, A.R, Imm);
+      break;
+    case BinOp::Mul:
+      Back.mulII(D, A.R, Imm);
+      break;
+    case BinOp::Div:
+      Back.divII(D, A.R, Imm);
+      break;
+    case BinOp::Mod:
+      Back.modII(D, A.R, Imm);
+      break;
+    case BinOp::And:
+      Back.andII(D, A.R, Imm);
+      break;
+    case BinOp::Or:
+      Back.orII(D, A.R, Imm);
+      break;
+    case BinOp::Xor:
+      Back.xorII(D, A.R, Imm);
+      break;
+    case BinOp::Shl:
+      Back.shlII(D, A.R, static_cast<std::uint8_t>(Imm & 31));
+      break;
+    case BinOp::Shr:
+      Back.shrII(D, A.R, static_cast<std::uint8_t>(Imm & 31));
+      break;
+    default:
+      tcc_unreachable("no immediate form");
+    }
+    return Val{D, true, false};
+  }
+
+  Val genCmp(const ExprNode *N) {
+    auto K = static_cast<CmpKind>(N->OpByte);
+    EvalType OpT = N->A->Type;
+    if (OpT == EvalType::Int)
+      if (auto BC = Rc.eval(N->B, false)) {
+        Val A = genExpr(N->A);
+        int D = A.Temp ? A.R : TR::allocI(Back);
+        Back.cmpSetII(K, D, A.R, static_cast<std::int32_t>(BC->I));
+        return Val{D, true, false};
+      }
+    Val A, B;
+    genOperands(N, A, B);
+    int D;
+    if (OpT == EvalType::Double) {
+      D = TR::allocI(Back);
+      Back.cmpSetD(K, D, A.R, B.R);
+      freeVal(A);
+      freeVal(B);
+      return Val{D, true, false};
+    }
+    D = A.Temp ? A.R : (B.Temp ? B.R : TR::allocI(Back));
+    if (OpT == EvalType::Int)
+      Back.cmpSetI(K, D, A.R, B.R);
+    else
+      Back.cmpSetL(K, D, A.R, B.R);
+    if (A.Temp && A.R != D)
+      freeVal(A);
+    if (B.Temp && B.R != D)
+      freeVal(B);
+    return Val{D, true, false};
+  }
+
+  Val genLogicalValue(const ExprNode *N) {
+    int D = TR::allocI(Back);
+    LabelT False = Back.newLabel(), End = Back.newLabel();
+    genBranch(N, False, /*WhenTrue=*/false);
+    Back.setI(D, 1);
+    Back.jump(End);
+    Back.bindLabel(False);
+    Back.setI(D, 0);
+    Back.bindLabel(End);
+    return Val{D, true, false};
+  }
+
+  Val genCondExpr(const ExprNode *N) {
+    bool Fp = N->Type == EvalType::Double;
+    int D = Fp ? TR::allocF(Back) : TR::allocI(Back);
+    LabelT Else = Back.newLabel(), End = Back.newLabel();
+    genBranch(N->A, Else, /*WhenTrue=*/false);
+    Val V1 = genExpr(N->B);
+    Fp ? Back.movD(D, V1.R) : Back.movL(D, V1.R);
+    freeVal(V1);
+    Back.jump(End);
+    Back.bindLabel(Else);
+    Val V2 = genExpr(N->C);
+    Fp ? Back.movD(D, V2.R) : Back.movL(D, V2.R);
+    freeVal(V2);
+    Back.bindLabel(End);
+    return Val{D, true, Fp};
+  }
+
+  Val genCall(const ExprNode *N) {
+    // Composition with calls: evaluate the callee (if indirect) and every
+    // argument to temporaries, then marshal into argument registers.
+    Val FnV{};
+    if (N->A)
+      FnV = genExpr(N->A);
+    std::vector<Val> Args;
+    Args.reserve(N->ArgC);
+    for (std::uint32_t I = 0; I < N->ArgC; ++I)
+      Args.push_back(genExpr(N->ArgV[I]));
+    unsigned IntSlot = 0, FpSlot = 0;
+    for (std::uint32_t I = 0; I < N->ArgC; ++I) {
+      if (N->ArgV[I]->Type == EvalType::Double)
+        Back.prepareCallArgD(FpSlot++, Args[I].R);
+      else
+        Back.prepareCallArgI(IntSlot++, Args[I].R);
+    }
+    for (const Val &V : Args)
+      freeVal(V);
+    if constexpr (TR::OnePass)
+      saveFpRegsAroundCall(true);
+    if (N->A)
+      Back.emitCallIndirect(FnV.R, N->CallFpArgs);
+    else
+      Back.emitCall(N->PtrVal, N->CallFpArgs);
+    if constexpr (TR::OnePass)
+      saveFpRegsAroundCall(false);
+    if (N->A)
+      freeVal(FnV);
+    switch (N->Type) {
+    case EvalType::Void:
+      return Val{0, false, false};
+    case EvalType::Double: {
+      int D = TR::allocF(Back);
+      Back.resultToD(D);
+      return Val{D, true, true};
+    }
+    case EvalType::Int: {
+      int D = TR::allocI(Back);
+      Back.resultToI(D);
+      return Val{D, true, false};
+    }
+    default: {
+      int D = TR::allocI(Back);
+      Back.resultToL(D);
+      return Val{D, true, false};
+    }
+    }
+  }
+
+  /// VCode backend only: XMM registers are caller-saved, so any double
+  /// currently materialized in the float pool is saved to a per-register
+  /// slot before an emitted call and restored afterwards.
+  void saveFpRegsAroundCall(bool Save) {
+    if constexpr (TR::OnePass) {
+      std::uint32_t Mask = Back.allocatedFpMask();
+      while (Mask) {
+        int R = std::countr_zero(Mask);
+        Mask &= Mask - 1;
+        int &Slot = FpCallSlots[static_cast<std::size_t>(R)];
+        if (Slot == INT_MIN)
+          Slot = vcode::VCode::spillReg(Back.allocSlot());
+        if (Save)
+          Back.movD(Slot, R);
+        else
+          Back.movD(R, Slot);
+      }
+    }
+  }
+
+  // --- Branch generation ------------------------------------------------------
+  void genBranch(const ExprNode *Cond, LabelT Target, bool WhenTrue) {
+    if (auto V = Rc.eval(Cond, false)) {
+      if (V->truthy() == WhenTrue)
+        Back.jump(Target);
+      return;
+    }
+    if (Cond->Kind == ExprKind::Unary &&
+        static_cast<UnOp>(Cond->OpByte) == UnOp::LogNot) {
+      genBranch(Cond->A, Target, !WhenTrue);
+      return;
+    }
+    if (Cond->Kind == ExprKind::Binary) {
+      auto O = static_cast<BinOp>(Cond->OpByte);
+      if (O == BinOp::LogAnd) {
+        if (WhenTrue) {
+          LabelT Skip = Back.newLabel();
+          genBranch(Cond->A, Skip, false);
+          genBranch(Cond->B, Target, true);
+          Back.bindLabel(Skip);
+        } else {
+          genBranch(Cond->A, Target, false);
+          genBranch(Cond->B, Target, false);
+        }
+        return;
+      }
+      if (O == BinOp::LogOr) {
+        if (WhenTrue) {
+          genBranch(Cond->A, Target, true);
+          genBranch(Cond->B, Target, true);
+        } else {
+          LabelT Skip = Back.newLabel();
+          genBranch(Cond->A, Skip, true);
+          genBranch(Cond->B, Target, false);
+          Back.bindLabel(Skip);
+        }
+        return;
+      }
+    }
+    if (Cond->Kind == ExprKind::Cmp) {
+      auto K = static_cast<CmpKind>(Cond->OpByte);
+      if (!WhenTrue)
+        K = vcode::negate(K);
+      EvalType OpT = Cond->A->Type;
+      if (OpT == EvalType::Int)
+        if (auto BC = Rc.eval(Cond->B, false)) {
+          Val A = genExpr(Cond->A);
+          Back.brCmpII(K, A.R, static_cast<std::int32_t>(BC->I), Target);
+          freeVal(A);
+          return;
+        }
+      Val A, B;
+      genOperands(Cond, A, B);
+      if (OpT == EvalType::Double)
+        Back.brCmpD(K, A.R, B.R, Target);
+      else if (OpT == EvalType::Int)
+        Back.brCmpI(K, A.R, B.R, Target);
+      else
+        Back.brCmpL(K, A.R, B.R, Target);
+      freeVal(A);
+      freeVal(B);
+      return;
+    }
+    Val V = genExpr(Cond);
+    if (WhenTrue)
+      Back.brTrueI(V.R, Target);
+    else
+      Back.brFalseI(V.R, Target);
+    freeVal(V);
+  }
+
+  // --- Statements ----------------------------------------------------------------
+  void genStmt(const StmtNode *S) {
+    if (!S)
+      return;
+    switch (S->Kind) {
+    case StmtKind::Block:
+      for (std::uint32_t I = 0; I < S->BodyC; ++I)
+        genStmt(S->BodyV[I]);
+      return;
+    case StmtKind::ExprStmt: {
+      Val V = genExpr(S->E);
+      freeVal(V);
+      return;
+    }
+    case StmtKind::AssignLocal: {
+      if (Rc.isBound(S->LocalId))
+        reportFatalError("assignment to an unrolled induction variable");
+      Val V = genExpr(S->E);
+      int Loc = localLoc(S->LocalId);
+      localIsFp(S->LocalId) ? Back.movD(Loc, V.R) : Back.movL(Loc, V.R);
+      freeVal(V);
+      return;
+    }
+    case StmtKind::Store: {
+      auto [Addr, Off] = genAddress(S->E);
+      Val V = genExpr(S->E2);
+      switch (static_cast<MemType>(S->OpByte)) {
+      case MemType::I8:
+      case MemType::U8:
+        Back.stI8(Addr.R, Off, V.R);
+        break;
+      case MemType::I16:
+      case MemType::U16:
+        Back.stI16(Addr.R, Off, V.R);
+        break;
+      case MemType::I32:
+        Back.stI(Addr.R, Off, V.R);
+        break;
+      case MemType::I64:
+      case MemType::P64:
+        Back.stL(Addr.R, Off, V.R);
+        break;
+      case MemType::F64:
+        Back.stD(Addr.R, Off, V.R);
+        break;
+      }
+      freeVal(Addr);
+      freeVal(V);
+      return;
+    }
+    case StmtKind::If: {
+      // Dead-branch elimination on run-time-constant conditions (§4.4).
+      if (auto V = Rc.eval(S->E, false)) {
+        genStmt(V->truthy() ? S->S1 : S->S2);
+        return;
+      }
+      if (S->S2) {
+        LabelT Else = Back.newLabel(), End = Back.newLabel();
+        genBranch(S->E, Else, false);
+        genStmt(S->S1);
+        Back.jump(End);
+        Back.bindLabel(Else);
+        genStmt(S->S2);
+        Back.bindLabel(End);
+      } else {
+        LabelT End = Back.newLabel();
+        genBranch(S->E, End, false);
+        genStmt(S->S1);
+        Back.bindLabel(End);
+      }
+      return;
+    }
+    case StmtKind::While: {
+      LabelT Head = Back.newLabel(), End = Back.newLabel();
+      Back.bindLabel(Head);
+      genBranch(S->E, End, false);
+      hint(+1);
+      LoopStack.push_back({End, Head});
+      genStmt(S->S1);
+      LoopStack.pop_back();
+      hint(-1);
+      Back.jump(Head);
+      Back.bindLabel(End);
+      return;
+    }
+    case StmtKind::For:
+      genFor(S);
+      return;
+    case StmtKind::Return: {
+      if (!S->E) {
+        Back.retVoid();
+        return;
+      }
+      Val V = genExpr(S->E);
+      switch (RetType) {
+      case EvalType::Double:
+        Back.retD(V.R);
+        break;
+      case EvalType::Int:
+        Back.retI(V.R);
+        break;
+      case EvalType::Void:
+        Back.retVoid();
+        break;
+      default:
+        Back.retL(V.R);
+        break;
+      }
+      freeVal(V);
+      return;
+    }
+    case StmtKind::Break:
+      if (LoopStack.empty())
+        reportFatalError("break outside a loop");
+      Back.jump(LoopStack.back().first);
+      return;
+    case StmtKind::Continue:
+      if (LoopStack.empty())
+        reportFatalError("continue outside a loop");
+      Back.jump(LoopStack.back().second);
+      return;
+    case StmtKind::LabelDef:
+      Back.bindLabel(userLabel(S->LocalId));
+      return;
+    case StmtKind::Goto:
+      Back.jump(userLabel(S->LocalId));
+      return;
+    }
+  }
+
+  void hint(int Delta) {
+    if constexpr (!TR::OnePass)
+      Back.hint(Delta);
+  }
+
+  /// Trip-count values of an unrollable loop, or nullopt.
+  std::optional<std::vector<std::int64_t>>
+  unrollValues(std::int64_t Init, CmpKind K, std::int64_t Bound,
+               std::int64_t Step) {
+    if (Step == 0)
+      return std::nullopt;
+    std::vector<std::int64_t> Values;
+    std::int64_t V = Init;
+    auto Holds = [&](std::int64_t X) {
+      auto UX = static_cast<std::uint64_t>(X),
+           UB = static_cast<std::uint64_t>(Bound);
+      switch (K) {
+      case CmpKind::LtS:
+        return X < Bound;
+      case CmpKind::LeS:
+        return X <= Bound;
+      case CmpKind::GtS:
+        return X > Bound;
+      case CmpKind::GeS:
+        return X >= Bound;
+      case CmpKind::Ne:
+        return X != Bound;
+      case CmpKind::Eq:
+        return X == Bound;
+      case CmpKind::LtU:
+        return UX < UB;
+      case CmpKind::LeU:
+        return UX <= UB;
+      case CmpKind::GtU:
+        return UX > UB;
+      case CmpKind::GeU:
+        return UX >= UB;
+      }
+      return false;
+    };
+    while (Holds(V)) {
+      if (Values.size() > Opts.UnrollLimit)
+        return std::nullopt;
+      Values.push_back(V);
+      V += Step;
+    }
+    return Values;
+  }
+
+  void genFor(const StmtNode *S) {
+    auto K = static_cast<CmpKind>(S->OpByte);
+    // Dynamic loop unrolling (paper §4.4): run-time-constant bounds and
+    // step, and a body that never reassigns the induction variable.
+    auto IV = Rc.eval(S->E, false);
+    auto BV = Rc.eval(S->E2, false);
+    auto SV = Rc.eval(S->E3, false);
+    if (IV && BV && SV && !IV->isFp() && !BV->isFp() && !SV->isFp() &&
+        !assignsLocal(S->S1, S->LocalId) && !hasEscapingControl(S->S1)) {
+      if (auto Values = unrollValues(IV->I, K, BV->I, SV->I)) {
+        EvalType VarT =
+            Ctx.locals()[static_cast<std::size_t>(S->LocalId)].Type;
+        for (std::int64_t V : *Values) {
+          Rc.bind(S->LocalId, RcVal::ofInt(V, VarT)); // Derived rt const.
+          genStmt(S->S1);
+        }
+        Rc.unbind(S->LocalId);
+        // The induction variable's final value is observable after the
+        // loop; materialize it.
+        std::int64_t Final =
+            Values->empty() ? IV->I : Values->back() + SV->I;
+        int Loc = localLoc(S->LocalId);
+        if (VarT == EvalType::Int)
+          Back.setI(Loc, static_cast<std::int32_t>(Final));
+        else
+          Back.setL(Loc, Final);
+        return;
+      }
+    }
+
+    // Runtime loop: V = init; head: if (!(V K bound)) goto end;
+    // body; cont: V += step; goto head; end:
+    bool VarIsLong =
+        Ctx.locals()[static_cast<std::size_t>(S->LocalId)].Type !=
+        EvalType::Int;
+    int Loc = localLoc(S->LocalId);
+    {
+      Val Init = genExpr(S->E);
+      Back.movL(Loc, Init.R);
+      freeVal(Init);
+    }
+    LabelT Head = Back.newLabel(), Cont = Back.newLabel(),
+           End = Back.newLabel();
+    Back.bindLabel(Head);
+    CmpKind NK = vcode::negate(K);
+    if (!VarIsLong && BV) {
+      Back.brCmpII(NK, Loc, static_cast<std::int32_t>(BV->I), End);
+    } else {
+      Val Bound = genExpr(S->E2);
+      if (VarIsLong)
+        Back.brCmpL(NK, Loc, Bound.R, End);
+      else
+        Back.brCmpI(NK, Loc, Bound.R, End);
+      freeVal(Bound);
+    }
+    hint(+1);
+    LoopStack.push_back({End, Cont});
+    genStmt(S->S1);
+    LoopStack.pop_back();
+    Back.bindLabel(Cont);
+    if (SV && !VarIsLong) {
+      Back.addII(Loc, Loc, static_cast<std::int32_t>(SV->I));
+    } else if (SV && VarIsLong && SV->I >= INT32_MIN && SV->I <= INT32_MAX) {
+      Back.addLI(Loc, Loc, static_cast<std::int32_t>(SV->I));
+    } else {
+      Val Step = genExpr(S->E3);
+      if (VarIsLong)
+        Back.addL(Loc, Loc, Step.R);
+      else
+        Back.addI(Loc, Loc, Step.R);
+      freeVal(Step);
+    }
+    hint(-1);
+    Back.jump(Head);
+    Back.bindLabel(End);
+  }
+
+  Context &Ctx;
+  BE &Back;
+  EvalType RetType;
+  const CompileOptions &Opts;
+  RcEvaluator Rc;
+  std::vector<int> LocalLoc;
+  std::vector<std::optional<LabelT>> UserLabels;
+  std::vector<std::pair<LabelT, LabelT>> LoopStack;
+  bool BodyHasCalls = false;
+  int FpCallSlots[vcode::VCode::NumFloatPool] = {
+      INT_MIN, INT_MIN, INT_MIN, INT_MIN, INT_MIN, INT_MIN,
+      INT_MIN, INT_MIN, INT_MIN, INT_MIN, INT_MIN, INT_MIN};
+};
+
+} // namespace
+
+CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
+                           const CompileOptions &Opts) {
+  assert(Body.valid() && "compiling an empty cspec");
+  CompiledFn F;
+  F.Region = std::make_unique<CodeRegion>(Opts.CodeCapacity, Opts.Placement);
+  std::uint64_t C0 = readCycleCounter();
+  if (Opts.Backend == BackendKind::VCode) {
+    vcode::VCode V(F.Region->base(), F.Region->capacity());
+    Walker<vcode::VCode> W(Ctx, V, RetType, Opts);
+    W.run(Body.node());
+    F.Entry = V.finish();
+    F.Stats.CyclesWalk = readCycleCounter() - C0;
+    F.Stats.MachineInstrs = V.instructionsEmitted();
+    F.Stats.CodeBytes = V.codeBytes();
+  } else {
+    icode::ICode IC;
+    Walker<icode::ICode> W(Ctx, IC, RetType, Opts);
+    W.run(Body.node());
+    F.Stats.CyclesWalk = readCycleCounter() - C0;
+    vcode::VCode V(F.Region->base(), F.Region->capacity());
+    F.Entry = IC.compileTo(V, Opts.RegAlloc, &F.Stats.ICode, Opts.Spill);
+    F.Stats.MachineInstrs = V.instructionsEmitted();
+    F.Stats.CodeBytes = V.codeBytes();
+  }
+  F.Stats.CyclesTotal = readCycleCounter() - C0;
+  F.Region->makeExecutable();
+  return F;
+}

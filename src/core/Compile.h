@@ -1,0 +1,113 @@
+//===- core/Compile.h - The compile() special form -------------*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dynamic compilation (instantiation, paper §4.4): compileFn() walks a
+/// statement cspec — the walk is the code-generating function — and produces
+/// executable machine code through one of the two dynamic back ends:
+///
+///   * BackendKind::VCode — one pass, code emitted immediately; fastest
+///     compilation, weakest code (paper §5.1).
+///   * BackendKind::ICode — builds the ICODE IR, allocates registers
+///     globally (linear scan or graph coloring), then emits (paper §5.2).
+///
+/// During the walk the automatic dynamic partial evaluation of §4.4 runs:
+/// run-time constants fold, multiplications/divisions by run-time constants
+/// strength-reduce, loops bounded by run-time constants unroll (binding
+/// derived run-time constants down loop nests), and branches controlled by
+/// run-time constants disappear.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_CORE_COMPILE_H
+#define TICKC_CORE_COMPILE_H
+
+#include "core/Context.h"
+#include "icode/ICode.h"
+#include "support/CodeBuffer.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace tcc {
+namespace core {
+
+/// Which dynamic back end instantiation uses.
+enum class BackendKind {
+  VCode,
+  ICode,
+};
+
+/// Knobs for one instantiation.
+struct CompileOptions {
+  BackendKind Backend = BackendKind::VCode;
+  icode::RegAllocKind RegAlloc = icode::RegAllocKind::LinearScan;
+  icode::SpillHeuristic Spill = icode::SpillHeuristic::LongestInterval;
+  CodePlacement Placement = CodePlacement::Sequential;
+  std::size_t CodeCapacity = 1 << 20;
+  /// Maximum iteration count dynamic loop unrolling will expand; loops with
+  /// larger run-time-constant trip counts fall back to runtime loops ("unless
+  /// it is made too large ... it will easily outperform", paper §4.4).
+  unsigned UnrollLimit = 16384;
+};
+
+/// Cost account of one instantiation — the raw material of Table 1 and
+/// Figures 6/7.
+struct DynStats {
+  std::uint64_t CyclesTotal = 0; ///< Entire compile() call, TSC ticks.
+  std::uint64_t CyclesWalk = 0;  ///< CGF walk (VCode: walk == emission;
+                                 ///< ICode: IR construction).
+  icode::CompileStats ICode;     ///< Per-phase ICODE costs (ICode backend).
+  unsigned MachineInstrs = 0;
+  std::size_t CodeBytes = 0;
+};
+
+/// An instantiated dynamic function: owns its executable region.
+class CompiledFn {
+public:
+  CompiledFn() = default;
+  CompiledFn(CompiledFn &&) = default;
+  CompiledFn &operator=(CompiledFn &&) = default;
+
+  void *entry() const { return Entry; }
+  bool valid() const { return Entry != nullptr; }
+  /// The function pointer, typed. `int (*f)(int) = F.as<int(int)>();`
+  template <typename FnT> FnT *as() const {
+    return reinterpret_cast<FnT *>(Entry);
+  }
+  const DynStats &stats() const { return Stats; }
+
+private:
+  friend CompiledFn compileFn(Context &, Stmt, EvalType,
+                              const CompileOptions &);
+  std::unique_ptr<CodeRegion> Region;
+  void *Entry = nullptr;
+  DynStats Stats;
+};
+
+/// The `compile` special form: instantiates \p Body as a function returning
+/// \p RetType. Parameters are the Context's param* vspecs referenced by the
+/// body. Thin wrappers below fix the backend.
+CompiledFn compileFn(Context &Ctx, Stmt Body, EvalType RetType,
+                     const CompileOptions &Opts = CompileOptions());
+
+inline CompiledFn compileVCode(Context &Ctx, Stmt Body, EvalType RetType) {
+  CompileOptions Opts;
+  Opts.Backend = BackendKind::VCode;
+  return compileFn(Ctx, Body, RetType, Opts);
+}
+
+inline CompiledFn compileICode(Context &Ctx, Stmt Body, EvalType RetType) {
+  CompileOptions Opts;
+  Opts.Backend = BackendKind::ICode;
+  return compileFn(Ctx, Body, RetType, Opts);
+}
+
+} // namespace core
+} // namespace tcc
+
+#endif // TICKC_CORE_COMPILE_H

@@ -1,0 +1,106 @@
+//===- core/Types.h - Evaluation types of dynamic code ---------*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluation types. In `C every code specification (cspec) carries the
+/// static type of its dynamic value ("an evaluation type allows dynamic
+/// code to be statically typed", paper §3); these enums are that type
+/// system's spine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_CORE_TYPES_H
+#define TICKC_CORE_TYPES_H
+
+#include <cstdint>
+
+namespace tcc {
+namespace core {
+
+/// The evaluation type of an expression cspec.
+enum class EvalType : std::uint8_t {
+  Void,
+  Int,    ///< 32-bit signed integer.
+  Long,   ///< 64-bit signed integer.
+  Ptr,    ///< Data pointer (64-bit).
+  Double, ///< IEEE double.
+};
+
+/// Memory access widths for loads/stores and free variables.
+enum class MemType : std::uint8_t {
+  I8,
+  U8,
+  I16,
+  U16,
+  I32,
+  I64,
+  P64,
+  F64,
+};
+
+/// Evaluation type of a value loaded with the given width.
+inline EvalType evalTypeFor(MemType M) {
+  switch (M) {
+  case MemType::I8:
+  case MemType::U8:
+  case MemType::I16:
+  case MemType::U16:
+  case MemType::I32:
+    return EvalType::Int;
+  case MemType::I64:
+    return EvalType::Long;
+  case MemType::P64:
+    return EvalType::Ptr;
+  case MemType::F64:
+    return EvalType::Double;
+  }
+  return EvalType::Int;
+}
+
+/// Size in bytes of a memory access.
+inline unsigned memSize(MemType M) {
+  switch (M) {
+  case MemType::I8:
+  case MemType::U8:
+    return 1;
+  case MemType::I16:
+  case MemType::U16:
+    return 2;
+  case MemType::I32:
+    return 4;
+  case MemType::I64:
+  case MemType::P64:
+  case MemType::F64:
+    return 8;
+  }
+  return 4;
+}
+
+inline bool isIntegerClass(EvalType T) {
+  return T == EvalType::Int || T == EvalType::Long || T == EvalType::Ptr;
+}
+
+inline const char *typeName(EvalType T) {
+  switch (T) {
+  case EvalType::Void:
+    return "void";
+  case EvalType::Int:
+    return "int";
+  case EvalType::Long:
+    return "long";
+  case EvalType::Ptr:
+    return "ptr";
+  case EvalType::Double:
+    return "double";
+  }
+  return "?";
+}
+
+} // namespace core
+} // namespace tcc
+
+#endif // TICKC_CORE_TYPES_H

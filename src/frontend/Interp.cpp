@@ -1,0 +1,1552 @@
+//===- frontend/Interp.cpp -------------------------------------------------==//
+
+#include "frontend/Interp.h"
+
+#include "frontend/Parser.h"
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+
+using namespace tcc;
+using namespace tcc::frontend;
+using namespace tcc::core;
+
+namespace {
+
+[[noreturn]] void rtError(unsigned Line, const std::string &Msg) {
+  std::fprintf(stderr, "tickc: line %u: error: %s\n", Line, Msg.c_str());
+  std::exit(1);
+}
+
+/// A named storage cell. Heap-allocated so that free-variable captures in
+/// dynamic code can point at the numeric payload.
+struct Slot {
+  TypeRef Type;
+  Value V;
+};
+using SlotPtr = std::shared_ptr<Slot>;
+
+EvalType evalTypeOf(const TypeRef &T) {
+  if (T.isPointer())
+    return EvalType::Ptr;
+  switch (T.Base) {
+  case TypeRef::Void:
+    return EvalType::Void;
+  case TypeRef::Int:
+  case TypeRef::Char:
+    return EvalType::Int;
+  case TypeRef::Long:
+    return EvalType::Long;
+  case TypeRef::Double:
+    return EvalType::Double;
+  }
+  return EvalType::Int;
+}
+
+MemType memTypeOfPointee(const TypeRef &PtrT) {
+  if (PtrT.PtrDepth > 1)
+    return MemType::P64;
+  switch (PtrT.Base) {
+  case TypeRef::Char:
+    return MemType::I8;
+  case TypeRef::Int:
+    return MemType::I32;
+  case TypeRef::Long:
+    return MemType::I64;
+  case TypeRef::Double:
+    return MemType::F64;
+  default:
+    return MemType::I32;
+  }
+}
+
+char sigCharOf(const TypeRef &T) {
+  if (T.isPointer())
+    return 'p';
+  switch (T.Base) {
+  case TypeRef::Void:
+    return 'v';
+  case TypeRef::Int:
+  case TypeRef::Char:
+    return 'i';
+  case TypeRef::Long:
+    return 'l';
+  case TypeRef::Double:
+    return 'd';
+  }
+  return 'i';
+}
+
+/// Calls a native function with NI integer-class and ND double arguments.
+/// SysV assigns each register class independently, so a cast through an
+/// all-ints-then-doubles prototype produces the same register assignment
+/// as the original declaration order.
+template <typename R>
+R callSig(void *Fn, const std::int64_t *A, unsigned NI, const double *X,
+          unsigned ND) {
+  using I = std::int64_t;
+  switch (NI * 4 + ND) {
+  case 0 * 4 + 0:
+    return reinterpret_cast<R (*)()>(Fn)();
+  case 0 * 4 + 1:
+    return reinterpret_cast<R (*)(double)>(Fn)(X[0]);
+  case 0 * 4 + 2:
+    return reinterpret_cast<R (*)(double, double)>(Fn)(X[0], X[1]);
+  case 1 * 4 + 0:
+    return reinterpret_cast<R (*)(I)>(Fn)(A[0]);
+  case 1 * 4 + 1:
+    return reinterpret_cast<R (*)(I, double)>(Fn)(A[0], X[0]);
+  case 1 * 4 + 2:
+    return reinterpret_cast<R (*)(I, double, double)>(Fn)(A[0], X[0], X[1]);
+  case 2 * 4 + 0:
+    return reinterpret_cast<R (*)(I, I)>(Fn)(A[0], A[1]);
+  case 2 * 4 + 1:
+    return reinterpret_cast<R (*)(I, I, double)>(Fn)(A[0], A[1], X[0]);
+  case 2 * 4 + 2:
+    return reinterpret_cast<R (*)(I, I, double, double)>(Fn)(A[0], A[1],
+                                                             X[0], X[1]);
+  case 3 * 4 + 0:
+    return reinterpret_cast<R (*)(I, I, I)>(Fn)(A[0], A[1], A[2]);
+  case 3 * 4 + 1:
+    return reinterpret_cast<R (*)(I, I, I, double)>(Fn)(A[0], A[1], A[2],
+                                                        X[0]);
+  case 4 * 4 + 0:
+    return reinterpret_cast<R (*)(I, I, I, I)>(Fn)(A[0], A[1], A[2], A[3]);
+  case 4 * 4 + 1:
+    return reinterpret_cast<R (*)(I, I, I, I, double)>(Fn)(A[0], A[1], A[2],
+                                                           A[3], X[0]);
+  case 5 * 4 + 0:
+    return reinterpret_cast<R (*)(I, I, I, I, I)>(Fn)(A[0], A[1], A[2],
+                                                      A[3], A[4]);
+  case 6 * 4 + 0:
+    return reinterpret_cast<R (*)(I, I, I, I, I, I)>(Fn)(A[0], A[1], A[2],
+                                                         A[3], A[4], A[5]);
+  default:
+    reportFatalError("unsupported dynamic-function signature");
+  }
+}
+
+} // namespace
+
+// Print builtins callable both from interpreted code and from *generated*
+// code (spliced in as direct calls). They append to the active Interp's
+// output buffer.
+namespace {
+std::string *ActiveOut = nullptr;
+bool ActiveEcho = false;
+
+void emitOut(const char *Buf) {
+  if (ActiveOut)
+    *ActiveOut += Buf;
+  if (ActiveEcho)
+    std::fputs(Buf, stdout);
+}
+
+extern "C" void tickcPrintInt(int V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%d", V);
+  emitOut(Buf);
+}
+extern "C" void tickcPrintLong(long long V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%lld", V);
+  emitOut(Buf);
+}
+extern "C" void tickcPrintDouble(double V) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%g", V);
+  emitOut(Buf);
+}
+extern "C" void tickcPrintStr(const char *V) { emitOut(V); }
+} // namespace
+
+struct Interp::ImplState {
+  FProgram Prog;
+  core::BackendKind Backend;
+  core::Context Ctx;
+  std::map<std::string, const FFunction *> Funcs;
+  std::map<std::string, SlotPtr> Globals;
+  std::map<int, TypeRef> PendingIntParams;
+  std::map<int, TypeRef> PendingFpParams;
+  std::vector<core::CompiledFn> Compiled;
+  std::deque<std::string> StringPool;
+  std::deque<std::vector<std::int64_t>> IntBuffers;
+  std::deque<std::vector<double>> DoubleBuffers;
+  Interp *Owner = nullptr;
+};
+
+namespace {
+
+enum class Flow { Normal, Return, Break, Continue };
+
+/// The tree-walking evaluator for static code plus the spec builder for
+/// backquoted code.
+class Evaluator {
+public:
+  explicit Evaluator(Interp::ImplState &S) : S(S) {}
+
+  Value callFunction(const FFunction &F, std::vector<Value> Args);
+
+private:
+  // --- Environment -----------------------------------------------------------
+  SlotPtr *lookupLocal(const std::string &Name) {
+    for (std::size_t I = Scopes.size(); I-- > 0;) {
+      auto It = Scopes[I].find(Name);
+      if (It != Scopes[I].end())
+        return &It->second;
+    }
+    return nullptr;
+  }
+  SlotPtr lookup(const std::string &Name, unsigned Line) {
+    if (SlotPtr *L = lookupLocal(Name))
+      return *L;
+    auto It = S.Globals.find(Name);
+    if (It != S.Globals.end())
+      return It->second;
+    rtError(Line, "undefined variable '" + Name + "'");
+  }
+
+  // --- Static execution ------------------------------------------------------
+  Flow execStmt(const FStmt *St, Value &Ret);
+  Value evalExpr(const FExpr *E);
+  Value evalCall(const FExpr *E);
+  void assignTo(const FExpr *Lhs, Value V);
+  Value defaultValue(const TypeRef &T);
+  Value coerce(Value V, const TypeRef &T, unsigned Line);
+
+  static bool truthy(const Value &V) {
+    return V.Kind == Value::Double ? V.D != 0 : V.I != 0 || V.P != nullptr;
+  }
+  static double asDouble(const Value &V) {
+    return V.Kind == Value::Double ? V.D : static_cast<double>(V.I);
+  }
+
+  // --- Dynamic-code specification (the tick operator) -------------------------
+  struct SV {
+    core::Expr E;
+    TypeRef T;
+  };
+  Value buildTick(const FExpr *E);
+  SV specExpr(const FExpr *E);
+  core::Stmt specStmt(const FStmt *St);
+  core::Stmt specAssign(const FExpr *E);
+  core::Stmt specIncDec(const FExpr *E);
+  core::Stmt specExprAsStmt(const FExpr *E);
+  core::Stmt specFor(const FStmt *St);
+  /// Resolves an identifier to a vspec lvalue (tick local or spliced
+  /// vspec variable); null Value if it is a plain (free) variable.
+  const Value *vspecLvalue(const std::string &Name);
+  SV spliceValue(const Value &V, const TypeRef &T, unsigned Line);
+  SV rcOf(const Value &V, unsigned Line);
+
+  SlotPtr *lookupTickLocal(const std::string &Name) {
+    for (std::size_t I = TickScopes.size(); I-- > 0;) {
+      auto It = TickScopes[I].find(Name);
+      if (It != TickScopes[I].end())
+        return &It->second;
+    }
+    return nullptr;
+  }
+
+  Interp::ImplState &S;
+  std::vector<std::map<std::string, SlotPtr>> Scopes;
+  /// Dynamic locals declared inside the tick expression being built.
+  std::vector<std::map<std::string, SlotPtr>> TickScopes;
+  bool InTick = false;
+};
+
+Value Evaluator::defaultValue(const TypeRef &T) {
+  Value V;
+  if (T.IsCSpec) {
+    V.Kind = evalTypeOf(T) == EvalType::Void || T.Base == TypeRef::Void
+                 ? Value::CSpecStmt
+                 : Value::CSpecExpr;
+    return V;
+  }
+  if (T.IsVSpec) {
+    V.Kind = Value::VSpecRef;
+    return V;
+  }
+  if (T.isPointer()) {
+    V.Kind = Value::Ptr;
+    V.Pointee = T.Base;
+    return V;
+  }
+  switch (T.Base) {
+  case TypeRef::Double:
+    V.Kind = Value::Double;
+    break;
+  case TypeRef::Long:
+    V.Kind = Value::Long;
+    break;
+  default:
+    V.Kind = Value::Int;
+    break;
+  }
+  return V;
+}
+
+Value Evaluator::coerce(Value V, const TypeRef &T, unsigned Line) {
+  if (T.IsCSpec) {
+    if (V.Kind != Value::CSpecExpr && V.Kind != Value::CSpecStmt &&
+        V.Kind != Value::FnPtr)
+      rtError(Line, "expected a cspec value");
+    return V;
+  }
+  if (T.IsVSpec) {
+    if (V.Kind != Value::VSpecRef)
+      rtError(Line, "expected a vspec value");
+    return V;
+  }
+  if (T.isPointer()) {
+    if (V.Kind == Value::FnPtr) {
+      Value R;
+      R.Kind = Value::Ptr;
+      R.P = V.P;
+      R.Pointee = T.Base;
+      R.FnSig = V.FnSig;
+      return R;
+    }
+    if (V.Kind != Value::Ptr && !(V.Kind == Value::Int && V.I == 0))
+      rtError(Line, "expected a pointer value");
+    V.Kind = Value::Ptr;
+    V.Pointee = T.Base;
+    return V;
+  }
+  switch (T.Base) {
+  case TypeRef::Double: {
+    Value R;
+    R.Kind = Value::Double;
+    R.D = asDouble(V);
+    return R;
+  }
+  case TypeRef::Long: {
+    Value R;
+    R.Kind = Value::Long;
+    R.I = V.Kind == Value::Double ? static_cast<std::int64_t>(V.D) : V.I;
+    return R;
+  }
+  default: {
+    Value R;
+    R.Kind = Value::Int;
+    R.I = static_cast<std::int32_t>(
+        V.Kind == Value::Double ? static_cast<std::int64_t>(V.D) : V.I);
+    return R;
+  }
+  }
+}
+
+Value Evaluator::callFunction(const FFunction &F, std::vector<Value> Args) {
+  if (Args.size() != F.Params.size())
+    rtError(F.Line, "wrong number of arguments to '" + F.Name + "'");
+  Scopes.emplace_back();
+  for (std::size_t I = 0; I < Args.size(); ++I) {
+    auto SlotP = std::make_shared<Slot>();
+    SlotP->Type = F.Params[I].Type;
+    SlotP->V = coerce(Args[I], F.Params[I].Type, F.Line);
+    Scopes.back()[F.Params[I].Name] = SlotP;
+  }
+  Value Ret = defaultValue(F.RetType);
+  Flow Fl = execStmt(F.Body.get(), Ret);
+  if (Fl != Flow::Return && F.RetType.Base != TypeRef::Void)
+    Ret = defaultValue(F.RetType);
+  Scopes.pop_back();
+  return Ret;
+}
+
+Flow Evaluator::execStmt(const FStmt *St, Value &Ret) {
+  switch (St->Kind) {
+  case FStmtKind::Block: {
+    Scopes.emplace_back();
+    for (const FStmtPtr &Child : St->Body) {
+      Flow Fl = execStmt(Child.get(), Ret);
+      if (Fl != Flow::Normal) {
+        Scopes.pop_back();
+        return Fl;
+      }
+    }
+    Scopes.pop_back();
+    return Flow::Normal;
+  }
+  case FStmtKind::Decl: {
+    auto SlotP = std::make_shared<Slot>();
+    SlotP->Type = St->DeclType;
+    SlotP->V = St->E ? coerce(evalExpr(St->E.get()), St->DeclType, St->Line)
+                     : defaultValue(St->DeclType);
+    Scopes.back()[St->Name] = SlotP;
+    return Flow::Normal;
+  }
+  case FStmtKind::ExprStmt:
+    evalExpr(St->E.get());
+    return Flow::Normal;
+  case FStmtKind::If:
+    if (truthy(evalExpr(St->E.get())))
+      return execStmt(St->S1.get(), Ret);
+    if (St->S2)
+      return execStmt(St->S2.get(), Ret);
+    return Flow::Normal;
+  case FStmtKind::While:
+    while (truthy(evalExpr(St->E.get()))) {
+      Flow Fl = execStmt(St->S1.get(), Ret);
+      if (Fl == Flow::Return)
+        return Fl;
+      if (Fl == Flow::Break)
+        break;
+    }
+    return Flow::Normal;
+  case FStmtKind::For: {
+    Scopes.emplace_back();
+    if (St->S1)
+      execStmt(St->S1.get(), Ret);
+    while (!St->E2 || truthy(evalExpr(St->E2.get()))) {
+      Flow Fl = execStmt(St->S2.get(), Ret);
+      if (Fl == Flow::Return) {
+        Scopes.pop_back();
+        return Fl;
+      }
+      if (Fl == Flow::Break)
+        break;
+      if (St->E3)
+        evalExpr(St->E3.get());
+    }
+    Scopes.pop_back();
+    return Flow::Normal;
+  }
+  case FStmtKind::Return:
+    if (St->E)
+      Ret = evalExpr(St->E.get());
+    return Flow::Return;
+  case FStmtKind::Break:
+    return Flow::Break;
+  case FStmtKind::Continue:
+    return Flow::Continue;
+  }
+  return Flow::Normal;
+}
+
+Value Evaluator::evalExpr(const FExpr *E) {
+  switch (E->Kind) {
+  case FExprKind::IntLit: {
+    Value V;
+    V.Kind = Value::Int;
+    V.I = E->IntVal;
+    return V;
+  }
+  case FExprKind::DoubleLit: {
+    Value V;
+    V.Kind = Value::Double;
+    V.D = E->DoubleVal;
+    return V;
+  }
+  case FExprKind::StringLit: {
+    S.StringPool.push_back(E->StrVal);
+    Value V;
+    V.Kind = Value::Ptr;
+    V.Pointee = TypeRef::Char;
+    V.P = S.StringPool.back().data();
+    return V;
+  }
+  case FExprKind::Ident:
+    return lookup(E->OpText, E->Line)->V;
+  case FExprKind::Tick:
+    return buildTick(E);
+  case FExprKind::Dollar:
+    rtError(E->Line, "$ outside a tick-expression");
+  case FExprKind::Unary: {
+    if (E->OpText == "&") {
+      if (E->A->Kind != FExprKind::Ident)
+        rtError(E->Line, "& requires a variable");
+      SlotPtr SP = lookup(E->A->OpText, E->Line);
+      Value V;
+      V.Kind = Value::Ptr;
+      V.Pointee = SP->Type.Base;
+      V.P = SP->Type.Base == TypeRef::Double
+                ? static_cast<void *>(&SP->V.D)
+                : static_cast<void *>(&SP->V.I);
+      return V;
+    }
+    Value A = evalExpr(E->A.get());
+    Value R;
+    if (E->OpText == "-") {
+      if (A.Kind == Value::Double) {
+        R.Kind = Value::Double;
+        R.D = -A.D;
+      } else {
+        R.Kind = A.Kind;
+        R.I = -A.I;
+        if (A.Kind == Value::Int)
+          R.I = static_cast<std::int32_t>(R.I);
+      }
+      return R;
+    }
+    if (E->OpText == "!") {
+      R.Kind = Value::Int;
+      R.I = !truthy(A);
+      return R;
+    }
+    if (E->OpText == "~") {
+      R.Kind = A.Kind;
+      R.I = ~A.I;
+      return R;
+    }
+    if (E->OpText == "*") {
+      if (A.Kind != Value::Ptr)
+        rtError(E->Line, "dereferencing a non-pointer");
+      switch (A.Pointee) {
+      case TypeRef::Char:
+        R.Kind = Value::Int;
+        R.I = *static_cast<const char *>(A.P);
+        return R;
+      case TypeRef::Int:
+        R.Kind = Value::Int;
+        R.I = *static_cast<const std::int32_t *>(A.P);
+        return R;
+      case TypeRef::Long:
+        R.Kind = Value::Long;
+        R.I = *static_cast<const std::int64_t *>(A.P);
+        return R;
+      case TypeRef::Double:
+        R.Kind = Value::Double;
+        R.D = *static_cast<const double *>(A.P);
+        return R;
+      default:
+        rtError(E->Line, "cannot dereference this pointer type");
+      }
+    }
+    rtError(E->Line, "bad unary operator");
+  }
+  case FExprKind::Binary: {
+    const std::string &Op = E->OpText;
+    // Short-circuit forms first.
+    if (Op == "&&") {
+      Value R;
+      R.Kind = Value::Int;
+      R.I = truthy(evalExpr(E->A.get())) && truthy(evalExpr(E->B.get()));
+      return R;
+    }
+    if (Op == "||") {
+      Value R;
+      R.Kind = Value::Int;
+      R.I = truthy(evalExpr(E->A.get())) || truthy(evalExpr(E->B.get()));
+      return R;
+    }
+    Value A = evalExpr(E->A.get());
+    Value B = evalExpr(E->B.get());
+    Value R;
+    // Pointer arithmetic.
+    if (A.Kind == Value::Ptr && (Op == "+" || Op == "-") &&
+        B.Kind != Value::Ptr) {
+      unsigned Sz = A.Pointee == TypeRef::Double ? 8
+                    : A.Pointee == TypeRef::Long ? 8
+                    : A.Pointee == TypeRef::Char ? 1
+                                                 : 4;
+      R = A;
+      auto Delta = static_cast<std::int64_t>(B.I) * Sz;
+      R.P = static_cast<char *>(A.P) + (Op == "+" ? Delta : -Delta);
+      return R;
+    }
+    bool Cmp = Op == "<" || Op == "<=" || Op == ">" || Op == ">=" ||
+               Op == "==" || Op == "!=";
+    if (A.Kind == Value::Double || B.Kind == Value::Double) {
+      double X = asDouble(A), Y = asDouble(B);
+      if (Cmp) {
+        R.Kind = Value::Int;
+        R.I = Op == "<"    ? X < Y
+              : Op == "<=" ? X <= Y
+              : Op == ">"  ? X > Y
+              : Op == ">=" ? X >= Y
+              : Op == "==" ? X == Y
+                           : X != Y;
+        return R;
+      }
+      R.Kind = Value::Double;
+      R.D = Op == "+"   ? X + Y
+            : Op == "-" ? X - Y
+            : Op == "*" ? X * Y
+            : Op == "/" ? X / Y
+                        : 0;
+      if (Op == "%")
+        rtError(E->Line, "% on doubles");
+      return R;
+    }
+    std::int64_t X = A.Kind == Value::Ptr
+                         ? static_cast<std::int64_t>(
+                               reinterpret_cast<std::uintptr_t>(A.P))
+                         : A.I;
+    std::int64_t Y = B.Kind == Value::Ptr
+                         ? static_cast<std::int64_t>(
+                               reinterpret_cast<std::uintptr_t>(B.P))
+                         : B.I;
+    if (Cmp) {
+      R.Kind = Value::Int;
+      R.I = Op == "<"    ? X < Y
+            : Op == "<=" ? X <= Y
+            : Op == ">"  ? X > Y
+            : Op == ">=" ? X >= Y
+            : Op == "==" ? X == Y
+                         : X != Y;
+      return R;
+    }
+    bool BothInt = A.Kind == Value::Int && B.Kind == Value::Int;
+    R.Kind = BothInt ? Value::Int : Value::Long;
+    if ((Op == "/" || Op == "%") && Y == 0)
+      rtError(E->Line, "division by zero");
+    std::int64_t Res = Op == "+"    ? X + Y
+                       : Op == "-"  ? X - Y
+                       : Op == "*"  ? X * Y
+                       : Op == "/"  ? X / Y
+                       : Op == "%"  ? X % Y
+                       : Op == "&"  ? X & Y
+                       : Op == "|"  ? X | Y
+                       : Op == "^"  ? X ^ Y
+                       : Op == "<<" ? X << (Y & 63)
+                       : Op == ">>" ? X >> (Y & 63)
+                                    : 0;
+    R.I = BothInt ? static_cast<std::int32_t>(Res) : Res;
+    return R;
+  }
+  case FExprKind::Assign: {
+    Value V = evalExpr(E->B.get());
+    if (E->OpText != "=") {
+      // Compound assignment: read-modify-write.
+      FExpr Tmp;
+      Tmp.Kind = FExprKind::Binary;
+      Tmp.Line = E->Line;
+      Tmp.OpText = E->OpText.substr(0, 1);
+      // Evaluate lhs value via a synthetic binary node.
+      Value L = evalExpr(E->A.get());
+      Value R;
+      if (L.Kind == Value::Double || V.Kind == Value::Double) {
+        R.Kind = Value::Double;
+        double X = asDouble(L), Y = asDouble(V);
+        R.D = Tmp.OpText == "+"   ? X + Y
+              : Tmp.OpText == "-" ? X - Y
+              : Tmp.OpText == "*" ? X * Y
+                                  : X / Y;
+      } else {
+        R.Kind = L.Kind;
+        std::int64_t X = L.I, Y = V.I;
+        std::int64_t Res = Tmp.OpText == "+"   ? X + Y
+                           : Tmp.OpText == "-" ? X - Y
+                           : Tmp.OpText == "*" ? X * Y
+                                               : X / Y;
+        R.I = L.Kind == Value::Int ? static_cast<std::int32_t>(Res) : Res;
+      }
+      V = R;
+    }
+    assignTo(E->A.get(), V);
+    return V;
+  }
+  case FExprKind::Ternary:
+    return truthy(evalExpr(E->A.get())) ? evalExpr(E->B.get())
+                                        : evalExpr(E->C.get());
+  case FExprKind::Index: {
+    Value Base = evalExpr(E->A.get());
+    Value Idx = evalExpr(E->B.get());
+    if (Base.Kind != Value::Ptr)
+      rtError(E->Line, "indexing a non-pointer");
+    Value R;
+    switch (Base.Pointee) {
+    case TypeRef::Char:
+      R.Kind = Value::Int;
+      R.I = static_cast<const char *>(Base.P)[Idx.I];
+      return R;
+    case TypeRef::Int:
+      R.Kind = Value::Int;
+      R.I = static_cast<const std::int32_t *>(Base.P)[Idx.I];
+      return R;
+    case TypeRef::Long:
+      R.Kind = Value::Long;
+      R.I = static_cast<const std::int64_t *>(Base.P)[Idx.I];
+      return R;
+    case TypeRef::Double:
+      R.Kind = Value::Double;
+      R.D = static_cast<const double *>(Base.P)[Idx.I];
+      return R;
+    default:
+      rtError(E->Line, "cannot index this pointer type");
+    }
+  }
+  case FExprKind::PostIncDec: {
+    Value Old = evalExpr(E->A.get());
+    Value New = Old;
+    std::int64_t Delta = E->OpText == "++" ? 1 : -1;
+    if (Old.Kind == Value::Double)
+      New.D += static_cast<double>(Delta);
+    else
+      New.I = Old.Kind == Value::Int
+                  ? static_cast<std::int32_t>(Old.I + Delta)
+                  : Old.I + Delta;
+    assignTo(E->A.get(), New);
+    return Old;
+  }
+  case FExprKind::Call:
+    return evalCall(E);
+  }
+  rtError(E->Line, "bad expression");
+}
+
+void Evaluator::assignTo(const FExpr *Lhs, Value V) {
+  if (Lhs->Kind == FExprKind::Ident) {
+    SlotPtr SP = lookup(Lhs->OpText, Lhs->Line);
+    SP->V = coerce(std::move(V), SP->Type, Lhs->Line);
+    return;
+  }
+  if (Lhs->Kind == FExprKind::Index) {
+    Value Base = evalExpr(Lhs->A.get());
+    Value Idx = evalExpr(Lhs->B.get());
+    if (Base.Kind != Value::Ptr)
+      rtError(Lhs->Line, "indexed assignment to a non-pointer");
+    switch (Base.Pointee) {
+    case TypeRef::Char:
+      static_cast<char *>(Base.P)[Idx.I] = static_cast<char>(V.I);
+      return;
+    case TypeRef::Int:
+      static_cast<std::int32_t *>(Base.P)[Idx.I] =
+          static_cast<std::int32_t>(V.Kind == Value::Double
+                                        ? static_cast<std::int64_t>(V.D)
+                                        : V.I);
+      return;
+    case TypeRef::Long:
+      static_cast<std::int64_t *>(Base.P)[Idx.I] =
+          V.Kind == Value::Double ? static_cast<std::int64_t>(V.D) : V.I;
+      return;
+    case TypeRef::Double:
+      static_cast<double *>(Base.P)[Idx.I] = asDouble(V);
+      return;
+    default:
+      rtError(Lhs->Line, "cannot assign through this pointer type");
+    }
+  }
+  if (Lhs->Kind == FExprKind::Unary && Lhs->OpText == "*") {
+    Value Base = evalExpr(Lhs->A.get());
+    if (Base.Kind != Value::Ptr)
+      rtError(Lhs->Line, "assignment through a non-pointer");
+    switch (Base.Pointee) {
+    case TypeRef::Int:
+      *static_cast<std::int32_t *>(Base.P) = static_cast<std::int32_t>(V.I);
+      return;
+    case TypeRef::Long:
+      *static_cast<std::int64_t *>(Base.P) = V.I;
+      return;
+    case TypeRef::Double:
+      *static_cast<double *>(Base.P) = asDouble(V);
+      return;
+    default:
+      rtError(Lhs->Line, "cannot assign through this pointer type");
+    }
+  }
+  rtError(Lhs->Line, "invalid assignment target");
+}
+
+Value Evaluator::evalCall(const FExpr *E) {
+  if (E->A->Kind != FExprKind::Ident)
+    rtError(E->Line, "calls must name a function or function variable");
+  const std::string &Name = E->A->OpText;
+
+  // --- `C special forms -------------------------------------------------------
+  if (Name == "compile") {
+    if (E->Args.size() != 1)
+      rtError(E->Line, "compile(cspec, type) takes one cspec");
+    Value CV = evalExpr(E->Args[0].get());
+    core::Stmt Body;
+    if (CV.Kind == Value::CSpecStmt)
+      Body = CV.St;
+    else if (CV.Kind == Value::CSpecExpr)
+      Body = S.Ctx.ret(CV.Ex);
+    else
+      rtError(E->Line, "compile() needs a cspec");
+    if (!Body.valid())
+      rtError(E->Line, "compile() of an empty cspec");
+    CompileOptions Opts;
+    Opts.Backend = S.Backend;
+    CompiledFn F =
+        compileFn(S.Ctx, Body, evalTypeOf(E->TypeArg), Opts);
+    // Signature: integer-class params in index order, then fp params —
+    // the convention the dispatcher relies on.
+    std::string Sig(1, sigCharOf(E->TypeArg));
+    Sig += '(';
+    for (const auto &KV : S.PendingIntParams)
+      Sig += sigCharOf(KV.second);
+    for (std::size_t I = 0; I < S.PendingFpParams.size(); ++I)
+      Sig += 'd';
+    Sig += ')';
+    // As in tcc, compile() "resets the information regarding dynamically
+    // generated locals and parameters".
+    S.PendingIntParams.clear();
+    S.PendingFpParams.clear();
+    Value R;
+    R.Kind = Value::FnPtr;
+    R.P = F.entry();
+    R.FnSig = Sig;
+    S.Compiled.push_back(std::move(F));
+    return R;
+  }
+  if (Name == "param") {
+    if (E->Args.size() != 1)
+      rtError(E->Line, "param(type, index) takes a type and an index");
+    Value IdxV = evalExpr(E->Args[0].get());
+    int Idx = static_cast<int>(IdxV.I);
+    Value R;
+    R.Kind = Value::VSpecRef;
+    if (evalTypeOf(E->TypeArg) == EvalType::Double) {
+      R.Vs = S.Ctx.paramDouble(static_cast<unsigned>(Idx));
+      S.PendingFpParams[Idx] = E->TypeArg;
+    } else {
+      switch (evalTypeOf(E->TypeArg)) {
+      case EvalType::Ptr:
+        R.Vs = S.Ctx.paramPtr(static_cast<unsigned>(Idx));
+        break;
+      case EvalType::Long:
+        R.Vs = S.Ctx.paramLong(static_cast<unsigned>(Idx));
+        break;
+      default:
+        R.Vs = S.Ctx.paramInt(static_cast<unsigned>(Idx));
+        break;
+      }
+      S.PendingIntParams[Idx] = E->TypeArg;
+    }
+    return R;
+  }
+  if (Name == "local") {
+    Value R;
+    R.Kind = Value::VSpecRef;
+    switch (evalTypeOf(E->TypeArg)) {
+    case EvalType::Double:
+      R.Vs = S.Ctx.localDouble();
+      break;
+    case EvalType::Ptr:
+      R.Vs = S.Ctx.localPtr();
+      break;
+    case EvalType::Long:
+      R.Vs = S.Ctx.localLong();
+      break;
+    default:
+      R.Vs = S.Ctx.localInt();
+      break;
+    }
+    return R;
+  }
+
+  // --- Builtins -----------------------------------------------------------------
+  auto Eval1 = [&](std::size_t I) { return evalExpr(E->Args[I].get()); };
+  if (Name == "print_int") {
+    tickcPrintInt(static_cast<int>(Eval1(0).I));
+    return Value();
+  }
+  if (Name == "print_long") {
+    tickcPrintLong(Eval1(0).I);
+    return Value();
+  }
+  if (Name == "print_double") {
+    tickcPrintDouble(asDouble(Eval1(0)));
+    return Value();
+  }
+  if (Name == "print_str") {
+    Value V = Eval1(0);
+    tickcPrintStr(static_cast<const char *>(V.P));
+    return Value();
+  }
+  if (Name == "alloc_int") {
+    S.IntBuffers.emplace_back(static_cast<std::size_t>(Eval1(0).I), 0);
+    Value R;
+    R.Kind = Value::Ptr;
+    R.Pointee = TypeRef::Int;
+    R.P = S.IntBuffers.back().data();
+    return R;
+  }
+  if (Name == "alloc_double") {
+    S.DoubleBuffers.emplace_back(static_cast<std::size_t>(Eval1(0).I), 0.0);
+    Value R;
+    R.Kind = Value::Ptr;
+    R.Pointee = TypeRef::Double;
+    R.P = S.DoubleBuffers.back().data();
+    return R;
+  }
+
+  // --- A compiled dynamic function held in a variable -----------------------------
+  if (SlotPtr *L = lookupLocal(Name); L || S.Globals.count(Name)) {
+    SlotPtr SP = L ? *L : S.Globals[Name];
+    const Value &FV = SP->V;
+    if (FV.Kind == Value::FnPtr ||
+        (FV.Kind == Value::Ptr && !FV.FnSig.empty())) {
+      std::int64_t IA[6];
+      double DA[2];
+      unsigned NI = 0, ND = 0;
+      const std::string &Sig = FV.FnSig;
+      std::size_t ArgIdx = 0;
+      for (std::size_t K = 2; K + 1 <= Sig.size() && Sig[K] != ')'; ++K) {
+        if (ArgIdx >= E->Args.size())
+          rtError(E->Line, "too few arguments to dynamic function");
+        Value AV = evalExpr(E->Args[ArgIdx++].get());
+        if (Sig[K] == 'd')
+          DA[ND++] = asDouble(AV);
+        else if (Sig[K] == 'p')
+          IA[NI++] = static_cast<std::int64_t>(
+              reinterpret_cast<std::uintptr_t>(AV.P));
+        else
+          IA[NI++] = AV.I;
+      }
+      Value R;
+      if (Sig[0] == 'd') {
+        R.Kind = Value::Double;
+        R.D = callSig<double>(FV.P, IA, NI, DA, ND);
+      } else if (Sig[0] == 'v') {
+        callSig<std::int64_t>(FV.P, IA, NI, DA, ND);
+        R.Kind = Value::Void;
+      } else {
+        R.Kind = Sig[0] == 'l' || Sig[0] == 'p' ? Value::Long : Value::Int;
+        R.I = callSig<std::int64_t>(FV.P, IA, NI, DA, ND);
+        if (Sig[0] == 'i')
+          R.I = static_cast<std::int32_t>(R.I);
+      }
+      return R;
+    }
+  }
+
+  // --- A user-defined (interpreted) function ---------------------------------------
+  auto It = S.Funcs.find(Name);
+  if (It == S.Funcs.end())
+    rtError(E->Line, "unknown function '" + Name + "'");
+  std::vector<Value> Args;
+  Args.reserve(E->Args.size());
+  for (const FExprPtr &A : E->Args)
+    Args.push_back(evalExpr(A.get()));
+  return callFunction(*It->second, std::move(Args));
+}
+
+// --- Dynamic-code specification ------------------------------------------------
+
+Value Evaluator::buildTick(const FExpr *E) {
+  bool Outer = !InTick;
+  InTick = true;
+  Value R;
+  if (E->Body) {
+    TickScopes.emplace_back();
+    R.Kind = Value::CSpecStmt;
+    R.St = specStmt(E->Body.get());
+    TickScopes.pop_back();
+  } else {
+    SV V = specExpr(E->A.get());
+    R.Kind = Value::CSpecExpr;
+    R.Ex = V.E;
+  }
+  if (Outer)
+    InTick = false;
+  return R;
+}
+
+/// Converts an interpreter value into a run-time constant cspec ($).
+Evaluator::SV Evaluator::rcOf(const Value &V, unsigned Line) {
+  SV R;
+  switch (V.Kind) {
+  case Value::Int:
+    R.E = S.Ctx.rcInt(static_cast<std::int32_t>(V.I));
+    R.T.Base = TypeRef::Int;
+    return R;
+  case Value::Long:
+    R.E = S.Ctx.rcLong(V.I);
+    R.T.Base = TypeRef::Long;
+    return R;
+  case Value::Double:
+    R.E = S.Ctx.rcDouble(V.D);
+    R.T.Base = TypeRef::Double;
+    return R;
+  case Value::Ptr:
+    R.E = S.Ctx.rcPtr(V.P);
+    R.T.Base = V.Pointee;
+    R.T.PtrDepth = 1;
+    return R;
+  default:
+    rtError(Line, "$ applied to a non-constant value");
+  }
+}
+
+/// Splices a variable's value into dynamic code: cspecs compose, vspecs
+/// read, plain variables become free variables.
+Evaluator::SV Evaluator::spliceValue(const Value &V, const TypeRef &T,
+                                     unsigned Line) {
+  SV R;
+  if (T.IsCSpec) {
+    if (V.Kind != Value::CSpecExpr)
+      rtError(Line, "cannot splice a statement cspec as an expression");
+    R.E = V.Ex;
+    R.T = T;
+    R.T.IsCSpec = false;
+    return R;
+  }
+  if (T.IsVSpec) {
+    R.E = S.Ctx.read(V.Vs);
+    R.T = T;
+    R.T.IsVSpec = false;
+    return R;
+  }
+  // Free variable: capture the address of the slot's payload.
+  R.T = T;
+  if (T.isPointer()) {
+    R.E = S.Ctx.freeVar(&V.P, MemType::P64);
+    return R;
+  }
+  switch (T.Base) {
+  case TypeRef::Double:
+    R.E = S.Ctx.freeVar(&V.D, MemType::F64);
+    return R;
+  case TypeRef::Long:
+    R.E = S.Ctx.freeVar(&V.I, MemType::I64);
+    return R;
+  default:
+    // Int/Char payloads live in the low bytes of the int64 (little-endian).
+    R.E = S.Ctx.freeVar(&V.I, MemType::I32);
+    return R;
+  }
+}
+
+Evaluator::SV Evaluator::specExpr(const FExpr *E) {
+  Context &C = S.Ctx;
+  switch (E->Kind) {
+  case FExprKind::IntLit: {
+    SV R;
+    R.E = C.intConst(static_cast<std::int32_t>(E->IntVal));
+    R.T.Base = TypeRef::Int;
+    return R;
+  }
+  case FExprKind::DoubleLit: {
+    SV R;
+    R.E = C.doubleConst(E->DoubleVal);
+    R.T.Base = TypeRef::Double;
+    return R;
+  }
+  case FExprKind::StringLit: {
+    S.StringPool.push_back(E->StrVal);
+    SV R;
+    R.E = C.rcPtr(S.StringPool.back().data());
+    R.T.Base = TypeRef::Char;
+    R.T.PtrDepth = 1;
+    return R;
+  }
+  case FExprKind::Dollar:
+    return rcOf(evalExpr(E->A.get()), E->Line);
+  case FExprKind::Tick:
+    rtError(E->Line, "nested tick-expressions are not supported");
+  case FExprKind::Ident: {
+    // Dynamic locals declared in this tick expression shadow the
+    // interpreter environment.
+    if (SlotPtr *TL = lookupTickLocal(E->OpText)) {
+      SV R;
+      R.E = C.read((*TL)->V.Vs);
+      R.T = (*TL)->Type;
+      return R;
+    }
+    SlotPtr SP = lookup(E->OpText, E->Line);
+    return spliceValue(SP->V, SP->Type, E->Line);
+  }
+  case FExprKind::Unary: {
+    if (E->OpText == "*") {
+      SV A = specExpr(E->A.get());
+      if (!A.T.isPointer())
+        rtError(E->Line, "dereferencing a non-pointer in dynamic code");
+      SV R;
+      R.E = C.loadMem(memTypeOfPointee(A.T), A.E);
+      R.T = A.T;
+      --R.T.PtrDepth;
+      return R;
+    }
+    SV A = specExpr(E->A.get());
+    SV R;
+    R.T = A.T;
+    if (E->OpText == "-")
+      R.E = C.neg(A.E);
+    else if (E->OpText == "~")
+      R.E = C.bitNot(A.E);
+    else if (E->OpText == "!") {
+      R.E = C.logNot(A.E);
+      R.T = TypeRef();
+    } else
+      rtError(E->Line, "operator not supported in dynamic code");
+    return R;
+  }
+  case FExprKind::Binary: {
+    const std::string &Op = E->OpText;
+    SV A = specExpr(E->A.get());
+    // Pointer indexing arithmetic handled via Index; plain ptr+int works
+    // through core's promotion.
+    SV B = specExpr(E->B.get());
+    SV R;
+    if (Op == "<" || Op == "<=" || Op == ">" || Op == ">=" || Op == "==" ||
+        Op == "!=") {
+      CmpKind K = Op == "<"    ? CmpKind::LtS
+                  : Op == "<=" ? CmpKind::LeS
+                  : Op == ">"  ? CmpKind::GtS
+                  : Op == ">=" ? CmpKind::GeS
+                  : Op == "==" ? CmpKind::Eq
+                               : CmpKind::Ne;
+      R.E = C.cmp(K, A.E, B.E);
+      R.T.Base = TypeRef::Int;
+      return R;
+    }
+    BinOp BO;
+    if (Op == "+")
+      BO = BinOp::Add;
+    else if (Op == "-")
+      BO = BinOp::Sub;
+    else if (Op == "*")
+      BO = BinOp::Mul;
+    else if (Op == "/")
+      BO = BinOp::Div;
+    else if (Op == "%")
+      BO = BinOp::Mod;
+    else if (Op == "&")
+      BO = BinOp::And;
+    else if (Op == "|")
+      BO = BinOp::Or;
+    else if (Op == "^")
+      BO = BinOp::Xor;
+    else if (Op == "<<")
+      BO = BinOp::Shl;
+    else if (Op == ">>")
+      BO = BinOp::Shr;
+    else if (Op == "&&")
+      BO = BinOp::LogAnd;
+    else if (Op == "||")
+      BO = BinOp::LogOr;
+    else
+      rtError(E->Line, "operator not supported in dynamic code");
+    // Pointer + integer scales like C pointer arithmetic.
+    if (A.T.isPointer() && (BO == BinOp::Add || BO == BinOp::Sub) &&
+        !B.T.isPointer()) {
+      unsigned Sz = memSize(memTypeOfPointee(A.T));
+      Expr Scaled = C.binary(BinOp::Mul, C.toLong(B.E),
+                             C.longConst(static_cast<std::int64_t>(Sz)));
+      R.E = C.binary(BO, A.E, Scaled);
+      R.T = A.T;
+      return R;
+    }
+    R.E = C.binary(BO, A.E, B.E);
+    // Result type follows core's promotion; approximate at the TypeRef
+    // level for later memory typing.
+    R.T = A.T.Base == TypeRef::Double || B.T.Base == TypeRef::Double
+              ? TypeRef{TypeRef::Double, 0, false, false}
+          : A.T.isPointer() ? A.T
+          : B.T.isPointer() ? B.T
+          : A.T.Base == TypeRef::Long || B.T.Base == TypeRef::Long
+              ? TypeRef{TypeRef::Long, 0, false, false}
+              : TypeRef{TypeRef::Int, 0, false, false};
+    return R;
+  }
+  case FExprKind::Ternary: {
+    SV Cond = specExpr(E->A.get());
+    SV Then = specExpr(E->B.get());
+    SV Else = specExpr(E->C.get());
+    SV R;
+    R.E = C.cond(Cond.E, Then.E, Else.E);
+    R.T = Then.T;
+    return R;
+  }
+  case FExprKind::Index: {
+    SV Base = specExpr(E->A.get());
+    SV Idx = specExpr(E->B.get());
+    if (!Base.T.isPointer())
+      rtError(E->Line, "indexing a non-pointer in dynamic code");
+    SV R;
+    R.E = C.index(Base.E, Idx.E, memTypeOfPointee(Base.T));
+    R.T = Base.T;
+    --R.T.PtrDepth;
+    return R;
+  }
+  case FExprKind::Call: {
+    if (E->A->Kind != FExprKind::Ident)
+      rtError(E->Line, "dynamic calls must name a function");
+    const std::string &Name = E->A->OpText;
+    struct Builtin {
+      const char *Name;
+      const void *Fn;
+      EvalType Ret;
+    };
+    static const Builtin Builtins[] = {
+        {"print_int", reinterpret_cast<const void *>(&tickcPrintInt),
+         EvalType::Void},
+        {"print_long", reinterpret_cast<const void *>(&tickcPrintLong),
+         EvalType::Void},
+        {"print_double", reinterpret_cast<const void *>(&tickcPrintDouble),
+         EvalType::Void},
+        {"print_str", reinterpret_cast<const void *>(&tickcPrintStr),
+         EvalType::Void},
+    };
+    for (const Builtin &B : Builtins) {
+      if (Name != B.Name)
+        continue;
+      std::vector<Expr> Args;
+      for (const FExprPtr &A : E->Args)
+        Args.push_back(specExpr(A.get()).E);
+      SV R;
+      R.E = C.callC(B.Fn, B.Ret, Args);
+      R.T.Base = TypeRef::Void;
+      return R;
+    }
+    // Calling a compiled dynamic function (FnPtr variable) from dynamic
+    // code: splice as an indirect call through its captured pointer.
+    SlotPtr SP = lookup(Name, E->Line);
+    if (SP->V.Kind == Value::FnPtr ||
+        (SP->V.Kind == Value::Ptr && !SP->V.FnSig.empty())) {
+      std::vector<Expr> Args;
+      for (const FExprPtr &A : E->Args)
+        Args.push_back(specExpr(A.get()).E);
+      char RetC = SP->V.FnSig.empty() ? 'i' : SP->V.FnSig[0];
+      EvalType Ret = RetC == 'd'   ? EvalType::Double
+                     : RetC == 'v' ? EvalType::Void
+                     : RetC == 'l' ? EvalType::Long
+                     : RetC == 'p' ? EvalType::Ptr
+                                   : EvalType::Int;
+      SV R;
+      R.E = C.callC(SP->V.P, Ret, Args);
+      R.T.Base = RetC == 'd' ? TypeRef::Double : TypeRef::Int;
+      return R;
+    }
+    rtError(E->Line, "cannot call '" + Name + "' from dynamic code");
+  }
+  case FExprKind::Assign:
+  case FExprKind::PostIncDec:
+    rtError(E->Line,
+            "assignment in dynamic code must be a statement, not a value");
+  }
+  rtError(E->Line, "bad dynamic expression");
+}
+
+core::Stmt Evaluator::specStmt(const FStmt *St) {
+  Context &C = S.Ctx;
+  switch (St->Kind) {
+  case FStmtKind::Block: {
+    TickScopes.emplace_back();
+    std::vector<core::Stmt> Body;
+    for (const FStmtPtr &Child : St->Body)
+      Body.push_back(specStmt(Child.get()));
+    TickScopes.pop_back();
+    return C.block(Body);
+  }
+  case FStmtKind::Decl: {
+    // A declaration inside backquote creates a *dynamic local*.
+    auto SlotP = std::make_shared<Slot>();
+    SlotP->Type = St->DeclType;
+    SlotP->Type.IsVSpec = true;
+    SlotP->V.Kind = Value::VSpecRef;
+    switch (evalTypeOf(St->DeclType)) {
+    case EvalType::Double:
+      SlotP->V.Vs = C.localDouble();
+      break;
+    case EvalType::Ptr:
+      SlotP->V.Vs = C.localPtr();
+      break;
+    case EvalType::Long:
+      SlotP->V.Vs = C.localLong();
+      break;
+    default:
+      SlotP->V.Vs = C.localInt();
+      break;
+    }
+    TickScopes.back()[St->Name] = SlotP;
+    if (St->E)
+      return C.assign(SlotP->V.Vs, specExpr(St->E.get()).E);
+    return C.block({});
+  }
+  case FStmtKind::ExprStmt: {
+    const FExpr *E = St->E.get();
+    if (E->Kind == FExprKind::Assign)
+      return specAssign(E);
+    if (E->Kind == FExprKind::PostIncDec)
+      return specIncDec(E);
+    // A bare identifier naming a `void cspec` splices the whole statement
+    // (composition of compound statements, e.g. `{ steps; acc = acc*b; }).
+    if (E->Kind == FExprKind::Ident && !lookupTickLocal(E->OpText)) {
+      SlotPtr *L = lookupLocal(E->OpText);
+      SlotPtr SP;
+      if (L)
+        SP = *L;
+      else if (auto It = S.Globals.find(E->OpText); It != S.Globals.end())
+        SP = It->second;
+      if (SP && SP->Type.IsCSpec && SP->V.Kind == Value::CSpecStmt)
+        return SP->V.St.valid() ? SP->V.St : C.block({});
+    }
+    return C.exprStmt(specExpr(E).E);
+  }
+  case FStmtKind::If: {
+    core::Stmt Then = specStmt(St->S1.get());
+    if (St->S2)
+      return C.ifStmt(specExpr(St->E.get()).E, Then,
+                      specStmt(St->S2.get()));
+    return C.ifStmt(specExpr(St->E.get()).E, Then);
+  }
+  case FStmtKind::While:
+    return C.whileStmt(specExpr(St->E.get()).E, specStmt(St->S1.get()));
+  case FStmtKind::For:
+    return specFor(St);
+  case FStmtKind::Return:
+    if (St->E)
+      return C.ret(specExpr(St->E.get()).E);
+    return C.retVoid();
+  case FStmtKind::Break:
+    return C.breakStmt();
+  case FStmtKind::Continue:
+    return C.continueStmt();
+  }
+  rtError(St->Line, "bad dynamic statement");
+}
+
+const Value *Evaluator::vspecLvalue(const std::string &Name) {
+  if (SlotPtr *TL = lookupTickLocal(Name))
+    return &(*TL)->V;
+  if (SlotPtr *L = lookupLocal(Name)) {
+    if ((*L)->Type.IsVSpec)
+      return &(*L)->V;
+    return nullptr;
+  }
+  auto It = S.Globals.find(Name);
+  if (It != S.Globals.end() && It->second->Type.IsVSpec)
+    return &It->second->V;
+  return nullptr;
+}
+
+core::Stmt Evaluator::specAssign(const FExpr *E) {
+  Context &C = S.Ctx;
+  SV Rhs = specExpr(E->B.get());
+  // Compound assignment reads the target first.
+  if (E->OpText != "=") {
+    SV L = specExpr(E->A.get());
+    BinOp BO = E->OpText == "+="   ? BinOp::Add
+               : E->OpText == "-=" ? BinOp::Sub
+               : E->OpText == "*=" ? BinOp::Mul
+                                   : BinOp::Div;
+    Rhs.E = C.binary(BO, L.E, Rhs.E);
+    Rhs.T = L.T;
+  }
+  const FExpr *Lhs = E->A.get();
+  if (Lhs->Kind == FExprKind::Ident) {
+    if (const Value *VS = vspecLvalue(Lhs->OpText))
+      return C.assign(VS->Vs, Rhs.E);
+    // Free variable write: a store to the interpreter slot's payload.
+    SlotPtr SP = lookup(Lhs->OpText, Lhs->Line);
+    if (SP->Type.IsCSpec)
+      rtError(Lhs->Line, "cannot assign to a cspec inside dynamic code");
+    MemType M = SP->Type.isPointer() ? MemType::P64
+                : SP->Type.Base == TypeRef::Double
+                    ? MemType::F64
+                : SP->Type.Base == TypeRef::Long ? MemType::I64
+                                                 : MemType::I32;
+    const void *Addr = SP->Type.Base == TypeRef::Double &&
+                               !SP->Type.isPointer()
+                           ? static_cast<const void *>(&SP->V.D)
+                       : SP->Type.isPointer()
+                           ? static_cast<const void *>(&SP->V.P)
+                           : static_cast<const void *>(&SP->V.I);
+    return C.storeMem(M, C.rcPtr(Addr), Rhs.E);
+  }
+  if (Lhs->Kind == FExprKind::Index) {
+    SV Base = specExpr(Lhs->A.get());
+    SV Idx = specExpr(Lhs->B.get());
+    if (!Base.T.isPointer())
+      rtError(Lhs->Line, "indexed assignment to a non-pointer");
+    return C.storeIndex(Base.E, Idx.E, memTypeOfPointee(Base.T), Rhs.E);
+  }
+  if (Lhs->Kind == FExprKind::Unary && Lhs->OpText == "*") {
+    SV Base = specExpr(Lhs->A.get());
+    if (!Base.T.isPointer())
+      rtError(Lhs->Line, "assignment through a non-pointer");
+    return C.storeMem(memTypeOfPointee(Base.T), Base.E, Rhs.E);
+  }
+  rtError(Lhs->Line, "invalid assignment target in dynamic code");
+}
+
+core::Stmt Evaluator::specIncDec(const FExpr *E) {
+  Context &C = S.Ctx;
+  if (E->A->Kind != FExprKind::Ident)
+    rtError(E->Line, "++/-- in dynamic code needs a variable");
+  SV Cur = specExpr(E->A.get());
+  Expr NewV = C.binary(E->OpText == "++" ? BinOp::Add : BinOp::Sub, Cur.E,
+                       C.intConst(1));
+  if (const Value *VS = vspecLvalue(E->A->OpText))
+    return C.assign(VS->Vs, NewV);
+  // Free-variable increment: a read-modify-write of the captured slot.
+  SlotPtr SP = lookup(E->A->OpText, E->Line);
+  MemType M = SP->Type.Base == TypeRef::Double ? MemType::F64
+              : SP->Type.Base == TypeRef::Long ? MemType::I64
+                                               : MemType::I32;
+  const void *Addr = SP->Type.Base == TypeRef::Double
+                         ? static_cast<const void *>(&SP->V.D)
+                         : static_cast<const void *>(&SP->V.I);
+  return C.storeMem(M, C.rcPtr(Addr), NewV);
+}
+
+core::Stmt Evaluator::specExprAsStmt(const FExpr *E) {
+  if (E->Kind == FExprKind::Assign)
+    return specAssign(E);
+  if (E->Kind == FExprKind::PostIncDec)
+    return specIncDec(E);
+  return S.Ctx.exprStmt(specExpr(E).E);
+}
+
+core::Stmt Evaluator::specFor(const FStmt *St) {
+  Context &C = S.Ctx;
+  // The init declaration's scope spans cond/step/body.
+  TickScopes.emplace_back();
+  core::VSpec Var;
+  Expr InitE;
+  if (St->S1 && St->S1->Kind == FStmtKind::Decl) {
+    const FStmt *D = St->S1.get();
+    auto SlotP = std::make_shared<Slot>();
+    SlotP->Type = D->DeclType;
+    SlotP->Type.IsVSpec = true;
+    SlotP->V.Kind = Value::VSpecRef;
+    switch (evalTypeOf(D->DeclType)) {
+    case EvalType::Double:
+      SlotP->V.Vs = C.localDouble();
+      break;
+    case EvalType::Ptr:
+      SlotP->V.Vs = C.localPtr();
+      break;
+    case EvalType::Long:
+      SlotP->V.Vs = C.localLong();
+      break;
+    default:
+      SlotP->V.Vs = C.localInt();
+      break;
+    }
+    TickScopes.back()[D->Name] = SlotP;
+    Var = SlotP->V.Vs;
+    if (D->E)
+      InitE = specExpr(D->E.get()).E;
+  } else if (St->S1 && St->S1->Kind == FStmtKind::ExprStmt &&
+             St->S1->E->Kind == FExprKind::Assign &&
+             St->S1->E->OpText == "=" &&
+             St->S1->E->A->Kind == FExprKind::Ident) {
+    if (const Value *VS = vspecLvalue(St->S1->E->A->OpText)) {
+      Var = VS->Vs;
+      InitE = specExpr(St->S1->E->B.get()).E;
+    }
+  }
+
+  // Recognize `for (v = a; v <op> bound; v++/v += c)` so that core's
+  // forStmt — and with it dynamic loop unrolling — applies.
+  auto IsVar = [&](const FExpr *X) {
+    if (!Var.valid() || X->Kind != FExprKind::Ident)
+      return false;
+    const Value *VS = vspecLvalue(X->OpText);
+    return VS && VS->Vs.id() == Var.id();
+  };
+  if (Var.valid() && InitE.valid() && St->E2 && St->E3 &&
+      St->E2->Kind == FExprKind::Binary && IsVar(St->E2->A.get())) {
+    const std::string &Op = St->E2->OpText;
+    CmpKind K;
+    bool Known = true;
+    if (Op == "<")
+      K = CmpKind::LtS;
+    else if (Op == "<=")
+      K = CmpKind::LeS;
+    else if (Op == ">")
+      K = CmpKind::GtS;
+    else if (Op == ">=")
+      K = CmpKind::GeS;
+    else if (Op == "!=")
+      K = CmpKind::Ne;
+    else
+      Known = false;
+    Expr StepE;
+    const FExpr *SE = St->E3.get();
+    if (SE->Kind == FExprKind::PostIncDec && IsVar(SE->A.get()))
+      StepE = C.intConst(SE->OpText == "++" ? 1 : -1);
+    else if (SE->Kind == FExprKind::Assign &&
+             (SE->OpText == "+=" || SE->OpText == "-=") &&
+             IsVar(SE->A.get())) {
+      StepE = specExpr(SE->B.get()).E;
+      if (SE->OpText == "-=")
+        StepE = C.neg(StepE);
+    }
+    if (Known && StepE.valid()) {
+      Expr Bound = specExpr(St->E2->B.get()).E;
+      core::Stmt Body = specStmt(St->S2.get());
+      TickScopes.pop_back();
+      return C.forStmt(Var, InitE, K, Bound, StepE, Body);
+    }
+  }
+
+  // General fallback: init; while (cond) { body; step; }. (A continue in
+  // the body re-tests without stepping — documented restriction.)
+  std::vector<core::Stmt> Outer;
+  if (Var.valid() && InitE.valid())
+    Outer.push_back(C.assign(Var, InitE)); // Decl local already created.
+  else if (St->S1 && St->S1->Kind == FStmtKind::ExprStmt)
+    Outer.push_back(specExprAsStmt(St->S1->E.get()));
+  else if (St->S1 && St->S1->Kind != FStmtKind::Decl)
+    Outer.push_back(specStmt(St->S1.get()));
+  std::vector<core::Stmt> BodyV;
+  BodyV.push_back(specStmt(St->S2.get()));
+  if (St->E3)
+    BodyV.push_back(specExprAsStmt(St->E3.get()));
+  Expr Cond = St->E2 ? specExpr(St->E2.get()).E : C.intConst(1);
+  Outer.push_back(C.whileStmt(Cond, C.block(BodyV)));
+  TickScopes.pop_back();
+  return C.block(Outer);
+}
+
+} // namespace
+
+// --- Interp public API ----------------------------------------------------------
+
+Interp::Interp(FProgram Program, core::BackendKind Backend)
+    : S(std::make_unique<ImplState>()) {
+  S->Prog = std::move(Program);
+  S->Backend = Backend;
+  S->Owner = this;
+  for (const FFunction &F : S->Prog.Functions)
+    S->Funcs[F.Name] = &F;
+}
+
+Interp::~Interp() = default;
+
+int Interp::runMain() {
+  ActiveOut = &Out;
+  ActiveEcho = Echo;
+  Evaluator Ev(*S);
+  // Globals are initialized in order before main runs.
+  for (const FStmt &G : S->Prog.Globals) {
+    auto SlotP = std::make_shared<Slot>();
+    SlotP->Type = G.DeclType;
+    SlotP->V = Value();
+    S->Globals[G.Name] = SlotP;
+  }
+  // Re-evaluate initializers through a tiny synthetic main prologue: walk
+  // them with the evaluator by calling a fake function? Globals with
+  // initializers are assigned via callFunction on a synthetic wrapper; for
+  // simplicity initializers on globals must be constants.
+  for (const FStmt &G : S->Prog.Globals) {
+    if (!G.E)
+      continue;
+    if (G.E->Kind == FExprKind::IntLit) {
+      S->Globals[G.Name]->V.Kind = Value::Int;
+      S->Globals[G.Name]->V.I = G.E->IntVal;
+    } else if (G.E->Kind == FExprKind::DoubleLit) {
+      S->Globals[G.Name]->V.Kind = Value::Double;
+      S->Globals[G.Name]->V.D = G.E->DoubleVal;
+    } else {
+      rtError(G.Line, "global initializers must be literal constants");
+    }
+  }
+  auto It = S->Funcs.find("main");
+  if (It == S->Funcs.end())
+    reportFatalError("tickc program has no main()");
+  Value R = Ev.callFunction(*It->second, {});
+  for (const core::CompiledFn &F : S->Compiled)
+    DynInstrs += F.stats().MachineInstrs;
+  ActiveOut = nullptr;
+  return static_cast<int>(R.I);
+}
+
+std::pair<int, std::string> tcc::frontend::runTickC(const std::string &Src,
+                                                    core::BackendKind B) {
+  Interp I(parseProgram(Src), B);
+  int Code = I.runMain();
+  return {Code, I.output()};
+}

@@ -1,0 +1,106 @@
+//===- frontend/Interp.h - Tick-C execution engine --------------*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes Tick-C programs: the static half of the program is interpreted
+/// (standing in for tcc's lcc-based static compiler, per DESIGN.md), while
+/// backquoted code is *specified* through the core library — building
+/// closures at specification time — and `compile(...)` instantiates it into
+/// real machine code that runs natively, exactly as in tcc.
+///
+/// `C semantics honoured here:
+///   * `$e` evaluates e at specification time; the value becomes a run-time
+///     constant of the dynamic code.
+///   * A plain variable of the enclosing (interpreted) scope referenced
+///     inside a tick-expression is a *free variable*: its address is
+///     captured and the dynamic code reads/writes it at run time.
+///   * cspec/vspec-typed variables referenced inside a tick-expression are
+///     spliced (composition).
+///   * Locals declared inside `{...} are dynamic locals; `param(T, i)`
+///     creates dynamic parameters; `compile(c, T)` instantiates, and — as
+///     in tcc — "resets the information regarding dynamically generated
+///     locals and parameters".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_FRONTEND_INTERP_H
+#define TICKC_FRONTEND_INTERP_H
+
+#include "core/Compile.h"
+#include "frontend/Ast.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace frontend {
+
+/// One interpreted value. Numeric payloads live directly in the slot so
+/// free-variable captures can point at them.
+struct Value {
+  enum KindT : std::uint8_t {
+    Void,
+    Int,
+    Long,
+    Double,
+    Ptr,
+    CSpecExpr, ///< Expression cspec.
+    CSpecStmt, ///< void cspec (compound statement).
+    VSpecRef,
+    FnPtr, ///< Result of compile(): native entry + signature.
+  } Kind = Void;
+
+  std::int64_t I = 0;
+  double D = 0;
+  void *P = nullptr;
+  TypeRef::BaseT Pointee = TypeRef::Int; ///< For Kind == Ptr.
+  core::Expr Ex;
+  core::Stmt St;
+  core::VSpec Vs;
+  std::string FnSig; ///< e.g. "i(ipd)": ret + params.
+};
+
+/// Runs a parsed Tick-C program.
+class Interp {
+public:
+  explicit Interp(FProgram Program,
+                  core::BackendKind Backend = core::BackendKind::ICode);
+  ~Interp();
+
+  /// Executes `int main()` and returns its result.
+  int runMain();
+
+  /// Output accumulated by the print_* builtins (also echoed to stdout
+  /// when echo is enabled).
+  const std::string &output() const { return Out; }
+  void setEcho(bool E) { Echo = E; }
+
+  /// Total machine instructions emitted across all compile() calls.
+  unsigned dynamicInstructions() const { return DynInstrs; }
+
+  /// Implementation state, shared with the evaluator (public so the
+  /// out-of-line evaluator in Interp.cpp can see it; not part of the API).
+  struct ImplState;
+
+private:
+  std::unique_ptr<ImplState> S;
+  std::string Out;
+  bool Echo = false;
+  unsigned DynInstrs = 0;
+};
+
+/// Convenience: parse + run, returning {exit code, captured output}.
+std::pair<int, std::string>
+runTickC(const std::string &Source,
+         core::BackendKind Backend = core::BackendKind::ICode);
+
+} // namespace frontend
+} // namespace tcc
+
+#endif // TICKC_FRONTEND_INTERP_H

@@ -1,0 +1,304 @@
+//===- frontend/Lexer.cpp --------------------------------------------------==//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace tcc;
+using namespace tcc::frontend;
+
+[[noreturn]] static void lexError(unsigned Line, const std::string &Msg) {
+  std::fprintf(stderr, "tickc: line %u: lexical error: %s\n", Line,
+               Msg.c_str());
+  std::exit(1);
+}
+
+static const std::unordered_map<std::string, Tok> &keywords() {
+  static const std::unordered_map<std::string, Tok> Map = {
+      {"int", Tok::KwInt},         {"long", Tok::KwLong},
+      {"double", Tok::KwDouble},   {"void", Tok::KwVoid},
+      {"char", Tok::KwChar},       {"cspec", Tok::KwCSpec},
+      {"vspec", Tok::KwVSpec},     {"if", Tok::KwIf},
+      {"else", Tok::KwElse},       {"while", Tok::KwWhile},
+      {"for", Tok::KwFor},         {"return", Tok::KwReturn},
+      {"break", Tok::KwBreak},     {"continue", Tok::KwContinue},
+  };
+  return Map;
+}
+
+std::vector<Token> tcc::frontend::tokenize(const std::string &Src) {
+  std::vector<Token> Out;
+  unsigned Line = 1;
+  std::size_t I = 0, N = Src.size();
+
+  auto Push = [&](Tok K) {
+    Token T;
+    T.Kind = K;
+    T.Line = Line;
+    Out.push_back(T);
+  };
+
+  while (I < N) {
+    char C = Src[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    // Comments.
+    if (C == '/' && I + 1 < N && Src[I + 1] == '/') {
+      while (I < N && Src[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Src[I + 1] == '*') {
+      I += 2;
+      while (I + 1 < N && !(Src[I] == '*' && Src[I + 1] == '/')) {
+        if (Src[I] == '\n')
+          ++Line;
+        ++I;
+      }
+      if (I + 1 >= N)
+        lexError(Line, "unterminated comment");
+      I += 2;
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      std::size_t Start = I;
+      while (I < N && (std::isdigit(static_cast<unsigned char>(Src[I])) ||
+                       Src[I] == 'x' || Src[I] == 'X' ||
+                       (I > Start && std::isxdigit(
+                                         static_cast<unsigned char>(Src[I])))))
+        ++I;
+      bool IsDouble = false;
+      if (I < N && Src[I] == '.') {
+        IsDouble = true;
+        ++I;
+        while (I < N && std::isdigit(static_cast<unsigned char>(Src[I])))
+          ++I;
+      }
+      if (I < N && (Src[I] == 'e' || Src[I] == 'E')) {
+        IsDouble = true;
+        ++I;
+        if (I < N && (Src[I] == '+' || Src[I] == '-'))
+          ++I;
+        while (I < N && std::isdigit(static_cast<unsigned char>(Src[I])))
+          ++I;
+      }
+      std::string Text = Src.substr(Start, I - Start);
+      Token T;
+      T.Line = Line;
+      if (IsDouble) {
+        T.Kind = Tok::DoubleLit;
+        T.DoubleVal = std::strtod(Text.c_str(), nullptr);
+      } else {
+        T.Kind = Tok::IntLit;
+        T.IntVal = std::strtoll(Text.c_str(), nullptr, 0);
+      }
+      Out.push_back(T);
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::size_t Start = I;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Src[I])) ||
+                       Src[I] == '_'))
+        ++I;
+      std::string Text = Src.substr(Start, I - Start);
+      auto It = keywords().find(Text);
+      Token T;
+      T.Line = Line;
+      if (It != keywords().end()) {
+        T.Kind = It->second;
+      } else {
+        T.Kind = Tok::Ident;
+        T.Text = Text;
+      }
+      Out.push_back(T);
+      continue;
+    }
+    // Strings.
+    if (C == '"') {
+      ++I;
+      std::string S;
+      while (I < N && Src[I] != '"') {
+        char Ch = Src[I++];
+        if (Ch == '\\' && I < N) {
+          char Esc = Src[I++];
+          switch (Esc) {
+          case 'n':
+            Ch = '\n';
+            break;
+          case 't':
+            Ch = '\t';
+            break;
+          case '\\':
+            Ch = '\\';
+            break;
+          case '"':
+            Ch = '"';
+            break;
+          default:
+            Ch = Esc;
+            break;
+          }
+        }
+        S.push_back(Ch);
+      }
+      if (I >= N)
+        lexError(Line, "unterminated string");
+      ++I;
+      Token T;
+      T.Kind = Tok::StringLit;
+      T.Text = std::move(S);
+      T.Line = Line;
+      Out.push_back(T);
+      continue;
+    }
+    // Operators.
+    auto Two = [&](char A, char B, Tok K) {
+      if (C == A && I + 1 < N && Src[I + 1] == B) {
+        Push(K);
+        I += 2;
+        return true;
+      }
+      return false;
+    };
+    if (Two('&', '&', Tok::AmpAmp) || Two('|', '|', Tok::PipePipe) ||
+        Two('=', '=', Tok::EqEq) || Two('!', '=', Tok::NotEq) ||
+        Two('<', '=', Tok::Le) || Two('>', '=', Tok::Ge) ||
+        Two('<', '<', Tok::Shl) || Two('>', '>', Tok::Shr) ||
+        Two('+', '=', Tok::PlusAssign) || Two('-', '=', Tok::MinusAssign) ||
+        Two('*', '=', Tok::StarAssign) || Two('/', '=', Tok::SlashAssign) ||
+        Two('+', '+', Tok::PlusPlus) || Two('-', '-', Tok::MinusMinus))
+      continue;
+    Tok K;
+    switch (C) {
+    case '(':
+      K = Tok::LParen;
+      break;
+    case ')':
+      K = Tok::RParen;
+      break;
+    case '{':
+      K = Tok::LBrace;
+      break;
+    case '}':
+      K = Tok::RBrace;
+      break;
+    case '[':
+      K = Tok::LBracket;
+      break;
+    case ']':
+      K = Tok::RBracket;
+      break;
+    case ';':
+      K = Tok::Semi;
+      break;
+    case ',':
+      K = Tok::Comma;
+      break;
+    case '=':
+      K = Tok::Assign;
+      break;
+    case '+':
+      K = Tok::Plus;
+      break;
+    case '-':
+      K = Tok::Minus;
+      break;
+    case '*':
+      K = Tok::Star;
+      break;
+    case '/':
+      K = Tok::Slash;
+      break;
+    case '%':
+      K = Tok::Percent;
+      break;
+    case '&':
+      K = Tok::Amp;
+      break;
+    case '|':
+      K = Tok::Pipe;
+      break;
+    case '^':
+      K = Tok::Caret;
+      break;
+    case '<':
+      K = Tok::Lt;
+      break;
+    case '>':
+      K = Tok::Gt;
+      break;
+    case '!':
+      K = Tok::Not;
+      break;
+    case '~':
+      K = Tok::Tilde;
+      break;
+    case '?':
+      K = Tok::Question;
+      break;
+    case ':':
+      K = Tok::Colon;
+      break;
+    case '`':
+      K = Tok::Backquote;
+      break;
+    case '$':
+      K = Tok::Dollar;
+      break;
+    default:
+      lexError(Line, std::string("unexpected character '") + C + "'");
+    }
+    Push(K);
+    ++I;
+  }
+  Token Eof;
+  Eof.Kind = Tok::Eof;
+  Eof.Line = Line;
+  Out.push_back(Eof);
+  return Out;
+}
+
+const char *tcc::frontend::tokenName(Tok K) {
+  switch (K) {
+  case Tok::Eof:
+    return "end of file";
+  case Tok::Ident:
+    return "identifier";
+  case Tok::IntLit:
+    return "integer literal";
+  case Tok::DoubleLit:
+    return "double literal";
+  case Tok::StringLit:
+    return "string literal";
+  case Tok::Backquote:
+    return "`";
+  case Tok::Dollar:
+    return "$";
+  case Tok::LParen:
+    return "(";
+  case Tok::RParen:
+    return ")";
+  case Tok::LBrace:
+    return "{";
+  case Tok::RBrace:
+    return "}";
+  case Tok::Semi:
+    return ";";
+  case Tok::Comma:
+    return ",";
+  default:
+    return "token";
+  }
+}

@@ -1,0 +1,105 @@
+//===- frontend/Lexer.h - Tick-C tokenizer ----------------------*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the Tick-C subset: C tokens plus the backquote (`) and
+/// dollar ($) operators of `C.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_FRONTEND_LEXER_H
+#define TICKC_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace frontend {
+
+enum class Tok : std::uint8_t {
+  Eof,
+  Ident,
+  IntLit,
+  DoubleLit,
+  StringLit,
+  // Keywords.
+  KwInt,
+  KwLong,
+  KwDouble,
+  KwVoid,
+  KwChar,
+  KwCSpec,
+  KwVSpec,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  // Punctuation / operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  StarAssign,
+  SlashAssign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  AmpAmp,
+  Pipe,
+  PipePipe,
+  Caret,
+  Shl,
+  Shr,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  NotEq,
+  Not,
+  Tilde,
+  Question,
+  Colon,
+  PlusPlus,
+  MinusMinus,
+  Backquote,
+  Dollar,
+};
+
+struct Token {
+  Tok Kind = Tok::Eof;
+  std::string Text;       ///< Identifier / string contents.
+  std::int64_t IntVal = 0;
+  double DoubleVal = 0;
+  unsigned Line = 0;
+};
+
+/// Tokenizes a whole source buffer up front. Errors abort with a located
+/// message (the frontend is a batch tool).
+std::vector<Token> tokenize(const std::string &Source);
+
+/// Human-readable token name for diagnostics.
+const char *tokenName(Tok K);
+
+} // namespace frontend
+} // namespace tcc
+
+#endif // TICKC_FRONTEND_LEXER_H

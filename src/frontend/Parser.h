@@ -1,0 +1,24 @@
+//===- frontend/Parser.h - Tick-C recursive-descent parser ------*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_FRONTEND_PARSER_H
+#define TICKC_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+#include "frontend/Lexer.h"
+
+namespace tcc {
+namespace frontend {
+
+/// Parses a whole Tick-C translation unit. Syntax errors print a located
+/// diagnostic and exit (batch-tool behaviour).
+FProgram parseProgram(const std::string &Source);
+
+} // namespace frontend
+} // namespace tcc
+
+#endif // TICKC_FRONTEND_PARSER_H

@@ -1,0 +1,120 @@
+//===- icode/Analysis.h - Flow graph, liveness, live intervals -*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal analysis structures of the ICODE back end (paper §5.2):
+///
+///  * FlowGraph — built in one pass over the instruction buffer after all
+///    CGFs have run; a single array of blocks whose size is bounded by the
+///    number of labels and jumps. Def/use sets are collected while building.
+///  * Liveness — a traditional relaxation (iterative dataflow) computing
+///    exact live-variable information.
+///  * Live intervals — the coarse [first-live, last-live] approximation the
+///    linear-scan allocator consumes; holes are deliberately ignored.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_ICODE_ANALYSIS_H
+#define TICKC_ICODE_ANALYSIS_H
+
+#include "icode/ICode.h"
+#include "support/BitVector.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace tcc {
+namespace icode {
+
+/// A basic block: instruction index range [Begin, End), up to two
+/// successors, and the dataflow sets over virtual registers.
+struct BasicBlock {
+  std::int32_t Begin = 0;
+  std::int32_t End = 0;
+  std::int32_t Succ[2] = {-1, -1};
+  BitVector Def, Use, LiveIn, LiveOut;
+};
+
+/// The control-flow graph plus liveness results.
+class FlowGraph {
+public:
+  /// Builds blocks and per-block def/use sets in one pass (paper §5.2:
+  /// "ICODE builds a flow graph in one pass after all CGFs have been
+  /// invoked").
+  void build(const ICode &IC);
+
+  /// Iterative live-variable analysis to fixpoint. Returns the number of
+  /// passes over the block array.
+  unsigned solveLiveness(const ICode &IC);
+
+  const std::vector<BasicBlock> &blocks() const { return Blocks; }
+  std::vector<BasicBlock> &blocks() { return Blocks; }
+  /// Block index containing instruction \p InstrIdx.
+  std::int32_t blockOf(std::int32_t InstrIdx) const {
+    return BlockOfInstr[static_cast<std::size_t>(InstrIdx)];
+  }
+
+private:
+  std::vector<BasicBlock> Blocks;
+  std::vector<std::int32_t> BlockOfInstr;
+  unsigned NumRegs = 0;
+};
+
+/// A live interval [Start, End] (inclusive instruction indices) for one
+/// virtual register, with a usage-frequency weight derived from the
+/// client's loop hints.
+struct Interval {
+  VReg Reg = -1;
+  std::int32_t Start = 0;
+  std::int32_t End = 0;
+  std::uint64_t Weight = 0;
+  bool IsFloat = false;
+};
+
+/// Where the allocator put each virtual register.
+struct Allocation {
+  static constexpr int Unused = -1;  ///< Register never occurs.
+  static constexpr int Spilled = -2; ///< Lives in a stack slot.
+  /// Per-vreg: pool index >= 0, or Unused/Spilled.
+  std::vector<int> Location;
+  unsigned NumSpilled = 0;
+};
+
+/// Builds the sorted-by-endpoint interval list. Weights accumulate
+/// 10^loop-depth per occurrence, driven by Op::Hint markers.
+std::vector<Interval> buildLiveIntervals(const ICode &IC, const FlowGraph &FG);
+
+/// Per-vreg "must live in memory" mask: double-precision values whose
+/// interval crosses a call site cannot stay in (caller-saved) XMM registers.
+/// The integer pool is callee-saved, so only float vregs are affected.
+std::vector<bool> computeMustSpill(const ICode &IC,
+                                   const std::vector<Interval> &Intervals);
+
+/// Linear-scan register allocation over live intervals — Figure 3 of the
+/// paper (its original publication). O(I * R).
+Allocation allocateLinearScan(const ICode &IC, std::vector<Interval> Intervals,
+                              int NumIntRegs, int NumFloatRegs,
+                              SpillHeuristic Spill,
+                              const std::vector<bool> &MustSpill);
+
+/// Chaitin-style graph-coloring allocation (paper §5.2's baseline), with
+/// Briggs-style optimistic coloring. Interference edges come from exact
+/// per-instruction liveness, so its coloring can beat live intervals.
+Allocation allocateGraphColor(const ICode &IC, const FlowGraph &FG,
+                              int NumIntRegs, int NumFloatRegs,
+                              SpillHeuristic Spill,
+                              const std::vector<bool> &MustSpill);
+
+/// Dead-code elimination over pure instructions whose results are never
+/// used; part of the peephole machinery run before allocation. Returns the
+/// number of instructions erased (turned into Nop).
+unsigned eliminateDeadCode(std::vector<Instr> &Instrs, unsigned NumRegs);
+
+} // namespace icode
+} // namespace tcc
+
+#endif // TICKC_ICODE_ANALYSIS_H

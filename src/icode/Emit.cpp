@@ -1,0 +1,424 @@
+//===- icode/Emit.cpp - ICODE-to-binary translation -----------------------==//
+//
+// The final phase of ICODE code generation (paper §5.2): "The code emitter
+// simply makes one pass through the buffer of ICODE instructions. For each
+// ICODE instruction, it invokes the VCODE macro corresponding to the given
+// instruction, prepending and appending spill code as necessary, and
+// performing some peephole optimizations and strength reduction."
+//
+// Spill code is folded into the VCODE layer, which accepts negative
+// (stack-slot) register designators. Opcode usage is recorded in the shared
+// EmitterUsage registry, reproducing the emitter-pruning measurement of the
+// paper's link-time analysis.
+//
+//===----------------------------------------------------------------------===//
+
+#include "icode/Analysis.h"
+#include "icode/ICode.h"
+#include "support/Error.h"
+#include "support/Timing.h"
+
+#include <cassert>
+#include <climits>
+
+using namespace tcc;
+using namespace tcc::icode;
+using vcode::VCode;
+
+namespace {
+
+/// Translates one allocated ICODE buffer into machine code through VCode.
+class Emitter {
+public:
+  Emitter(const ICode &IC, VCode &V, const Allocation &Alloc)
+      : IC(IC), V(V), Alloc(Alloc), SlotDesignator(IC.numRegs(), INT_MIN) {
+    VLabels.reserve(IC.numLabels());
+    for (unsigned I = 0; I < IC.numLabels(); ++I)
+      VLabels.push_back(V.newLabel());
+  }
+
+  void run() {
+    const std::vector<Instr> &Instrs = IC.instrs();
+    V.enter();
+    for (std::size_t I = 0, E = Instrs.size(); I != E; ++I)
+      emitOne(Instrs, I);
+  }
+
+private:
+  /// Register designator (pool index or stack slot) for a virtual register.
+  vcode::Reg loc(VReg R) {
+    int L = Alloc.Location[static_cast<std::size_t>(R)];
+    if (L >= 0)
+      return L;
+    assert(L == Allocation::Spilled && "operand of emitted instr unallocated");
+    int &Slot = SlotDesignator[static_cast<std::size_t>(R)];
+    if (Slot == INT_MIN)
+      Slot = VCode::spillReg(V.allocSlot());
+    return Slot;
+  }
+
+  /// True if a jump at \p I to label \p LabelId only skips no-ops — the
+  /// emitter's jump-to-next peephole.
+  bool jumpIsFallthrough(const std::vector<Instr> &Instrs, std::size_t I,
+                         std::int32_t LabelId) const {
+    std::int32_t Target = IC.labelTarget(LabelId);
+    if (Target < static_cast<std::int32_t>(I))
+      return false;
+    for (std::size_t K = I + 1; K < static_cast<std::size_t>(Target); ++K) {
+      Op O = Instrs[K].Opcode;
+      if (O != Op::Nop && O != Op::Hint && O != Op::Label)
+        return false;
+    }
+    return true;
+  }
+
+  void emitOne(const std::vector<Instr> &Instrs, std::size_t I) {
+    const Instr &In = Instrs[I];
+    if (In.Opcode != Op::Nop && In.Opcode != Op::Hint)
+      ICode::emitterUsage().noteUse(In.Opcode);
+    auto K = static_cast<CmpKind>(In.Sub);
+    switch (In.Opcode) {
+    case Op::Nop:
+    case Op::Hint:
+      break;
+    case Op::SetI:
+      V.setI(loc(In.A), In.B);
+      break;
+    case Op::SetL:
+      V.setL(loc(In.A), static_cast<std::int64_t>(IC.poolValue(In.B)));
+      break;
+    case Op::SetD: {
+      std::uint64_t Bits = IC.poolValue(In.B);
+      double D;
+      static_assert(sizeof(D) == sizeof(Bits));
+      __builtin_memcpy(&D, &Bits, 8);
+      V.setD(loc(In.A), D);
+      break;
+    }
+    case Op::MovI:
+      V.movL(loc(In.A), loc(In.B));
+      break;
+    case Op::MovD:
+      V.movD(loc(In.A), loc(In.B));
+      break;
+    case Op::AddI:
+      V.addI(loc(In.A), loc(In.B), loc(In.C));
+      break;
+    case Op::SubI:
+      V.subI(loc(In.A), loc(In.B), loc(In.C));
+      break;
+    case Op::MulI:
+      V.mulI(loc(In.A), loc(In.B), loc(In.C));
+      break;
+    case Op::DivI:
+      V.divI(loc(In.A), loc(In.B), loc(In.C));
+      break;
+    case Op::ModI:
+      V.modI(loc(In.A), loc(In.B), loc(In.C));
+      break;
+    case Op::DivUI:
+      V.divUI(loc(In.A), loc(In.B), loc(In.C));
+      break;
+    case Op::ModUI:
+      V.modUI(loc(In.A), loc(In.B), loc(In.C));
+      break;
+    case Op::AndI:
+      V.andI(loc(In.A), loc(In.B), loc(In.C));
+      break;
+    case Op::OrI:
+      V.orI(loc(In.A), loc(In.B), loc(In.C));
+      break;
+    case Op::XorI:
+      V.xorI(loc(In.A), loc(In.B), loc(In.C));
+      break;
+    case Op::ShlI:
+      V.shlI(loc(In.A), loc(In.B), loc(In.C));
+      break;
+    case Op::ShrI:
+      V.shrI(loc(In.A), loc(In.B), loc(In.C));
+      break;
+    case Op::UShrI:
+      V.ushrI(loc(In.A), loc(In.B), loc(In.C));
+      break;
+    case Op::AddII:
+      V.addII(loc(In.A), loc(In.B), In.C);
+      break;
+    case Op::SubII:
+      V.subII(loc(In.A), loc(In.B), In.C);
+      break;
+    case Op::MulII:
+      V.mulII(loc(In.A), loc(In.B), In.C);
+      break;
+    case Op::DivII:
+      V.divII(loc(In.A), loc(In.B), In.C);
+      break;
+    case Op::ModII:
+      V.modII(loc(In.A), loc(In.B), In.C);
+      break;
+    case Op::AndII:
+      V.andII(loc(In.A), loc(In.B), In.C);
+      break;
+    case Op::OrII:
+      V.orII(loc(In.A), loc(In.B), In.C);
+      break;
+    case Op::XorII:
+      V.xorII(loc(In.A), loc(In.B), In.C);
+      break;
+    case Op::ShlII:
+      V.shlII(loc(In.A), loc(In.B), static_cast<std::uint8_t>(In.C));
+      break;
+    case Op::ShrII:
+      V.shrII(loc(In.A), loc(In.B), static_cast<std::uint8_t>(In.C));
+      break;
+    case Op::UShrII:
+      V.ushrII(loc(In.A), loc(In.B), static_cast<std::uint8_t>(In.C));
+      break;
+    case Op::NegI:
+      V.negI(loc(In.A), loc(In.B));
+      break;
+    case Op::NotI:
+      V.notI(loc(In.A), loc(In.B));
+      break;
+    case Op::AddL:
+      V.addL(loc(In.A), loc(In.B), loc(In.C));
+      break;
+    case Op::SubL:
+      V.subL(loc(In.A), loc(In.B), loc(In.C));
+      break;
+    case Op::MulL:
+      V.mulL(loc(In.A), loc(In.B), loc(In.C));
+      break;
+    case Op::AddLI:
+      V.addLI(loc(In.A), loc(In.B), In.C);
+      break;
+    case Op::MulLI:
+      V.mulLI(loc(In.A), loc(In.B), In.C);
+      break;
+    case Op::ShlLI:
+      V.shlLI(loc(In.A), loc(In.B), static_cast<std::uint8_t>(In.C));
+      break;
+    case Op::SextIToL:
+      V.sextIToL(loc(In.A), loc(In.B));
+      break;
+    case Op::AddD:
+      V.addD(loc(In.A), loc(In.B), loc(In.C));
+      break;
+    case Op::SubD:
+      V.subD(loc(In.A), loc(In.B), loc(In.C));
+      break;
+    case Op::MulD:
+      V.mulD(loc(In.A), loc(In.B), loc(In.C));
+      break;
+    case Op::DivD:
+      V.divD(loc(In.A), loc(In.B), loc(In.C));
+      break;
+    case Op::NegD:
+      V.negD(loc(In.A), loc(In.B));
+      break;
+    case Op::CvtIToD:
+      V.cvtIToD(loc(In.A), loc(In.B));
+      break;
+    case Op::CvtLToD:
+      V.cvtLToD(loc(In.A), loc(In.B));
+      break;
+    case Op::CvtDToI:
+      V.cvtDToI(loc(In.A), loc(In.B));
+      break;
+    case Op::CmpSetI:
+      V.cmpSetI(K, loc(In.A), loc(In.B), loc(In.C));
+      break;
+    case Op::CmpSetII:
+      V.cmpSetII(K, loc(In.A), loc(In.B), In.C);
+      break;
+    case Op::CmpSetL:
+      V.cmpSetL(K, loc(In.A), loc(In.B), loc(In.C));
+      break;
+    case Op::CmpSetD:
+      V.cmpSetD(K, loc(In.A), loc(In.B), loc(In.C));
+      break;
+    case Op::LdI:
+      V.ldI(loc(In.A), loc(In.B), In.C);
+      break;
+    case Op::LdL:
+      V.ldL(loc(In.A), loc(In.B), In.C);
+      break;
+    case Op::LdI8s:
+      V.ldI8s(loc(In.A), loc(In.B), In.C);
+      break;
+    case Op::LdI8u:
+      V.ldI8u(loc(In.A), loc(In.B), In.C);
+      break;
+    case Op::LdI16s:
+      V.ldI16s(loc(In.A), loc(In.B), In.C);
+      break;
+    case Op::LdI16u:
+      V.ldI16u(loc(In.A), loc(In.B), In.C);
+      break;
+    case Op::LdD:
+      V.ldD(loc(In.A), loc(In.B), In.C);
+      break;
+    case Op::StI:
+      V.stI(loc(In.A), In.C, loc(In.B));
+      break;
+    case Op::StL:
+      V.stL(loc(In.A), In.C, loc(In.B));
+      break;
+    case Op::StI8:
+      V.stI8(loc(In.A), In.C, loc(In.B));
+      break;
+    case Op::StI16:
+      V.stI16(loc(In.A), In.C, loc(In.B));
+      break;
+    case Op::StD:
+      V.stD(loc(In.A), In.C, loc(In.B));
+      break;
+    case Op::Label:
+      V.bindLabel(VLabels[static_cast<std::size_t>(In.A)]);
+      break;
+    case Op::Jump:
+      if (!jumpIsFallthrough(Instrs, I, In.A))
+        V.jump(VLabels[static_cast<std::size_t>(In.A)]);
+      break;
+    case Op::BrCmpI:
+      V.brCmpI(K, loc(In.A), loc(In.B), VLabels[In.C]);
+      break;
+    case Op::BrCmpII:
+      V.brCmpII(K, loc(In.A), In.B, VLabels[In.C]);
+      break;
+    case Op::BrCmpL:
+      V.brCmpL(K, loc(In.A), loc(In.B), VLabels[In.C]);
+      break;
+    case Op::BrCmpD:
+      V.brCmpD(K, loc(In.A), loc(In.B), VLabels[In.C]);
+      break;
+    case Op::BrTrue:
+      V.brTrueI(loc(In.A), VLabels[In.B]);
+      break;
+    case Op::BrFalse:
+      V.brFalseI(loc(In.A), VLabels[In.B]);
+      break;
+    case Op::BindArgI:
+      V.bindArgI(static_cast<unsigned>(In.B), loc(In.A));
+      break;
+    case Op::BindArgD:
+      V.bindArgD(static_cast<unsigned>(In.B), loc(In.A));
+      break;
+    case Op::RetI:
+      V.retI(loc(In.A));
+      break;
+    case Op::RetL:
+      V.retL(loc(In.A));
+      break;
+    case Op::RetD:
+      V.retD(loc(In.A));
+      break;
+    case Op::RetVoid:
+      V.retVoid();
+      break;
+    case Op::CallArgI:
+      V.prepareCallArgI(static_cast<unsigned>(In.A), loc(In.B));
+      break;
+    case Op::CallArgP:
+      V.prepareCallArgII(static_cast<unsigned>(In.A),
+                         static_cast<std::int64_t>(IC.poolValue(In.B)));
+      break;
+    case Op::CallArgII:
+      V.prepareCallArgII(static_cast<unsigned>(In.A),
+                         static_cast<std::int64_t>(IC.poolValue(In.B)));
+      break;
+    case Op::CallArgD:
+      V.prepareCallArgD(static_cast<unsigned>(In.A), loc(In.B));
+      break;
+    case Op::Call:
+      V.emitCall(reinterpret_cast<const void *>(
+                     static_cast<std::uintptr_t>(IC.poolValue(In.A))),
+                 static_cast<unsigned>(In.B));
+      break;
+    case Op::CallIndirect:
+      V.emitCallIndirect(loc(In.A), static_cast<unsigned>(In.B));
+      break;
+    case Op::ResultI:
+      V.resultToI(loc(In.A));
+      break;
+    case Op::ResultL:
+      V.resultToL(loc(In.A));
+      break;
+    case Op::ResultD:
+      V.resultToD(loc(In.A));
+      break;
+    }
+  }
+
+  const ICode &IC;
+  VCode &V;
+  const Allocation &Alloc;
+  std::vector<int> SlotDesignator;
+  std::vector<vcode::Label> VLabels;
+};
+
+} // namespace
+
+void *ICode::compileTo(VCode &V, RegAllocKind Kind, CompileStats *Stats,
+                       SpillHeuristic Spill) {
+  CompileStats Local;
+  CompileStats &S = Stats ? *Stats : Local;
+  PhaseTimer T;
+
+  T.start();
+  eliminateDeadCode(Instrs, numRegs());
+  T.stop();
+  S.CyclesPeephole += T.totalCycles();
+  T.reset();
+
+  T.start();
+  FlowGraph FG;
+  FG.build(*this);
+  T.stop();
+  S.CyclesFlowGraph += T.totalCycles();
+  T.reset();
+
+  T.start();
+  S.NumLivenessIterations = FG.solveLiveness(*this);
+  T.stop();
+  S.CyclesLiveness += T.totalCycles();
+  T.reset();
+
+  // Intervals are needed for linear scan and, under either allocator, for
+  // deciding which caller-saved-class values cross a call.
+  T.start();
+  std::vector<Interval> Intervals = buildLiveIntervals(*this, FG);
+  std::vector<bool> MustSpill = computeMustSpill(*this, Intervals);
+  T.stop();
+  S.CyclesIntervals += T.totalCycles();
+  T.reset();
+
+  T.start();
+  Allocation Alloc =
+      Kind == RegAllocKind::LinearScan
+          ? allocateLinearScan(*this, std::move(Intervals),
+                               vcode::VCode::NumIntPool,
+                               vcode::VCode::NumFloatPool, Spill, MustSpill)
+          : allocateGraphColor(*this, FG, vcode::VCode::NumIntPool,
+                               vcode::VCode::NumFloatPool, Spill, MustSpill);
+  T.stop();
+  S.CyclesRegAlloc += T.totalCycles();
+  T.reset();
+
+  T.start();
+  Emitter E(*this, V, Alloc);
+  E.run();
+  void *Entry = V.finish();
+  T.stop();
+  S.CyclesEmit += T.totalCycles();
+
+  S.NumBasicBlocks = static_cast<unsigned>(FG.blocks().size());
+  S.NumIntervals = 0;
+  for (int L : Alloc.Location)
+    S.NumIntervals += L != Allocation::Unused;
+  S.NumSpilledIntervals = Alloc.NumSpilled;
+  for (const Instr &In : Instrs)
+    S.NumIRInstrs += In.Opcode != Op::Nop && In.Opcode != Op::Hint &&
+                     In.Opcode != Op::Label;
+  S.NumMachineInstrs = V.instructionsEmitted();
+  return Entry;
+}

@@ -1,0 +1,169 @@
+//===- icode/FlowGraph.cpp - One-pass CFG construction + liveness ---------==//
+//
+// Paper §5.2: "ICODE builds a flow graph in one pass after all CGFs have
+// been invoked ... The flow graph is a single array ... ICODE computes an
+// upper bound on the number of basic blocks by summing the numbers of labels
+// and jumps." Liveness uses "a traditional relaxation algorithm for
+// computing exact live variable information."
+//
+//===----------------------------------------------------------------------===//
+
+#include "icode/Analysis.h"
+
+#include <cassert>
+
+using namespace tcc;
+using namespace tcc::icode;
+
+/// True if the instruction ends a basic block.
+static bool isTerminator(Op O) {
+  switch (O) {
+  case Op::Jump:
+  case Op::BrCmpI:
+  case Op::BrCmpII:
+  case Op::BrCmpL:
+  case Op::BrCmpD:
+  case Op::BrTrue:
+  case Op::BrFalse:
+  case Op::RetI:
+  case Op::RetL:
+  case Op::RetD:
+  case Op::RetVoid:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Label id a branch targets, or -1.
+static std::int32_t branchTarget(const Instr &I) {
+  switch (I.Opcode) {
+  case Op::Jump:
+    return I.A;
+  case Op::BrCmpI:
+  case Op::BrCmpII:
+  case Op::BrCmpL:
+  case Op::BrCmpD:
+    return I.C;
+  case Op::BrTrue:
+  case Op::BrFalse:
+    return I.B;
+  default:
+    return -1;
+  }
+}
+
+void FlowGraph::build(const ICode &IC) {
+  const std::vector<Instr> &Instrs = IC.instrs();
+  const auto N = static_cast<std::int32_t>(Instrs.size());
+  NumRegs = IC.numRegs();
+
+  Blocks.clear();
+  // Upper bound on block count: one per label plus one per terminator,
+  // plus the entry block — reserve once, as the paper's single-array
+  // allocation does.
+  unsigned Bound = 1 + IC.numLabels();
+  for (const Instr &I : Instrs)
+    Bound += isTerminator(I.Opcode);
+  Blocks.reserve(Bound);
+
+  BlockOfInstr.assign(static_cast<std::size_t>(N), -1);
+
+  // Pass 1: carve blocks. A block begins at index 0, at each Label, and
+  // after each terminator.
+  std::int32_t Idx = 0;
+  while (Idx < N) {
+    BasicBlock BB;
+    BB.Begin = Idx;
+    // A leading run of Label instructions belongs to this block.
+    while (Idx < N && Instrs[Idx].Opcode == Op::Label)
+      ++Idx;
+    while (Idx < N && Instrs[Idx].Opcode != Op::Label &&
+           !isTerminator(Instrs[Idx].Opcode))
+      ++Idx;
+    if (Idx < N && isTerminator(Instrs[Idx].Opcode))
+      ++Idx; // Terminator closes the block.
+    BB.End = Idx;
+    Blocks.push_back(BB);
+  }
+  if (Blocks.empty()) {
+    BasicBlock BB;
+    Blocks.push_back(BB);
+  }
+
+  for (std::size_t B = 0; B < Blocks.size(); ++B)
+    for (std::int32_t I = Blocks[B].Begin; I < Blocks[B].End; ++I)
+      BlockOfInstr[static_cast<std::size_t>(I)] =
+          static_cast<std::int32_t>(B);
+
+  // Pass 2: successors. Fall-through plus branch target.
+  for (std::size_t B = 0; B < Blocks.size(); ++B) {
+    BasicBlock &BB = Blocks[B];
+    if (BB.Begin == BB.End)
+      continue;
+    const Instr &Last = Instrs[static_cast<std::size_t>(BB.End - 1)];
+    bool Falls = true;
+    switch (Last.Opcode) {
+    case Op::Jump:
+    case Op::RetI:
+    case Op::RetL:
+    case Op::RetD:
+    case Op::RetVoid:
+      Falls = false;
+      break;
+    default:
+      break;
+    }
+    unsigned NS = 0;
+    if (Falls && B + 1 < Blocks.size())
+      BB.Succ[NS++] = static_cast<std::int32_t>(B + 1);
+    std::int32_t Target = branchTarget(Last);
+    if (Target >= 0) {
+      std::int32_t TargetInstr = IC.labelTarget(Target);
+      assert(TargetInstr >= 0 && "branch to unbound label");
+      std::int32_t TargetBlock = BlockOfInstr[TargetInstr];
+      if (NS == 0 || BB.Succ[0] != TargetBlock)
+        BB.Succ[NS++] = TargetBlock;
+    }
+  }
+
+  // Pass 3: def/use sets ("a minimal amount of local data flow
+  // information: def and use sets for each basic block").
+  for (BasicBlock &BB : Blocks) {
+    BB.Def = BitVector(NumRegs);
+    BB.Use = BitVector(NumRegs);
+    BB.LiveIn = BitVector(NumRegs);
+    BB.LiveOut = BitVector(NumRegs);
+    for (std::int32_t I = BB.Begin; I < BB.End; ++I) {
+      VReg Defs[2], Uses[3];
+      unsigned ND, NU;
+      ICode::defsUses(Instrs[static_cast<std::size_t>(I)], Defs, ND, Uses,
+                      NU);
+      for (unsigned U = 0; U < NU; ++U)
+        if (!BB.Def.test(static_cast<unsigned>(Uses[U])))
+          BB.Use.set(static_cast<unsigned>(Uses[U]));
+      for (unsigned D = 0; D < ND; ++D)
+        BB.Def.set(static_cast<unsigned>(Defs[D]));
+    }
+  }
+}
+
+unsigned FlowGraph::solveLiveness(const ICode &) {
+  unsigned Iterations = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++Iterations;
+    // Reverse order converges quickly for reducible flow graphs.
+    for (std::size_t BI = Blocks.size(); BI-- > 0;) {
+      BasicBlock &BB = Blocks[BI];
+      for (std::int32_t S : BB.Succ)
+        if (S >= 0)
+          Changed |= BB.LiveOut.unionWith(Blocks[static_cast<std::size_t>(S)]
+                                              .LiveIn);
+      Changed |= BB.LiveIn.unionWith(BB.Use);
+      Changed |= BB.LiveIn.unionWithMinus(BB.LiveOut, BB.Def);
+    }
+  }
+  return Iterations;
+}

@@ -1,0 +1,224 @@
+//===- icode/GraphColor.cpp - Chaitin-style coloring allocator ------------==//
+//
+// The paper's baseline allocator (§5.2): "In addition to this register
+// allocator, we also provide a Chaitin-style graph-coloring register
+// allocator [6] ... it is a good means of evaluating our simpler and faster
+// register allocation algorithm."
+//
+// Interference edges come from exact per-instruction liveness (computed by
+// walking each block backwards from LiveOut), so — unlike live intervals —
+// the graph sees holes in live ranges. Simplify/select uses Briggs-style
+// optimistic coloring; uncolored nodes are assigned stack locations, which
+// the emitter handles directly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "icode/Analysis.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tcc;
+using namespace tcc::icode;
+
+namespace {
+
+/// Compact adjacency-set builder: per-node sorted unique neighbor lists.
+class InterferenceGraph {
+public:
+  explicit InterferenceGraph(unsigned N) : Adj(N) {}
+
+  void addEdge(unsigned A, unsigned B) {
+    if (A == B)
+      return;
+    Adj[A].push_back(B);
+    Adj[B].push_back(A);
+  }
+
+  void finalize() {
+    for (auto &Neighbors : Adj) {
+      std::sort(Neighbors.begin(), Neighbors.end());
+      Neighbors.erase(std::unique(Neighbors.begin(), Neighbors.end()),
+                      Neighbors.end());
+    }
+  }
+
+  const std::vector<unsigned> &neighbors(unsigned N) const { return Adj[N]; }
+  unsigned degree(unsigned N) const {
+    return static_cast<unsigned>(Adj[N].size());
+  }
+
+private:
+  std::vector<std::vector<unsigned>> Adj;
+};
+
+} // namespace
+
+Allocation tcc::icode::allocateGraphColor(const ICode &IC, const FlowGraph &FG,
+                                          int NumIntRegs, int NumFloatRegs,
+                                          SpillHeuristic Spill,
+                                          const std::vector<bool> &MustSpill) {
+  const std::vector<Instr> &Instrs = IC.instrs();
+  const unsigned NumRegs = IC.numRegs();
+
+  Allocation Result;
+  Result.Location.assign(NumRegs, Allocation::Unused);
+
+  // Occurrence mask + spill weights (10^loop-depth per occurrence).
+  std::vector<bool> Occurs(NumRegs, false);
+  std::vector<std::uint64_t> Weight(NumRegs, 0);
+  {
+    std::uint64_t HintWeight = 1;
+    int Depth = 0;
+    for (const Instr &In : Instrs) {
+      if (In.Opcode == Op::Hint) {
+        Depth = std::max(0, Depth + In.A);
+        HintWeight = 1;
+        for (int D = 0; D < Depth && D < 6; ++D)
+          HintWeight *= 10;
+        continue;
+      }
+      VReg Defs[2], Uses[3];
+      unsigned ND, NU;
+      ICode::defsUses(In, Defs, ND, Uses, NU);
+      for (unsigned U = 0; U < NU; ++U) {
+        Occurs[static_cast<unsigned>(Uses[U])] = true;
+        Weight[static_cast<unsigned>(Uses[U])] += HintWeight;
+      }
+      for (unsigned D = 0; D < ND; ++D) {
+        Occurs[static_cast<unsigned>(Defs[D])] = true;
+        Weight[static_cast<unsigned>(Defs[D])] += HintWeight;
+      }
+    }
+  }
+
+  // Build interference from exact liveness: at each definition point, the
+  // defined register interferes with everything currently live in the same
+  // register class.
+  InterferenceGraph Graph(NumRegs);
+  BitVector Live(NumRegs);
+  for (const BasicBlock &BB : FG.blocks()) {
+    Live = BB.LiveOut;
+    for (std::int32_t I = BB.End; I-- > BB.Begin;) {
+      const Instr &In = Instrs[static_cast<std::size_t>(I)];
+      VReg Defs[2], Uses[3];
+      unsigned ND, NU;
+      ICode::defsUses(In, Defs, ND, Uses, NU);
+      for (unsigned D = 0; D < ND; ++D) {
+        auto DefR = static_cast<unsigned>(Defs[D]);
+        Live.forEach([&](unsigned L) {
+          if (L != DefR && IC.isFloatReg(static_cast<VReg>(L)) ==
+                               IC.isFloatReg(static_cast<VReg>(DefR)))
+            Graph.addEdge(DefR, L);
+        });
+        Live.clear(DefR);
+      }
+      for (unsigned U = 0; U < NU; ++U)
+        Live.set(static_cast<unsigned>(Uses[U]));
+    }
+  }
+  Graph.finalize();
+
+  // Simplify: repeatedly remove trivially colorable nodes; when stuck,
+  // optimistically push a spill candidate (Briggs).
+  std::vector<unsigned> CurDegree(NumRegs), Stack;
+  std::vector<bool> Removed(NumRegs, false);
+  unsigned NumNodes = 0;
+  for (unsigned R = 0; R < NumRegs; ++R)
+    CurDegree[R] = Graph.degree(R);
+  for (unsigned R = 0; R < NumRegs; ++R) {
+    if (!Occurs[R]) {
+      Removed[R] = true;
+      continue;
+    }
+    if (!MustSpill.empty() && MustSpill[R]) {
+      // Caller-saved class crossing a call: straight to memory, and its
+      // neighbors no longer see it.
+      Removed[R] = true;
+      Result.Location[R] = Allocation::Spilled;
+      ++Result.NumSpilled;
+      for (unsigned N : Graph.neighbors(R))
+        --CurDegree[N];
+      continue;
+    }
+    ++NumNodes;
+  }
+  Stack.reserve(NumNodes);
+
+  auto AvailFor = [&](unsigned R) {
+    return IC.isFloatReg(static_cast<VReg>(R)) ? NumFloatRegs : NumIntRegs;
+  };
+
+  unsigned RemainingNodes = NumNodes;
+  while (RemainingNodes > 0) {
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      for (unsigned R = 0; R < NumRegs; ++R) {
+        if (Removed[R] ||
+            CurDegree[R] >= static_cast<unsigned>(AvailFor(R)))
+          continue;
+        Removed[R] = true;
+        Stack.push_back(R);
+        --RemainingNodes;
+        for (unsigned N : Graph.neighbors(R))
+          if (!Removed[N])
+            --CurDegree[N];
+        Progress = true;
+      }
+    }
+    if (RemainingNodes == 0)
+      break;
+    // Stuck: pick a spill candidate. Chaitin picks minimal cost/degree;
+    // under the LongestInterval-style heuristic we approximate cost by the
+    // occurrence weight alone.
+    unsigned Candidate = ~0u;
+    double BestScore = 0;
+    for (unsigned R = 0; R < NumRegs; ++R) {
+      if (Removed[R])
+        continue;
+      double Cost = static_cast<double>(Weight[R]) + 1.0;
+      double Score = (Spill == SpillHeuristic::LowestWeight)
+                         ? Cost
+                         : Cost / (CurDegree[R] + 1.0);
+      if (Candidate == ~0u || Score < BestScore) {
+        Candidate = R;
+        BestScore = Score;
+      }
+    }
+    Removed[Candidate] = true;
+    Stack.push_back(Candidate);
+    --RemainingNodes;
+    for (unsigned N : Graph.neighbors(Candidate))
+      if (!Removed[N])
+        --CurDegree[N];
+  }
+
+  // Select: pop in reverse, assigning the lowest color not used by any
+  // already-colored neighbor; failures become stack locations.
+  while (!Stack.empty()) {
+    unsigned R = Stack.back();
+    Stack.pop_back();
+    int Avail = AvailFor(R);
+    // Bitmask of colors taken by colored neighbors (pools are <= 32 regs).
+    std::uint32_t Taken = 0;
+    for (unsigned N : Graph.neighbors(R)) {
+      int Loc = Result.Location[N];
+      if (Loc >= 0)
+        Taken |= 1u << Loc;
+    }
+    int Color = -1;
+    for (int C = 0; C < Avail; ++C)
+      if (!(Taken & (1u << C))) {
+        Color = C;
+        break;
+      }
+    if (Color >= 0) {
+      Result.Location[R] = Color;
+    } else {
+      Result.Location[R] = Allocation::Spilled;
+      ++Result.NumSpilled;
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,175 @@
+//===- icode/LinearScan.cpp - Fast linear-scan register allocation --------==//
+//
+// Figure 3 of the paper — the original publication of linear scan:
+//
+//   GREEDY-REGISTER-ALLOCATION
+//     active <- {}
+//     foreach live interval i, from last to first
+//       EXPIRE-OLD-INTERVALS(i)
+//       if length(active) == R then
+//         r <- SPILL-LONGEST-INTERVAL(i)
+//       else
+//         r <- a register from the pool of free registers
+//       if r is a valid register then
+//         register[i] <- r; add i to active, sorted by start point
+//       else
+//         location[i] <- new stack location
+//
+// Intervals arrive sorted by increasing end point and are traversed in
+// reverse. `active` is kept sorted by increasing start point, so spilling
+// the longest (earliest-starting) interval removes the first element, and
+// expiring dead intervals is a short search backwards from the end.
+// Asymptotic cost O(I * R).
+//
+//===----------------------------------------------------------------------===//
+
+#include "icode/Analysis.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tcc;
+using namespace tcc::icode;
+
+namespace {
+
+/// One register class's scan state.
+class ScanState {
+public:
+  ScanState(int NumRegs, SpillHeuristic Spill, Allocation &Result)
+      : Spill(Spill), Result(Result) {
+    for (int R = NumRegs - 1; R >= 0; --R)
+      FreeRegs.push_back(R);
+    NumPhysRegs = NumRegs;
+  }
+
+  void process(const Interval &I) {
+    expireOldIntervals(I);
+    int R;
+    if (static_cast<int>(Active.size()) == NumPhysRegs)
+      R = spillVictim(I);
+    else {
+      R = FreeRegs.back();
+      FreeRegs.pop_back();
+    }
+    if (R >= 0) {
+      Result.Location[static_cast<std::size_t>(I.Reg)] = R;
+      addActive(I, R);
+    } else {
+      Result.Location[static_cast<std::size_t>(I.Reg)] = Allocation::Spilled;
+      ++Result.NumSpilled;
+    }
+  }
+
+private:
+  struct ActiveEntry {
+    Interval IV;
+    int Reg;
+  };
+
+  void addActive(const Interval &I, int R) {
+    // Insert keeping `active` sorted by increasing start point; scanning
+    // backwards touches few elements in practice (paper §5.2).
+    auto It = Active.end();
+    while (It != Active.begin() && (It - 1)->IV.Start > I.Start)
+      --It;
+    Active.insert(It, ActiveEntry{I, R});
+  }
+
+  /// Removes active intervals that start strictly after I's end point —
+  /// they cannot overlap I or anything processed later.
+  void expireOldIntervals(const Interval &I) {
+    while (!Active.empty() && Active.back().IV.Start > I.End) {
+      FreeRegs.push_back(Active.back().Reg);
+      Active.pop_back();
+    }
+  }
+
+  /// Decides whether to evict an active interval for I. Returns the freed
+  /// register, or -1 meaning "spill I itself".
+  int spillVictim(const Interval &I) {
+    std::size_t VictimIdx = 0;
+    bool VictimBeatsI;
+    if (Spill == SpillHeuristic::LongestInterval) {
+      // The longest interval is the earliest-starting one: active.front().
+      VictimBeatsI = Active.front().IV.Start < I.Start;
+    } else {
+      // Ablation heuristic: evict the least-used interval per loop hints.
+      std::uint64_t Best = ~0ull;
+      for (std::size_t K = 0; K < Active.size(); ++K)
+        if (Active[K].IV.Weight < Best) {
+          Best = Active[K].IV.Weight;
+          VictimIdx = K;
+        }
+      VictimBeatsI = Best < I.Weight;
+    }
+    if (!VictimBeatsI)
+      return -1;
+    int R = Active[VictimIdx].Reg;
+    Result.Location[static_cast<std::size_t>(Active[VictimIdx].IV.Reg)] =
+        Allocation::Spilled;
+    ++Result.NumSpilled;
+    Active.erase(Active.begin() + static_cast<std::ptrdiff_t>(VictimIdx));
+    return R;
+  }
+
+  SpillHeuristic Spill;
+  Allocation &Result;
+  std::vector<ActiveEntry> Active;
+  std::vector<int> FreeRegs;
+  int NumPhysRegs;
+};
+
+} // namespace
+
+Allocation tcc::icode::allocateLinearScan(const ICode &IC,
+                                          std::vector<Interval> Intervals,
+                                          int NumIntRegs, int NumFloatRegs,
+                                          SpillHeuristic Spill,
+                                          const std::vector<bool> &MustSpill) {
+  Allocation Result;
+  Result.Location.assign(IC.numRegs(), Allocation::Unused);
+
+  assert(std::is_sorted(Intervals.begin(), Intervals.end(),
+                        [](const Interval &A, const Interval &B) {
+                          return A.End < B.End;
+                        }) &&
+         "intervals must arrive sorted by end point");
+
+  ScanState IntState(NumIntRegs, Spill, Result);
+  ScanState FloatState(NumFloatRegs, Spill, Result);
+  for (std::size_t K = Intervals.size(); K-- > 0;) {
+    const Interval &I = Intervals[K];
+    if (!MustSpill.empty() && MustSpill[static_cast<std::size_t>(I.Reg)]) {
+      // Caller-saved register class crossing a call: straight to memory.
+      Result.Location[static_cast<std::size_t>(I.Reg)] = Allocation::Spilled;
+      ++Result.NumSpilled;
+      continue;
+    }
+    (I.IsFloat ? FloatState : IntState).process(I);
+  }
+  return Result;
+}
+
+std::vector<bool>
+tcc::icode::computeMustSpill(const ICode &IC,
+                             const std::vector<Interval> &Intervals) {
+  std::vector<bool> Result(IC.numRegs(), false);
+  const std::vector<Instr> &Instrs = IC.instrs();
+  std::vector<std::int32_t> CallSites;
+  for (std::size_t I = 0, E = Instrs.size(); I != E; ++I)
+    if (Instrs[I].Opcode == Op::Call || Instrs[I].Opcode == Op::CallIndirect)
+      CallSites.push_back(static_cast<std::int32_t>(I));
+  if (CallSites.empty())
+    return Result;
+  for (const Interval &IV : Intervals) {
+    if (!IV.IsFloat)
+      continue; // The integer pool is callee-saved.
+    for (std::int32_t C : CallSites)
+      if (C > IV.Start && C < IV.End) {
+        Result[static_cast<std::size_t>(IV.Reg)] = true;
+        break;
+      }
+  }
+  return Result;
+}

@@ -1,0 +1,94 @@
+//===- icode/LiveIntervals.cpp - Coarse live-interval construction --------==//
+//
+// Paper §5.2: "ICODE does not compute precise live range information, but
+// instead uses a coarse approximation that we call live intervals ... a live
+// interval of a variable is the interval [m, n], where m is the first
+// instruction at which v is ever live, and n is the last instruction at
+// which it is ever live. ... there may be large portions of [m, n] in which
+// v is not live, but we simply ignore them. ... given live variable
+// information, creating a list of live intervals sorted by start or end
+// point is accomplished in one pass over the code."
+//
+//===----------------------------------------------------------------------===//
+
+#include "icode/Analysis.h"
+
+#include <algorithm>
+
+using namespace tcc;
+using namespace tcc::icode;
+
+std::vector<Interval> tcc::icode::buildLiveIntervals(const ICode &IC,
+                                                     const FlowGraph &FG) {
+  const std::vector<Instr> &Instrs = IC.instrs();
+  const unsigned NumRegs = IC.numRegs();
+
+  std::vector<std::int32_t> Start(NumRegs, -1), End(NumRegs, -1);
+  std::vector<std::uint64_t> Weight(NumRegs, 0);
+
+  auto Extend = [&](unsigned R, std::int32_t Pos) {
+    if (Start[R] < 0 || Pos < Start[R])
+      Start[R] = Pos;
+    if (Pos > End[R])
+      End[R] = Pos;
+  };
+
+  // Occurrences, with usage weights from the loop-nesting hints.
+  std::uint64_t HintWeight = 1;
+  int Depth = 0;
+  for (std::size_t I = 0, E = Instrs.size(); I != E; ++I) {
+    const Instr &In = Instrs[I];
+    if (In.Opcode == Op::Hint) {
+      Depth += In.A;
+      if (Depth < 0)
+        Depth = 0;
+      HintWeight = 1;
+      for (int D = 0; D < Depth && D < 6; ++D)
+        HintWeight *= 10;
+      continue;
+    }
+    VReg Defs[2], Uses[3];
+    unsigned ND, NU;
+    ICode::defsUses(In, Defs, ND, Uses, NU);
+    auto Pos = static_cast<std::int32_t>(I);
+    for (unsigned U = 0; U < NU; ++U) {
+      Extend(static_cast<unsigned>(Uses[U]), Pos);
+      Weight[static_cast<unsigned>(Uses[U])] += HintWeight;
+    }
+    for (unsigned D = 0; D < ND; ++D) {
+      Extend(static_cast<unsigned>(Defs[D]), Pos);
+      Weight[static_cast<unsigned>(Defs[D])] += HintWeight;
+    }
+  }
+
+  // Block-boundary extension: values live into a block reach its first
+  // instruction; values live out reach its last. This is what turns
+  // loop-carried variables into intervals spanning the whole loop.
+  for (const BasicBlock &BB : FG.blocks()) {
+    if (BB.Begin == BB.End)
+      continue;
+    BB.LiveIn.forEach([&](unsigned R) { Extend(R, BB.Begin); });
+    BB.LiveOut.forEach([&](unsigned R) { Extend(R, BB.End - 1); });
+  }
+
+  std::vector<Interval> Result;
+  Result.reserve(NumRegs);
+  for (unsigned R = 0; R < NumRegs; ++R) {
+    if (Start[R] < 0)
+      continue; // Never occurs.
+    Interval IV;
+    IV.Reg = static_cast<VReg>(R);
+    IV.Start = Start[R];
+    IV.End = End[R];
+    IV.Weight = Weight[R];
+    IV.IsFloat = IC.isFloatReg(static_cast<VReg>(R));
+    Result.push_back(IV);
+  }
+  std::sort(Result.begin(), Result.end(),
+            [](const Interval &A, const Interval &B) {
+              if (A.End != B.End)
+                return A.End < B.End;
+              return A.Start < B.Start;
+            });
+  return Result;
+}

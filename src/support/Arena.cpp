@@ -1,0 +1,69 @@
+//===- support/Arena.cpp --------------------------------------------------==//
+
+#include "support/Arena.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace tcc;
+
+Arena::Arena(std::size_t SlabBytes) : SlabBytes(SlabBytes) {
+  assert(SlabBytes >= 1024 && "slab size unreasonably small");
+  addSlab(SlabBytes);
+}
+
+Arena::~Arena() {
+  Slab *S = Head;
+  while (S) {
+    Slab *Next = S->Next;
+    std::free(S);
+    S = Next;
+  }
+}
+
+void Arena::addSlab(std::size_t MinBytes) {
+  std::size_t Payload = MinBytes > SlabBytes ? MinBytes : SlabBytes;
+  auto *S = static_cast<Slab *>(std::malloc(sizeof(Slab) + Payload));
+  if (!S)
+    reportFatalError("arena slab allocation failed");
+  S->Next = Head;
+  S->Size = Payload;
+  Head = S;
+  Cur = reinterpret_cast<char *>(S) + sizeof(Slab);
+  End = Cur + Payload;
+  ++NumSlabs;
+}
+
+void *Arena::allocate(std::size_t Bytes, std::size_t Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 && "align must be power of 2");
+  auto P = reinterpret_cast<std::uintptr_t>(Cur);
+  std::uintptr_t Aligned = (P + Align - 1) & ~(std::uintptr_t(Align) - 1);
+  char *Result = reinterpret_cast<char *>(Aligned);
+  if (Result + Bytes > End) {
+    addSlab(Bytes + Align);
+    return allocate(Bytes, Align);
+  }
+  Cur = Result + Bytes;
+  BytesAllocated += Bytes;
+  return Result;
+}
+
+void Arena::reset() {
+  // Keep the most recently added slab (the largest live one) and free the
+  // rest, so steady-state reuse does not thrash the system allocator.
+  Slab *Keep = Head;
+  Slab *S = Keep->Next;
+  while (S) {
+    Slab *Next = S->Next;
+    std::free(S);
+    S = Next;
+  }
+  Keep->Next = nullptr;
+  Head = Keep;
+  Cur = reinterpret_cast<char *>(Keep) + sizeof(Slab);
+  End = Cur + Keep->Size;
+  BytesAllocated = 0;
+  NumSlabs = 1;
+}

@@ -1,0 +1,105 @@
+//===- support/BitVector.h - Dynamic bit vector ----------------*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-capacity dynamic bit vector used for ICODE's def/use sets and the
+/// iterative live-variable relaxation (paper §5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_SUPPORT_BITVECTOR_H
+#define TICKC_SUPPORT_BITVECTOR_H
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace tcc {
+
+/// A set of small integers stored as packed bits.
+class BitVector {
+public:
+  BitVector() = default;
+  explicit BitVector(unsigned NumBits)
+      : Words((NumBits + 63) / 64, 0), NumBits(NumBits) {}
+
+  unsigned size() const { return NumBits; }
+
+  void set(unsigned I) {
+    assert(I < NumBits && "bit out of range");
+    Words[I / 64] |= 1ull << (I % 64);
+  }
+  void clear(unsigned I) {
+    assert(I < NumBits && "bit out of range");
+    Words[I / 64] &= ~(1ull << (I % 64));
+  }
+  bool test(unsigned I) const {
+    assert(I < NumBits && "bit out of range");
+    return Words[I / 64] & (1ull << (I % 64));
+  }
+
+  void clearAll() {
+    for (std::uint64_t &W : Words)
+      W = 0;
+  }
+
+  /// this |= Other. Returns true if any bit changed.
+  bool unionWith(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    bool Changed = false;
+    for (std::size_t I = 0, E = Words.size(); I != E; ++I) {
+      std::uint64_t Old = Words[I];
+      Words[I] |= Other.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  /// this |= (Other & ~Mask). The dataflow step LiveIn |= LiveOut - Def.
+  bool unionWithMinus(const BitVector &Other, const BitVector &Mask) {
+    assert(NumBits == Other.NumBits && NumBits == Mask.NumBits);
+    bool Changed = false;
+    for (std::size_t I = 0, E = Words.size(); I != E; ++I) {
+      std::uint64_t Old = Words[I];
+      Words[I] |= Other.Words[I] & ~Mask.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  unsigned count() const {
+    unsigned N = 0;
+    for (std::uint64_t W : Words)
+      N += std::popcount(W);
+    return N;
+  }
+
+  bool operator==(const BitVector &Other) const {
+    return NumBits == Other.NumBits && Words == Other.Words;
+  }
+
+  /// Calls \p F(index) for every set bit, in increasing order.
+  template <typename FnT> void forEach(FnT F) const {
+    for (std::size_t WI = 0, E = Words.size(); WI != E; ++WI) {
+      std::uint64_t W = Words[WI];
+      while (W) {
+        unsigned Bit = static_cast<unsigned>(std::countr_zero(W));
+        F(static_cast<unsigned>(WI * 64 + Bit));
+        W &= W - 1;
+      }
+    }
+  }
+
+private:
+  std::vector<std::uint64_t> Words;
+  unsigned NumBits = 0;
+};
+
+} // namespace tcc
+
+#endif // TICKC_SUPPORT_BITVECTOR_H

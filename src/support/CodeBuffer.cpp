@@ -1,0 +1,66 @@
+//===- support/CodeBuffer.cpp ---------------------------------------------==//
+
+#include "support/CodeBuffer.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <sys/mman.h>
+#include <unistd.h>
+
+using namespace tcc;
+
+std::size_t tcc::hostICacheSize() {
+#ifdef _SC_LEVEL1_ICACHE_SIZE
+  long Sz = ::sysconf(_SC_LEVEL1_ICACHE_SIZE);
+  if (Sz > 0)
+    return static_cast<std::size_t>(Sz);
+#endif
+  return 32 * 1024; // Plausible L1i default.
+}
+
+static std::size_t pageSize() {
+  static const std::size_t PS = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return PS;
+}
+
+CodeRegion::CodeRegion(std::size_t Cap, CodePlacement Placement) {
+  assert(Cap > 0 && "empty code region");
+  std::size_t Offset = 0;
+  if (Placement == CodePlacement::Randomized) {
+    // The paper chooses the start address "randomly modulo the cache size".
+    // Keep 16-byte alignment for the entry point.
+    std::size_t ICache = hostICacheSize();
+    Offset = (static_cast<std::size_t>(std::rand()) % ICache) & ~std::size_t(15);
+  }
+  MappingSize = (Offset + Cap + pageSize() - 1) & ~(pageSize() - 1);
+  void *Mem = ::mmap(nullptr, MappingSize, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Mem == MAP_FAILED)
+    reportFatalError("mmap of code region failed");
+  Mapping = static_cast<std::uint8_t *>(Mem);
+  Base = Mapping + Offset;
+  Capacity = Cap;
+}
+
+CodeRegion::~CodeRegion() {
+  if (Mapping)
+    ::munmap(Mapping, MappingSize);
+}
+
+void CodeRegion::makeExecutable() {
+  if (Executable)
+    return;
+  if (::mprotect(Mapping, MappingSize, PROT_READ | PROT_EXEC) != 0)
+    reportFatalError("mprotect(PROT_EXEC) on code region failed");
+  Executable = true;
+}
+
+void CodeRegion::makeWritable() {
+  if (!Executable)
+    return;
+  if (::mprotect(Mapping, MappingSize, PROT_READ | PROT_WRITE) != 0)
+    reportFatalError("mprotect(PROT_WRITE) on code region failed");
+  Executable = false;
+}

@@ -1,0 +1,71 @@
+//===- support/CodeBuffer.h - Executable memory management -----*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable-memory management for dynamically generated code. Follows the
+/// paper (§4.4): code placement may be randomized modulo the instruction
+/// cache size to avoid systematically poor cache behaviour, and buffers are
+/// made executable before the function pointer is handed back (Keppel [28]
+/// addressed this portability problem; on x86-64/Linux an mprotect flip is
+/// sufficient and no icache flush is needed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_SUPPORT_CODEBUFFER_H
+#define TICKC_SUPPORT_CODEBUFFER_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tcc {
+
+/// Placement policy for fresh code regions.
+enum class CodePlacement {
+  Sequential, ///< Pack functions back to back.
+  Randomized, ///< Randomize start offset modulo the i-cache size (paper §4.4).
+};
+
+/// A growable region of memory that machine code is emitted into and that
+/// can be flipped executable. One CodeRegion per compiled dynamic function.
+class CodeRegion {
+public:
+  CodeRegion(std::size_t Capacity, CodePlacement Placement);
+  ~CodeRegion();
+
+  CodeRegion(const CodeRegion &) = delete;
+  CodeRegion &operator=(const CodeRegion &) = delete;
+
+  /// Base address code is emitted at (already offset per placement policy).
+  std::uint8_t *base() const { return Base; }
+
+  /// Bytes available starting at base().
+  std::size_t capacity() const { return Capacity; }
+
+  /// Flips the region executable (and read-only for writes under W^X).
+  /// Must be called before executing emitted code.
+  void makeExecutable();
+
+  /// Flips the region back to writable for reuse.
+  void makeWritable();
+
+  bool isExecutable() const { return Executable; }
+
+private:
+  std::uint8_t *Mapping = nullptr; ///< Page-aligned mmap base.
+  std::size_t MappingSize = 0;
+  std::uint8_t *Base = nullptr; ///< Emission start inside the mapping.
+  std::size_t Capacity = 0;
+  bool Executable = false;
+};
+
+/// Returns the host instruction-cache size used by the randomized placement
+/// policy (a fixed plausible constant when it cannot be queried).
+std::size_t hostICacheSize();
+
+} // namespace tcc
+
+#endif // TICKC_SUPPORT_CODEBUFFER_H

@@ -1,0 +1,17 @@
+//===- support/Error.cpp --------------------------------------------------==//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void tcc::reportFatalError(const char *Msg) {
+  std::fprintf(stderr, "tickc fatal error: %s\n", Msg);
+  std::abort();
+}
+
+void tcc::unreachableInternal(const char *Msg, const char *File,
+                              unsigned Line) {
+  std::fprintf(stderr, "tickc internal error: %s at %s:%u\n", Msg, File, Line);
+  std::abort();
+}

@@ -1,0 +1,34 @@
+//===- support/Error.h - Fatal-error and unreachable helpers ---*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Programmatic-error helpers in the spirit of LLVM's report_fatal_error and
+/// llvm_unreachable. The library uses no exceptions; invariant violations
+/// abort with a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_SUPPORT_ERROR_H
+#define TICKC_SUPPORT_ERROR_H
+
+namespace tcc {
+
+/// Prints \p Msg to stderr and aborts. Used for unrecoverable environment
+/// failures (e.g. mmap of the code buffer failing).
+[[noreturn]] void reportFatalError(const char *Msg);
+
+/// Marks a point in code that must never be reached if program invariants
+/// hold. Prints location info and aborts.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace tcc
+
+#define tcc_unreachable(MSG)                                                   \
+  ::tcc::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // TICKC_SUPPORT_ERROR_H

@@ -1,0 +1,36 @@
+//===- support/Timing.cpp -------------------------------------------------==//
+
+#include "support/Timing.h"
+
+#include <ctime>
+#include <x86intrin.h>
+
+using namespace tcc;
+
+std::uint64_t tcc::readCycleCounter() {
+  unsigned Aux;
+  return __rdtscp(&Aux);
+}
+
+std::uint64_t tcc::readMonotonicNanos() {
+  timespec TS;
+  clock_gettime(CLOCK_MONOTONIC, &TS);
+  return static_cast<std::uint64_t>(TS.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(TS.tv_nsec);
+}
+
+static double measureCyclesPerNano() {
+  std::uint64_t N0 = readMonotonicNanos();
+  std::uint64_t C0 = readCycleCounter();
+  // ~2 ms busy calibration window.
+  while (readMonotonicNanos() - N0 < 2000000)
+    ;
+  std::uint64_t C1 = readCycleCounter();
+  std::uint64_t N1 = readMonotonicNanos();
+  return static_cast<double>(C1 - C0) / static_cast<double>(N1 - N0);
+}
+
+double tcc::cyclesPerNano() {
+  static const double Ratio = measureCyclesPerNano();
+  return Ratio;
+}

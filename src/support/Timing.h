@@ -1,0 +1,50 @@
+//===- support/Timing.h - Cycle and wall-clock measurement -----*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measurement helpers. The paper reports dynamic-compilation costs in
+/// processor cycles per generated instruction (its SparcStation 5 ran at
+/// 70 MHz); we report TSC ticks on x86-64, plus wall-clock nanoseconds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_SUPPORT_TIMING_H
+#define TICKC_SUPPORT_TIMING_H
+
+#include <cstdint>
+
+namespace tcc {
+
+/// Reads the time-stamp counter (serialized enough for coarse phase timing).
+std::uint64_t readCycleCounter();
+
+/// Monotonic wall-clock time in nanoseconds.
+std::uint64_t readMonotonicNanos();
+
+/// Estimated TSC ticks per nanosecond, measured once at first use. Used to
+/// convert between the two reporting units in the benchmark harnesses.
+double cyclesPerNano();
+
+/// Accumulates time spent in one named phase of dynamic compilation
+/// (e.g. "closure", "IR build", "register allocation", "emit") across many
+/// runs, in TSC ticks. Figures 6 and 7 of the paper are stacked-phase plots
+/// built from exactly this kind of accumulator.
+class PhaseTimer {
+public:
+  void start() { StartedAt = readCycleCounter(); }
+  void stop() { Total += readCycleCounter() - StartedAt; }
+  std::uint64_t totalCycles() const { return Total; }
+  void reset() { Total = 0; }
+
+private:
+  std::uint64_t StartedAt = 0;
+  std::uint64_t Total = 0;
+};
+
+} // namespace tcc
+
+#endif // TICKC_SUPPORT_TIMING_H

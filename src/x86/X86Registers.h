@@ -1,0 +1,101 @@
+//===- x86/X86Registers.h - x86-64 register and ABI description *- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// x86-64 register numbering and the SysV calling convention facts used by
+/// the VCODE layer. The paper targeted MIPS/SPARC/Alpha/x86 through VCODE's
+/// idealized RISC interface; this is the host-ISA half of that contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_X86_X86REGISTERS_H
+#define TICKC_X86_X86REGISTERS_H
+
+#include <cstdint>
+
+namespace tcc {
+namespace x86 {
+
+/// General-purpose registers, numbered with their hardware encoding.
+enum GPR : std::uint8_t {
+  RAX = 0,
+  RCX = 1,
+  RDX = 2,
+  RBX = 3,
+  RSP = 4,
+  RBP = 5,
+  RSI = 6,
+  RDI = 7,
+  R8 = 8,
+  R9 = 9,
+  R10 = 10,
+  R11 = 11,
+  R12 = 12,
+  R13 = 13,
+  R14 = 14,
+  R15 = 15,
+};
+
+/// SSE registers, numbered with their hardware encoding.
+enum XMM : std::uint8_t {
+  XMM0 = 0,
+  XMM1 = 1,
+  XMM2 = 2,
+  XMM3 = 3,
+  XMM4 = 4,
+  XMM5 = 5,
+  XMM6 = 6,
+  XMM7 = 7,
+  XMM8 = 8,
+  XMM9 = 9,
+  XMM10 = 10,
+  XMM11 = 11,
+  XMM12 = 12,
+  XMM13 = 13,
+  XMM14 = 14,
+  XMM15 = 15,
+};
+
+/// Condition codes (the low nibble of the 0F 8x / 0F 9x opcode families).
+enum class Cond : std::uint8_t {
+  O = 0x0,
+  NO = 0x1,
+  B = 0x2,  ///< unsigned <
+  AE = 0x3, ///< unsigned >=
+  E = 0x4,
+  NE = 0x5,
+  BE = 0x6, ///< unsigned <=
+  A = 0x7,  ///< unsigned >
+  S = 0x8,
+  NS = 0x9,
+  P = 0xA,
+  NP = 0xB,
+  L = 0xC,  ///< signed <
+  GE = 0xD, ///< signed >=
+  LE = 0xE, ///< signed <=
+  G = 0xF,  ///< signed >
+};
+
+/// Inverts a condition (E <-> NE, L <-> GE, ...).
+inline Cond invert(Cond C) {
+  return static_cast<Cond>(static_cast<std::uint8_t>(C) ^ 1);
+}
+
+/// SysV integer argument registers, in order.
+inline constexpr GPR IntArgRegs[6] = {RDI, RSI, RDX, RCX, R8, R9};
+
+/// SysV floating-point argument registers, in order.
+inline constexpr XMM FloatArgRegs[8] = {XMM0, XMM1, XMM2, XMM3,
+                                        XMM4, XMM5, XMM6, XMM7};
+
+/// Registers a SysV callee must preserve (RSP handled separately).
+inline constexpr GPR CalleeSavedRegs[6] = {RBX, RBP, R12, R13, R14, R15};
+
+} // namespace x86
+} // namespace tcc
+
+#endif // TICKC_X86_X86REGISTERS_H

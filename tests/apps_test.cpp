@@ -1,0 +1,223 @@
+//===- tests/apps_test.cpp - Benchmark application correctness ------------===//
+//
+// Every benchmark program from the paper's evaluation: the dynamic version
+// (both back ends) must agree with the -O0 and -O2 static baselines.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/BinSearch.h"
+#include "apps/Blur.h"
+#include "apps/Compose.h"
+#include "apps/DotProduct.h"
+#include "apps/Hash.h"
+#include "apps/Heapsort.h"
+#include "apps/Marshal.h"
+#include "apps/MatScale.h"
+#include "apps/Newton.h"
+#include "apps/Power.h"
+#include "apps/Query.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+using namespace tcc;
+using namespace tcc::apps;
+using namespace tcc::core;
+
+namespace {
+
+class AppsBothBackends : public ::testing::TestWithParam<BackendKind> {
+protected:
+  CompileOptions opts() const {
+    CompileOptions O;
+    O.Backend = GetParam();
+    return O;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Backends, AppsBothBackends,
+                         ::testing::Values(BackendKind::VCode,
+                                           BackendKind::ICode),
+                         [](const auto &Info) {
+                           return Info.param == BackendKind::VCode ? "VCode"
+                                                                   : "ICode";
+                         });
+
+TEST_P(AppsBothBackends, Hash) {
+  HashApp App;
+  CompiledFn F = App.specialize(opts());
+  auto *Lookup = F.as<int(int)>();
+  EXPECT_EQ(Lookup(App.presentKey()), App.lookupStaticO0(App.presentKey()));
+  EXPECT_EQ(Lookup(App.presentKey()), App.lookupStaticO2(App.presentKey()));
+  EXPECT_NE(Lookup(App.presentKey()), -1);
+  EXPECT_EQ(Lookup(App.absentKey()), -1);
+  // Sweep random keys: present or not, all must agree with the baseline.
+  std::mt19937 Rng(11);
+  for (int I = 0; I < 200; ++I) {
+    int K = static_cast<int>(Rng() % 1000000) + 1;
+    EXPECT_EQ(Lookup(K), App.lookupStaticO2(K)) << "key " << K;
+  }
+}
+
+TEST_P(AppsBothBackends, MatScale) {
+  MatScaleApp App;
+  CompiledFn F = App.specialize(opts());
+  auto M0 = App.matrix();
+  auto M1 = App.matrix();
+  App.scaleStaticO2(M0.data());
+  F.as<void(int *)>()(M1.data());
+  EXPECT_EQ(M0, M1);
+}
+
+TEST_P(AppsBothBackends, Power) {
+  for (unsigned E : {0u, 1u, 2u, 5u, 13u, 30u}) {
+    PowerApp App(E);
+    CompiledFn F = App.specialize(opts());
+    auto *P = F.as<int(int)>();
+    for (int X : {0, 1, 2, 3, -2, 7})
+      EXPECT_EQ(P(X), App.powStaticO2(X)) << X << "^" << E;
+  }
+}
+
+TEST_P(AppsBothBackends, BinSearch) {
+  BinSearchApp App(16);
+  CompiledFn F = App.specialize(opts());
+  auto *Find = F.as<int(int)>();
+  for (std::size_t I = 0; I < App.data().size(); ++I)
+    EXPECT_EQ(Find(App.data()[I]), static_cast<int>(I));
+  EXPECT_EQ(Find(App.absentKey()), -1);
+  EXPECT_EQ(Find(-1000), -1);
+  // Larger table exercises deeper spec-time recursion.
+  BinSearchApp Big(128, 77);
+  CompiledFn FB = Big.specialize(opts());
+  auto *FindB = FB.as<int(int)>();
+  for (std::size_t I = 0; I < Big.data().size(); I += 7)
+    EXPECT_EQ(FindB(Big.data()[I]), static_cast<int>(I));
+}
+
+TEST_P(AppsBothBackends, DotProduct) {
+  DotProductApp App(64, 0.5);
+  CompiledFn F = App.specialize(opts());
+  auto *Dot = F.as<int(const int *)>();
+  std::mt19937 Rng(13);
+  std::vector<int> Col(App.size());
+  for (int T = 0; T < 20; ++T) {
+    for (int &V : Col)
+      V = static_cast<int>(Rng() % 2000) - 1000;
+    EXPECT_EQ(Dot(Col.data()), App.dotStaticO2(Col.data()));
+    EXPECT_EQ(Dot(Col.data()), App.dotStaticO0(Col.data()));
+  }
+}
+
+TEST_P(AppsBothBackends, Newton) {
+  NewtonApp App;
+  CompiledFn F = App.specialize(opts());
+  auto *Solve = F.as<double(double)>();
+  for (double X0 : {0.5, 3.0, 10.0}) {
+    double Got = Solve(X0);
+    double Want = App.solveStaticO2(X0);
+    EXPECT_NEAR(Got, Want, 1e-9) << "from " << X0;
+    double Res = (Got + 1) * (Got + 1) * (Got + 1);
+    EXPECT_NEAR(Res, 0.0, 1e-6) << "must be near the root -1";
+  }
+}
+
+TEST_P(AppsBothBackends, Compose) {
+  ComposeApp App;
+  CompiledFn F = App.specialize(opts());
+  auto *Pipe = F.as<int(std::uint32_t *)>();
+  std::vector<std::uint32_t> D0(App.words()), D1(App.words());
+  std::uint32_t S0 = App.pipeStaticO2(D0.data());
+  auto S1 = static_cast<std::uint32_t>(Pipe(D1.data()));
+  EXPECT_EQ(S0, S1);
+  EXPECT_EQ(D0, D1);
+}
+
+TEST_P(AppsBothBackends, Query) {
+  QueryApp App(2000);
+  CompiledFn F = App.specialize(App.benchmarkQuery(), opts());
+  auto *Match = F.as<int(const Record *)>();
+  int CDyn = App.countCompiled(Match);
+  EXPECT_EQ(CDyn, App.countStaticO0(App.benchmarkQuery()));
+  EXPECT_EQ(CDyn, App.countStaticO2(App.benchmarkQuery()));
+  EXPECT_GT(CDyn, 0);
+  EXPECT_LT(CDyn, 2000);
+  // Per-record agreement, not just the aggregate.
+  for (unsigned I = 0; I < 100; ++I) {
+    const Record &R = App.records()[I * 17 % App.records().size()];
+    EXPECT_EQ(Match(&R), QueryApp::matchStatic(App.benchmarkQuery(), &R))
+        << "record " << I;
+  }
+}
+
+TEST_P(AppsBothBackends, Heapsort) {
+  HeapsortApp App(500);
+  CompiledFn F = App.specialize(opts());
+  auto *Sort = F.as<void(HeapRecord *)>();
+  auto A = App.data();
+  auto B = App.data();
+  App.sortStaticO2(A.data());
+  Sort(B.data());
+  for (unsigned I = 0; I < App.count(); ++I) {
+    EXPECT_EQ(A[I].Key, B[I].Key) << "index " << I;
+    EXPECT_EQ(A[I].Payload[0], B[I].Payload[0]) << "payload must move with "
+                                                   "its key, index "
+                                                << I;
+  }
+  // Sortedness.
+  for (unsigned I = 1; I < App.count(); ++I)
+    EXPECT_LE(B[I - 1].Key, B[I].Key);
+}
+
+TEST_P(AppsBothBackends, Marshal) {
+  MarshalApp App;
+  CompiledFn F = App.buildMarshaler(opts());
+  auto *M = F.as<void(int, int, int, int, int, std::uint8_t *)>();
+  std::uint8_t BufDyn[32] = {0}, BufStat[32] = {0};
+  M(11, -22, 33, -44, 55, BufDyn);
+  MarshalApp::marshal5StaticO2(BufStat, 11, -22, 33, -44, 55);
+  EXPECT_EQ(0, std::memcmp(BufDyn, BufStat, 20));
+}
+
+static int SumOf5(int A, int B, int C, int D, int E) {
+  return A + 2 * B + 3 * C + 4 * D + 5 * E;
+}
+
+TEST_P(AppsBothBackends, Unmarshal) {
+  MarshalApp App;
+  CompiledFn F = App.buildUnmarshaler(
+      reinterpret_cast<const void *>(&SumOf5), opts());
+  auto *U = F.as<int(const std::uint8_t *)>();
+  std::uint8_t Buf[32];
+  MarshalApp::marshal5StaticO2(Buf, 1, 2, 3, 4, 5);
+  EXPECT_EQ(U(Buf), SumOf5(1, 2, 3, 4, 5));
+  EXPECT_EQ(U(Buf), MarshalApp::unmarshal5StaticO2(Buf, &SumOf5));
+}
+
+TEST_P(AppsBothBackends, Blur) {
+  BlurApp App(64, 48, 1); // Small image keeps the test fast.
+  CompiledFn F = App.specialize(opts());
+  auto *Blur = F.as<void(std::int32_t *)>();
+  std::vector<std::int32_t> D0(App.pixels()), D1(App.pixels());
+  App.blurStaticO2(D0.data());
+  Blur(D1.data());
+  EXPECT_EQ(D0, D1);
+  // Boundary pixels average fewer neighbors; check a corner by hand.
+  const std::int32_t *S = App.source();
+  int W = static_cast<int>(App.width());
+  int Corner = (S[0] + S[1] + S[W] + S[W + 1]) / 4;
+  EXPECT_EQ(D1[0], Corner);
+}
+
+TEST_P(AppsBothBackends, BlurLargerRadius) {
+  BlurApp App(32, 32, 2);
+  CompiledFn F = App.specialize(opts());
+  std::vector<std::int32_t> D0(App.pixels()), D1(App.pixels());
+  App.blurStaticO0(D0.data());
+  F.as<void(std::int32_t *)>()(D1.data());
+  EXPECT_EQ(D0, D1);
+}
+
+} // namespace

@@ -1,0 +1,464 @@
+//===- tests/icode_test.cpp - ICODE back end tests ------------------------===//
+//
+// End-to-end compilation through both register allocators, plus direct
+// tests of the flow graph, liveness, live intervals, and the allocators'
+// invariants.
+//
+//===----------------------------------------------------------------------===//
+
+#include "icode/Analysis.h"
+#include "icode/ICode.h"
+
+#include "support/CodeBuffer.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace tcc;
+using namespace tcc::icode;
+
+namespace {
+
+/// Compiles an ICode buffer and returns a callable entry point.
+class IJit {
+public:
+  explicit IJit(std::size_t Cap = 1 << 18)
+      : Region(Cap, CodePlacement::Sequential), V(Region.base(), Cap) {}
+
+  template <typename FnT>
+  FnT *compile(ICode &IC, RegAllocKind Kind, CompileStats *Stats = nullptr) {
+    void *Entry = IC.compileTo(V, Kind, Stats);
+    Region.makeExecutable();
+    return reinterpret_cast<FnT *>(Entry);
+  }
+
+  CodeRegion Region;
+  vcode::VCode V;
+};
+
+class ICodeBothAllocs : public ::testing::TestWithParam<RegAllocKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Allocators, ICodeBothAllocs,
+                         ::testing::Values(RegAllocKind::LinearScan,
+                                           RegAllocKind::GraphColor),
+                         [](const auto &Info) {
+                           return Info.param == RegAllocKind::LinearScan
+                                      ? "LinearScan"
+                                      : "GraphColor";
+                         });
+
+TEST_P(ICodeBothAllocs, StraightLineArith) {
+  ICode IC;
+  VReg A = IC.newIntReg(), B = IC.newIntReg();
+  IC.bindArgI(0, A);
+  IC.bindArgI(1, B);
+  VReg T1 = IC.newIntReg(), T2 = IC.newIntReg(), T3 = IC.newIntReg();
+  IC.addI(T1, A, B);  // a+b
+  IC.mulI(T2, T1, A); // (a+b)*a
+  IC.subII(T3, T2, 7);
+  IC.retI(T3);
+  IJit J;
+  auto *Fn = J.compile<int(int, int)>(IC, GetParam());
+  EXPECT_EQ(Fn(3, 4), (3 + 4) * 3 - 7);
+  EXPECT_EQ(Fn(-2, 10), (-2 + 10) * -2 - 7);
+}
+
+TEST_P(ICodeBothAllocs, LoopSum) {
+  // s = 0; for (i = 0; i < n; ++i) s += i*i; return s;
+  ICode IC;
+  VReg N = IC.newIntReg();
+  IC.bindArgI(0, N);
+  VReg I = IC.newIntReg(), S = IC.newIntReg(), T = IC.newIntReg();
+  IC.setI(I, 0);
+  IC.setI(S, 0);
+  ILabel Head = IC.newLabel(), Done = IC.newLabel();
+  IC.bindLabel(Head);
+  IC.brCmpI(CmpKind::GeS, I, N, Done);
+  IC.hint(+1);
+  IC.mulI(T, I, I);
+  IC.addI(S, S, T);
+  IC.addII(I, I, 1);
+  IC.hint(-1);
+  IC.jump(Head);
+  IC.bindLabel(Done);
+  IC.retI(S);
+  IJit J;
+  CompileStats Stats;
+  auto *Fn = J.compile<int(int)>(IC, GetParam(), &Stats);
+  EXPECT_EQ(Fn(0), 0);
+  EXPECT_EQ(Fn(5), 0 + 1 + 4 + 9 + 16);
+  int Want = 0;
+  for (int K = 0; K < 100; ++K)
+    Want += K * K;
+  EXPECT_EQ(Fn(100), Want);
+  EXPECT_GE(Stats.NumBasicBlocks, 3u);
+  EXPECT_GT(Stats.NumMachineInstrs, 0u);
+}
+
+TEST_P(ICodeBothAllocs, HighPressureSpills) {
+  // Materialize many simultaneously live values so spilling must happen,
+  // then combine them; result must still be correct.
+  ICode IC;
+  constexpr int N = 24; // far more than the 5 integer pool registers
+  std::vector<VReg> Regs;
+  for (int K = 0; K < N; ++K) {
+    VReg R = IC.newIntReg();
+    IC.setI(R, (K + 1) * 3);
+    Regs.push_back(R);
+  }
+  VReg Sum = IC.newIntReg();
+  IC.setI(Sum, 0);
+  for (int K = 0; K < N; ++K)
+    IC.addI(Sum, Sum, Regs[K]);
+  IC.retI(Sum);
+  IJit J;
+  CompileStats Stats;
+  auto *Fn = J.compile<int()>(IC, GetParam(), &Stats);
+  EXPECT_EQ(Fn(), 3 * N * (N + 1) / 2);
+  EXPECT_GT(Stats.NumSpilledIntervals, 0u)
+      << "this much pressure must spill on a 5-register pool";
+}
+
+TEST_P(ICodeBothAllocs, DoubleLoop) {
+  // Newton iteration-ish double kernel: x = x - (x*x - a) / (2x), 20 times.
+  ICode IC;
+  VReg A = IC.newFloatReg();
+  IC.bindArgD(0, A);
+  VReg X = IC.newFloatReg(), T = IC.newFloatReg(), Num = IC.newFloatReg(),
+       Den = IC.newFloatReg(), Two = IC.newFloatReg();
+  VReg I = IC.newIntReg();
+  IC.movD(X, A);
+  IC.setD(Two, 2.0);
+  IC.setI(I, 0);
+  ILabel Head = IC.newLabel(), Done = IC.newLabel();
+  IC.bindLabel(Head);
+  IC.brCmpII(CmpKind::GeS, I, 20, Done);
+  IC.hint(+1);
+  IC.mulD(T, X, X);
+  IC.subD(Num, T, A);
+  IC.mulD(Den, Two, X);
+  IC.divD(Num, Num, Den);
+  IC.subD(X, X, Num);
+  IC.addII(I, I, 1);
+  IC.hint(-1);
+  IC.jump(Head);
+  IC.bindLabel(Done);
+  IC.retD(X);
+  IJit J;
+  auto *Fn = J.compile<double(double)>(IC, GetParam());
+  EXPECT_NEAR(Fn(9.0), 3.0, 1e-9);
+  EXPECT_NEAR(Fn(2.0), std::sqrt(2.0), 1e-9);
+}
+
+TEST_P(ICodeBothAllocs, MemoryAndCalls) {
+  // return helper(p[0], p[1]) + p[2]
+  ICode IC;
+  VReg P = IC.newIntReg();
+  IC.bindArgI(0, P);
+  VReg A = IC.newIntReg(), B = IC.newIntReg(), C = IC.newIntReg();
+  IC.ldI(A, P, 0);
+  IC.ldI(B, P, 4);
+  IC.ldI(C, P, 8);
+  IC.prepareCallArgI(0, A);
+  IC.prepareCallArgI(1, B);
+  auto Helper = +[](int X, int Y) { return X * Y; };
+  IC.emitCall(reinterpret_cast<const void *>(Helper));
+  VReg R = IC.newIntReg();
+  IC.resultToI(R);
+  IC.addI(R, R, C);
+  IC.retI(R);
+  IJit J;
+  auto *Fn = J.compile<int(const int *)>(IC, GetParam());
+  int Data[3] = {6, 7, 100};
+  EXPECT_EQ(Fn(Data), 142);
+}
+
+TEST_P(ICodeBothAllocs, RandomExpressionTrees) {
+  // Property test: generated code over random DAGs of int ops must match a
+  // host-computed reference (division avoided to dodge UB).
+  std::mt19937 Rng(12345);
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    ICode IC;
+    VReg A0 = IC.newIntReg(), A1 = IC.newIntReg();
+    IC.bindArgI(0, A0);
+    IC.bindArgI(1, A1);
+    std::vector<VReg> Vals = {A0, A1};
+    int X = 17, Y = -9; // concrete arguments
+    std::vector<long long> Ref = {X, Y};
+
+    auto Wrap = [](long long V) {
+      return static_cast<long long>(static_cast<std::int32_t>(V));
+    };
+    int Steps = 3 + static_cast<int>(Rng() % 20);
+    for (int S = 0; S < Steps; ++S) {
+      unsigned OpSel = Rng() % 5;
+      std::size_t I1 = Rng() % Vals.size(), I2 = Rng() % Vals.size();
+      VReg D = IC.newIntReg();
+      long long R;
+      switch (OpSel) {
+      case 0:
+        IC.addI(D, Vals[I1], Vals[I2]);
+        R = Wrap(Ref[I1] + Ref[I2]);
+        break;
+      case 1:
+        IC.subI(D, Vals[I1], Vals[I2]);
+        R = Wrap(Ref[I1] - Ref[I2]);
+        break;
+      case 2:
+        IC.mulI(D, Vals[I1], Vals[I2]);
+        R = Wrap(static_cast<std::int64_t>(Ref[I1]) * Ref[I2]);
+        break;
+      case 3:
+        IC.xorI(D, Vals[I1], Vals[I2]);
+        R = Wrap(Ref[I1] ^ Ref[I2]);
+        break;
+      default:
+        IC.andII(D, Vals[I1], 0x7FFF);
+        R = Wrap(Ref[I1] & 0x7FFF);
+        break;
+      }
+      Vals.push_back(D);
+      Ref.push_back(R);
+    }
+    IC.retI(Vals.back());
+    IJit J;
+    auto *Fn = J.compile<int(int, int)>(IC, GetParam());
+    EXPECT_EQ(Fn(X, Y), static_cast<int>(Ref.back())) << "trial " << Trial;
+  }
+}
+
+// --- Analysis-level tests -------------------------------------------------------
+
+/// Small diamond: entry -> (then | else) -> join.
+ICode makeDiamond() {
+  ICode IC;
+  VReg A = IC.newIntReg();
+  IC.bindArgI(0, A);
+  VReg R = IC.newIntReg();
+  ILabel Else = IC.newLabel(), Join = IC.newLabel();
+  IC.brCmpII(CmpKind::LeS, A, 0, Else);
+  IC.setI(R, 1);
+  IC.jump(Join);
+  IC.bindLabel(Else);
+  IC.setI(R, 2);
+  IC.bindLabel(Join);
+  IC.addI(R, R, A);
+  IC.retI(R);
+  return IC;
+}
+
+TEST(FlowGraphTest, DiamondShape) {
+  ICode IC = makeDiamond();
+  FlowGraph FG;
+  FG.build(IC);
+  ASSERT_EQ(FG.blocks().size(), 4u);
+  // Entry has two successors.
+  const BasicBlock &Entry = FG.blocks()[0];
+  EXPECT_GE(Entry.Succ[0], 0);
+  EXPECT_GE(Entry.Succ[1], 0);
+  // Then-block jumps to join (one successor).
+  const BasicBlock &Then = FG.blocks()[1];
+  EXPECT_GE(Then.Succ[0], 0);
+  EXPECT_EQ(Then.Succ[1], -1);
+}
+
+TEST(FlowGraphTest, LivenessThroughDiamond) {
+  ICode IC = makeDiamond();
+  FlowGraph FG;
+  FG.build(IC);
+  unsigned Iters = FG.solveLiveness(IC);
+  EXPECT_GE(Iters, 1u);
+  // A (vreg 0) is used in the join block, so it must be live out of the
+  // entry block and live into both arms.
+  const BasicBlock &Entry = FG.blocks()[0];
+  EXPECT_TRUE(Entry.LiveOut.test(0));
+  EXPECT_TRUE(FG.blocks()[1].LiveIn.test(0));
+  EXPECT_TRUE(FG.blocks()[2].LiveIn.test(0));
+}
+
+TEST(LiveIntervalsTest, LoopCarriedSpansLoop) {
+  // i and s must both span the whole loop body.
+  ICode IC;
+  VReg N = IC.newIntReg();
+  IC.bindArgI(0, N);
+  VReg I = IC.newIntReg(), S = IC.newIntReg();
+  IC.setI(I, 0);
+  IC.setI(S, 0);
+  ILabel Head = IC.newLabel(), Done = IC.newLabel();
+  IC.bindLabel(Head);
+  IC.brCmpI(CmpKind::GeS, I, N, Done);
+  IC.addI(S, S, I);
+  IC.addII(I, I, 1);
+  IC.jump(Head);
+  IC.bindLabel(Done);
+  IC.retI(S);
+
+  FlowGraph FG;
+  FG.build(IC);
+  FG.solveLiveness(IC);
+  auto Intervals = buildLiveIntervals(IC, FG);
+
+  auto JumpIdx = static_cast<std::int32_t>(IC.instrs().size()) - 3;
+  ASSERT_EQ(IC.instrs()[JumpIdx].Opcode, Op::Jump);
+  for (const Interval &IV : Intervals) {
+    if (IV.Reg != I && IV.Reg != S)
+      continue;
+    EXPECT_GE(IV.End, JumpIdx) << "loop-carried interval must reach the "
+                                  "back edge (vreg "
+                               << IV.Reg << ")";
+  }
+  // Sorted by end point.
+  for (std::size_t K = 1; K < Intervals.size(); ++K)
+    EXPECT_LE(Intervals[K - 1].End, Intervals[K].End);
+}
+
+TEST(LinearScanTest, NoOverlapSharesRegister) {
+  // Invariant check on random interval sets: two intervals assigned the
+  // same register must not overlap.
+  std::mt19937 Rng(99);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    // Build a fake ICode with the right number of int vregs.
+    ICode IC;
+    int N = 5 + static_cast<int>(Rng() % 40);
+    std::vector<Interval> Ivs;
+    for (int K = 0; K < N; ++K) {
+      Interval IV;
+      IV.Reg = IC.newIntReg();
+      IV.Start = static_cast<std::int32_t>(Rng() % 100);
+      IV.End = IV.Start + static_cast<std::int32_t>(Rng() % 30);
+      IV.Weight = Rng() % 1000;
+      Ivs.push_back(IV);
+    }
+    std::sort(Ivs.begin(), Ivs.end(), [](const auto &A, const auto &B) {
+      return A.End < B.End;
+    });
+    Allocation Alloc = allocateLinearScan(IC, Ivs, 4, 4,
+                                          SpillHeuristic::LongestInterval, {});
+    for (std::size_t A = 0; A < Ivs.size(); ++A)
+      for (std::size_t B = A + 1; B < Ivs.size(); ++B) {
+        int La = Alloc.Location[Ivs[A].Reg];
+        int Lb = Alloc.Location[Ivs[B].Reg];
+        if (La < 0 || Lb < 0 || La != Lb)
+          continue;
+        bool Overlap =
+            Ivs[A].Start <= Ivs[B].End && Ivs[B].Start <= Ivs[A].End;
+        EXPECT_FALSE(Overlap)
+            << "intervals " << A << " and " << B << " share register " << La;
+      }
+  }
+}
+
+TEST(LinearScanTest, NoSpillWhenPressureFits) {
+  ICode IC;
+  std::vector<Interval> Ivs;
+  // Four pairwise-overlapping intervals, four registers: zero spills.
+  for (int K = 0; K < 4; ++K) {
+    Interval IV;
+    IV.Reg = IC.newIntReg();
+    IV.Start = K;
+    IV.End = 10 + K;
+    Ivs.push_back(IV);
+  }
+  Allocation Alloc =
+      allocateLinearScan(IC, Ivs, 4, 4, SpillHeuristic::LongestInterval, {});
+  EXPECT_EQ(Alloc.NumSpilled, 0u);
+}
+
+TEST(LinearScanTest, SpillsLongestUnderPressure) {
+  ICode IC;
+  std::vector<Interval> Ivs;
+  // One long interval plus three short ones overlapping it, two registers:
+  // the long interval should be the victim (paper's heuristic).
+  Interval Long;
+  Long.Reg = IC.newIntReg();
+  Long.Start = 0;
+  Long.End = 100;
+  Ivs.push_back(Long);
+  // Three mutually overlapping short intervals inside the long one: at
+  // point 14 all four are live, so two of them must go to memory.
+  for (int K = 0; K < 3; ++K) {
+    Interval IV;
+    IV.Reg = IC.newIntReg();
+    IV.Start = 10 + 2 * K;
+    IV.End = 15 + 3 * K;
+    Ivs.push_back(IV);
+  }
+  std::sort(Ivs.begin(), Ivs.end(),
+            [](const auto &A, const auto &B) { return A.End < B.End; });
+  Allocation Alloc =
+      allocateLinearScan(IC, Ivs, 2, 2, SpillHeuristic::LongestInterval, {});
+  EXPECT_EQ(Alloc.Location[0], Allocation::Spilled)
+      << "the longest interval should be among the evicted";
+  EXPECT_EQ(Alloc.NumSpilled, 2u);
+}
+
+TEST(GraphColorTest, ColoringRespectsInterference) {
+  // Compile a real function and check pairwise: same color => disjoint
+  // per-instruction liveness is implied by correctness tests; here we just
+  // sanity-check the diamond allocates without spills.
+  ICode IC = makeDiamond();
+  FlowGraph FG;
+  FG.build(IC);
+  FG.solveLiveness(IC);
+  Allocation Alloc =
+      allocateGraphColor(IC, FG, 5, 12, SpillHeuristic::LongestInterval, {});
+  EXPECT_EQ(Alloc.NumSpilled, 0u);
+  EXPECT_GE(Alloc.Location[0], 0);
+  EXPECT_GE(Alloc.Location[1], 0);
+}
+
+TEST(PeepholeTest, DeadCodeEliminated) {
+  ICode IC;
+  VReg A = IC.newIntReg();
+  IC.bindArgI(0, A);
+  VReg Dead1 = IC.newIntReg(), Dead2 = IC.newIntReg();
+  IC.setI(Dead1, 99);
+  IC.mulI(Dead2, Dead1, Dead1); // chain of dead computations
+  VReg R = IC.newIntReg();
+  IC.addII(R, A, 1);
+  IC.retI(R);
+  IJit J;
+  CompileStats Stats;
+  auto *Fn = J.compile<int(int)>(IC, RegAllocKind::LinearScan, &Stats);
+  EXPECT_EQ(Fn(41), 42);
+  // Both dead instructions must be gone from the IR count.
+  EXPECT_EQ(Stats.NumIRInstrs, 3u) << "bindarg + addII + ret survive";
+}
+
+TEST(PeepholeTest, DivisionIsNotErased) {
+  std::vector<Instr> Instrs;
+  Instrs.push_back(Instr{Op::DivI, 0, 2, 0, 1});
+  unsigned Erased = eliminateDeadCode(Instrs, 3);
+  EXPECT_EQ(Erased, 0u) << "division may trap and must survive DCE";
+}
+
+TEST(EmitterUsageTest, TracksAndPrunes) {
+  EmitterUsage U;
+  EXPECT_EQ(U.usedOpcodes(), 0u);
+  U.noteUse(Op::AddI);
+  U.noteUse(Op::AddI);
+  U.noteUse(Op::RetI);
+  EXPECT_EQ(U.usedOpcodes(), 2u);
+  EXPECT_TRUE(U.isUsed(Op::AddI));
+  EXPECT_FALSE(U.isUsed(Op::MulD));
+  EXPECT_LT(U.retainedHandlerInstrs(), EmitterUsage::fullHandlerInstrs());
+}
+
+TEST(ICodeStats, PhaseCyclesPopulated) {
+  ICode IC;
+  VReg A = IC.newIntReg();
+  IC.bindArgI(0, A);
+  VReg R = IC.newIntReg();
+  IC.mulII(R, A, 3);
+  IC.retI(R);
+  IJit J;
+  CompileStats Stats;
+  auto *Fn = J.compile<int(int)>(IC, RegAllocKind::LinearScan, &Stats);
+  EXPECT_EQ(Fn(7), 21);
+  EXPECT_GT(Stats.CyclesRegAlloc, 0u);
+  EXPECT_GT(Stats.CyclesEmit, 0u);
+  EXPECT_GT(Stats.NumMachineInstrs, 0u);
+}
+
+} // namespace
