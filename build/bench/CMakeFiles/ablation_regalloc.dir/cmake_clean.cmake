@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_regalloc.dir/ablation_regalloc.cpp.o"
+  "CMakeFiles/ablation_regalloc.dir/ablation_regalloc.cpp.o.d"
+  "ablation_regalloc"
+  "ablation_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vcode.dir/ablation_vcode.cpp.o"
+  "CMakeFiles/ablation_vcode.dir/ablation_vcode.cpp.o.d"
+  "ablation_vcode"
+  "ablation_vcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emitter_pruning.dir/emitter_pruning.cpp.o"
+  "CMakeFiles/emitter_pruning.dir/emitter_pruning.cpp.o.d"
+  "emitter_pruning"
+  "emitter_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emitter_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_crossover.dir/fig5_crossover.cpp.o"
+  "CMakeFiles/fig5_crossover.dir/fig5_crossover.cpp.o.d"
+  "fig5_crossover"
+  "fig5_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

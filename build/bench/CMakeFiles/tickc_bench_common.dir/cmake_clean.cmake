@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tickc_bench_common.dir/AppAdapters.cpp.o"
+  "CMakeFiles/tickc_bench_common.dir/AppAdapters.cpp.o.d"
+  "CMakeFiles/tickc_bench_common.dir/FigureData.cpp.o"
+  "CMakeFiles/tickc_bench_common.dir/FigureData.cpp.o.d"
+  "libtickc_bench_common.a"
+  "libtickc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tickc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xv_blur.dir/xv_blur.cpp.o"
+  "CMakeFiles/xv_blur.dir/xv_blur.cpp.o.d"
+  "xv_blur"
+  "xv_blur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xv_blur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xv_blur.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_search_gen.dir/binary_search_gen.cpp.o"
+  "CMakeFiles/binary_search_gen.dir/binary_search_gen.cpp.o.d"
+  "binary_search_gen"
+  "binary_search_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_search_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

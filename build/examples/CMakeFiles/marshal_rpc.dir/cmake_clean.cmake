@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marshal_rpc.dir/marshal_rpc.cpp.o"
+  "CMakeFiles/marshal_rpc.dir/marshal_rpc.cpp.o.d"
+  "marshal_rpc"
+  "marshal_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marshal_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_compiler.dir/query_compiler.cpp.o"
+  "CMakeFiles/query_compiler.dir/query_compiler.cpp.o.d"
+  "query_compiler"
+  "query_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tickc_run.dir/tickc_run.cpp.o"
+  "CMakeFiles/tickc_run.dir/tickc_run.cpp.o.d"
+  "tickc_run"
+  "tickc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tickc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

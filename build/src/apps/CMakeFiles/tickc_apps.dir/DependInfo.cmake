@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/BinSearch.cpp" "src/apps/CMakeFiles/tickc_apps.dir/BinSearch.cpp.o" "gcc" "src/apps/CMakeFiles/tickc_apps.dir/BinSearch.cpp.o.d"
+  "/root/repo/src/apps/Blur.cpp" "src/apps/CMakeFiles/tickc_apps.dir/Blur.cpp.o" "gcc" "src/apps/CMakeFiles/tickc_apps.dir/Blur.cpp.o.d"
+  "/root/repo/src/apps/Compose.cpp" "src/apps/CMakeFiles/tickc_apps.dir/Compose.cpp.o" "gcc" "src/apps/CMakeFiles/tickc_apps.dir/Compose.cpp.o.d"
+  "/root/repo/src/apps/DotProduct.cpp" "src/apps/CMakeFiles/tickc_apps.dir/DotProduct.cpp.o" "gcc" "src/apps/CMakeFiles/tickc_apps.dir/DotProduct.cpp.o.d"
+  "/root/repo/src/apps/Hash.cpp" "src/apps/CMakeFiles/tickc_apps.dir/Hash.cpp.o" "gcc" "src/apps/CMakeFiles/tickc_apps.dir/Hash.cpp.o.d"
+  "/root/repo/src/apps/Heapsort.cpp" "src/apps/CMakeFiles/tickc_apps.dir/Heapsort.cpp.o" "gcc" "src/apps/CMakeFiles/tickc_apps.dir/Heapsort.cpp.o.d"
+  "/root/repo/src/apps/Marshal.cpp" "src/apps/CMakeFiles/tickc_apps.dir/Marshal.cpp.o" "gcc" "src/apps/CMakeFiles/tickc_apps.dir/Marshal.cpp.o.d"
+  "/root/repo/src/apps/MatScale.cpp" "src/apps/CMakeFiles/tickc_apps.dir/MatScale.cpp.o" "gcc" "src/apps/CMakeFiles/tickc_apps.dir/MatScale.cpp.o.d"
+  "/root/repo/src/apps/Newton.cpp" "src/apps/CMakeFiles/tickc_apps.dir/Newton.cpp.o" "gcc" "src/apps/CMakeFiles/tickc_apps.dir/Newton.cpp.o.d"
+  "/root/repo/src/apps/Power.cpp" "src/apps/CMakeFiles/tickc_apps.dir/Power.cpp.o" "gcc" "src/apps/CMakeFiles/tickc_apps.dir/Power.cpp.o.d"
+  "/root/repo/src/apps/Query.cpp" "src/apps/CMakeFiles/tickc_apps.dir/Query.cpp.o" "gcc" "src/apps/CMakeFiles/tickc_apps.dir/Query.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tickc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/icode/CMakeFiles/tickc_icode.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcode/CMakeFiles/tickc_vcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/tickc_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tickc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

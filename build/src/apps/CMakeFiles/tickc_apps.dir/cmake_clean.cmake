@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tickc_apps.dir/BinSearch.cpp.o"
+  "CMakeFiles/tickc_apps.dir/BinSearch.cpp.o.d"
+  "CMakeFiles/tickc_apps.dir/Blur.cpp.o"
+  "CMakeFiles/tickc_apps.dir/Blur.cpp.o.d"
+  "CMakeFiles/tickc_apps.dir/Compose.cpp.o"
+  "CMakeFiles/tickc_apps.dir/Compose.cpp.o.d"
+  "CMakeFiles/tickc_apps.dir/DotProduct.cpp.o"
+  "CMakeFiles/tickc_apps.dir/DotProduct.cpp.o.d"
+  "CMakeFiles/tickc_apps.dir/Hash.cpp.o"
+  "CMakeFiles/tickc_apps.dir/Hash.cpp.o.d"
+  "CMakeFiles/tickc_apps.dir/Heapsort.cpp.o"
+  "CMakeFiles/tickc_apps.dir/Heapsort.cpp.o.d"
+  "CMakeFiles/tickc_apps.dir/Marshal.cpp.o"
+  "CMakeFiles/tickc_apps.dir/Marshal.cpp.o.d"
+  "CMakeFiles/tickc_apps.dir/MatScale.cpp.o"
+  "CMakeFiles/tickc_apps.dir/MatScale.cpp.o.d"
+  "CMakeFiles/tickc_apps.dir/Newton.cpp.o"
+  "CMakeFiles/tickc_apps.dir/Newton.cpp.o.d"
+  "CMakeFiles/tickc_apps.dir/Power.cpp.o"
+  "CMakeFiles/tickc_apps.dir/Power.cpp.o.d"
+  "CMakeFiles/tickc_apps.dir/Query.cpp.o"
+  "CMakeFiles/tickc_apps.dir/Query.cpp.o.d"
+  "libtickc_apps.a"
+  "libtickc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tickc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

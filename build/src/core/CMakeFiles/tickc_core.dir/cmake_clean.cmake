@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tickc_core.dir/Compile.cpp.o"
+  "CMakeFiles/tickc_core.dir/Compile.cpp.o.d"
+  "CMakeFiles/tickc_core.dir/Context.cpp.o"
+  "CMakeFiles/tickc_core.dir/Context.cpp.o.d"
+  "libtickc_core.a"
+  "libtickc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tickc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tickc_frontend.dir/Interp.cpp.o"
+  "CMakeFiles/tickc_frontend.dir/Interp.cpp.o.d"
+  "CMakeFiles/tickc_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/tickc_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/tickc_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/tickc_frontend.dir/Parser.cpp.o.d"
+  "libtickc_frontend.a"
+  "libtickc_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tickc_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

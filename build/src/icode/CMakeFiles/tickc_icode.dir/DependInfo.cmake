@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/icode/Emit.cpp" "src/icode/CMakeFiles/tickc_icode.dir/Emit.cpp.o" "gcc" "src/icode/CMakeFiles/tickc_icode.dir/Emit.cpp.o.d"
+  "/root/repo/src/icode/FlowGraph.cpp" "src/icode/CMakeFiles/tickc_icode.dir/FlowGraph.cpp.o" "gcc" "src/icode/CMakeFiles/tickc_icode.dir/FlowGraph.cpp.o.d"
+  "/root/repo/src/icode/GraphColor.cpp" "src/icode/CMakeFiles/tickc_icode.dir/GraphColor.cpp.o" "gcc" "src/icode/CMakeFiles/tickc_icode.dir/GraphColor.cpp.o.d"
+  "/root/repo/src/icode/ICode.cpp" "src/icode/CMakeFiles/tickc_icode.dir/ICode.cpp.o" "gcc" "src/icode/CMakeFiles/tickc_icode.dir/ICode.cpp.o.d"
+  "/root/repo/src/icode/LinearScan.cpp" "src/icode/CMakeFiles/tickc_icode.dir/LinearScan.cpp.o" "gcc" "src/icode/CMakeFiles/tickc_icode.dir/LinearScan.cpp.o.d"
+  "/root/repo/src/icode/LiveIntervals.cpp" "src/icode/CMakeFiles/tickc_icode.dir/LiveIntervals.cpp.o" "gcc" "src/icode/CMakeFiles/tickc_icode.dir/LiveIntervals.cpp.o.d"
+  "/root/repo/src/icode/Peephole.cpp" "src/icode/CMakeFiles/tickc_icode.dir/Peephole.cpp.o" "gcc" "src/icode/CMakeFiles/tickc_icode.dir/Peephole.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vcode/CMakeFiles/tickc_vcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tickc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/tickc_x86.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tickc_icode.dir/Emit.cpp.o"
+  "CMakeFiles/tickc_icode.dir/Emit.cpp.o.d"
+  "CMakeFiles/tickc_icode.dir/FlowGraph.cpp.o"
+  "CMakeFiles/tickc_icode.dir/FlowGraph.cpp.o.d"
+  "CMakeFiles/tickc_icode.dir/GraphColor.cpp.o"
+  "CMakeFiles/tickc_icode.dir/GraphColor.cpp.o.d"
+  "CMakeFiles/tickc_icode.dir/ICode.cpp.o"
+  "CMakeFiles/tickc_icode.dir/ICode.cpp.o.d"
+  "CMakeFiles/tickc_icode.dir/LinearScan.cpp.o"
+  "CMakeFiles/tickc_icode.dir/LinearScan.cpp.o.d"
+  "CMakeFiles/tickc_icode.dir/LiveIntervals.cpp.o"
+  "CMakeFiles/tickc_icode.dir/LiveIntervals.cpp.o.d"
+  "CMakeFiles/tickc_icode.dir/Peephole.cpp.o"
+  "CMakeFiles/tickc_icode.dir/Peephole.cpp.o.d"
+  "libtickc_icode.a"
+  "libtickc_icode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tickc_icode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tickc_support.dir/Arena.cpp.o"
+  "CMakeFiles/tickc_support.dir/Arena.cpp.o.d"
+  "CMakeFiles/tickc_support.dir/CodeBuffer.cpp.o"
+  "CMakeFiles/tickc_support.dir/CodeBuffer.cpp.o.d"
+  "CMakeFiles/tickc_support.dir/Error.cpp.o"
+  "CMakeFiles/tickc_support.dir/Error.cpp.o.d"
+  "CMakeFiles/tickc_support.dir/Timing.cpp.o"
+  "CMakeFiles/tickc_support.dir/Timing.cpp.o.d"
+  "libtickc_support.a"
+  "libtickc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tickc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtickc_support.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tickc_vcode.dir/VCode.cpp.o"
+  "CMakeFiles/tickc_vcode.dir/VCode.cpp.o.d"
+  "libtickc_vcode.a"
+  "libtickc_vcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tickc_vcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

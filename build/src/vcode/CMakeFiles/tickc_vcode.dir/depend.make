@@ -1,0 +1,2 @@
+# Empty dependencies file for tickc_vcode.
+# This may be replaced when dependencies are built.

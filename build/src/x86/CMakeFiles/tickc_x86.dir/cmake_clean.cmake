@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tickc_x86.dir/X86Assembler.cpp.o"
+  "CMakeFiles/tickc_x86.dir/X86Assembler.cpp.o.d"
+  "libtickc_x86.a"
+  "libtickc_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tickc_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

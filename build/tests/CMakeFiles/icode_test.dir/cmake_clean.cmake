@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icode_test.dir/icode_test.cpp.o"
+  "CMakeFiles/icode_test.dir/icode_test.cpp.o.d"
+  "icode_test"
+  "icode_test.pdb"
+  "icode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x86_test.dir/x86_test.cpp.o"
+  "CMakeFiles/x86_test.dir/x86_test.cpp.o.d"
+  "x86_test"
+  "x86_test.pdb"
+  "x86_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x86_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[Differential.AllConfigurationsAgree]=]  /root/repo/build/tests/differential_test [==[--gtest_filter=Differential.AllConfigurationsAgree]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Differential.AllConfigurationsAgree]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  differential_test_TESTS Differential.AllConfigurationsAgree)
