@@ -1,0 +1,226 @@
+//===- bench/cache_service.cpp - Cold vs pooled vs cached instantiation ---===//
+//
+// Measures what the memoizing cache + region pool buy on the instantiation
+// path for the Query and Power specializers:
+//
+//   cold   — compileFn(), fresh mmap/mprotect/munmap per instantiation;
+//   pooled — compileFn() with a RegionPool (no mmap on the steady state);
+//   respec — CompileService::getOrCompile() after warmup: rebuilds the spec
+//            and its fingerprint per call, then hits the cache (the lazy
+//            caller's end-to-end number);
+//   hit    — CompileService::lookup() with a key built once via
+//            cacheKey(): the steady-state path for a caller that keeps the
+//            fingerprint with its plan — one sharded map probe, no spec
+//            rebuild, no codegen.
+//
+// Reports p50/p99 nanoseconds single-threaded and under an 8-thread
+// cache-hit load, and writes BENCH_cache.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Power.h"
+#include "apps/Query.h"
+#include "bench/Harness.h"
+#include "cache/CompileService.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace tcc;
+using namespace tcc::core;
+using namespace tcc::cache;
+
+namespace {
+
+struct Dist {
+  double P50 = 0, P99 = 0, Mean = 0;
+};
+
+Dist distribution(std::vector<double> &Samples) {
+  std::sort(Samples.begin(), Samples.end());
+  Dist D;
+  if (Samples.empty())
+    return D;
+  D.P50 = Samples[Samples.size() / 2];
+  D.P99 = Samples[std::min(Samples.size() - 1,
+                           (Samples.size() * 99) / 100)];
+  double Sum = 0;
+  for (double S : Samples)
+    Sum += S;
+  D.Mean = Sum / static_cast<double>(Samples.size());
+  return D;
+}
+
+/// One ns sample per call to \p Op.
+Dist sampleNs(const std::function<void()> &Op, unsigned N = 2000) {
+  Op(); // Warm.
+  std::vector<double> Samples;
+  Samples.reserve(N);
+  for (unsigned I = 0; I < N; ++I) {
+    std::uint64_t T0 = readMonotonicNanos();
+    Op();
+    Samples.push_back(static_cast<double>(readMonotonicNanos() - T0));
+  }
+  return distribution(Samples);
+}
+
+/// Per-op ns with \p Threads threads hammering \p Op concurrently.
+Dist sampleNsThreaded(const std::function<void()> &Op, unsigned Threads,
+                      unsigned PerThread = 1000) {
+  std::vector<std::vector<double>> All(Threads);
+  std::atomic<bool> Go{false};
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T < Threads; ++T) {
+    Pool.emplace_back([&, T] {
+      All[T].reserve(PerThread);
+      while (!Go.load(std::memory_order_acquire))
+        ;
+      for (unsigned I = 0; I < PerThread; ++I) {
+        std::uint64_t T0 = readMonotonicNanos();
+        Op();
+        All[T].push_back(static_cast<double>(readMonotonicNanos() - T0));
+      }
+    });
+  }
+  Go.store(true, std::memory_order_release);
+  for (std::thread &T : Pool)
+    T.join();
+  std::vector<double> Merged;
+  for (auto &V : All)
+    Merged.insert(Merged.end(), V.begin(), V.end());
+  return distribution(Merged);
+}
+
+struct WorkloadResult {
+  std::string Name;
+  Dist Cold, Pooled, Respec, Hit, HitMT;
+  double ColdOverHit = 0, ColdOverPooled = 0, ColdOverRespec = 0;
+};
+
+void report(const WorkloadResult &R) {
+  std::printf("%-8s %12s %12s %12s %12s %12s\n", R.Name.c_str(), "cold",
+              "pooled", "respec", "hit", "hit(8thr)");
+  std::printf("%-8s %9.0f ns %9.0f ns %9.0f ns %9.0f ns %9.0f ns   (p50)\n",
+              "", R.Cold.P50, R.Pooled.P50, R.Respec.P50, R.Hit.P50,
+              R.HitMT.P50);
+  std::printf("%-8s %9.0f ns %9.0f ns %9.0f ns %9.0f ns %9.0f ns   (p99)\n",
+              "", R.Cold.P99, R.Pooled.P99, R.Respec.P99, R.Hit.P99,
+              R.HitMT.P99);
+  std::printf("%-8s cold/hit = %.1fx   cold/respec = %.1fx   "
+              "cold/pooled = %.2fx\n\n",
+              "", R.ColdOverHit, R.ColdOverRespec, R.ColdOverPooled);
+}
+
+void emitJson(std::FILE *F, const WorkloadResult &R, bool Last) {
+  std::fprintf(F,
+               "    {\"workload\": \"%s\",\n"
+               "     \"cold_ns\": {\"p50\": %.1f, \"p99\": %.1f, \"mean\": %.1f},\n"
+               "     \"pooled_ns\": {\"p50\": %.1f, \"p99\": %.1f, \"mean\": %.1f},\n"
+               "     \"respecialize_ns\": {\"p50\": %.1f, \"p99\": %.1f, \"mean\": %.1f},\n"
+               "     \"hit_ns\": {\"p50\": %.1f, \"p99\": %.1f, \"mean\": %.1f},\n"
+               "     \"hit_8thread_ns\": {\"p50\": %.1f, \"p99\": %.1f, \"mean\": %.1f},\n"
+               "     \"cold_over_hit_p50\": %.2f,\n"
+               "     \"cold_over_respecialize_p50\": %.2f,\n"
+               "     \"cold_over_pooled_p50\": %.2f}%s\n",
+               R.Name.c_str(), R.Cold.P50, R.Cold.P99, R.Cold.Mean,
+               R.Pooled.P50, R.Pooled.P99, R.Pooled.Mean, R.Respec.P50,
+               R.Respec.P99, R.Respec.Mean, R.Hit.P50, R.Hit.P99, R.Hit.Mean,
+               R.HitMT.P50, R.HitMT.P99, R.HitMT.Mean, R.ColdOverHit,
+               R.ColdOverRespec, R.ColdOverPooled, Last ? "" : ",");
+}
+
+WorkloadResult
+runWorkload(const std::string &Name,
+            const std::function<CompiledFn(const CompileOptions &)> &Cold,
+            const std::function<FnHandle(CompileService &)> &Cached,
+            const SpecKey &Key) {
+  WorkloadResult R;
+  R.Name = Name;
+
+  CompileOptions Plain;
+  R.Cold = sampleNs([&] { (void)Cold(Plain); });
+
+  RegionPool Pool;
+  CompileOptions WithPool;
+  WithPool.Pool = &Pool;
+  R.Pooled = sampleNs([&] { (void)Cold(WithPool); });
+
+  CompileService Service;
+  (void)Cached(Service); // Warm: the one real compile.
+
+  // End-to-end re-specialization: rebuild spec + fingerprint, then hit.
+  R.Respec = sampleNs([&] { (void)Cached(Service); });
+
+  // Steady state with the fingerprint kept alongside the plan: one probe.
+  if (!Service.lookup(Key)) {
+    std::fprintf(stderr, "FAIL: %s prebuilt key misses the warm cache\n",
+                 Name.c_str());
+    std::exit(1);
+  }
+  R.Hit = sampleNs([&] { (void)Service.lookup(Key); });
+  R.HitMT = sampleNsThreaded([&] { (void)Service.lookup(Key); }, 8);
+
+  R.ColdOverHit = R.Hit.P50 > 0 ? R.Cold.P50 / R.Hit.P50 : 0;
+  R.ColdOverRespec = R.Respec.P50 > 0 ? R.Cold.P50 / R.Respec.P50 : 0;
+  R.ColdOverPooled = R.Pooled.P50 > 0 ? R.Cold.P50 / R.Pooled.P50 : 0;
+  return R;
+}
+
+} // namespace
+
+int main() {
+  std::printf("cache_service: instantiation latency, cold vs pooled vs "
+              "memoized (ns)\n");
+  bench::printRule();
+
+  apps::QueryApp Query(2000);
+  apps::PowerApp Power(13);
+
+  std::vector<WorkloadResult> Results;
+  Results.push_back(runWorkload(
+      "query",
+      [&](const CompileOptions &O) {
+        return Query.specialize(Query.benchmarkQuery(), O);
+      },
+      [&](CompileService &S) {
+        return Query.specializeCached(Query.benchmarkQuery(), S);
+      },
+      Query.cacheKey(Query.benchmarkQuery())));
+  Results.push_back(runWorkload(
+      "pow",
+      [&](const CompileOptions &O) { return Power.specialize(O); },
+      [&](CompileService &S) { return Power.specializeCached(S); },
+      Power.cacheKey()));
+
+  for (const WorkloadResult &R : Results)
+    report(R);
+
+  std::FILE *F = std::fopen("BENCH_cache.json", "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write BENCH_cache.json\n");
+    return 1;
+  }
+  std::fprintf(F, "{\n  \"benchmark\": \"cache_service\",\n"
+                  "  \"units\": \"nanoseconds per instantiation\",\n"
+                  "  \"threads_hit_mt\": 8,\n  \"workloads\": [\n");
+  for (std::size_t I = 0; I < Results.size(); ++I)
+    emitJson(F, Results[I], I + 1 == Results.size());
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote BENCH_cache.json\n");
+
+  bool Ok = true;
+  for (const WorkloadResult &R : Results) {
+    if (R.ColdOverHit < 50) {
+      std::fprintf(stderr, "FAIL: %s cache hit only %.1fx faster than cold\n",
+                   R.Name.c_str(), R.ColdOverHit);
+      Ok = false;
+    }
+  }
+  return Ok ? 0 : 1;
+}

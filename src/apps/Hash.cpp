@@ -74,21 +74,26 @@ int HashApp::lookupStaticO2(int Key) const {
   return lookupO2(Keys.data(), Vals.data(), Size, Key);
 }
 
-CompiledFn HashApp::specialize(const CompileOptions &Opts) const {
-  Context C;
+namespace {
+
+/// Builds the specialized-lookup body into \p C.
+Stmt buildHashSpec(Context &C, const int *KeysData, const int *ValsData,
+                   unsigned Size) {
   VSpec Key = C.paramInt(0);
   VSpec H = C.localInt();
   VSpec Probe = C.localInt();
-  Expr KeysBase = C.rcPtr(Keys.data());
-  Expr ValsBase = C.rcPtr(Vals.data());
+  Expr KeysBase = C.rcPtr(KeysData);
+  Expr ValsBase = C.rcPtr(ValsData);
   auto SizeC = [&] { return C.rcInt(static_cast<int>(Size)); };
 
   // h = (key * $M) % $S;   — multiplier and size become immediates; the
   // multiply and modulo strength-reduce (shift/add and mask-style code).
-  Stmt Init = C.assign(H, (Expr(Key) * C.rcInt(Multiplier)) % SizeC());
+  Stmt Init = C.assign(
+      H, (Expr(Key) * C.rcInt(HashApp::Multiplier)) % SizeC());
   // while (keys[h] != EMPTY && keys[h] != key) h = (h + 1) % $S;
   Expr KeyAtH = C.index(KeysBase, Expr(H), MemType::I32);
-  Expr Continue = (KeyAtH != C.rcInt(Empty)) && (KeyAtH != Expr(Key));
+  Expr Continue =
+      (KeyAtH != C.rcInt(HashApp::Empty)) && (KeyAtH != Expr(Key));
   Stmt Loop = C.whileStmt(
       Continue, C.assign(H, (Expr(H) + C.intConst(1)) % SizeC()));
   // return keys[h] == key ? vals[h] : -1;
@@ -98,5 +103,23 @@ CompiledFn HashApp::specialize(const CompileOptions &Opts) const {
                C.ret(C.index(ValsBase, Expr(H), MemType::I32)),
                C.ret(C.intConst(-1))),
   });
-  return compileFn(C, C.block({Init, Loop, Tail}), EvalType::Int, Opts);
+  return C.block({Init, Loop, Tail});
+}
+
+} // namespace
+
+CompiledFn HashApp::specialize(const CompileOptions &Opts) const {
+  Context C;
+  return compileFn(C, buildHashSpec(C, Keys.data(), Vals.data(), Size),
+                   EvalType::Int, Opts);
+}
+
+cache::FnHandle HashApp::specializeCached(cache::CompileService &Service,
+                                          const CompileOptions &Opts) const {
+  // The table base addresses and size are captured as run-time constants,
+  // so two HashApps cached through one service can never collide.
+  Context C;
+  return Service.getOrCompile(C, buildHashSpec(C, Keys.data(), Vals.data(),
+                                               Size),
+                              EvalType::Int, Opts);
 }

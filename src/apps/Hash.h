@@ -18,6 +18,7 @@
 #ifndef TICKC_APPS_HASH_H
 #define TICKC_APPS_HASH_H
 
+#include "cache/CompileService.h"
 #include "core/Compile.h"
 
 #include <vector>
@@ -40,6 +41,12 @@ public:
   /// Instantiates `int lookup(int key)` with table base, size, and
   /// multiplier as run-time constants.
   core::CompiledFn specialize(const core::CompileOptions &Opts) const;
+
+  /// Memoized instantiation keyed on the captured table addresses, size,
+  /// and multiplier.
+  cache::FnHandle specializeCached(
+      cache::CompileService &Service,
+      const core::CompileOptions &Opts = core::CompileOptions()) const;
 
   int presentKey() const { return PresentKey; }
   int absentKey() const { return AbsentKey; }

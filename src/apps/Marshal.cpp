@@ -45,12 +45,14 @@ MarshalApp::unmarshal5StaticO2(const std::uint8_t *Buf,
                                int (*Fn)(int, int, int, int, int))
     TICKC_UMSHL_BODY
 
-CompiledFn MarshalApp::buildMarshaler(const CompileOptions &Opts) const {
+namespace {
+
+/// Builds `void marshal(a0..an-1, buf)` from the format string.
+Stmt buildMarshalSpec(Context &C, const std::string &Format) {
   // The generated function's signature is derived from the format string
   // at run time: args 0..n-1 are the values, arg n is the buffer.
-  Context C;
   std::vector<Stmt> Stores;
-  unsigned N = numArgs();
+  unsigned N = static_cast<unsigned>(Format.size());
   VSpec Buf = C.paramPtr(N);
   for (unsigned I = 0; I < N; ++I) {
     if (Format[I] != 'i')
@@ -61,15 +63,15 @@ CompiledFn MarshalApp::buildMarshaler(const CompileOptions &Opts) const {
         C.binary(BinOp::Add, Expr(Buf), C.rcLong(4 * I)), Expr(Arg)));
   }
   Stores.push_back(C.retVoid());
-  return compileFn(C, C.block(Stores), EvalType::Void, Opts);
+  return C.block(Stores);
 }
 
-CompiledFn MarshalApp::buildUnmarshaler(const void *Target,
-                                        const CompileOptions &Opts) const {
-  Context C;
+/// Builds `int unmarshal(buf)` — unpack and call \p Target.
+Stmt buildUnmarshalSpec(Context &C, const std::string &Format,
+                        const void *Target) {
   VSpec Buf = C.paramPtr(0);
   std::vector<Expr> Args;
-  for (unsigned I = 0; I < numArgs(); ++I) {
+  for (unsigned I = 0; I < static_cast<unsigned>(Format.size()); ++I) {
     if (Format[I] != 'i')
       reportFatalError("marshal format supports 'i' arguments");
     Args.push_back(C.loadMem(
@@ -78,6 +80,36 @@ CompiledFn MarshalApp::buildUnmarshaler(const void *Target,
   }
   // The call with a run-time determined argument count — impossible to
   // write in ANSI C.
-  return compileFn(C, C.ret(C.callC(Target, EvalType::Int, Args)),
-                   EvalType::Int, Opts);
+  return C.ret(C.callC(Target, EvalType::Int, Args));
+}
+
+} // namespace
+
+CompiledFn MarshalApp::buildMarshaler(const CompileOptions &Opts) const {
+  Context C;
+  return compileFn(C, buildMarshalSpec(C, Format), EvalType::Void, Opts);
+}
+
+CompiledFn MarshalApp::buildUnmarshaler(const void *Target,
+                                        const CompileOptions &Opts) const {
+  Context C;
+  return compileFn(C, buildUnmarshalSpec(C, Format, Target), EvalType::Int,
+                   Opts);
+}
+
+cache::FnHandle
+MarshalApp::buildMarshalerCached(cache::CompileService &Service,
+                                 const CompileOptions &Opts) const {
+  Context C;
+  return Service.getOrCompile(C, buildMarshalSpec(C, Format), EvalType::Void,
+                              Opts);
+}
+
+cache::FnHandle
+MarshalApp::buildUnmarshalerCached(const void *Target,
+                                   cache::CompileService &Service,
+                                   const CompileOptions &Opts) const {
+  Context C;
+  return Service.getOrCompile(C, buildUnmarshalSpec(C, Format, Target),
+                              EvalType::Int, Opts);
 }

@@ -19,6 +19,7 @@
 #ifndef TICKC_APPS_MARSHAL_H
 #define TICKC_APPS_MARSHAL_H
 
+#include "cache/CompileService.h"
 #include "core/Compile.h"
 
 #include <cstdint>
@@ -52,6 +53,15 @@ public:
   /// determined number of arguments.
   core::CompiledFn buildUnmarshaler(const void *Target,
                                     const core::CompileOptions &Opts) const;
+
+  /// Memoized variants for the per-request RPC path: one compile per
+  /// format (and, for unmarshaling, per target function).
+  cache::FnHandle buildMarshalerCached(
+      cache::CompileService &Service,
+      const core::CompileOptions &Opts = core::CompileOptions()) const;
+  cache::FnHandle buildUnmarshalerCached(
+      const void *Target, cache::CompileService &Service,
+      const core::CompileOptions &Opts = core::CompileOptions()) const;
 
   unsigned numArgs() const { return static_cast<unsigned>(Format.size()); }
 

@@ -29,11 +29,10 @@ TICKC_STATIC_O2 static int powO2(int X, unsigned N) TICKC_POW_BODY
 int PowerApp::powStaticO0(int X) const { return powO0(X, Exponent); }
 int PowerApp::powStaticO2(int X) const { return powO2(X, Exponent); }
 
-CompiledFn PowerApp::specialize(const CompileOptions &Opts) const {
-  // Square-and-multiply composed at specification time: the exponent loop
-  // runs *now*, leaving only multiplies in the dynamic code — exactly the
-  // `C cspec-composition formulation of partial evaluation.
-  Context C;
+namespace {
+
+/// Builds the square-and-multiply chain into \p C and returns the body.
+Stmt buildPowerSpec(Context &C, unsigned Exponent) {
   VSpec X = C.paramInt(0);
   VSpec Base = C.localInt();
   VSpec Acc = C.localInt();
@@ -57,5 +56,28 @@ CompiledFn PowerApp::specialize(const CompileOptions &Opts) const {
   if (!HaveAcc)
     Steps.push_back(C.assign(Acc, C.intConst(1))); // x^0
   Steps.push_back(C.ret(Acc));
-  return compileFn(C, C.block(Steps), EvalType::Int, Opts);
+  return C.block(Steps);
+}
+
+} // namespace
+
+CompiledFn PowerApp::specialize(const CompileOptions &Opts) const {
+  // Square-and-multiply composed at specification time: the exponent loop
+  // runs *now*, leaving only multiplies in the dynamic code — exactly the
+  // `C cspec-composition formulation of partial evaluation.
+  Context C;
+  return compileFn(C, buildPowerSpec(C, Exponent), EvalType::Int, Opts);
+}
+
+cache::FnHandle PowerApp::specializeCached(cache::CompileService &Service,
+                                           const CompileOptions &Opts) const {
+  Context C;
+  return Service.getOrCompile(C, buildPowerSpec(C, Exponent), EvalType::Int,
+                              Opts);
+}
+
+cache::SpecKey PowerApp::cacheKey(const CompileOptions &Opts) const {
+  Context C;
+  return cache::buildSpecKey(C, buildPowerSpec(C, Exponent), EvalType::Int,
+                             Opts);
 }

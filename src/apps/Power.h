@@ -17,6 +17,7 @@
 #ifndef TICKC_APPS_POWER_H
 #define TICKC_APPS_POWER_H
 
+#include "cache/CompileService.h"
 #include "core/Compile.h"
 
 namespace tcc {
@@ -32,6 +33,17 @@ public:
   /// Instantiates `int pow(int x)` as a straight-line square-and-multiply
   /// chain composed at specification time.
   core::CompiledFn specialize(const core::CompileOptions &Opts) const;
+
+  /// Memoized instantiation: one compile per (exponent, options) identity.
+  cache::FnHandle specializeCached(
+      cache::CompileService &Service,
+      const core::CompileOptions &Opts = core::CompileOptions()) const;
+
+  /// Fingerprints this exponent's spec without compiling — pair with
+  /// CompileService::lookup() for repeat instantiations (see
+  /// QueryApp::cacheKey for the pattern).
+  cache::SpecKey
+  cacheKey(const core::CompileOptions &Opts = core::CompileOptions()) const;
 
   unsigned exponent() const { return Exponent; }
 

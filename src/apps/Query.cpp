@@ -181,3 +181,20 @@ CompiledFn QueryApp::specialize(const QueryNode *Query,
   VSpec Rec = C.paramPtr(0);
   return compileFn(C, C.ret(lowerQuery(C, Rec, Query)), EvalType::Int, Opts);
 }
+
+cache::FnHandle QueryApp::specializeCached(const QueryNode *Query,
+                                           cache::CompileService &Service,
+                                           const CompileOptions &Opts) const {
+  Context C;
+  VSpec Rec = C.paramPtr(0);
+  return Service.getOrCompile(C, C.ret(lowerQuery(C, Rec, Query)),
+                              EvalType::Int, Opts);
+}
+
+cache::SpecKey QueryApp::cacheKey(const QueryNode *Query,
+                                  const CompileOptions &Opts) const {
+  Context C;
+  VSpec Rec = C.paramPtr(0);
+  return cache::buildSpecKey(C, C.ret(lowerQuery(C, Rec, Query)),
+                             EvalType::Int, Opts);
+}

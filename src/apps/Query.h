@@ -17,6 +17,7 @@
 #ifndef TICKC_APPS_QUERY_H
 #define TICKC_APPS_QUERY_H
 
+#include "cache/CompileService.h"
 #include "core/Compile.h"
 
 #include <cstdint>
@@ -67,6 +68,21 @@ public:
   /// scanning then runs native code per record.
   core::CompiledFn specialize(const QueryNode *Q,
                               const core::CompileOptions &Opts) const;
+
+  /// The server path: memoized instantiation. Re-specializing the same
+  /// query (same shape, fields, and comparison values) returns the cached
+  /// matcher instead of recompiling.
+  cache::FnHandle specializeCached(
+      const QueryNode *Q, cache::CompileService &Service,
+      const core::CompileOptions &Opts = core::CompileOptions()) const;
+
+  /// Fingerprints \p Q without compiling: the same key specializeCached()
+  /// derives internally. A caller that keeps this alongside its query plan
+  /// can serve repeats via CompileService::lookup() — no spec rebuild, no
+  /// fingerprint walk — and fall back to specializeCached() on a miss.
+  cache::SpecKey
+  cacheKey(const QueryNode *Q,
+           const core::CompileOptions &Opts = core::CompileOptions()) const;
 
   /// Scans the database with a compiled matcher.
   int countCompiled(int (*Match)(const Record *)) const;

@@ -1,0 +1,87 @@
+//===- cache/CodeCache.cpp - Sharded memoizing code cache -----------------==//
+
+#include "cache/CodeCache.h"
+
+#include <bit>
+
+using namespace tcc;
+using namespace tcc::cache;
+
+CodeCache::CodeCache(unsigned NumShards, std::size_t MaxBytes) {
+  if (NumShards == 0)
+    NumShards = 1;
+  NumShards = std::bit_ceil(NumShards);
+  Shards.reserve(NumShards);
+  for (unsigned I = 0; I < NumShards; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+  ShardBudget = MaxBytes / NumShards;
+  if (ShardBudget == 0)
+    ShardBudget = 1;
+}
+
+FnHandle CodeCache::lookup(const SpecKey &K) {
+  Shard &S = shardFor(K);
+  std::lock_guard<std::mutex> G(S.M);
+  auto It = S.Map.find(K);
+  if (It == S.Map.end()) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  // Touch: splice to the front of the LRU list (iterators stay valid).
+  S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  return It->second->Fn;
+}
+
+FnHandle CodeCache::insert(const SpecKey &K, core::CompiledFn &&Fn) {
+  Entry E;
+  E.Key = K;
+  E.Bytes = Fn.stats().CodeBytes ? Fn.stats().CodeBytes : 1;
+  E.Fn = std::make_shared<core::CompiledFn>(std::move(Fn));
+
+  Shard &S = shardFor(K);
+  std::lock_guard<std::mutex> G(S.M);
+  auto It = S.Map.find(K);
+  if (It != S.Map.end()) {
+    // Lost an insert race: the first compile wins so every caller shares
+    // one entry; our duplicate dies (returning its region to the pool).
+    S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+    return It->second->Fn;
+  }
+  S.Bytes += E.Bytes;
+  S.Lru.push_front(std::move(E));
+  S.Map.emplace(K, S.Lru.begin());
+  Insertions.fetch_add(1, std::memory_order_relaxed);
+  // Evict from the cold end, but never the entry just inserted.
+  while (S.Bytes > ShardBudget && S.Lru.size() > 1) {
+    Entry &Victim = S.Lru.back();
+    S.Bytes -= Victim.Bytes;
+    S.Map.erase(Victim.Key);
+    S.Lru.pop_back();
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+  return S.Lru.front().Fn;
+}
+
+void CodeCache::clear() {
+  for (auto &SP : Shards) {
+    std::lock_guard<std::mutex> G(SP->M);
+    SP->Map.clear();
+    SP->Lru.clear();
+    SP->Bytes = 0;
+  }
+}
+
+CacheStats CodeCache::stats() const {
+  CacheStats St;
+  St.Hits = Hits.load(std::memory_order_relaxed);
+  St.Misses = Misses.load(std::memory_order_relaxed);
+  St.Evictions = Evictions.load(std::memory_order_relaxed);
+  St.Insertions = Insertions.load(std::memory_order_relaxed);
+  for (const auto &SP : Shards) {
+    std::lock_guard<std::mutex> G(SP->M);
+    St.CodeBytes += SP->Bytes;
+    St.Entries += SP->Lru.size();
+  }
+  return St;
+}

@@ -1,0 +1,41 @@
+//===- cache/CompileService.cpp - Memoized instantiation ------------------==//
+
+#include "cache/CompileService.h"
+
+using namespace tcc;
+using namespace tcc::cache;
+using namespace tcc::core;
+
+CompileService::CompileService(ServiceConfig Config)
+    : Config(Config), Pool(Config.MaxPooledBytes),
+      Cache(Config.Shards, Config.MaxCodeBytes) {}
+
+FnHandle CompileService::getOrCompile(Context &Ctx, Stmt Body,
+                                      EvalType RetType, CompileOptions Opts) {
+  if (Config.EnablePool && !Opts.Pool)
+    Opts.Pool = &Pool;
+
+  if (!Config.EnableCache)
+    return std::make_shared<CompiledFn>(
+        compileFn(Ctx, Body, RetType, Opts));
+
+  SpecKey K = buildSpecKey(Ctx, Body, RetType, Opts);
+  if (!K.Cacheable)
+    return std::make_shared<CompiledFn>(
+        compileFn(Ctx, Body, RetType, Opts));
+
+  if (FnHandle H = Cache.lookup(K))
+    return H;
+  return Cache.insert(K, compileFn(Ctx, Body, RetType, Opts));
+}
+
+FnHandle CompileService::lookup(const SpecKey &K) {
+  if (!Config.EnableCache || !K.Cacheable)
+    return nullptr;
+  return Cache.lookup(K);
+}
+
+CompileService &CompileService::instance() {
+  static CompileService S;
+  return S;
+}

@@ -1,0 +1,87 @@
+//===- cache/CompileService.h - Memoized instantiation ---------*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The front door for server-shaped workloads: getOrCompile() memoizes
+/// compileFn() behind a structural cache key and allocates code regions
+/// from a pool. A cache hit costs one fingerprint walk and one sharded map
+/// lookup — no mmap, no mprotect, no code generation; a cold compile still
+/// skips the mmap whenever the pool holds a reusable region.
+///
+///   cache::CompileService &S = cache::CompileService::instance();
+///   cache::FnHandle F = S.getOrCompile(Ctx, Body, EvalType::Int);
+///   int R = F->as<int(int)>()(42);   // Hold F while the code may run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_CACHE_COMPILESERVICE_H
+#define TICKC_CACHE_COMPILESERVICE_H
+
+#include "cache/CodeCache.h"
+#include "cache/SpecKey.h"
+#include "core/Compile.h"
+#include "support/CodeBuffer.h"
+
+namespace tcc {
+namespace cache {
+
+/// Knobs for one service instance.
+struct ServiceConfig {
+  unsigned Shards = 8;
+  /// Bound on emitted code bytes held by the cache (LRU beyond it).
+  std::size_t MaxCodeBytes = 32u << 20;
+  /// Bound on mapping bytes parked in the region pool.
+  std::size_t MaxPooledBytes = 64u << 20;
+  bool EnableCache = true;
+  bool EnablePool = true;
+};
+
+/// A code cache plus a region pool behind one memoizing entry point.
+/// All methods are safe to call from concurrent threads.
+class CompileService {
+public:
+  explicit CompileService(ServiceConfig Config = ServiceConfig());
+
+  /// Returns the cached function for this (spec, run-time constants,
+  /// options) identity, compiling at most once per identity. Uncacheable
+  /// specs (rtEval over memory) and duplicate-key races compile anyway but
+  /// stay correct. \p Opts.Pool is overridden with the service's pool
+  /// unless the caller set one.
+  FnHandle getOrCompile(core::Context &Ctx, core::Stmt Body,
+                        core::EvalType RetType,
+                        core::CompileOptions Opts = core::CompileOptions());
+
+  /// The steady-state fast path: probes the cache with a key the caller
+  /// built earlier (see QueryApp::cacheKey / PowerApp::cacheKey). A server
+  /// that fingerprints each plan once can serve repeat instantiations from
+  /// here without rebuilding or re-walking the spec; on a null return, fall
+  /// back to getOrCompile(). Returns null for uncacheable keys and when the
+  /// cache is disabled.
+  FnHandle lookup(const SpecKey &K);
+
+  CodeCache &cache() { return Cache; }
+  RegionPool &pool() { return Pool; }
+  CacheStats cacheStats() const { return Cache.stats(); }
+  RegionPoolStats poolStats() const { return Pool.stats(); }
+
+  /// Process-wide default instance (default config).
+  static CompileService &instance();
+
+private:
+  ServiceConfig Config;
+  /// Pool is declared before Cache deliberately: cached functions release
+  /// their regions into the pool on destruction, so the cache (and its
+  /// entries) must be destroyed first. Handles the caller keeps must be
+  /// dropped before the service that produced them.
+  RegionPool Pool;
+  CodeCache Cache;
+};
+
+} // namespace cache
+} // namespace tcc
+
+#endif // TICKC_CACHE_COMPILESERVICE_H

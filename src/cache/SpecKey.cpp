@@ -1,0 +1,165 @@
+//===- cache/SpecKey.cpp - Structural fingerprint of a cspec --------------==//
+
+#include "cache/SpecKey.h"
+
+#include <bit>
+#include <cstring>
+
+using namespace tcc;
+using namespace tcc::cache;
+using namespace tcc::core;
+
+namespace {
+
+/// Serializes a specification tree into canonical bytes. Derived node facts
+/// (RegNeed, Flags) are skipped: they are functions of the serialized
+/// structure. Null children get an explicit marker so sibling boundaries
+/// stay unambiguous.
+class KeyWriter {
+public:
+  explicit KeyWriter(std::vector<std::uint8_t> &Out) : Out(Out) {}
+
+  bool Cacheable = true;
+
+  // Multi-byte fields land via one ranged insert (a single growth check and
+  // a memcpy) instead of a per-byte push_back: key construction sits on the
+  // cache-hit path, so the serializer is tuned like one. Host byte order is
+  // fine — keys never leave the process.
+  void raw(const void *P, std::size_t N) {
+    const std::uint8_t *B = static_cast<const std::uint8_t *>(P);
+    Out.insert(Out.end(), B, B + N);
+  }
+  void u8(std::uint8_t V) { Out.push_back(V); }
+  void u32(std::uint32_t V) { raw(&V, sizeof V); }
+  void u64(std::uint64_t V) { raw(&V, sizeof V); }
+
+  void expr(const ExprNode *N) {
+    if (!N) {
+      u8(0);
+      return;
+    }
+    std::uint8_t Hdr[8];
+    Hdr[0] = 1;
+    Hdr[1] = static_cast<std::uint8_t>(N->Kind);
+    Hdr[2] = static_cast<std::uint8_t>(N->Type);
+    Hdr[3] = N->OpByte;
+    std::uint32_t Local = static_cast<std::uint32_t>(N->LocalId);
+    std::memcpy(Hdr + 4, &Local, 4);
+    raw(Hdr, 8);
+    switch (N->Kind) {
+    case ExprKind::ConstInt:
+    case ExprKind::ConstLong:
+      u64(static_cast<std::uint64_t>(N->IntVal));
+      break;
+    case ExprKind::ConstDouble:
+      u64(std::bit_cast<std::uint64_t>(N->FpVal));
+      break;
+    case ExprKind::FreeVar:
+    case ExprKind::Call:
+      // Captured addresses are part of the code the walk emits.
+      u64(static_cast<std::uint64_t>(
+          reinterpret_cast<std::uintptr_t>(N->PtrVal)));
+      break;
+    case ExprKind::RtEval:
+      // The rc interpreter may read memory under $: the immediate it embeds
+      // depends on the pointee at instantiation time, not on the tree.
+      if (N->A && (N->A->Flags & EF_HasMemOp))
+        Cacheable = false;
+      break;
+    default:
+      break;
+    }
+    expr(N->A);
+    expr(N->B);
+    expr(N->C);
+    u32(N->ArgC);
+    for (std::uint32_t I = 0; I < N->ArgC; ++I)
+      expr(N->ArgV[I]);
+  }
+
+  void stmt(const StmtNode *S) {
+    if (!S) {
+      u8(0);
+      return;
+    }
+    std::uint8_t Hdr[7];
+    Hdr[0] = 1;
+    Hdr[1] = static_cast<std::uint8_t>(S->Kind);
+    Hdr[2] = S->OpByte;
+    std::uint32_t Local = static_cast<std::uint32_t>(S->LocalId);
+    std::memcpy(Hdr + 3, &Local, 4);
+    raw(Hdr, 7);
+    expr(S->E);
+    expr(S->E2);
+    expr(S->E3);
+    stmt(S->S1);
+    stmt(S->S2);
+    u32(S->BodyC);
+    for (std::uint32_t I = 0; I < S->BodyC; ++I)
+      stmt(S->BodyV[I]);
+  }
+
+private:
+  std::vector<std::uint8_t> &Out;
+};
+
+/// Hashes the key bytes a word at a time. A byte-serial FNV loop is one
+/// dependent multiply per byte (~0.5µs for a modest spec) and dominated key
+/// construction; eight bytes per mix step makes hashing noise instead.
+/// Equality still compares the full byte strings, so hash quality only
+/// affects shard/bucket spread.
+std::uint64_t hashBytes(const std::vector<std::uint8_t> &Bytes) {
+  auto Mix = [](std::uint64_t H) {
+    H ^= H >> 33;
+    H *= 0xff51afd7ed558ccdull;
+    H ^= H >> 33;
+    return H;
+  };
+  std::uint64_t H = 0x9e3779b97f4a7c15ull ^ Bytes.size();
+  const std::uint8_t *P = Bytes.data();
+  std::size_t N = Bytes.size();
+  for (; N >= 8; P += 8, N -= 8) {
+    std::uint64_t W;
+    std::memcpy(&W, P, 8);
+    H = Mix(H ^ W);
+  }
+  if (N) {
+    std::uint64_t W = 0;
+    std::memcpy(&W, P, N);
+    H = Mix(H ^ W);
+  }
+  return H;
+}
+
+} // namespace
+
+SpecKey cache::buildSpecKey(const Context &Ctx, Stmt Body, EvalType RetType,
+                            const CompileOptions &Opts) {
+  SpecKey K;
+  K.Bytes.reserve(256);
+  KeyWriter W(K.Bytes);
+
+  // Everything in CompileOptions that changes generated code (Pool changes
+  // only where code lives, so it is deliberately absent).
+  W.u8(static_cast<std::uint8_t>(Opts.Backend));
+  W.u8(static_cast<std::uint8_t>(Opts.RegAlloc));
+  W.u8(static_cast<std::uint8_t>(Opts.Spill));
+  W.u8(static_cast<std::uint8_t>(Opts.Placement));
+  W.u64(Opts.CodeCapacity);
+  W.u32(Opts.UnrollLimit);
+  W.u8(static_cast<std::uint8_t>(RetType));
+
+  // The vspec table: LocalIds in the tree index into it.
+  const std::vector<LocalInfo> &Locals = Ctx.locals();
+  W.u32(static_cast<std::uint32_t>(Locals.size()));
+  for (const LocalInfo &L : Locals) {
+    W.u8(static_cast<std::uint8_t>(L.Type));
+    W.u32(static_cast<std::uint32_t>(L.ArgIndex));
+  }
+
+  W.stmt(Body.node());
+
+  K.Cacheable = W.Cacheable;
+  K.Hash = hashBytes(K.Bytes);
+  return K;
+}

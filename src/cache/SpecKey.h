@@ -1,0 +1,66 @@
+//===- cache/SpecKey.h - Structural cache key for cspecs -------*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Derives a structural identity for one instantiation request: a canonical
+/// byte fingerprint of the cspec closure tree — node kinds, types,
+/// operators, vspec ids, bound run-time constants (`$` values), captured
+/// free-variable and callee addresses — plus the Context's vspec table, the
+/// return type, and every CompileOptions knob that changes generated code.
+///
+/// Two instantiation requests with equal SpecKeys produce byte-identical
+/// machine code, even when their trees were built by different Contexts:
+/// instantiation is a pure function of exactly the facts serialized here.
+/// The one exception is `$`-at-instantiation over memory (rtEval of a load
+/// or free variable): the embedded immediate depends on what memory holds
+/// *when the walk runs*, which no tree fingerprint can capture — such specs
+/// are marked not Cacheable and always compile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_CACHE_SPECKEY_H
+#define TICKC_CACHE_SPECKEY_H
+
+#include "core/Compile.h"
+#include "core/Context.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace tcc {
+namespace cache {
+
+/// The memoization key: canonical bytes plus their precomputed hash.
+struct SpecKey {
+  std::vector<std::uint8_t> Bytes;
+  std::uint64_t Hash = 0;
+  /// False when the spec's generated code can depend on instantiation-time
+  /// memory contents (rtEval over loads); never memoized.
+  bool Cacheable = true;
+
+  bool operator==(const SpecKey &O) const {
+    return Hash == O.Hash && Bytes == O.Bytes;
+  }
+};
+
+/// Hasher for unordered containers: the hash is already computed.
+struct SpecKeyHash {
+  std::size_t operator()(const SpecKey &K) const {
+    return static_cast<std::size_t>(K.Hash);
+  }
+};
+
+/// Fingerprints one instantiation request. Cost is one tree walk — the
+/// same order of work as the CGF walk itself, minus all emission.
+SpecKey buildSpecKey(const core::Context &Ctx, core::Stmt Body,
+                     core::EvalType RetType,
+                     const core::CompileOptions &Opts);
+
+} // namespace cache
+} // namespace tcc
+
+#endif // TICKC_CACHE_SPECKEY_H

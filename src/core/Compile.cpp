@@ -1374,27 +1374,35 @@ CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
                            const CompileOptions &Opts) {
   assert(Body.valid() && "compiling an empty cspec");
   CompiledFn F;
-  F.Region = std::make_unique<CodeRegion>(Opts.CodeCapacity, Opts.Placement);
-  std::uint64_t C0 = readCycleCounter();
-  if (Opts.Backend == BackendKind::VCode) {
-    vcode::VCode V(F.Region->base(), F.Region->capacity());
-    Walker<vcode::VCode> W(Ctx, V, RetType, Opts);
-    W.run(Body.node());
-    F.Entry = V.finish();
-    F.Stats.CyclesWalk = readCycleCounter() - C0;
-    F.Stats.MachineInstrs = V.instructionsEmitted();
-    F.Stats.CodeBytes = V.codeBytes();
-  } else {
-    icode::ICode IC;
-    Walker<icode::ICode> W(Ctx, IC, RetType, Opts);
-    W.run(Body.node());
-    F.Stats.CyclesWalk = readCycleCounter() - C0;
-    vcode::VCode V(F.Region->base(), F.Region->capacity());
-    F.Entry = IC.compileTo(V, Opts.RegAlloc, &F.Stats.ICode, Opts.Spill);
-    F.Stats.MachineInstrs = V.instructionsEmitted();
-    F.Stats.CodeBytes = V.codeBytes();
+  F.Region = Opts.Pool
+                 ? Opts.Pool->acquire(Opts.CodeCapacity, Opts.Placement)
+                 : PooledRegion(new CodeRegion(Opts.CodeCapacity,
+                                               Opts.Placement));
+  {
+    PhaseScope Total(F.Stats.CyclesTotal);
+    if (Opts.Backend == BackendKind::VCode) {
+      vcode::VCode V(F.Region->base(), F.Region->capacity());
+      Walker<vcode::VCode> W(Ctx, V, RetType, Opts);
+      {
+        PhaseScope Walk(F.Stats.CyclesWalk);
+        W.run(Body.node());
+        F.Entry = V.finish();
+      }
+      F.Stats.MachineInstrs = V.instructionsEmitted();
+      F.Stats.CodeBytes = V.codeBytes();
+    } else {
+      icode::ICode IC;
+      Walker<icode::ICode> W(Ctx, IC, RetType, Opts);
+      {
+        PhaseScope Walk(F.Stats.CyclesWalk);
+        W.run(Body.node());
+      }
+      vcode::VCode V(F.Region->base(), F.Region->capacity());
+      F.Entry = IC.compileTo(V, Opts.RegAlloc, &F.Stats.ICode, Opts.Spill);
+      F.Stats.MachineInstrs = V.instructionsEmitted();
+      F.Stats.CodeBytes = V.codeBytes();
+    }
   }
-  F.Stats.CyclesTotal = readCycleCounter() - C0;
   F.Region->makeExecutable();
   return F;
 }

@@ -53,6 +53,10 @@ struct CompileOptions {
   /// larger run-time-constant trip counts fall back to runtime loops ("unless
   /// it is made too large ... it will easily outperform", paper §4.4).
   unsigned UnrollLimit = 16384;
+  /// When set, the code region is acquired from (and eventually returned
+  /// to) this pool instead of being mmap'd per instantiation. Not part of
+  /// the cache key: pooling changes where code lives, never what it is.
+  RegionPool *Pool = nullptr;
 };
 
 /// Cost account of one instantiation — the raw material of Table 1 and
@@ -66,7 +70,9 @@ struct DynStats {
   std::size_t CodeBytes = 0;
 };
 
-/// An instantiated dynamic function: owns its executable region.
+/// An instantiated dynamic function: owns its executable region. When the
+/// region came from a RegionPool, destruction recycles it (flipped back
+/// writable) instead of unmapping.
 class CompiledFn {
 public:
   CompiledFn() = default;
@@ -84,7 +90,7 @@ public:
 private:
   friend CompiledFn compileFn(Context &, Stmt, EvalType,
                               const CompileOptions &);
-  std::unique_ptr<CodeRegion> Region;
+  PooledRegion Region;
   void *Entry = nullptr;
   DynStats Stats;
 };

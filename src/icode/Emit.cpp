@@ -362,54 +362,52 @@ void *ICode::compileTo(VCode &V, RegAllocKind Kind, CompileStats *Stats,
                        SpillHeuristic Spill) {
   CompileStats Local;
   CompileStats &S = Stats ? *Stats : Local;
-  PhaseTimer T;
 
-  T.start();
-  eliminateDeadCode(Instrs, numRegs());
-  T.stop();
-  S.CyclesPeephole += T.totalCycles();
-  T.reset();
+  {
+    PhaseScope T(S.CyclesPeephole);
+    eliminateDeadCode(Instrs, numRegs());
+  }
 
-  T.start();
   FlowGraph FG;
-  FG.build(*this);
-  T.stop();
-  S.CyclesFlowGraph += T.totalCycles();
-  T.reset();
+  {
+    PhaseScope T(S.CyclesFlowGraph);
+    FG.build(*this);
+  }
 
-  T.start();
-  S.NumLivenessIterations = FG.solveLiveness(*this);
-  T.stop();
-  S.CyclesLiveness += T.totalCycles();
-  T.reset();
+  {
+    PhaseScope T(S.CyclesLiveness);
+    S.NumLivenessIterations = FG.solveLiveness(*this);
+  }
 
   // Intervals are needed for linear scan and, under either allocator, for
   // deciding which caller-saved-class values cross a call.
-  T.start();
-  std::vector<Interval> Intervals = buildLiveIntervals(*this, FG);
-  std::vector<bool> MustSpill = computeMustSpill(*this, Intervals);
-  T.stop();
-  S.CyclesIntervals += T.totalCycles();
-  T.reset();
+  std::vector<Interval> Intervals;
+  std::vector<bool> MustSpill;
+  {
+    PhaseScope T(S.CyclesIntervals);
+    Intervals = buildLiveIntervals(*this, FG);
+    MustSpill = computeMustSpill(*this, Intervals);
+  }
 
-  T.start();
-  Allocation Alloc =
-      Kind == RegAllocKind::LinearScan
-          ? allocateLinearScan(*this, std::move(Intervals),
-                               vcode::VCode::NumIntPool,
-                               vcode::VCode::NumFloatPool, Spill, MustSpill)
-          : allocateGraphColor(*this, FG, vcode::VCode::NumIntPool,
-                               vcode::VCode::NumFloatPool, Spill, MustSpill);
-  T.stop();
-  S.CyclesRegAlloc += T.totalCycles();
-  T.reset();
+  Allocation Alloc;
+  {
+    PhaseScope T(S.CyclesRegAlloc);
+    Alloc =
+        Kind == RegAllocKind::LinearScan
+            ? allocateLinearScan(*this, std::move(Intervals),
+                                 vcode::VCode::NumIntPool,
+                                 vcode::VCode::NumFloatPool, Spill, MustSpill)
+            : allocateGraphColor(*this, FG, vcode::VCode::NumIntPool,
+                                 vcode::VCode::NumFloatPool, Spill, MustSpill);
+  }
 
-  T.start();
-  Emitter E(*this, V, Alloc);
-  E.run();
-  void *Entry = V.finish();
-  T.stop();
-  S.CyclesEmit += T.totalCycles();
+  void *Entry;
+  {
+    PhaseScope T(S.CyclesEmit);
+    Emitter E(*this, V, Alloc);
+    E.run();
+    Entry = V.finish();
+  }
 
   S.NumBasicBlocks = static_cast<unsigned>(FG.blocks().size());
   S.NumIntervals = 0;

@@ -4,20 +4,30 @@
 
 #include "support/Error.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
+#include <mutex>
 #include <sys/mman.h>
 #include <unistd.h>
 
 using namespace tcc;
 
 std::size_t tcc::hostICacheSize() {
+  // Queried once behind a once_flag: sysconf is cheap but not guaranteed
+  // reentrant-safe on every libc, and concurrent compile threads hit this
+  // on every Randomized-placement region.
+  static std::once_flag Once;
+  static std::size_t Cached;
+  std::call_once(Once, [] {
+    Cached = 32 * 1024; // Plausible L1i default.
 #ifdef _SC_LEVEL1_ICACHE_SIZE
-  long Sz = ::sysconf(_SC_LEVEL1_ICACHE_SIZE);
-  if (Sz > 0)
-    return static_cast<std::size_t>(Sz);
+    long Sz = ::sysconf(_SC_LEVEL1_ICACHE_SIZE);
+    if (Sz > 0)
+      Cached = static_cast<std::size_t>(Sz);
 #endif
-  return 32 * 1024; // Plausible L1i default.
+  });
+  return Cached;
 }
 
 static std::size_t pageSize() {
@@ -25,7 +35,8 @@ static std::size_t pageSize() {
   return PS;
 }
 
-CodeRegion::CodeRegion(std::size_t Cap, CodePlacement Placement) {
+CodeRegion::CodeRegion(std::size_t Cap, CodePlacement Placement)
+    : Placement(Placement) {
   assert(Cap > 0 && "empty code region");
   std::size_t Offset = 0;
   if (Placement == CodePlacement::Randomized) {
@@ -63,4 +74,67 @@ void CodeRegion::makeWritable() {
   if (::mprotect(Mapping, MappingSize, PROT_READ | PROT_WRITE) != 0)
     reportFatalError("mprotect(PROT_WRITE) on code region failed");
   Executable = false;
+}
+
+void RegionReleaser::operator()(CodeRegion *R) const {
+  if (!R)
+    return;
+  if (Pool)
+    Pool->release(R);
+  else
+    delete R;
+}
+
+PooledRegion RegionPool::acquire(std::size_t Capacity,
+                                 CodePlacement Placement) {
+  {
+    std::lock_guard<std::mutex> G(M);
+    // First fit: freelist order is release order, so a hot compile loop
+    // keeps reusing the same (cache-warm) mapping.
+    for (auto It = Free.begin(); It != Free.end(); ++It) {
+      CodeRegion *R = It->get();
+      if (R->capacity() >= Capacity && R->placement() == Placement) {
+        Stats.FreeBytes -= R->mappingBytes();
+        ++Stats.Reused;
+        It->release();
+        Free.erase(It);
+        return PooledRegion(R, RegionReleaser{this});
+      }
+    }
+    ++Stats.Mapped;
+  }
+  return PooledRegion(new CodeRegion(Capacity, Placement),
+                      RegionReleaser{this});
+}
+
+void RegionPool::release(CodeRegion *R) {
+  // Flip writable outside the lock: it is an mprotect syscall, and the
+  // region is exclusively owned here.
+  R->makeWritable();
+  {
+    std::lock_guard<std::mutex> G(M);
+    if (Stats.FreeBytes + R->mappingBytes() <= MaxFreeBytes) {
+      Stats.FreeBytes += R->mappingBytes();
+      Free.emplace_back(R);
+      return;
+    }
+    ++Stats.Dropped;
+  }
+  delete R;
+}
+
+RegionPoolStats RegionPool::stats() const {
+  std::lock_guard<std::mutex> G(M);
+  return Stats;
+}
+
+void RegionPool::clear() {
+  std::vector<std::unique_ptr<CodeRegion>> Doomed;
+  {
+    std::lock_guard<std::mutex> G(M);
+    Doomed.swap(Free);
+    Stats.FreeBytes = 0;
+  }
+  // Unmap outside the lock.
+  Doomed.clear();
 }

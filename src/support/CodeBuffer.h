@@ -13,6 +13,11 @@
 /// addressed this portability problem; on x86-64/Linux an mprotect flip is
 /// sufficient and no icache flush is needed).
 ///
+/// The RegionPool recycles mappings across instantiations: a released
+/// region flips back writable and waits on a freelist, so a pooled compile
+/// pays zero mmap/munmap syscalls on the allocation side. W^X is preserved
+/// — a region is writable XOR executable at every point of its lifecycle.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TICKC_SUPPORT_CODEBUFFER_H
@@ -20,6 +25,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
 
 namespace tcc {
 
@@ -45,6 +53,11 @@ public:
   /// Bytes available starting at base().
   std::size_t capacity() const { return Capacity; }
 
+  /// Bytes actually reserved from the OS (>= capacity, page rounded).
+  std::size_t mappingBytes() const { return MappingSize; }
+
+  CodePlacement placement() const { return Placement; }
+
   /// Flips the region executable (and read-only for writes under W^X).
   /// Must be called before executing emitted code.
   void makeExecutable();
@@ -59,7 +72,62 @@ private:
   std::size_t MappingSize = 0;
   std::uint8_t *Base = nullptr; ///< Emission start inside the mapping.
   std::size_t Capacity = 0;
+  CodePlacement Placement = CodePlacement::Sequential;
   bool Executable = false;
+};
+
+class RegionPool;
+
+/// Deleter for regions that may belong to a pool: pooled regions are
+/// returned for reuse, unpooled ones are freed.
+struct RegionReleaser {
+  RegionPool *Pool = nullptr;
+  void operator()(CodeRegion *R) const;
+};
+
+/// Owning handle to a code region; releases back to its pool (if any) on
+/// destruction.
+using PooledRegion = std::unique_ptr<CodeRegion, RegionReleaser>;
+
+/// Pool activity counters (monotonic; read with relaxed snapshots).
+struct RegionPoolStats {
+  std::uint64_t Reused = 0;  ///< acquire() satisfied from the freelist.
+  std::uint64_t Mapped = 0;  ///< acquire() fell back to a fresh mmap.
+  std::uint64_t Dropped = 0; ///< release() unmapped (pool byte cap hit).
+  std::size_t FreeBytes = 0; ///< Mapping bytes currently on the freelist.
+};
+
+/// A thread-safe freelist of CodeRegion mappings. acquire() reuses any
+/// writable region with enough capacity and a matching placement policy;
+/// release() flips the region back writable and shelves it. The freelist
+/// is bounded by mapping bytes; beyond the bound released regions are
+/// unmapped.
+class RegionPool {
+public:
+  explicit RegionPool(std::size_t MaxFreeBytes = 64u << 20)
+      : MaxFreeBytes(MaxFreeBytes) {}
+
+  RegionPool(const RegionPool &) = delete;
+  RegionPool &operator=(const RegionPool &) = delete;
+
+  /// A writable region with capacity() >= \p Capacity. Reuses a pooled
+  /// mapping when one fits; otherwise maps a fresh region.
+  PooledRegion acquire(std::size_t Capacity, CodePlacement Placement);
+
+  /// Returns \p R (writable again) to the freelist, or unmaps it if the
+  /// pool is full. Called by RegionReleaser; takes ownership.
+  void release(CodeRegion *R);
+
+  RegionPoolStats stats() const;
+
+  /// Unmaps every pooled region (regions currently acquired are unaffected).
+  void clear();
+
+private:
+  mutable std::mutex M;
+  std::vector<std::unique_ptr<CodeRegion>> Free;
+  std::size_t MaxFreeBytes;
+  RegionPoolStats Stats;
 };
 
 /// Returns the host instruction-cache size used by the randomized placement

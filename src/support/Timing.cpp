@@ -3,6 +3,7 @@
 #include "support/Timing.h"
 
 #include <ctime>
+#include <mutex>
 #include <x86intrin.h>
 
 using namespace tcc;
@@ -31,6 +32,11 @@ static double measureCyclesPerNano() {
 }
 
 double tcc::cyclesPerNano() {
-  static const double Ratio = measureCyclesPerNano();
+  // Calibrated exactly once, even when the first callers are concurrent
+  // compile threads; all of them block until the ~2 ms window finishes
+  // rather than racing their own calibrations.
+  static std::once_flag Once;
+  static double Ratio;
+  std::call_once(Once, [] { Ratio = measureCyclesPerNano(); });
   return Ratio;
 }

@@ -45,6 +45,31 @@ private:
   std::uint64_t Total = 0;
 };
 
+/// RAII phase measurement: charges the cycles between construction and
+/// destruction to an accumulator (either a raw tick counter or a
+/// PhaseTimer), so early returns and error paths cannot leak a started
+/// phase the way hand-paired start()/stop() calls can.
+class PhaseScope {
+public:
+  explicit PhaseScope(std::uint64_t &Acc)
+      : Acc(&Acc), StartedAt(readCycleCounter()) {}
+  explicit PhaseScope(PhaseTimer &T) : Timer(&T) { T.start(); }
+  ~PhaseScope() {
+    if (Acc)
+      *Acc += readCycleCounter() - StartedAt;
+    else
+      Timer->stop();
+  }
+
+  PhaseScope(const PhaseScope &) = delete;
+  PhaseScope &operator=(const PhaseScope &) = delete;
+
+private:
+  std::uint64_t *Acc = nullptr;
+  PhaseTimer *Timer = nullptr;
+  std::uint64_t StartedAt = 0;
+};
+
 } // namespace tcc
 
 #endif // TICKC_SUPPORT_TIMING_H
