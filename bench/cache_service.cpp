@@ -22,6 +22,7 @@
 #include "apps/Query.h"
 #include "bench/Harness.h"
 #include "cache/CompileService.h"
+#include "observability/Report.h"
 
 #include <algorithm>
 #include <atomic>
@@ -212,7 +213,11 @@ int main() {
     emitJson(F, Results[I], I + 1 == Results.size());
   std::fprintf(F, "  ]\n}\n");
   std::fclose(F);
-  std::printf("wrote BENCH_cache.json\n");
+  std::printf("wrote BENCH_cache.json\n\n");
+
+  // The registry has been accumulating across every compile above; the
+  // report doubles as a smoke test of the observability surface.
+  std::printf("%s", obs::renderReport().c_str());
 
   bool Ok = true;
   for (const WorkloadResult &R : Results) {

@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/FigureData.h"
+#include "observability/Report.h"
 
 #include <cstdio>
 
@@ -80,5 +81,7 @@ int main() {
     std::printf("%-8s %14.0f %14.0f %10.2f\n", App.Name.c_str(), LsRa, GcRa,
                 GcRa / (LsRa > 0 ? LsRa : 1));
   }
+  printRule();
+  std::printf("%s", obs::renderReport().c_str());
   return 0;
 }

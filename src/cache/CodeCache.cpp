@@ -2,10 +2,37 @@
 
 #include "cache/CodeCache.h"
 
+#include "observability/Metrics.h"
+#include "observability/Names.h"
+#include "observability/Trace.h"
+
 #include <bit>
 
 using namespace tcc;
 using namespace tcc::cache;
+
+namespace {
+
+/// Global-registry mirrors of the per-instance counters: cumulative across
+/// every CodeCache in the process, for tickc-report and trend dashboards.
+/// Per-instance counts stay on the cache itself (tests assert on them).
+struct CacheMetrics {
+  obs::Counter &Hits, &Misses, &Evictions, &Insertions;
+  obs::Counter &BytesInserted, &BytesEvicted;
+  static CacheMetrics &get() {
+    namespace N = obs::names;
+    auto &R = obs::MetricsRegistry::global();
+    static CacheMetrics M{R.counter(N::CacheHits),
+                          R.counter(N::CacheMisses),
+                          R.counter(N::CacheEvictions),
+                          R.counter(N::CacheInsertions),
+                          R.counter(N::CacheBytesInserted),
+                          R.counter(N::CacheBytesEvicted)};
+    return M;
+  }
+};
+
+} // namespace
 
 CodeCache::CodeCache(unsigned NumShards, std::size_t MaxBytes) {
   if (NumShards == 0)
@@ -20,20 +47,25 @@ CodeCache::CodeCache(unsigned NumShards, std::size_t MaxBytes) {
 }
 
 FnHandle CodeCache::lookup(const SpecKey &K) {
+  obs::TraceSpan Span(obs::SpanKind::CacheProbe);
   Shard &S = shardFor(K);
   std::lock_guard<std::mutex> G(S.M);
   auto It = S.Map.find(K);
   if (It == S.Map.end()) {
-    Misses.fetch_add(1, std::memory_order_relaxed);
+    Misses.inc();
+    CacheMetrics::get().Misses.inc();
     return nullptr;
   }
   // Touch: splice to the front of the LRU list (iterators stay valid).
   S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
-  Hits.fetch_add(1, std::memory_order_relaxed);
+  Hits.inc();
+  CacheMetrics::get().Hits.inc();
   return It->second->Fn;
 }
 
 FnHandle CodeCache::insert(const SpecKey &K, core::CompiledFn &&Fn) {
+  obs::TraceSpan Span(obs::SpanKind::CacheInsert);
+  CacheMetrics &GM = CacheMetrics::get();
   Entry E;
   E.Key = K;
   E.Bytes = Fn.stats().CodeBytes ? Fn.stats().CodeBytes : 1;
@@ -49,16 +81,20 @@ FnHandle CodeCache::insert(const SpecKey &K, core::CompiledFn &&Fn) {
     return It->second->Fn;
   }
   S.Bytes += E.Bytes;
+  GM.BytesInserted.inc(E.Bytes);
   S.Lru.push_front(std::move(E));
   S.Map.emplace(K, S.Lru.begin());
-  Insertions.fetch_add(1, std::memory_order_relaxed);
+  Insertions.inc();
+  GM.Insertions.inc();
   // Evict from the cold end, but never the entry just inserted.
   while (S.Bytes > ShardBudget && S.Lru.size() > 1) {
     Entry &Victim = S.Lru.back();
     S.Bytes -= Victim.Bytes;
+    GM.BytesEvicted.inc(Victim.Bytes);
     S.Map.erase(Victim.Key);
     S.Lru.pop_back();
-    Evictions.fetch_add(1, std::memory_order_relaxed);
+    Evictions.inc();
+    GM.Evictions.inc();
   }
   return S.Lru.front().Fn;
 }
@@ -74,10 +110,10 @@ void CodeCache::clear() {
 
 CacheStats CodeCache::stats() const {
   CacheStats St;
-  St.Hits = Hits.load(std::memory_order_relaxed);
-  St.Misses = Misses.load(std::memory_order_relaxed);
-  St.Evictions = Evictions.load(std::memory_order_relaxed);
-  St.Insertions = Insertions.load(std::memory_order_relaxed);
+  St.Hits = Hits.value();
+  St.Misses = Misses.value();
+  St.Evictions = Evictions.value();
+  St.Insertions = Insertions.value();
   for (const auto &SP : Shards) {
     std::lock_guard<std::mutex> G(SP->M);
     St.CodeBytes += SP->Bytes;

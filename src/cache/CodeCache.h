@@ -27,8 +27,8 @@
 
 #include "cache/SpecKey.h"
 #include "core/Compile.h"
+#include "observability/Metrics.h"
 
-#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -44,7 +44,10 @@ namespace cache {
 /// does, regardless of cache eviction.
 using FnHandle = std::shared_ptr<const core::CompiledFn>;
 
-/// Monotonic counters plus a point-in-time byte/entry census.
+/// Monotonic counters plus a point-in-time byte/entry census. This is the
+/// single stats surface for the caching layer — per-instance counts here,
+/// process-wide cumulative mirrors in obs::MetricsRegistry under the
+/// cache.* names (observability/Names.h).
 struct CacheStats {
   std::uint64_t Hits = 0;
   std::uint64_t Misses = 0;      ///< Lookups that found nothing.
@@ -103,10 +106,7 @@ private:
   std::vector<std::unique_ptr<Shard>> Shards;
   std::size_t ShardBudget;
 
-  std::atomic<std::uint64_t> Hits{0};
-  std::atomic<std::uint64_t> Misses{0};
-  std::atomic<std::uint64_t> Evictions{0};
-  std::atomic<std::uint64_t> Insertions{0};
+  obs::Counter Hits, Misses, Evictions, Insertions;
 };
 
 } // namespace cache

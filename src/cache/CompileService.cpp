@@ -2,6 +2,8 @@
 
 #include "cache/CompileService.h"
 
+#include "observability/Trace.h"
+
 using namespace tcc;
 using namespace tcc::cache;
 using namespace tcc::core;
@@ -19,7 +21,11 @@ FnHandle CompileService::getOrCompile(Context &Ctx, Stmt Body,
     return std::make_shared<CompiledFn>(
         compileFn(Ctx, Body, RetType, Opts));
 
-  SpecKey K = buildSpecKey(Ctx, Body, RetType, Opts);
+  SpecKey K;
+  {
+    obs::TraceSpan Span(obs::SpanKind::SpecFingerprint);
+    K = buildSpecKey(Ctx, Body, RetType, Opts);
+  }
   if (!K.Cacheable)
     return std::make_shared<CompiledFn>(
         compileFn(Ctx, Body, RetType, Opts));

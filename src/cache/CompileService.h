@@ -63,10 +63,11 @@ public:
   /// cache is disabled.
   FnHandle lookup(const SpecKey &K);
 
+  /// Stats live on the components themselves (cache().stats(),
+  /// pool().stats()) and, cumulatively, in obs::MetricsRegistry — the
+  /// service adds no parallel stats surface of its own.
   CodeCache &cache() { return Cache; }
   RegionPool &pool() { return Pool; }
-  CacheStats cacheStats() const { return Cache.stats(); }
-  RegionPoolStats poolStats() const { return Pool.stats(); }
 
   /// Process-wide default instance (default config).
   static CompileService &instance();

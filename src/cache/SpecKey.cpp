@@ -147,6 +147,11 @@ SpecKey cache::buildSpecKey(const Context &Ctx, Stmt Body, EvalType RetType,
   W.u8(static_cast<std::uint8_t>(Opts.Placement));
   W.u64(Opts.CodeCapacity);
   W.u32(Opts.UnrollLimit);
+  // Profiled code carries an extra prologue instruction, so it can never
+  // share an entry with unprofiled code. ProfileName is a label, not a
+  // semantic input: same-key profiled compiles share the first entry's
+  // counter (and name).
+  W.u8(Opts.Profile ? 1 : 0);
   W.u8(static_cast<std::uint8_t>(RetType));
 
   // The vspec table: LocalIds in the tree index into it.

@@ -11,6 +11,9 @@
 
 #include "core/Compile.h"
 
+#include "observability/Metrics.h"
+#include "observability/Names.h"
+#include "observability/Trace.h"
 #include "support/Error.h"
 #include "support/Timing.h"
 
@@ -450,10 +453,26 @@ public:
         LocalLoc(Ctx.locals().size(), INT_MIN),
         UserLabels(Ctx.numDynLabels()) {}
 
+  /// §4.4 partial-evaluation decisions, tallied during the walk (plain
+  /// ints: one flush to the shared metrics registry per compile, not one
+  /// atomic add per folded node).
+  struct Decisions {
+    unsigned LoopsUnrolled = 0;
+    unsigned BranchesEliminated = 0;
+    unsigned StrengthReductions = 0;
+  };
+  Decisions PE;
+
+  /// When set, the generated prologue atomically increments this 64-bit
+  /// counter on every invocation (CompileOptions::Profile).
+  const void *ProfileCounter = nullptr;
+
   void run(const StmtNode *Body) {
     BodyHasCalls = stmtHasCall(Body);
     if constexpr (TR::OnePass)
       Back.enter();
+    if (ProfileCounter)
+      Back.profileEntry(ProfileCounter);
     bindParams();
     genStmt(Body);
     // Fall-off-the-end return.
@@ -764,8 +783,10 @@ private:
             Back.addLI(D, A.R, Imm);
           else if (O == BinOp::Sub)
             Back.addLI(D, A.R, -Imm);
-          else
+          else {
+            ++PE.StrengthReductions;
             Back.mulLI(D, A.R, Imm);
+          }
           return Val{D, true, false};
         }
     }
@@ -857,6 +878,8 @@ private:
   }
 
   Val genBinII(BinOp O, const ExprNode *AN, std::int32_t Imm) {
+    if (O == BinOp::Mul || O == BinOp::Div || O == BinOp::Mod)
+      ++PE.StrengthReductions; // Backends rewrite these to shifts/magic.
     Val A = genExpr(AN);
     int D = A.Temp ? A.R : TR::allocI(Back);
     switch (O) {
@@ -1151,6 +1174,7 @@ private:
     case StmtKind::If: {
       // Dead-branch elimination on run-time-constant conditions (§4.4).
       if (auto V = Rc.eval(S->E, false)) {
+        ++PE.BranchesEliminated;
         genStmt(V->truthy() ? S->S1 : S->S2);
         return;
       }
@@ -1287,6 +1311,7 @@ private:
     if (IV && BV && SV && !IV->isFp() && !BV->isFp() && !SV->isFp() &&
         !assignsLocal(S->S1, S->LocalId) && !hasEscapingControl(S->S1)) {
       if (auto Values = unrollValues(IV->I, K, BV->I, SV->I)) {
+        ++PE.LoopsUnrolled;
         EvalType VarT =
             Ctx.locals()[static_cast<std::size_t>(S->LocalId)].Type;
         for (std::int64_t V : *Values) {
@@ -1368,41 +1393,137 @@ private:
       INT_MIN, INT_MIN, INT_MIN, INT_MIN, INT_MIN, INT_MIN};
 };
 
+/// Global-registry mirrors of the per-compile accounting. Resolved once;
+/// each compile flushes its DynStats/decisions with a handful of relaxed
+/// adds, keeping the instrumented path within the disabled-overhead budget.
+struct CompileMetrics {
+  obs::Counter &CountVCode, &CountICode;
+  obs::Counter &CyclesTotal, &CodeBytes, &MachineInstrs;
+  obs::Counter &Walk, &Finalize, &FlowGraph, &Liveness, &Intervals,
+      &RegAlloc, &Peephole, &Emit;
+  obs::Counter &Spilled, &Unrolled, &DeadBranches, &Strength;
+  obs::Histogram &HistVCode, &HistLinear, &HistColor;
+
+  static CompileMetrics &get() {
+    using obs::MetricsRegistry;
+    namespace N = obs::names;
+    auto &R = MetricsRegistry::global();
+    static CompileMetrics M{
+        R.counter(N::CompileCountVCode), R.counter(N::CompileCountICode),
+        R.counter(N::CompileCyclesTotal), R.counter(N::CompileCodeBytes),
+        R.counter(N::CompileMachineInstrs), R.counter(N::PhaseCgfWalk),
+        R.counter(N::PhaseFinalize), R.counter(N::PhaseFlowGraph),
+        R.counter(N::PhaseLiveness), R.counter(N::PhaseLiveIntervals),
+        R.counter(N::PhaseRegAlloc), R.counter(N::PhasePeephole),
+        R.counter(N::PhaseEmit), R.counter(N::SpilledIntervals),
+        R.counter(N::LoopsUnrolled), R.counter(N::BranchesEliminated),
+        R.counter(N::StrengthReductions), R.histogram(N::HistCyclesVCode),
+        R.histogram(N::HistCyclesLinearScan),
+        R.histogram(N::HistCyclesGraphColor)};
+    return M;
+  }
+};
+
+template <class BE>
+void publishCompileMetrics(const CompiledFn &F, const CompileOptions &Opts,
+                           const typename Walker<BE>::Decisions &PE) {
+  CompileMetrics &M = CompileMetrics::get();
+  const DynStats &S = F.stats();
+  M.CyclesTotal.inc(S.CyclesTotal);
+  M.Walk.inc(S.CyclesWalk);
+  M.Finalize.inc(S.CyclesFinalize);
+  M.CodeBytes.inc(S.CodeBytes);
+  M.MachineInstrs.inc(S.MachineInstrs);
+  if (PE.LoopsUnrolled)
+    M.Unrolled.inc(PE.LoopsUnrolled);
+  if (PE.BranchesEliminated)
+    M.DeadBranches.inc(PE.BranchesEliminated);
+  if (PE.StrengthReductions)
+    M.Strength.inc(PE.StrengthReductions);
+  if (Opts.Backend == BackendKind::VCode) {
+    M.CountVCode.inc();
+    M.HistVCode.record(S.CyclesTotal);
+  } else {
+    M.CountICode.inc();
+    M.FlowGraph.inc(S.ICode.CyclesFlowGraph);
+    M.Liveness.inc(S.ICode.CyclesLiveness);
+    M.Intervals.inc(S.ICode.CyclesIntervals);
+    M.RegAlloc.inc(S.ICode.CyclesRegAlloc);
+    M.Peephole.inc(S.ICode.CyclesPeephole);
+    M.Emit.inc(S.ICode.CyclesEmit);
+    M.Spilled.inc(S.ICode.NumSpilledIntervals);
+    (Opts.RegAlloc == icode::RegAllocKind::LinearScan ? M.HistLinear
+                                                      : M.HistColor)
+        .record(S.CyclesTotal);
+  }
+}
+
 } // namespace
 
 CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
                            const CompileOptions &Opts) {
   assert(Body.valid() && "compiling an empty cspec");
+  obs::TraceSpan TotalSpan(obs::SpanKind::CompileTotal);
   CompiledFn F;
+  if (Opts.Profile)
+    F.Prof = obs::ProfileRegistry::global().create(
+        Opts.ProfileName ? Opts.ProfileName : "");
   F.Region = Opts.Pool
                  ? Opts.Pool->acquire(Opts.CodeCapacity, Opts.Placement)
                  : PooledRegion(new CodeRegion(Opts.CodeCapacity,
                                                Opts.Placement));
+  typename Walker<vcode::VCode>::Decisions PE;
   {
     PhaseScope Total(F.Stats.CyclesTotal);
     if (Opts.Backend == BackendKind::VCode) {
       vcode::VCode V(F.Region->base(), F.Region->capacity());
       Walker<vcode::VCode> W(Ctx, V, RetType, Opts);
+      if (F.Prof)
+        W.ProfileCounter = &F.Prof->Invocations;
       {
         PhaseScope Walk(F.Stats.CyclesWalk);
+        obs::TraceSpan Span(obs::SpanKind::CGFWalk);
         W.run(Body.node());
         F.Entry = V.finish();
       }
       F.Stats.MachineInstrs = V.instructionsEmitted();
       F.Stats.CodeBytes = V.codeBytes();
+      PE = W.PE;
     } else {
       icode::ICode IC;
       Walker<icode::ICode> W(Ctx, IC, RetType, Opts);
+      if (F.Prof)
+        W.ProfileCounter = &F.Prof->Invocations;
       {
         PhaseScope Walk(F.Stats.CyclesWalk);
+        obs::TraceSpan Span(obs::SpanKind::CGFWalk);
         W.run(Body.node());
       }
       vcode::VCode V(F.Region->base(), F.Region->capacity());
       F.Entry = IC.compileTo(V, Opts.RegAlloc, &F.Stats.ICode, Opts.Spill);
       F.Stats.MachineInstrs = V.instructionsEmitted();
       F.Stats.CodeBytes = V.codeBytes();
+      PE = {W.PE.LoopsUnrolled, W.PE.BranchesEliminated,
+            W.PE.StrengthReductions};
+    }
+    {
+      // Finalization (mprotect + icache sync) is part of what a compile
+      // costs; charge it inside the total so the phase breakdown sums to
+      // the whole.
+      PhaseScope Fin(F.Stats.CyclesFinalize);
+      F.Region->makeExecutable();
     }
   }
-  F.Region->makeExecutable();
+  if (F.Prof) {
+    F.Prof->CompileCycles.store(F.Stats.CyclesTotal,
+                                std::memory_order_relaxed);
+    F.Prof->CodeBytes.store(F.Stats.CodeBytes, std::memory_order_relaxed);
+    F.Prof->MachineInstrs.store(F.Stats.MachineInstrs,
+                                std::memory_order_relaxed);
+    F.Prof->Backend.store(
+        Opts.Backend == BackendKind::VCode ? "vcode" : "icode",
+        std::memory_order_relaxed);
+  }
+  publishCompileMetrics<vcode::VCode>(F, Opts, PE);
   return F;
 }

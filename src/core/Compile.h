@@ -28,6 +28,7 @@
 
 #include "core/Context.h"
 #include "icode/ICode.h"
+#include "observability/Profile.h"
 #include "support/CodeBuffer.h"
 
 #include <cstdint>
@@ -57,6 +58,13 @@ struct CompileOptions {
   /// to) this pool instead of being mmap'd per instantiation. Not part of
   /// the cache key: pooling changes where code lives, never what it is.
   RegionPool *Pool = nullptr;
+  /// When true, both back ends plant an atomic invocation-counter bump in
+  /// the generated prologue; the CompiledFn carries the counter (see
+  /// profile()), making hot specs identifiable at runtime next to their
+  /// compile cost. Part of the cache key: it changes the emitted code.
+  bool Profile = false;
+  /// Label for the profile entry (optional; copied at compile time).
+  const char *ProfileName = nullptr;
 };
 
 /// Cost account of one instantiation — the raw material of Table 1 and
@@ -65,6 +73,7 @@ struct DynStats {
   std::uint64_t CyclesTotal = 0; ///< Entire compile() call, TSC ticks.
   std::uint64_t CyclesWalk = 0;  ///< CGF walk (VCode: walk == emission;
                                  ///< ICode: IR construction).
+  std::uint64_t CyclesFinalize = 0; ///< mprotect + icache flush.
   icode::CompileStats ICode;     ///< Per-phase ICODE costs (ICode backend).
   unsigned MachineInstrs = 0;
   std::size_t CodeBytes = 0;
@@ -86,6 +95,11 @@ public:
     return reinterpret_cast<FnT *>(Entry);
   }
   const DynStats &stats() const { return Stats; }
+  /// The profile entry carrying this function's invocation counter, or
+  /// nullptr when compiled without CompileOptions::Profile. The entry is
+  /// shared with obs::ProfileRegistry and lives at least as long as the
+  /// generated code that increments it.
+  const obs::ProfileEntry *profile() const { return Prof.get(); }
 
 private:
   friend CompiledFn compileFn(Context &, Stmt, EvalType,
@@ -93,6 +107,7 @@ private:
   PooledRegion Region;
   void *Entry = nullptr;
   DynStats Stats;
+  std::shared_ptr<obs::ProfileEntry> Prof;
 };
 
 /// The `compile` special form: instantiates \p Body as a function returning

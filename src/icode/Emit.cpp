@@ -15,6 +15,8 @@
 
 #include "icode/Analysis.h"
 #include "icode/ICode.h"
+
+#include "observability/Trace.h"
 #include "support/Error.h"
 #include "support/Timing.h"
 
@@ -80,6 +82,10 @@ private:
     switch (In.Opcode) {
     case Op::Nop:
     case Op::Hint:
+      break;
+    case Op::ProfileInc:
+      V.profileEntry(reinterpret_cast<const void *>(
+          static_cast<std::uintptr_t>(IC.poolValue(In.A))));
       break;
     case Op::SetI:
       V.setI(loc(In.A), In.B);
@@ -365,17 +371,20 @@ void *ICode::compileTo(VCode &V, RegAllocKind Kind, CompileStats *Stats,
 
   {
     PhaseScope T(S.CyclesPeephole);
+    obs::TraceSpan Span(obs::SpanKind::Peephole);
     eliminateDeadCode(Instrs, numRegs());
   }
 
   FlowGraph FG;
   {
     PhaseScope T(S.CyclesFlowGraph);
+    obs::TraceSpan Span(obs::SpanKind::FlowGraph);
     FG.build(*this);
   }
 
   {
     PhaseScope T(S.CyclesLiveness);
+    obs::TraceSpan Span(obs::SpanKind::Liveness);
     S.NumLivenessIterations = FG.solveLiveness(*this);
   }
 
@@ -385,6 +394,7 @@ void *ICode::compileTo(VCode &V, RegAllocKind Kind, CompileStats *Stats,
   std::vector<bool> MustSpill;
   {
     PhaseScope T(S.CyclesIntervals);
+    obs::TraceSpan Span(obs::SpanKind::LiveIntervals);
     Intervals = buildLiveIntervals(*this, FG);
     MustSpill = computeMustSpill(*this, Intervals);
   }
@@ -392,6 +402,9 @@ void *ICode::compileTo(VCode &V, RegAllocKind Kind, CompileStats *Stats,
   Allocation Alloc;
   {
     PhaseScope T(S.CyclesRegAlloc);
+    obs::TraceSpan Span(Kind == RegAllocKind::LinearScan
+                            ? obs::SpanKind::LinearScan
+                            : obs::SpanKind::GraphColor);
     Alloc =
         Kind == RegAllocKind::LinearScan
             ? allocateLinearScan(*this, std::move(Intervals),
@@ -404,6 +417,7 @@ void *ICode::compileTo(VCode &V, RegAllocKind Kind, CompileStats *Stats,
   void *Entry;
   {
     PhaseScope T(S.CyclesEmit);
+    obs::TraceSpan Span(obs::SpanKind::Emit);
     Emitter E(*this, V, Alloc);
     E.run();
     Entry = V.finish();

@@ -146,6 +146,7 @@ const char *tcc::icode::opName(Op O) {
     CASE(ResultL);
     CASE(ResultD);
     CASE(Hint);
+    CASE(ProfileInc);
     CASE(Nop);
 #undef CASE
   }
@@ -273,6 +274,7 @@ void ICode::defsUses(const Instr &I, VReg *Defs, unsigned &NumDefs, VReg *Uses,
   case Op::CallArgII:
   case Op::Call:
   case Op::Hint:
+  case Op::ProfileInc:
   case Op::Nop:
     break;
   }

@@ -147,6 +147,9 @@ enum class Op : std::uint8_t {
   ResultD,
   // Usage-frequency hint: A = +1 entering a loop, -1 leaving it.
   Hint,
+  // Profiling hook: atomic increment of the invocation counter whose
+  // address sits in the constant pool (A). Impure — never erased.
+  ProfileInc,
   // Erased by the peephole pass; never emitted.
   Nop,
 };
@@ -236,6 +239,16 @@ public:
   /// Marks entry into (Delta=+1) or exit from (Delta=-1) a more frequently
   /// executed region. Nested loops compose.
   void hint(int Delta) { append(Op::Hint, 0, Delta, 0, 0); }
+
+  // --- Profiling hook --------------------------------------------------------
+  /// Plants the opt-in profiling hook (observability/Profile.h): the emitted
+  /// prologue atomically increments the 64-bit counter at \p Counter, which
+  /// must outlive the generated code. Uses no virtual registers, so every
+  /// later pass treats it as opaque straight-line code.
+  void profileEntry(const void *Counter) {
+    append(Op::ProfileInc, 0,
+           addPool(reinterpret_cast<std::uintptr_t>(Counter)), 0, 0);
+  }
 
   // --- Constants and moves -----------------------------------------------------
   void setI(VReg D, std::int32_t Imm) { append(Op::SetI, 0, D, Imm, 0); }

@@ -1,0 +1,76 @@
+//===- observability/Metrics.cpp - Counters and histograms ----------------===//
+
+#include "observability/Metrics.h"
+
+#include <algorithm>
+
+using namespace tcc;
+using namespace tcc::obs;
+
+std::uint64_t MetricsSnapshot::counter(std::string_view Name) const {
+  auto It = std::lower_bound(
+      Counters.begin(), Counters.end(), Name,
+      [](const CounterSnapshot &C, std::string_view N) { return C.Name < N; });
+  return (It != Counters.end() && It->Name == Name) ? It->Value : 0;
+}
+
+const HistogramSnapshot *
+MetricsSnapshot::histogram(std::string_view Name) const {
+  for (const HistogramSnapshot &H : Histograms)
+    if (H.Name == Name)
+      return &H;
+  return nullptr;
+}
+
+MetricsRegistry &MetricsRegistry::global() {
+  // Intentionally leaked: metrics may be bumped from static destructors.
+  static MetricsRegistry *R = new MetricsRegistry;
+  return *R;
+}
+
+Counter &MetricsRegistry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> G(M);
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(std::string(Name), std::make_unique<Counter>())
+             .first;
+  return *It->second;
+}
+
+Histogram &MetricsRegistry::histogram(std::string_view Name) {
+  std::lock_guard<std::mutex> G(M);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms.emplace(std::string(Name), std::make_unique<Histogram>())
+             .first;
+  return *It->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot S;
+  std::lock_guard<std::mutex> G(M);
+  S.Counters.reserve(Counters.size());
+  for (const auto &[Name, C] : Counters)
+    S.Counters.push_back(CounterSnapshot{Name, C->value()});
+  S.Histograms.reserve(Histograms.size());
+  for (const auto &[Name, H] : Histograms) {
+    HistogramSnapshot HS;
+    HS.Name = Name;
+    HS.Count = H->count();
+    HS.Sum = H->sum();
+    HS.Min = HS.Count ? H->min() : 0;
+    HS.Max = H->max();
+    for (unsigned B = 0; B < Histogram::NumBuckets; ++B)
+      HS.Buckets[B] = H->bucketCount(B);
+    S.Histograms.push_back(std::move(HS));
+  }
+  return S;
+}
+
+void MetricsRegistry::resetAll() {
+  std::lock_guard<std::mutex> G(M);
+  for (auto &[Name, C] : Counters)
+    C->reset();
+  for (auto &[Name, H] : Histograms)
+    H->reset();
+}

@@ -1,0 +1,71 @@
+//===- observability/Names.h - Canonical metric names ----------*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The canonical metric names the instrumented pipeline publishes and the
+/// report renderer consumes. One place, so producers and consumers cannot
+/// drift apart.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_OBSERVABILITY_NAMES_H
+#define TICKC_OBSERVABILITY_NAMES_H
+
+namespace tcc {
+namespace obs {
+namespace names {
+
+// Compile volume.
+inline constexpr char CompileCountVCode[] = "compile.count.vcode";
+inline constexpr char CompileCountICode[] = "compile.count.icode";
+inline constexpr char CompileCyclesTotal[] = "compile.cycles.total";
+inline constexpr char CompileCodeBytes[] = "compile.code.bytes";
+inline constexpr char CompileMachineInstrs[] = "compile.machine.instrs";
+
+// Per-phase cycle accumulators (the Figure 6/7 stacked-bar raw material).
+inline constexpr char PhaseCgfWalk[] = "phase.cgf_walk.cycles";
+inline constexpr char PhaseFlowGraph[] = "phase.flow_graph.cycles";
+inline constexpr char PhaseLiveness[] = "phase.liveness.cycles";
+inline constexpr char PhaseLiveIntervals[] = "phase.live_intervals.cycles";
+inline constexpr char PhaseRegAlloc[] = "phase.regalloc.cycles";
+inline constexpr char PhasePeephole[] = "phase.peephole.cycles";
+inline constexpr char PhaseEmit[] = "phase.emit.cycles";
+inline constexpr char PhaseFinalize[] = "phase.finalize.cycles";
+
+// Per-compile latency distributions, split by backend/allocator.
+inline constexpr char HistCyclesVCode[] = "compile.cycles.vcode";
+inline constexpr char HistCyclesLinearScan[] =
+    "compile.cycles.icode.linear_scan";
+inline constexpr char HistCyclesGraphColor[] =
+    "compile.cycles.icode.graph_color";
+
+// Register allocation.
+inline constexpr char SpilledIntervals[] = "regalloc.spilled_intervals";
+
+// Dynamic partial evaluation decisions (paper §4.4).
+inline constexpr char LoopsUnrolled[] = "opt.loops_unrolled";
+inline constexpr char BranchesEliminated[] = "opt.branches_eliminated";
+inline constexpr char StrengthReductions[] = "opt.strength_reductions";
+
+// Code cache (all CodeCache instances, cumulative).
+inline constexpr char CacheHits[] = "cache.hits";
+inline constexpr char CacheMisses[] = "cache.misses";
+inline constexpr char CacheEvictions[] = "cache.evictions";
+inline constexpr char CacheInsertions[] = "cache.insertions";
+inline constexpr char CacheBytesInserted[] = "cache.bytes.inserted";
+inline constexpr char CacheBytesEvicted[] = "cache.bytes.evicted";
+
+// Region pool (all RegionPool instances, cumulative).
+inline constexpr char PoolReused[] = "pool.regions.reused";
+inline constexpr char PoolMapped[] = "pool.regions.mapped";
+inline constexpr char PoolDropped[] = "pool.regions.dropped";
+
+} // namespace names
+} // namespace obs
+} // namespace tcc
+
+#endif // TICKC_OBSERVABILITY_NAMES_H

@@ -1,0 +1,35 @@
+//===- observability/Profile.cpp - Generated-code profiling ---------------===//
+
+#include "observability/Profile.h"
+
+using namespace tcc;
+using namespace tcc::obs;
+
+ProfileRegistry &ProfileRegistry::global() {
+  // Intentionally leaked: generated code may still run (and CompiledFns
+  // still die) during static destruction.
+  static ProfileRegistry *R = new ProfileRegistry;
+  return *R;
+}
+
+std::shared_ptr<ProfileEntry> ProfileRegistry::create(std::string_view Name) {
+  auto E = std::make_shared<ProfileEntry>();
+  E->Name.assign(Name.begin(), Name.end());
+  std::lock_guard<std::mutex> G(M);
+  Entries.emplace_back(E);
+  return E;
+}
+
+std::vector<std::shared_ptr<ProfileEntry>> ProfileRegistry::entries() {
+  std::vector<std::shared_ptr<ProfileEntry>> Live;
+  std::lock_guard<std::mutex> G(M);
+  std::size_t Keep = 0;
+  for (std::weak_ptr<ProfileEntry> &W : Entries) {
+    if (auto S = W.lock()) {
+      Live.push_back(std::move(S));
+      Entries[Keep++] = std::move(W);
+    }
+  }
+  Entries.resize(Keep);
+  return Live;
+}

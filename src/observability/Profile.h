@@ -1,0 +1,67 @@
+//===- observability/Profile.h - Generated-code profiling ------*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Invocation profiling for dynamically generated functions. When a spec is
+/// compiled with CompileOptions::Profile, both back ends plant a single
+/// `lock inc qword [counter]` in the function's prologue; the counter lives
+/// in a ProfileEntry owned (via shared_ptr) by the CompiledFn, so the
+/// generated code can never outlive the memory it increments.
+///
+/// This closes the loop on the paper's crossover economics (Figure 5): the
+/// compile cost of a spec and its actual use count become observable side
+/// by side, so "did dynamic compilation pay for itself?" is answerable at
+/// runtime instead of by offline benchmarking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_OBSERVABILITY_PROFILE_H
+#define TICKC_OBSERVABILITY_PROFILE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tcc {
+namespace obs {
+
+/// One profiled dynamic function: its invocation count (incremented by the
+/// generated prologue) next to what it cost to compile.
+struct ProfileEntry {
+  std::string Name; ///< Caller-supplied label; set once before publication.
+  std::atomic<std::uint64_t> Invocations{0};
+  std::atomic<std::uint64_t> CompileCycles{0};
+  std::atomic<std::uint64_t> CodeBytes{0};
+  std::atomic<std::uint64_t> MachineInstrs{0};
+  std::atomic<const char *> Backend{""}; ///< "vcode" or "icode".
+};
+
+/// Weak registry of every live ProfileEntry; entries drop out when the last
+/// CompiledFn holding them dies.
+class ProfileRegistry {
+public:
+  /// The process-wide registry (never destroyed).
+  static ProfileRegistry &global();
+
+  std::shared_ptr<ProfileEntry> create(std::string_view Name);
+
+  /// Live entries, unordered. Expired entries are pruned as a side effect.
+  std::vector<std::shared_ptr<ProfileEntry>> entries();
+
+private:
+  std::mutex M;
+  std::vector<std::weak_ptr<ProfileEntry>> Entries;
+};
+
+} // namespace obs
+} // namespace tcc
+
+#endif // TICKC_OBSERVABILITY_PROFILE_H

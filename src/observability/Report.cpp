@@ -1,0 +1,191 @@
+//===- observability/Report.cpp - tickc-report text renderer --------------===//
+
+#include "observability/Report.h"
+
+#include "observability/Names.h"
+#include "observability/Profile.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace tcc;
+using namespace tcc::obs;
+
+namespace {
+
+struct PhaseRow {
+  const char *Label;
+  const char *Metric;
+};
+
+constexpr PhaseRow Phases[] = {
+    {"cgf walk", names::PhaseCgfWalk},
+    {"flow graph", names::PhaseFlowGraph},
+    {"liveness", names::PhaseLiveness},
+    {"live intervals", names::PhaseLiveIntervals},
+    {"regalloc", names::PhaseRegAlloc},
+    {"peephole", names::PhasePeephole},
+    {"emit", names::PhaseEmit},
+    {"finalize", names::PhaseFinalize},
+};
+
+void appendf(std::string &Out, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[512];
+  va_list Ap;
+  va_start(Ap, Fmt);
+  int N = std::vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+  va_end(Ap);
+  if (N > 0)
+    Out.append(Buf, std::min<std::size_t>(static_cast<std::size_t>(N),
+                                          sizeof(Buf) - 1));
+}
+
+void appendBar(std::string &Out, double Frac, unsigned Width = 28) {
+  auto N = static_cast<unsigned>(Frac * Width + 0.5);
+  N = std::min(N, Width);
+  for (unsigned I = 0; I < N; ++I)
+    Out += '#';
+}
+
+void renderHistogram(std::string &Out, const HistogramSnapshot &H) {
+  if (H.Count == 0)
+    return;
+  double Mean = static_cast<double>(H.Sum) / static_cast<double>(H.Count);
+  appendf(Out, "  %-34s n=%-8llu mean=%-10.0f min=%-8llu max=%llu\n",
+          H.Name.c_str(), static_cast<unsigned long long>(H.Count), Mean,
+          static_cast<unsigned long long>(H.Min),
+          static_cast<unsigned long long>(H.Max));
+}
+
+} // namespace
+
+std::uint64_t tcc::obs::phaseCycleSum(const MetricsSnapshot &S) {
+  std::uint64_t Sum = 0;
+  for (const PhaseRow &P : Phases)
+    Sum += S.counter(P.Metric);
+  return Sum;
+}
+
+std::string tcc::obs::renderReport(const MetricsSnapshot &S) {
+  std::string Out;
+  Out += "tickc-report: dynamic-compilation cost breakdown\n";
+  Out += "================================================\n";
+
+  std::uint64_t Total = S.counter(names::CompileCyclesTotal);
+  std::uint64_t PhaseSum = phaseCycleSum(S);
+  std::uint64_t Denom = std::max(Total, PhaseSum);
+
+  Out += "compile phases (cycles, all compiles)\n";
+  for (const PhaseRow &P : Phases) {
+    std::uint64_t C = S.counter(P.Metric);
+    if (C == 0)
+      continue;
+    double Frac = Denom ? static_cast<double>(C) / static_cast<double>(Denom)
+                        : 0.0;
+    appendf(Out, "  %-16s %12llu  %5.1f%%  ", P.Label,
+            static_cast<unsigned long long>(C), Frac * 100.0);
+    appendBar(Out, Frac);
+    Out += '\n';
+  }
+  appendf(Out, "  %-16s %12llu  (compile total %llu; phases cover %.1f%%)\n",
+          "phase sum", static_cast<unsigned long long>(PhaseSum),
+          static_cast<unsigned long long>(Total),
+          Total ? 100.0 * static_cast<double>(PhaseSum) /
+                      static_cast<double>(Total)
+                : 0.0);
+
+  std::uint64_t NV = S.counter(names::CompileCountVCode);
+  std::uint64_t NI = S.counter(names::CompileCountICode);
+  appendf(Out,
+          "compiles: %llu vcode + %llu icode; %llu code bytes, "
+          "%llu machine instrs, %llu spilled intervals\n",
+          static_cast<unsigned long long>(NV),
+          static_cast<unsigned long long>(NI),
+          static_cast<unsigned long long>(S.counter(names::CompileCodeBytes)),
+          static_cast<unsigned long long>(
+              S.counter(names::CompileMachineInstrs)),
+          static_cast<unsigned long long>(S.counter(names::SpilledIntervals)));
+  appendf(Out,
+          "partial evaluation: %llu loops unrolled, %llu dead branches "
+          "eliminated, %llu strength reductions\n",
+          static_cast<unsigned long long>(S.counter(names::LoopsUnrolled)),
+          static_cast<unsigned long long>(
+              S.counter(names::BranchesEliminated)),
+          static_cast<unsigned long long>(
+              S.counter(names::StrengthReductions)));
+
+  std::uint64_t Hits = S.counter(names::CacheHits);
+  std::uint64_t Misses = S.counter(names::CacheMisses);
+  if (Hits + Misses) {
+    appendf(Out,
+            "cache: %llu hits / %llu misses (%.1f%% hit), %llu insertions, "
+            "%llu evictions, %llu bytes resident\n",
+            static_cast<unsigned long long>(Hits),
+            static_cast<unsigned long long>(Misses),
+            100.0 * static_cast<double>(Hits) /
+                static_cast<double>(Hits + Misses),
+            static_cast<unsigned long long>(
+                S.counter(names::CacheInsertions)),
+            static_cast<unsigned long long>(S.counter(names::CacheEvictions)),
+            static_cast<unsigned long long>(
+                S.counter(names::CacheBytesInserted) -
+                S.counter(names::CacheBytesEvicted)));
+  }
+  std::uint64_t Reused = S.counter(names::PoolReused);
+  std::uint64_t Mapped = S.counter(names::PoolMapped);
+  if (Reused + Mapped)
+    appendf(Out, "region pool: %llu reused, %llu mapped, %llu dropped\n",
+            static_cast<unsigned long long>(Reused),
+            static_cast<unsigned long long>(Mapped),
+            static_cast<unsigned long long>(S.counter(names::PoolDropped)));
+
+  bool AnyHist = false;
+  for (const HistogramSnapshot &H : S.Histograms)
+    AnyHist |= H.Count != 0;
+  if (AnyHist) {
+    Out += "compile latency (cycles per compile)\n";
+    for (const HistogramSnapshot &H : S.Histograms)
+      renderHistogram(Out, H);
+  }
+
+  auto Entries = ProfileRegistry::global().entries();
+  std::vector<std::shared_ptr<ProfileEntry>> Hot;
+  for (auto &E : Entries)
+    if (E->Invocations.load(std::memory_order_relaxed) ||
+        E->CompileCycles.load(std::memory_order_relaxed))
+      Hot.push_back(E);
+  if (!Hot.empty()) {
+    std::sort(Hot.begin(), Hot.end(), [](const auto &A, const auto &B) {
+      return A->Invocations.load(std::memory_order_relaxed) >
+             B->Invocations.load(std::memory_order_relaxed);
+    });
+    Out += "hot dynamic functions (invocations vs compile cost)\n";
+    std::size_t N = std::min<std::size_t>(Hot.size(), 10);
+    for (std::size_t I = 0; I < N; ++I) {
+      const ProfileEntry &E = *Hot[I];
+      appendf(Out,
+              "  %-24s %12llu calls  %10llu compile cycles  %6llu bytes "
+              "(%s)\n",
+              E.Name.empty() ? "<anon>" : E.Name.c_str(),
+              static_cast<unsigned long long>(
+                  E.Invocations.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(
+                  E.CompileCycles.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(
+                  E.CodeBytes.load(std::memory_order_relaxed)),
+              E.Backend.load(std::memory_order_relaxed));
+    }
+    if (Hot.size() > N)
+      appendf(Out, "  ... and %llu more\n",
+              static_cast<unsigned long long>(Hot.size() - N));
+  }
+  return Out;
+}
+
+std::string tcc::obs::renderReport() {
+  return renderReport(MetricsRegistry::global().snapshot());
+}

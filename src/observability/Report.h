@@ -1,0 +1,41 @@
+//===- observability/Report.h - tickc-report text renderer -----*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the metrics registry and the generated-code profile as a text
+/// report: a per-phase stacked compile-cost breakdown (this repo's answer
+/// to the paper's Figures 6 and 7), cache/pool traffic, the §4.4 partial
+/// evaluation decisions, compile-latency distributions, and the hottest
+/// profiled dynamic functions. Benches print it after a run; tests assert
+/// on its invariants (phase sum ≈ total).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_OBSERVABILITY_REPORT_H
+#define TICKC_OBSERVABILITY_REPORT_H
+
+#include "observability/Metrics.h"
+
+#include <string>
+
+namespace tcc {
+namespace obs {
+
+/// Renders \p S (plus the live ProfileRegistry) as a multi-line report.
+std::string renderReport(const MetricsSnapshot &S);
+
+/// Convenience: snapshot the global registry and render it.
+std::string renderReport();
+
+/// Sum of the per-phase cycle counters in \p S — the stacked total the
+/// breakdown is built from; compare against names::CompileCyclesTotal.
+std::uint64_t phaseCycleSum(const MetricsSnapshot &S);
+
+} // namespace obs
+} // namespace tcc
+
+#endif // TICKC_OBSERVABILITY_REPORT_H

@@ -2,6 +2,9 @@
 
 #include "support/CodeBuffer.h"
 
+#include "observability/Metrics.h"
+#include "observability/Names.h"
+#include "observability/Trace.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -63,6 +66,7 @@ CodeRegion::~CodeRegion() {
 void CodeRegion::makeExecutable() {
   if (Executable)
     return;
+  obs::TraceSpan Span(obs::SpanKind::ICacheFlush);
   if (::mprotect(Mapping, MappingSize, PROT_READ | PROT_EXEC) != 0)
     reportFatalError("mprotect(PROT_EXEC) on code region failed");
   Executable = true;
@@ -85,8 +89,28 @@ void RegionReleaser::operator()(CodeRegion *R) const {
     delete R;
 }
 
+namespace {
+
+/// Global registry mirrors of the per-pool counters (cumulative across all
+/// RegionPool instances). Resolved once; bumped with relaxed adds.
+struct PoolMetrics {
+  obs::Counter &Reused;
+  obs::Counter &Mapped;
+  obs::Counter &Dropped;
+  static PoolMetrics &get() {
+    static PoolMetrics PM{
+        obs::MetricsRegistry::global().counter(obs::names::PoolReused),
+        obs::MetricsRegistry::global().counter(obs::names::PoolMapped),
+        obs::MetricsRegistry::global().counter(obs::names::PoolDropped)};
+    return PM;
+  }
+};
+
+} // namespace
+
 PooledRegion RegionPool::acquire(std::size_t Capacity,
                                  CodePlacement Placement) {
+  obs::TraceSpan Span(obs::SpanKind::RegionAcquire);
   {
     std::lock_guard<std::mutex> G(M);
     // First fit: freelist order is release order, so a hot compile loop
@@ -98,16 +122,19 @@ PooledRegion RegionPool::acquire(std::size_t Capacity,
         ++Stats.Reused;
         It->release();
         Free.erase(It);
+        PoolMetrics::get().Reused.inc();
         return PooledRegion(R, RegionReleaser{this});
       }
     }
     ++Stats.Mapped;
   }
+  PoolMetrics::get().Mapped.inc();
   return PooledRegion(new CodeRegion(Capacity, Placement),
                       RegionReleaser{this});
 }
 
 void RegionPool::release(CodeRegion *R) {
+  obs::TraceSpan Span(obs::SpanKind::RegionRelease);
   // Flip writable outside the lock: it is an mprotect syscall, and the
   // region is exclusively owned here.
   R->makeWritable();
@@ -120,6 +147,7 @@ void RegionPool::release(CodeRegion *R) {
     }
     ++Stats.Dropped;
   }
+  PoolMetrics::get().Dropped.inc();
   delete R;
 }
 

@@ -4,14 +4,8 @@
 
 #include <ctime>
 #include <mutex>
-#include <x86intrin.h>
 
 using namespace tcc;
-
-std::uint64_t tcc::readCycleCounter() {
-  unsigned Aux;
-  return __rdtscp(&Aux);
-}
 
 std::uint64_t tcc::readMonotonicNanos() {
   timespec TS;

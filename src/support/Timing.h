@@ -15,12 +15,37 @@
 #ifndef TICKC_SUPPORT_TIMING_H
 #define TICKC_SUPPORT_TIMING_H
 
+#include <cassert>
 #include <cstdint>
+#include <x86intrin.h>
 
 namespace tcc {
 
-/// Reads the time-stamp counter (serialized enough for coarse phase timing).
-std::uint64_t readCycleCounter();
+/// Reads the time-stamp counter. rdtscp waits for all prior instructions to
+/// execute (though later ones may begin), which is serialized enough for
+/// coarse phase timing; use the Begin/End pair below for short spans.
+inline std::uint64_t readCycleCounter() {
+  unsigned Aux;
+  return __rdtscp(&Aux);
+}
+
+/// Fenced TSC read opening a short measured span: the lfence keeps rdtsc
+/// from executing before earlier instructions retire, so sub-microsecond
+/// phases stop under-reporting (work drifting ahead of the start stamp).
+inline std::uint64_t readCycleCounterBegin() {
+  _mm_lfence();
+  return __rdtsc();
+}
+
+/// Fenced TSC read closing a short measured span: rdtscp orders the read
+/// after the span's instructions, and the trailing lfence keeps whatever
+/// follows from starting before the stamp is taken.
+inline std::uint64_t readCycleCounterEnd() {
+  unsigned Aux;
+  std::uint64_t T = __rdtscp(&Aux);
+  _mm_lfence();
+  return T;
+}
 
 /// Monotonic wall-clock time in nanoseconds.
 std::uint64_t readMonotonicNanos();
@@ -33,16 +58,32 @@ double cyclesPerNano();
 /// (e.g. "closure", "IR build", "register allocation", "emit") across many
 /// runs, in TSC ticks. Figures 6 and 7 of the paper are stacked-phase plots
 /// built from exactly this kind of accumulator.
+///
+/// start()/stop() pairs may nest (recursive phases): only the outermost
+/// pair is charged, so re-entry can no longer silently overwrite the start
+/// stamp and corrupt the total. Unbalanced stop() asserts.
 class PhaseTimer {
 public:
-  void start() { StartedAt = readCycleCounter(); }
-  void stop() { Total += readCycleCounter() - StartedAt; }
+  void start() {
+    if (Depth++ == 0)
+      StartedAt = readCycleCounterBegin();
+  }
+  void stop() {
+    assert(Depth > 0 && "PhaseTimer::stop without matching start");
+    if (--Depth == 0)
+      Total += readCycleCounterEnd() - StartedAt;
+  }
   std::uint64_t totalCycles() const { return Total; }
-  void reset() { Total = 0; }
+  bool running() const { return Depth > 0; }
+  void reset() {
+    assert(Depth == 0 && "resetting a running PhaseTimer");
+    Total = 0;
+  }
 
 private:
   std::uint64_t StartedAt = 0;
   std::uint64_t Total = 0;
+  unsigned Depth = 0;
 };
 
 /// RAII phase measurement: charges the cycles between construction and
@@ -52,11 +93,11 @@ private:
 class PhaseScope {
 public:
   explicit PhaseScope(std::uint64_t &Acc)
-      : Acc(&Acc), StartedAt(readCycleCounter()) {}
+      : Acc(&Acc), StartedAt(readCycleCounterBegin()) {}
   explicit PhaseScope(PhaseTimer &T) : Timer(&T) { T.start(); }
   ~PhaseScope() {
     if (Acc)
-      *Acc += readCycleCounter() - StartedAt;
+      *Acc += readCycleCounterEnd() - StartedAt;
     else
       Timer->stop();
   }

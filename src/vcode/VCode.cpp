@@ -275,6 +275,11 @@ void VCode::enter() {
   }
 }
 
+void VCode::profileEntry(const void *Counter) {
+  Asm.movRI64(ScratchA, reinterpret_cast<std::uint64_t>(Counter));
+  Asm.lockIncM64(ScratchA, 0);
+}
+
 void VCode::bindArgI(unsigned Index, Reg Dst) {
   GPR Pd = dstI(Dst, ScratchA);
   if (Index < 6)

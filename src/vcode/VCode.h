@@ -128,6 +128,11 @@ public:
   /// Emits the prologue. Call bindArgI/bindArgD for each incoming parameter
   /// immediately afterwards, before any other operation.
   void enter();
+  /// Plants the opt-in profiling hook (observability/Profile.h): one
+  /// `lock inc qword [Counter]` on a 64-bit invocation counter that must
+  /// outlive the generated code. Call between enter() and the bindArg*
+  /// sequence; only scratch state is clobbered.
+  void profileEntry(const void *Counter);
   /// Moves integer argument \p Index (0-based, SysV) into \p Dst.
   void bindArgI(unsigned Index, Reg Dst);
   /// Moves double argument \p Index (0-based among FP args) into \p Dst.

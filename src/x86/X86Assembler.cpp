@@ -137,6 +137,13 @@ void Assembler::lea(GPR Dst, GPR Base, std::int32_t Disp) {
   modrmMem(Dst, Base, Disp);
 }
 
+void Assembler::lockIncM64(GPR Base, std::int32_t Disp) {
+  byte(0xF0); // lock
+  rex(true, false, false, Base >= 8);
+  byte(0xFF);
+  modrmMem(0, Base, Disp); // /0 = inc
+}
+
 // --- Integer ALU ------------------------------------------------------------
 
 void Assembler::addRR32(GPR Dst, GPR Src) { aluRR(false, 0x03, Dst, Src); }

@@ -107,6 +107,9 @@ public:
   void storeMR32(GPR Base, std::int32_t Disp, GPR Src);
   void storeMR64(GPR Base, std::int32_t Disp, GPR Src);
   void lea(GPR Dst, GPR Base, std::int32_t Disp);
+  /// lock inc qword [Base+Disp] — the atomic invocation-counter bump the
+  /// profiling prologue plants (observability/Profile.h).
+  void lockIncM64(GPR Base, std::int32_t Disp);
 
   // --- Integer ALU --------------------------------------------------------
   void addRR32(GPR Dst, GPR Src);

@@ -94,7 +94,7 @@ TEST(CompileService, SameSpecSameConstantsHitsIdenticalEntry) {
   ASSERT_TRUE(A && B);
   EXPECT_EQ(A.get(), B.get());
   EXPECT_EQ(A->entry(), B->entry());
-  CacheStats St = S.cacheStats();
+  CacheStats St = S.cache().stats();
   EXPECT_EQ(St.Hits, 1u);
   EXPECT_EQ(St.Insertions, 1u);
   EXPECT_EQ(App.countCompiled(A->as<int(const apps::Record *)>()),
@@ -129,7 +129,7 @@ TEST(CompileService, DifferentRuntimeConstantsGetDistinctEntries) {
   EXPECT_NE(A.get(), B.get());
   EXPECT_EQ(A->as<int(int)>()(2), 8);
   EXPECT_EQ(B->as<int(int)>()(2), 32);
-  EXPECT_EQ(S.cacheStats().Insertions, 2u);
+  EXPECT_EQ(S.cache().stats().Insertions, 2u);
 }
 
 TEST(CompileService, BackendAndRegAllocDistinguishEntries) {
@@ -145,7 +145,7 @@ TEST(CompileService, BackendAndRegAllocDistinguishEntries) {
   FnHandle C = P.specializeCached(S, GC);
   EXPECT_NE(A.get(), B.get());
   EXPECT_NE(B.get(), C.get());
-  EXPECT_EQ(S.cacheStats().Insertions, 3u);
+  EXPECT_EQ(S.cache().stats().Insertions, 3u);
   EXPECT_EQ(A->as<int(int)>()(3), 1594323);
   EXPECT_EQ(B->as<int(int)>()(3), 1594323);
   EXPECT_EQ(C->as<int(int)>()(3), 1594323);
@@ -197,7 +197,7 @@ TEST(CompileService, UncacheableSpecsRecompileAndTrackMemory) {
   FnHandle B = Build();
   EXPECT_EQ(B->as<int()>()(), 21);
   EXPECT_NE(A.get(), B.get());
-  EXPECT_EQ(S.cacheStats().Insertions, 0u);
+  EXPECT_EQ(S.cache().stats().Insertions, 0u);
 }
 
 // --- Eviction ----------------------------------------------------------------
@@ -210,7 +210,7 @@ TEST(CompileService, LruEvictionUnderByteBudget) {
 
   apps::PowerApp P2(2);
   FnHandle First = P2.specializeCached(S);
-  std::size_t OneFn = S.cacheStats().CodeBytes;
+  std::size_t OneFn = S.cache().stats().CodeBytes;
   ASSERT_GT(OneFn, 0u);
 
   // Insert enough distinct specs to overflow 256 bytes many times over.
@@ -219,7 +219,7 @@ TEST(CompileService, LruEvictionUnderByteBudget) {
     FnHandle H = P.specializeCached(S);
     EXPECT_EQ(H->as<int(int)>()(1), 1);
   }
-  CacheStats St = S.cacheStats();
+  CacheStats St = S.cache().stats();
   EXPECT_GT(St.Evictions, 0u);
   EXPECT_LE(St.CodeBytes, 256u + OneFn); // Budget, modulo the newest entry.
 
@@ -247,7 +247,7 @@ TEST(CompileService, EvictedEntriesSurviveWhileHandleHeld) {
     EXPECT_EQ(App.countCompiled(Live->as<int(const apps::Record *)>()),
               Expected);
   }
-  EXPECT_GT(S.cacheStats().Evictions, 0u);
+  EXPECT_GT(S.cache().stats().Evictions, 0u);
 }
 
 // --- Region pool ------------------------------------------------------------
@@ -325,7 +325,7 @@ TEST(CompileService, ConcurrentGetOrCompileStress) {
     T.join();
   EXPECT_EQ(Failures.load(), 0u);
 
-  CacheStats St = S.cacheStats();
+  CacheStats St = S.cache().stats();
   // 4 distinct specs; racing threads may double-compile but the cache keeps
   // one entry per key.
   EXPECT_EQ(St.Entries, 4u);
@@ -355,7 +355,7 @@ TEST(CompileService, ConcurrentEvictionChurnIsSafe) {
   for (std::thread &T : Threads)
     T.join();
   EXPECT_EQ(Failures.load(), 0u);
-  EXPECT_GT(S.cacheStats().Evictions, 0u);
+  EXPECT_GT(S.cache().stats().Evictions, 0u);
 }
 
 } // namespace
