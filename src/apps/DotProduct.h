@@ -18,6 +18,7 @@
 #ifndef TICKC_APPS_DOTPRODUCT_H
 #define TICKC_APPS_DOTPRODUCT_H
 
+#include "cache/CompileService.h"
 #include "core/Compile.h"
 
 #include <vector>
@@ -38,6 +39,15 @@ public:
   /// Instantiates `int dot(const int *col)` via the paper's dynamically
   /// unrolled formulation.
   core::CompiledFn specialize(const core::CompileOptions &Opts) const;
+
+  /// Tiered instantiation. This spec `$`-evaluates the row at instantiation
+  /// time, so it is never memoized (SpecKey::Cacheable is false) — the slot
+  /// is per-call-site and the promotion re-reads the row through this app,
+  /// which must stay alive (and unchanged) until promotion completes. Call
+  /// as `TF->call<int(const int *)>(Col)`.
+  tier::TieredFnHandle specializeTiered(
+      cache::CompileService &Service, tier::TierManager *Manager = nullptr,
+      const core::CompileOptions &Opts = core::CompileOptions()) const;
 
   unsigned size() const { return static_cast<unsigned>(Row.size()); }
   const std::vector<int> &row() const { return Row; }

@@ -123,3 +123,17 @@ cache::FnHandle HashApp::specializeCached(cache::CompileService &Service,
                                                Size),
                               EvalType::Int, Opts);
 }
+
+tier::TieredFnHandle
+HashApp::specializeTiered(cache::CompileService &Service,
+                          tier::TierManager *Manager,
+                          const CompileOptions &Opts) const {
+  const int *KeysData = Keys.data();
+  const int *ValsData = Vals.data();
+  unsigned S = Size;
+  return Service.getOrCompileTiered(
+      [KeysData, ValsData, S](Context &C) {
+        return buildHashSpec(C, KeysData, ValsData, S);
+      },
+      EvalType::Int, Opts, Manager);
+}

@@ -48,6 +48,13 @@ public:
       cache::CompileService &Service,
       const core::CompileOptions &Opts = core::CompileOptions()) const;
 
+  /// Tiered instantiation: VCODE lookup immediately, ICODE once hot. The
+  /// HashApp must outlive the returned slot (the promotion re-captures the
+  /// table addresses). Call as `TF->call<int(int)>(Key)`.
+  tier::TieredFnHandle specializeTiered(
+      cache::CompileService &Service, tier::TierManager *Manager = nullptr,
+      const core::CompileOptions &Opts = core::CompileOptions()) const;
+
   int presentKey() const { return PresentKey; }
   int absentKey() const { return AbsentKey; }
   unsigned tableSize() const { return Size; }

@@ -113,3 +113,14 @@ MarshalApp::buildUnmarshalerCached(const void *Target,
   return Service.getOrCompile(C, buildUnmarshalSpec(C, Format, Target),
                               EvalType::Int, Opts);
 }
+
+tier::TieredFnHandle
+MarshalApp::buildUnmarshalerTiered(const void *Target,
+                                   cache::CompileService &Service,
+                                   tier::TierManager *Manager,
+                                   const CompileOptions &Opts) const {
+  std::string F = Format;
+  return Service.getOrCompileTiered(
+      [F, Target](Context &C) { return buildUnmarshalSpec(C, F, Target); },
+      EvalType::Int, Opts, Manager);
+}

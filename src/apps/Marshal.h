@@ -63,6 +63,14 @@ public:
       const void *Target, cache::CompileService &Service,
       const core::CompileOptions &Opts = core::CompileOptions()) const;
 
+  /// Tiered unmarshaler: answers RPC dispatch at VCODE latency and promotes
+  /// the hot format's stub to ICODE in the background. Call as
+  /// `TF->call<int(const std::uint8_t *)>(Buf)`.
+  tier::TieredFnHandle buildUnmarshalerTiered(
+      const void *Target, cache::CompileService &Service,
+      tier::TierManager *Manager = nullptr,
+      const core::CompileOptions &Opts = core::CompileOptions()) const;
+
   unsigned numArgs() const { return static_cast<unsigned>(Format.size()); }
 
 private:

@@ -81,3 +81,13 @@ cache::SpecKey PowerApp::cacheKey(const CompileOptions &Opts) const {
   return cache::buildSpecKey(C, buildPowerSpec(C, Exponent), EvalType::Int,
                              Opts);
 }
+
+tier::TieredFnHandle
+PowerApp::specializeTiered(cache::CompileService &Service,
+                           tier::TierManager *Manager,
+                           const CompileOptions &Opts) const {
+  unsigned E = Exponent;
+  return Service.getOrCompileTiered(
+      [E](Context &C) { return buildPowerSpec(C, E); }, EvalType::Int, Opts,
+      Manager);
+}

@@ -45,6 +45,12 @@ public:
   cache::SpecKey
   cacheKey(const core::CompileOptions &Opts = core::CompileOptions()) const;
 
+  /// Tiered instantiation: VCODE now, background ICODE promotion once hot.
+  /// Call as `TF->call<int(int)>(X)`.
+  tier::TieredFnHandle specializeTiered(
+      cache::CompileService &Service, tier::TierManager *Manager = nullptr,
+      const core::CompileOptions &Opts = core::CompileOptions()) const;
+
   unsigned exponent() const { return Exponent; }
 
 private:

@@ -198,3 +198,15 @@ cache::SpecKey QueryApp::cacheKey(const QueryNode *Query,
   return cache::buildSpecKey(C, C.ret(lowerQuery(C, Rec, Query)),
                              EvalType::Int, Opts);
 }
+
+tier::TieredFnHandle QueryApp::specializeTiered(const QueryNode *Query,
+                                                cache::CompileService &Service,
+                                                tier::TierManager *Manager,
+                                                const CompileOptions &Opts) const {
+  return Service.getOrCompileTiered(
+      [Query](Context &C) {
+        VSpec Rec = C.paramPtr(0);
+        return C.ret(lowerQuery(C, Rec, Query));
+      },
+      EvalType::Int, Opts, Manager);
+}

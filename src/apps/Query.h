@@ -84,6 +84,16 @@ public:
   cacheKey(const QueryNode *Q,
            const core::CompileOptions &Opts = core::CompileOptions()) const;
 
+  /// The tiered path: answers at VCODE compile latency, recompiles with
+  /// ICODE in the background once the matcher turns hot, and swaps the
+  /// returned dispatch slot in place. \p Q must stay alive until the slot
+  /// is promoted (the background compile re-lowers it). Call as
+  /// `TF->call<int(const Record *)>(&R)` or batch via `TF->handle()`.
+  tier::TieredFnHandle specializeTiered(
+      const QueryNode *Q, cache::CompileService &Service,
+      tier::TierManager *Manager = nullptr,
+      const core::CompileOptions &Opts = core::CompileOptions()) const;
+
   /// Scans the database with a compiled matcher.
   int countCompiled(int (*Match)(const Record *)) const;
 

@@ -2,11 +2,21 @@
 
 #include "cache/CompileService.h"
 
+#include "observability/Metrics.h"
+#include "observability/Names.h"
 #include "observability/Trace.h"
+#include "support/Env.h"
 
 using namespace tcc;
 using namespace tcc::cache;
 using namespace tcc::core;
+
+ServiceConfig ServiceConfig::fromEnv() {
+  ServiceConfig C;
+  C.MaxCodeBytes = static_cast<std::size_t>(
+      envUInt64("TICKC_CACHE_BYTES", C.MaxCodeBytes));
+  return C;
+}
 
 CompileService::CompileService(ServiceConfig Config)
     : Config(Config), Pool(Config.MaxPooledBytes),
@@ -14,25 +24,79 @@ CompileService::CompileService(ServiceConfig Config)
 
 FnHandle CompileService::getOrCompile(Context &Ctx, Stmt Body,
                                       EvalType RetType, CompileOptions Opts) {
-  if (Config.EnablePool && !Opts.Pool)
-    Opts.Pool = &Pool;
-
-  if (!Config.EnableCache)
+  if (!Config.EnableCache) {
+    if (Config.EnablePool && !Opts.Pool)
+      Opts.Pool = &Pool;
     return std::make_shared<CompiledFn>(
         compileFn(Ctx, Body, RetType, Opts));
+  }
 
   SpecKey K;
   {
     obs::TraceSpan Span(obs::SpanKind::SpecFingerprint);
     K = buildSpecKey(Ctx, Body, RetType, Opts);
   }
-  if (!K.Cacheable)
+  return getOrCompileKeyed(Ctx, Body, RetType, Opts, K);
+}
+
+FnHandle CompileService::getOrCompileKeyed(Context &Ctx, Stmt Body,
+                                           EvalType RetType,
+                                           CompileOptions Opts,
+                                           const SpecKey &K) {
+  if (Config.EnablePool && !Opts.Pool)
+    Opts.Pool = &Pool;
+
+  if (!Config.EnableCache || !K.Cacheable)
     return std::make_shared<CompiledFn>(
         compileFn(Ctx, Body, RetType, Opts));
 
   if (FnHandle H = Cache.lookup(K))
     return H;
-  return Cache.insert(K, compileFn(Ctx, Body, RetType, Opts));
+
+  // Single-flight: the first thread to miss a key becomes its leader and
+  // compiles; concurrent missers block on the leader's result instead of
+  // burning a full duplicate compile each.
+  std::shared_ptr<InFlightCompile> Fl;
+  bool Leader = false;
+  {
+    std::lock_guard<std::mutex> G(InFlightM);
+    auto It = InFlight.find(K);
+    if (It != InFlight.end()) {
+      Fl = It->second;
+    } else {
+      Fl = std::make_shared<InFlightCompile>();
+      InFlight.emplace(K, Fl);
+      Leader = true;
+    }
+  }
+
+  if (!Leader) {
+    static obs::Counter &Waits =
+        obs::MetricsRegistry::global().counter(obs::names::CacheSingleflightWait);
+    Waits.inc();
+    std::unique_lock<std::mutex> L(Fl->M);
+    Fl->CV.wait(L, [&] { return Fl->Done; });
+    return Fl->Result;
+  }
+
+  // The leader may have won the in-flight slot just after a previous
+  // leader published its result and retired; re-probe before compiling.
+  FnHandle H = Cache.lookup(K);
+  if (!H)
+    H = Cache.insert(K, compileFn(Ctx, Body, RetType, Opts));
+  {
+    // Retire the flight before publishing: the cache already holds the
+    // entry, so late arrivals that miss the flight re-probe and hit.
+    std::lock_guard<std::mutex> G(InFlightM);
+    InFlight.erase(K);
+  }
+  {
+    std::lock_guard<std::mutex> L(Fl->M);
+    Fl->Done = true;
+    Fl->Result = H;
+  }
+  Fl->CV.notify_all();
+  return H;
 }
 
 FnHandle CompileService::lookup(const SpecKey &K) {
@@ -42,6 +106,6 @@ FnHandle CompileService::lookup(const SpecKey &K) {
 }
 
 CompileService &CompileService::instance() {
-  static CompileService S;
+  static CompileService S(ServiceConfig::fromEnv());
   return S;
 }

@@ -10,11 +10,17 @@
 /// compileFn() behind a structural cache key and allocates code regions
 /// from a pool. A cache hit costs one fingerprint walk and one sharded map
 /// lookup — no mmap, no mprotect, no code generation; a cold compile still
-/// skips the mmap whenever the pool holds a reusable region.
+/// skips the mmap whenever the pool holds a reusable region. Concurrent
+/// misses on one key are single-flighted: one thread compiles, the rest
+/// block on it and share the result.
 ///
 ///   cache::CompileService &S = cache::CompileService::instance();
 ///   cache::FnHandle F = S.getOrCompile(Ctx, Body, EvalType::Int);
 ///   int R = F->as<int(int)>()(42);   // Hold F while the code may run.
+///
+/// getOrCompileTiered() (implemented in src/tier) answers at VCODE latency
+/// and transparently re-instantiates hot specs with ICODE in the
+/// background — see tier/Tier.h.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,7 +32,24 @@
 #include "core/Compile.h"
 #include "support/CodeBuffer.h"
 
+#include <condition_variable>
+#include <functional>
+#include <unordered_map>
+
 namespace tcc {
+
+namespace tier {
+class TierManager;
+class TieredFn;
+/// Shared handle to a tiered dispatch slot (see tier/Tier.h).
+using TieredFnHandle = std::shared_ptr<TieredFn>;
+/// Rebuilds one spec into a fresh Context — the closure the background
+/// promotion worker re-runs to instantiate the same function through the
+/// optimizing back end. Must be pure: same tree (and same captured
+/// run-time constants) every time it is invoked, from any thread.
+using SpecBuild = std::function<core::Stmt(core::Context &)>;
+} // namespace tier
+
 namespace cache {
 
 /// Knobs for one service instance.
@@ -38,6 +61,12 @@ struct ServiceConfig {
   std::size_t MaxPooledBytes = 64u << 20;
   bool EnableCache = true;
   bool EnablePool = true;
+
+  /// Default config with environment overrides applied:
+  /// TICKC_CACHE_BYTES caps MaxCodeBytes (decimal bytes). Used by
+  /// CompileService::instance() so benches and CI can sweep the cache
+  /// bound without rebuilding.
+  static ServiceConfig fromEnv();
 };
 
 /// A code cache plus a region pool behind one memoizing entry point.
@@ -47,13 +76,23 @@ public:
   explicit CompileService(ServiceConfig Config = ServiceConfig());
 
   /// Returns the cached function for this (spec, run-time constants,
-  /// options) identity, compiling at most once per identity. Uncacheable
-  /// specs (rtEval over memory) and duplicate-key races compile anyway but
-  /// stay correct. \p Opts.Pool is overridden with the service's pool
-  /// unless the caller set one.
+  /// options) identity, compiling at most once per identity. Concurrent
+  /// misses on one key block on a single in-flight compile
+  /// (cache.singleflight_wait counts the waiters). Uncacheable specs
+  /// (rtEval over memory) always compile. \p Opts.Pool is overridden with
+  /// the service's pool unless the caller set one.
   FnHandle getOrCompile(core::Context &Ctx, core::Stmt Body,
                         core::EvalType RetType,
                         core::CompileOptions Opts = core::CompileOptions());
+
+  /// getOrCompile() with the fingerprint already built: skips the key
+  /// derivation walk when the caller (like the tier manager, which needs
+  /// the key for its own slot memoization anyway) has one for exactly this
+  /// (Ctx, Body, RetType, Opts) request. Passing a key built from different
+  /// inputs poisons the cache.
+  FnHandle getOrCompileKeyed(core::Context &Ctx, core::Stmt Body,
+                             core::EvalType RetType, core::CompileOptions Opts,
+                             const SpecKey &K);
 
   /// The steady-state fast path: probes the cache with a key the caller
   /// built earlier (see QueryApp::cacheKey / PowerApp::cacheKey). A server
@@ -63,16 +102,39 @@ public:
   /// cache is disabled.
   FnHandle lookup(const SpecKey &K);
 
+  /// Tiered instantiation: compiles \p Build's spec with VCODE (profiled)
+  /// and returns a dispatch slot that answers immediately; once the
+  /// prologue counter crosses the tier manager's promotion threshold, a
+  /// background worker recompiles the spec with ICODE and atomically swaps
+  /// the slot. \p BaseOpts seeds both compiles (Backend/Profile are
+  /// overridden per tier; RegAlloc/Spill/UnrollLimit are honored). Pass a
+  /// null \p Manager for the process-wide tier::TierManager::global().
+  /// Defined in tier/Tier.cpp — callers link tickc_tier. The returned
+  /// handle (and anything \p Build captures) must not outlive this service
+  /// or the manager.
+  tier::TieredFnHandle
+  getOrCompileTiered(const tier::SpecBuild &Build, core::EvalType RetType,
+                     core::CompileOptions BaseOpts = core::CompileOptions(),
+                     tier::TierManager *Manager = nullptr);
+
   /// Stats live on the components themselves (cache().stats(),
   /// pool().stats()) and, cumulatively, in obs::MetricsRegistry — the
   /// service adds no parallel stats surface of its own.
   CodeCache &cache() { return Cache; }
   RegionPool &pool() { return Pool; }
 
-  /// Process-wide default instance (default config).
+  /// Process-wide default instance (ServiceConfig::fromEnv()).
   static CompileService &instance();
 
 private:
+  /// One in-flight compile that duplicate-key racers block on.
+  struct InFlightCompile {
+    std::mutex M;
+    std::condition_variable CV;
+    bool Done = false;
+    FnHandle Result;
+  };
+
   ServiceConfig Config;
   /// Pool is declared before Cache deliberately: cached functions release
   /// their regions into the pool on destruction, so the cache (and its
@@ -80,6 +142,9 @@ private:
   /// dropped before the service that produced them.
   RegionPool Pool;
   CodeCache Cache;
+  std::mutex InFlightM;
+  std::unordered_map<SpecKey, std::shared_ptr<InFlightCompile>, SpecKeyHash>
+      InFlight;
 };
 
 } // namespace cache

@@ -100,6 +100,10 @@ public:
   /// shared with obs::ProfileRegistry and lives at least as long as the
   /// generated code that increments it.
   const obs::ProfileEntry *profile() const { return Prof.get(); }
+  /// Shared ownership of the profile entry, for observers (like the tier
+  /// manager's dispatch slots) that must keep reading the counter after
+  /// they drop the function handle itself.
+  std::shared_ptr<obs::ProfileEntry> profileShared() const { return Prof; }
 
 private:
   friend CompiledFn compileFn(Context &, Stmt, EvalType,

@@ -64,6 +64,23 @@ inline constexpr char PoolReused[] = "pool.regions.reused";
 inline constexpr char PoolMapped[] = "pool.regions.mapped";
 inline constexpr char PoolDropped[] = "pool.regions.dropped";
 
+// Single-flight compilation: threads that blocked on another thread's
+// in-flight compile of the same key instead of duplicating it.
+inline constexpr char CacheSingleflightWait[] = "cache.singleflight_wait";
+
+// Tiered compilation (src/tier): VCODE-first dispatch slots promoted in the
+// background to ICODE once the prologue counter crosses the threshold.
+inline constexpr char TierEnqueued[] = "tier.promote.enqueued";
+inline constexpr char TierQueueFull[] = "tier.promote.queue_full";
+inline constexpr char TierCompiled[] = "tier.promote.compiled";
+inline constexpr char TierStale[] = "tier.promote.stale";
+inline constexpr char TierAbandoned[] = "tier.promote.abandoned";
+inline constexpr char TierPromotions[] = "tier.promotions";
+inline constexpr char TierRetiredFns[] = "tier.retired.fns";
+inline constexpr char TierRetiredBytes[] = "tier.retired.bytes";
+/// Enqueue -> dispatch-slot swap, TSC ticks per promotion.
+inline constexpr char HistTierPromoteLatency[] = "tier.promote.latency.cycles";
+
 } // namespace names
 } // namespace obs
 } // namespace tcc

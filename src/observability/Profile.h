@@ -42,10 +42,18 @@ struct ProfileEntry {
   std::atomic<std::uint64_t> CodeBytes{0};
   std::atomic<std::uint64_t> MachineInstrs{0};
   std::atomic<const char *> Backend{""}; ///< "vcode" or "icode".
+  /// Invocation count at which the tier manager promotes the function to
+  /// the optimizing back end; 0 when the function is not tier-managed
+  /// (src/tier reads Invocations against this after every dispatched call).
+  std::atomic<std::uint64_t> PromoteThreshold{0};
 };
 
 /// Weak registry of every live ProfileEntry; entries drop out when the last
-/// CompiledFn holding them dies.
+/// CompiledFn holding them dies. Expired records (retired/evicted functions
+/// whose handles are gone) are bounded: create() compacts the slot vector
+/// whenever it doubles past a high-water mark, so a long-running server
+/// churning short-lived profiled specs holds O(live) records, not
+/// O(ever-created).
 class ProfileRegistry {
 public:
   /// The process-wide registry (never destroyed).
@@ -56,9 +64,25 @@ public:
   /// Live entries, unordered. Expired entries are pruned as a side effect.
   std::vector<std::shared_ptr<ProfileEntry>> entries();
 
+  /// Explicitly drops expired records; returns how many were removed.
+  /// Servers with idle periods can call this to release the retirement
+  /// list without waiting for the next create() high-water compaction.
+  std::size_t drainExpired();
+
+  /// Registered slots, live or expired-but-undrained. Regression surface
+  /// for the bounded-retirement guarantee; not a count of live entries.
+  std::size_t recordCount();
+
 private:
+  /// Compacts expired slots in place. Caller holds M.
+  std::size_t pruneLocked();
+
   std::mutex M;
   std::vector<std::weak_ptr<ProfileEntry>> Entries;
+  /// create() compacts when Entries grows past this; re-armed to
+  /// max(MinHighWater, 2 * live) after each compaction.
+  std::size_t HighWater = MinHighWater;
+  static constexpr std::size_t MinHighWater = 128;
 };
 
 } // namespace obs

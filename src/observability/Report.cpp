@@ -143,6 +143,47 @@ std::string tcc::obs::renderReport(const MetricsSnapshot &S) {
             static_cast<unsigned long long>(Mapped),
             static_cast<unsigned long long>(S.counter(names::PoolDropped)));
 
+  std::uint64_t TierReq = S.counter(names::TierEnqueued);
+  std::uint64_t TierDone = S.counter(names::TierPromotions);
+  if (TierReq + TierDone) {
+    Out += "tiers (vcode-first dispatch, background icode promotion)\n";
+    appendf(Out,
+            "  %llu requests -> %llu promotions (%llu queue-full, "
+            "%llu stale, %llu abandoned)\n",
+            static_cast<unsigned long long>(TierReq),
+            static_cast<unsigned long long>(TierDone),
+            static_cast<unsigned long long>(S.counter(names::TierQueueFull)),
+            static_cast<unsigned long long>(S.counter(names::TierStale)),
+            static_cast<unsigned long long>(S.counter(names::TierAbandoned)));
+    appendf(Out, "  retired: %llu vcode fns, %llu code bytes; "
+                 "%llu single-flight waits\n",
+            static_cast<unsigned long long>(S.counter(names::TierRetiredFns)),
+            static_cast<unsigned long long>(
+                S.counter(names::TierRetiredBytes)),
+            static_cast<unsigned long long>(
+                S.counter(names::CacheSingleflightWait)));
+    if (const HistogramSnapshot *H =
+            S.histogram(names::HistTierPromoteLatency)) {
+      if (H->Count) {
+        Out += "  promotion latency (enqueue -> slot swap, cycles)\n";
+        renderHistogram(Out, *H);
+        // The bucket spread matters more than the mean here: the tail is
+        // the window a caller spends on the baseline tier.
+        for (unsigned B = 0; B < Histogram::NumBuckets; ++B) {
+          std::uint64_t N = H->Buckets[B];
+          if (!N)
+            continue;
+          appendf(Out, "    >=%-14llu %8llu  ",
+                  static_cast<unsigned long long>(Histogram::bucketLo(B)),
+                  static_cast<unsigned long long>(N));
+          appendBar(Out,
+                    static_cast<double>(N) / static_cast<double>(H->Count));
+          Out += '\n';
+        }
+      }
+    }
+  }
+
   bool AnyHist = false;
   for (const HistogramSnapshot &H : S.Histograms)
     AnyHist |= H.Count != 0;

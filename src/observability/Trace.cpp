@@ -45,6 +45,14 @@ const char *tcc::obs::spanName(SpanKind K) {
     return "region-acquire";
   case SpanKind::RegionRelease:
     return "region-release";
+  case SpanKind::TierEnqueue:
+    return "tier-enqueue";
+  case SpanKind::TierCompile:
+    return "tier-compile";
+  case SpanKind::TierSwap:
+    return "tier-swap";
+  case SpanKind::TierRetire:
+    return "tier-retire";
   }
   return "unknown";
 }

@@ -1,0 +1,39 @@
+//===- support/Env.h - Environment-variable configuration ------*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny helpers for reading numeric tuning knobs from the environment, so
+/// benches and CI can sweep cache sizes, tier worker counts, and promotion
+/// thresholds without rebuilding (TICKC_CACHE_BYTES, TICKC_TIER_THREADS,
+/// TICKC_TIER_THRESHOLD — see README "Tuning via environment").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_SUPPORT_ENV_H
+#define TICKC_SUPPORT_ENV_H
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace tcc {
+
+/// Value of the environment variable \p Name parsed as an unsigned decimal
+/// integer, or \p Default when unset, empty, or malformed.
+inline std::uint64_t envUInt64(const char *Name, std::uint64_t Default) {
+  const char *V = std::getenv(Name);
+  if (!V || !*V)
+    return Default;
+  char *End = nullptr;
+  unsigned long long R = std::strtoull(V, &End, 10);
+  if (End == V || *End != '\0')
+    return Default;
+  return static_cast<std::uint64_t>(R);
+}
+
+} // namespace tcc
+
+#endif // TICKC_SUPPORT_ENV_H

@@ -1,0 +1,347 @@
+//===- tier/Tier.cpp - Tiered dynamic compilation -------------------------===//
+
+#include "tier/Tier.h"
+
+#include "observability/Metrics.h"
+#include "observability/Names.h"
+#include "observability/Trace.h"
+#include "support/Env.h"
+#include "support/Error.h"
+#include "support/Timing.h"
+
+#include <algorithm>
+
+using namespace tcc;
+using namespace tcc::tier;
+using namespace tcc::core;
+
+namespace {
+
+obs::Counter &counter(const char *Name) {
+  return obs::MetricsRegistry::global().counter(Name);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// TierConfig
+//===----------------------------------------------------------------------===//
+
+TierConfig TierConfig::fromEnv() {
+  TierConfig C;
+  C.Workers = static_cast<unsigned>(std::max<std::uint64_t>(
+      1, envUInt64("TICKC_TIER_THREADS", C.Workers)));
+  C.PromoteThreshold = std::max<std::uint64_t>(
+      1, envUInt64("TICKC_TIER_THRESHOLD", C.PromoteThreshold));
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// TieredFn
+//===----------------------------------------------------------------------===//
+
+bool TieredFn::waitPromoted(std::chrono::milliseconds Timeout) const {
+  std::unique_lock<std::mutex> L(M);
+  CV.wait_for(L, Timeout, [&] {
+    TierState S = State.load();
+    return S == TierState::Promoted || S == TierState::Failed;
+  });
+  return State.load() == TierState::Promoted;
+}
+
+void TieredFn::requestPromotion() {
+  TierState Expected = TierState::Baseline;
+  if (!State.compare_exchange_strong(Expected, TierState::Queued))
+    return; // Another caller just won the race to enqueue.
+
+  obs::TraceSpan Span(obs::SpanKind::TierEnqueue);
+  {
+    std::lock_guard<std::mutex> G(M);
+    EnqueuedNs = readMonotonicNanos();
+    EnqueuedTsc = readCycleCounter();
+  }
+  if (Manager->enqueue(shared_from_this())) {
+    counter(obs::names::TierEnqueued).inc();
+    return;
+  }
+  // Queue full (or manager stopping): back off — revert to Baseline with a
+  // doubled trigger so a later call retries instead of hammering the queue.
+  counter(obs::names::TierQueueFull).inc();
+  std::uint64_t Inv = Prof->Invocations.load(std::memory_order_relaxed);
+  TriggerAt.store(std::max<std::uint64_t>(Inv * 2, Inv + 1),
+                  std::memory_order_relaxed);
+  State.store(TierState::Baseline);
+}
+
+void TieredFn::installPromoted(cache::FnHandle NewFn) {
+  std::uint64_t StartNs, StartTsc;
+  {
+    obs::TraceSpan Swap(obs::SpanKind::TierSwap);
+    std::lock_guard<std::mutex> G(M);
+    StartNs = EnqueuedNs;
+    StartTsc = EnqueuedTsc;
+    Promoted = std::move(NewFn);
+    Entry.store(Promoted->entry());
+    // From here every new call dispatches to the ICODE body; only callers
+    // already past their Entry.load() can still be running the baseline.
+  }
+
+  {
+    // Retire the VCODE region: flip the epoch parity, then wait out the
+    // stragglers pinned on the old side. A reader that pinned the old
+    // parity *after* our Entry.store above necessarily loaded the new
+    // entry (both operations are seq_cst), so waiting on the old parity
+    // over-approximates — never under-approximates — the set of threads
+    // that can still touch the baseline code.
+    obs::TraceSpan Retire(obs::SpanKind::TierRetire);
+    unsigned OldParity = static_cast<unsigned>(Epoch.fetch_add(1)) & 1u;
+    while (Pins[OldParity].load() != 0)
+      std::this_thread::yield();
+
+    cache::FnHandle Old;
+    {
+      std::lock_guard<std::mutex> G(M);
+      Old = std::move(Baseline);
+      Baseline.reset();
+    }
+    if (Old) {
+      counter(obs::names::TierRetiredFns).inc();
+      counter(obs::names::TierRetiredBytes).inc(Old->stats().CodeBytes);
+    }
+    // `Old` drops here: if the cache has since evicted the baseline, this
+    // releases the region back to the pool; if not, the cache's reference
+    // keeps it alive harmlessly.
+  }
+
+  std::uint64_t LatNs = readMonotonicNanos() - StartNs;
+  std::uint64_t LatTsc = readCycleCounter() - StartTsc;
+  PromoteLatencyNs.store(LatNs);
+  obs::MetricsRegistry::global()
+      .histogram(obs::names::HistTierPromoteLatency)
+      .record(LatTsc);
+  counter(obs::names::TierPromotions).inc();
+
+  {
+    std::lock_guard<std::mutex> G(M);
+    State.store(TierState::Promoted);
+  }
+  CV.notify_all();
+}
+
+//===----------------------------------------------------------------------===//
+// TierManager
+//===----------------------------------------------------------------------===//
+
+TierManager::TierManager(TierConfig Config) : Config(Config) {
+  Workers.reserve(Config.Workers);
+  for (unsigned I = 0; I < Config.Workers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+TierManager::~TierManager() {
+  {
+    std::lock_guard<std::mutex> G(QueueM);
+    Stopping = true;
+    Queue.clear(); // Never-reached requests are failed via AllSlots below.
+  }
+  QueueCV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+  // Detach every surviving slot: a slot left Baseline would enqueue into
+  // this (dead) manager the next time its counter crossed the trigger.
+  // Failed slots keep dispatching whatever tier they reached and never
+  // enqueue again; waitPromoted() callers unblock.
+  std::lock_guard<std::mutex> SG(SlotsM);
+  for (std::weak_ptr<TieredFn> &W : AllSlots) {
+    std::shared_ptr<TieredFn> Fn = W.lock();
+    if (!Fn || Fn->State.load() == TierState::Promoted)
+      continue;
+    counter(obs::names::TierAbandoned).inc();
+    {
+      std::lock_guard<std::mutex> G(Fn->M);
+      Fn->State.store(TierState::Failed);
+    }
+    Fn->CV.notify_all();
+  }
+}
+
+bool TierManager::enqueue(const std::shared_ptr<TieredFn> &Fn) {
+  {
+    std::lock_guard<std::mutex> G(QueueM);
+    if (Stopping || Queue.size() >= Config.QueueCapacity)
+      return false;
+    Queue.emplace_back(Fn);
+  }
+  QueueCV.notify_one();
+  return true;
+}
+
+std::size_t TierManager::queueDepth() {
+  std::lock_guard<std::mutex> G(QueueM);
+  return Queue.size();
+}
+
+void TierManager::workerLoop() {
+  for (;;) {
+    std::weak_ptr<TieredFn> W;
+    {
+      std::unique_lock<std::mutex> L(QueueM);
+      QueueCV.wait(L, [&] { return Stopping || !Queue.empty(); });
+      if (Stopping)
+        return; // Leftover queue entries are failed by the destructor.
+      W = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    if (std::shared_ptr<TieredFn> Fn = W.lock())
+      promote(Fn);
+    else
+      counter(obs::names::TierAbandoned).inc();
+  }
+}
+
+void TierManager::promote(const std::shared_ptr<TieredFn> &Fn) {
+  // A cacheable baseline that has been evicted since the request was queued
+  // signals a cold or thrashing spec: promoting it would spend an ICODE
+  // compile on code the cache itself decided was not worth keeping. Drop
+  // the request and re-arm with a doubled trigger.
+  if (Fn->BaselineKey.Cacheable && !Fn->Service->lookup(Fn->BaselineKey)) {
+    counter(obs::names::TierStale).inc();
+    std::uint64_t Inv = Fn->Prof->Invocations.load(std::memory_order_relaxed);
+    Fn->TriggerAt.store(std::max<std::uint64_t>(Inv * 2, Inv + 1),
+                        std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> G(Fn->M);
+      Fn->State.store(TierState::Baseline);
+    }
+    Fn->CV.notify_all();
+    return;
+  }
+
+  cache::FnHandle Optimized;
+  {
+    obs::TraceSpan Span(obs::SpanKind::TierCompile);
+    Context Ctx;
+    Stmt Body = Fn->Build(Ctx);
+    Optimized =
+        Fn->Service->getOrCompile(Ctx, Body, Fn->RetType, Fn->PromoteOpts);
+  }
+  counter(obs::names::TierCompiled).inc();
+  Fn->installPromoted(std::move(Optimized));
+}
+
+TieredFnHandle TierManager::getOrCreate(cache::CompileService &Service,
+                                        const SpecBuild &Build,
+                                        EvalType RetType,
+                                        CompileOptions BaseOpts) {
+  // Baseline tier: VCODE with the profiling prologue — the counter is the
+  // promotion sensor. The optimizing tier keeps the prologue too, so the
+  // two bodies differ only by back end (and promoted code keeps counting,
+  // which the report surfaces as per-fn invocation totals).
+  CompileOptions BaselineOpts = BaseOpts;
+  BaselineOpts.Backend = BackendKind::VCode;
+  BaselineOpts.Profile = true;
+  CompileOptions PromoteOpts = BaseOpts;
+  PromoteOpts.Backend = BackendKind::ICode;
+  PromoteOpts.Profile = true;
+
+  Context Ctx;
+  Stmt Body = Build(Ctx);
+  cache::SpecKey Key = cache::buildSpecKey(Ctx, Body, RetType, BaselineOpts);
+
+  if (Key.Cacheable) {
+    std::lock_guard<std::mutex> G(SlotsM);
+    auto It = Slots.find(Key);
+    if (It != Slots.end())
+      if (std::shared_ptr<TieredFn> Existing = It->second.lock())
+        if (Existing->Service == &Service)
+          return Existing;
+  }
+
+  cache::FnHandle Baseline =
+      Service.getOrCompileKeyed(Ctx, Body, RetType, BaselineOpts, Key);
+  if (!Baseline || !Baseline->valid())
+    reportFatalError("tier: baseline instantiation failed");
+
+  // make_shared needs a public constructor; this avoids befriending every
+  // allocator by constructing through a local derived type.
+  struct MakeSharedTieredFn : TieredFn {};
+  auto Fn = std::static_pointer_cast<TieredFn>(
+      std::make_shared<MakeSharedTieredFn>());
+  Fn->Manager = this;
+  Fn->Service = &Service;
+  Fn->Build = Build;
+  Fn->RetType = RetType;
+  Fn->PromoteOpts = PromoteOpts;
+  Fn->BaselineKey = std::move(Key);
+  Fn->Prof = Baseline->profileShared();
+  if (!Fn->Prof)
+    reportFatalError("tier: baseline compiled without a profile entry");
+  Fn->Prof->PromoteThreshold.store(Config.PromoteThreshold,
+                                   std::memory_order_relaxed);
+  // Arm relative to the counter's current value: a cache-shared baseline
+  // may already have been invoked by non-tiered callers.
+  Fn->TriggerAt.store(Fn->Prof->Invocations.load(std::memory_order_relaxed) +
+                          Config.PromoteThreshold,
+                      std::memory_order_relaxed);
+  Fn->Entry.store(Baseline->entry());
+  {
+    std::lock_guard<std::mutex> G(Fn->M);
+    Fn->Baseline = std::move(Baseline);
+  }
+
+  std::lock_guard<std::mutex> G(SlotsM);
+  if (Fn->BaselineKey.Cacheable) {
+    auto It = Slots.find(Fn->BaselineKey);
+    if (It != Slots.end()) {
+      // Raced with another creator; prefer the slot already published so
+      // all callers share one counter and one promotion.
+      if (std::shared_ptr<TieredFn> Existing = It->second.lock())
+        if (Existing->Service == &Service)
+          return Existing;
+      It->second = Fn;
+    } else {
+      // Bound the slot map: dead weak_ptrs pile up when callers churn
+      // through many short-lived tiered fns.
+      if (Slots.size() >= 1024)
+        for (auto I = Slots.begin(); I != Slots.end();) {
+          if (I->second.expired())
+            I = Slots.erase(I);
+          else
+            ++I;
+        }
+      Slots.emplace(Fn->BaselineKey, Fn);
+    }
+  }
+  if (AllSlots.size() >= 1024) {
+    std::size_t Keep = 0;
+    for (std::weak_ptr<TieredFn> &W : AllSlots)
+      if (!W.expired())
+        AllSlots[Keep++] = std::move(W);
+    AllSlots.resize(Keep);
+  }
+  AllSlots.push_back(Fn);
+  return Fn;
+}
+
+TierManager &TierManager::global() {
+  static TierManager M;
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// CompileService::getOrCompileTiered
+//===----------------------------------------------------------------------===//
+
+namespace tcc {
+namespace cache {
+
+TieredFnHandle CompileService::getOrCompileTiered(const SpecBuild &Build,
+                                                  EvalType RetType,
+                                                  CompileOptions BaseOpts,
+                                                  TierManager *Manager) {
+  TierManager &M = Manager ? *Manager : TierManager::global();
+  return M.getOrCreate(*this, Build, RetType, BaseOpts);
+}
+
+} // namespace cache
+} // namespace tcc

@@ -1,0 +1,251 @@
+//===- tier/Tier.h - Tiered dynamic compilation ----------------*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiered instantiation: answer first calls at VCODE compile latency
+/// (~100-500 cycles/generated instruction, paper §5.1), then transparently
+/// re-instantiate hot specs through ICODE's global register allocator
+/// (~1000-2500 cycles/instruction for measurably better code, §5.2) — the
+/// paper's static per-`compile` back-end choice made automatic.
+///
+/// The moving parts:
+///
+///   * TieredFn — a dispatch slot: an atomic function-pointer indirection
+///     the caller invokes through. It starts at VCODE-compiled code whose
+///     prologue counts invocations (CompileOptions::Profile); the dispatch
+///     wrapper checks that counter against the promotion threshold after
+///     each call and enqueues a promotion request the first time it is
+///     crossed.
+///   * TierManager — a small pool of background compile threads draining a
+///     bounded MPMC queue of promotion requests. A worker re-runs the
+///     spec-building closure, compiles it with BackendKind::ICode through
+///     the same CompileService (so the optimized body lands in the code
+///     cache), verifies the baseline spec is still cache-resident, and
+///     atomically swaps the slot.
+///   * Retirement — in-flight callers pin a per-slot epoch around each
+///     dispatched call; after the swap the worker advances the epoch and
+///     waits for the old parity's pin count to drain before dropping the
+///     VCODE handle, so no thread can ever execute freed code. Batch
+///     callers that hold handle() instead are protected by the FnHandle
+///     refcount itself.
+///
+/// Lifetime rules: a TieredFnHandle (and anything its SpecBuild closure
+/// captures) must not outlive the CompileService it was created against or
+/// its TierManager; destroy managers before services.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_TIER_TIER_H
+#define TICKC_TIER_TIER_H
+
+#include "cache/CompileService.h"
+#include "observability/Profile.h"
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace tcc {
+namespace tier {
+
+/// Knobs for one tier manager.
+struct TierConfig {
+  /// Background compile threads.
+  unsigned Workers = 1;
+  /// Invocation count at which a baseline function is promoted.
+  std::uint64_t PromoteThreshold = 1000;
+  /// Bound on queued promotion requests; excess requests are dropped (the
+  /// slot retries once the counter doubles) and counted as
+  /// tier.promote.queue_full.
+  std::size_t QueueCapacity = 256;
+
+  /// Defaults with environment overrides applied: TICKC_TIER_THREADS,
+  /// TICKC_TIER_THRESHOLD.
+  static TierConfig fromEnv();
+};
+
+/// Where a dispatch slot currently stands.
+enum class TierState : std::uint8_t {
+  Baseline, ///< Running VCODE code, counting invocations.
+  Queued,   ///< Promotion request enqueued or being compiled.
+  Promoted, ///< Slot points at the ICODE-compiled body.
+  Failed,   ///< Manager shut down with the request pending; stays baseline.
+};
+
+class TierManager;
+
+/// A per-function dispatch slot. Callers invoke through call<>(), which
+/// pins the retirement epoch, loads the entry pointer, runs the generated
+/// code, and (on the baseline tier) checks the invocation counter against
+/// the promotion threshold. For batch loops, handle() returns a refcounted
+/// FnHandle of the current tier that stays valid across (and after) a
+/// promotion swap.
+class TieredFn : public std::enable_shared_from_this<TieredFn> {
+public:
+  TieredFn(const TieredFn &) = delete;
+  TieredFn &operator=(const TieredFn &) = delete;
+
+  /// Invokes the current tier: `TF->call<int(const Record *)>(&R)`.
+  template <typename FnT, typename... ArgTs> auto call(ArgTs... Args) {
+    // Pin before loading the entry: any caller the retirement drain can
+    // miss on the old parity is then guaranteed (seq_cst) to observe the
+    // already-swapped entry, so it never runs retired code.
+    unsigned P = Epoch.load() & 1u;
+    Pins[P].fetch_add(1);
+    auto *Fn = reinterpret_cast<FnT *>(Entry.load());
+    using RetT = decltype(Fn(Args...));
+    if constexpr (std::is_void_v<RetT>) {
+      Fn(Args...);
+      Pins[P].fetch_sub(1);
+      maybeRequestPromotion();
+    } else {
+      RetT R = Fn(Args...);
+      Pins[P].fetch_sub(1);
+      maybeRequestPromotion();
+      return R;
+    }
+  }
+
+  /// The current tier as a refcounted handle — the steady-state batch
+  /// path: one refcount bump amortized over many direct calls, immune to
+  /// retirement by construction. Does not advance the promotion trigger.
+  cache::FnHandle handle() const {
+    std::lock_guard<std::mutex> G(M);
+    return Promoted ? Promoted : Baseline;
+  }
+
+  TierState state() const { return State.load(); }
+  bool promoted() const { return state() == TierState::Promoted; }
+
+  /// Blocks until the slot is promoted (or fails) or \p Timeout elapses.
+  bool waitPromoted(std::chrono::milliseconds Timeout =
+                        std::chrono::milliseconds(10000)) const;
+
+  /// The baseline profile entry carrying the invocation counter.
+  const obs::ProfileEntry &profile() const { return *Prof; }
+  std::uint64_t invocations() const {
+    return Prof->Invocations.load(std::memory_order_relaxed);
+  }
+  /// Enqueue -> slot-swap latency of the completed promotion, or 0.
+  std::uint64_t promoteLatencyNanos() const { return PromoteLatencyNs.load(); }
+
+private:
+  friend class TierManager;
+  TieredFn() = default;
+
+  void maybeRequestPromotion() {
+    if (State.load(std::memory_order_relaxed) != TierState::Baseline)
+      return;
+    if (Prof->Invocations.load(std::memory_order_relaxed) <
+        TriggerAt.load(std::memory_order_relaxed))
+      return;
+    requestPromotion();
+  }
+
+  /// CASes Baseline -> Queued and enqueues with the manager (out of line:
+  /// needs TierManager's definition).
+  void requestPromotion();
+
+  /// Worker side: swap the slot to \p NewFn, drain the epoch, retire the
+  /// baseline region, publish Promoted state.
+  void installPromoted(cache::FnHandle NewFn);
+
+  // --- Dispatch fast path ---------------------------------------------------
+  std::atomic<void *> Entry{nullptr};
+  std::atomic<std::uint64_t> Epoch{0};
+  std::array<std::atomic<std::uint64_t>, 2> Pins{};
+  std::atomic<TierState> State{TierState::Baseline};
+  /// Promotion trigger in absolute invocations; doubled for backoff when a
+  /// promotion is dropped as stale.
+  std::atomic<std::uint64_t> TriggerAt{0};
+  std::atomic<std::uint64_t> PromoteLatencyNs{0};
+
+  // --- Fixed at creation ----------------------------------------------------
+  TierManager *Manager = nullptr;
+  cache::CompileService *Service = nullptr;
+  SpecBuild Build;
+  core::EvalType RetType = core::EvalType::Int;
+  core::CompileOptions PromoteOpts;
+  cache::SpecKey BaselineKey; ///< !Cacheable skips the residency check.
+  std::shared_ptr<obs::ProfileEntry> Prof;
+
+  // --- Tier handles + promotion rendezvous ----------------------------------
+  mutable std::mutex M;
+  mutable std::condition_variable CV;
+  cache::FnHandle Baseline; ///< Dropped once the retirement epoch drains.
+  cache::FnHandle Promoted;
+  std::uint64_t EnqueuedNs = 0;
+  std::uint64_t EnqueuedTsc = 0;
+};
+
+/// Owns the promotion queue and worker pool, and memoizes dispatch slots by
+/// spec identity so repeated tiered instantiations of one spec share one
+/// counter and one promotion. All methods are thread-safe.
+class TierManager {
+public:
+  explicit TierManager(TierConfig Config = TierConfig::fromEnv());
+  /// Clean shutdown: drains nothing, joins every worker; still-queued
+  /// requests are marked Failed, and every other still-live slot is
+  /// detached (Failed) so later calls can never enqueue with a dead
+  /// manager. Detached slots keep answering on whatever tier they reached.
+  ~TierManager();
+
+  TierManager(const TierManager &) = delete;
+  TierManager &operator=(const TierManager &) = delete;
+
+  /// Builds (or finds) the dispatch slot for \p Build's spec: compiles the
+  /// VCODE baseline through \p Service (memoized + single-flighted) and
+  /// arms the promotion trigger. Cacheable specs are memoized per manager,
+  /// so a repeat request returns the existing slot — possibly already
+  /// promoted. Prefer CompileService::getOrCompileTiered().
+  TieredFnHandle getOrCreate(cache::CompileService &Service,
+                             const SpecBuild &Build, core::EvalType RetType,
+                             core::CompileOptions BaseOpts);
+
+  const TierConfig &config() const { return Config; }
+  std::size_t queueDepth();
+
+  /// Process-wide manager (TierConfig::fromEnv()); workers start on first
+  /// use and join at static destruction.
+  static TierManager &global();
+
+private:
+  friend class TieredFn;
+  /// Queue side of a promotion request; returns false when the queue is
+  /// full or shut down.
+  bool enqueue(const std::shared_ptr<TieredFn> &Fn);
+  void workerLoop();
+  /// Recompile + verify + swap for one dequeued slot.
+  void promote(const std::shared_ptr<TieredFn> &Fn);
+
+  TierConfig Config;
+
+  std::mutex QueueM;
+  std::condition_variable QueueCV;
+  std::deque<std::weak_ptr<TieredFn>> Queue;
+  bool Stopping = false;
+  std::vector<std::thread> Workers;
+
+  std::mutex SlotsM;
+  std::unordered_map<cache::SpecKey, std::weak_ptr<TieredFn>,
+                     cache::SpecKeyHash>
+      Slots;
+  /// Every slot ever created (uncacheable ones included): the destructor's
+  /// detach list. Compacted alongside Slots.
+  std::vector<std::weak_ptr<TieredFn>> AllSlots;
+};
+
+} // namespace tier
+} // namespace tcc
+
+#endif // TICKC_TIER_TIER_H

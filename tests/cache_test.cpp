@@ -15,6 +15,8 @@
 #include "cache/SpecKey.h"
 #include "core/Compile.h"
 #include "core/Context.h"
+#include "observability/Metrics.h"
+#include "observability/Names.h"
 
 #include <gtest/gtest.h>
 
@@ -330,6 +332,43 @@ TEST(CompileService, ConcurrentGetOrCompileStress) {
   // one entry per key.
   EXPECT_EQ(St.Entries, 4u);
   EXPECT_GE(St.Hits, NumThreads * Iters - 4u * NumThreads);
+}
+
+TEST(CompileService, SingleFlightCollapsesConcurrentColdMisses) {
+  // All threads rush one cold key; exactly one compile may happen — the
+  // rest must block on the leader's in-flight result.
+  obs::Counter &Compiles =
+      obs::MetricsRegistry::global().counter(obs::names::CompileCountVCode);
+  for (unsigned Round = 0; Round < 20; ++Round) {
+    CompileService S;
+    apps::PowerApp P(13);
+    constexpr unsigned NumThreads = 8;
+    std::uint64_t Before = Compiles.value();
+
+    std::atomic<unsigned> Ready{0};
+    std::atomic<bool> Go{false};
+    std::atomic<unsigned> Failures{0};
+    std::vector<std::thread> Threads;
+    for (unsigned T = 0; T < NumThreads; ++T) {
+      Threads.emplace_back([&] {
+        Ready.fetch_add(1);
+        while (!Go.load(std::memory_order_acquire))
+          ;
+        FnHandle H = P.specializeCached(S);
+        if (!H || H->as<int(int)>()(2) != 8192)
+          Failures.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    while (Ready.load() != NumThreads)
+      ;
+    Go.store(true, std::memory_order_release);
+    for (std::thread &T : Threads)
+      T.join();
+
+    EXPECT_EQ(Failures.load(), 0u);
+    EXPECT_EQ(S.cache().stats().Insertions, 1u) << "round " << Round;
+    EXPECT_EQ(Compiles.value() - Before, 1u) << "round " << Round;
+  }
 }
 
 TEST(CompileService, ConcurrentEvictionChurnIsSafe) {

@@ -609,4 +609,32 @@ TEST(Profiling, ProfileFlagChangesSpecKey) {
   EXPECT_NE(Power.cacheKey(Plain).Bytes, Power.cacheKey(Prof).Bytes);
 }
 
+TEST(Profiling, RegistryBoundsExpiredRetirementRecords) {
+  // Regression: churning short-lived profiled functions used to grow the
+  // registry's slot vector without bound — every create() appended a
+  // weak_ptr that nothing ever compacted. The bound must hold without
+  // anyone calling entries() in between.
+  obs::ProfileRegistry &R = obs::ProfileRegistry::global();
+  R.drainExpired();
+  std::size_t LiveBefore = R.recordCount();
+
+  for (unsigned I = 0; I < 2000; ++I) {
+    Context C;
+    VSpec X = C.paramInt(0);
+    CompileOptions O;
+    O.Profile = true;
+    CompiledFn F = compileFn(C, C.ret(C.read(X) + C.intConst(1)),
+                             EvalType::Int, O);
+    ASSERT_NE(F.profile(), nullptr);
+  } // Handle dies each iteration: 2000 expired records created.
+
+  // create()'s high-water compaction keeps records O(live), far below the
+  // 2000 expired entries this loop minted.
+  EXPECT_LT(R.recordCount(), LiveBefore + 512);
+
+  // An explicit drain releases the remaining expired slots immediately.
+  R.drainExpired();
+  EXPECT_LE(R.recordCount(), LiveBefore + 1);
+}
+
 } // namespace

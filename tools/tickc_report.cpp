@@ -18,6 +18,7 @@
 #include "apps/Query.h"
 #include "cache/CompileService.h"
 #include "observability/Report.h"
+#include "tier/Tier.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -62,6 +63,22 @@ int main(int argc, char **argv) {
   cache::CompileService Service;
   for (unsigned I = 0; I < Reps; ++I)
     (void)Power.specializeCached(Service);
+
+  // Drive one spec through the tiered path — baseline calls, a background
+  // promotion, and the swap — so the tiers section has data.
+  {
+    tier::TierConfig TC;
+    TC.PromoteThreshold = 64;
+    tier::TierManager TM(TC);
+    tier::TieredFnHandle TF = Power.specializeTiered(Service, &TM);
+    int TAcc = 0;
+    for (unsigned I = 0; I < 128; ++I)
+      TAcc += TF->call<int(int)>(2);
+    (void)TF->waitPromoted();
+    TAcc += TF->call<int(int)>(2);
+    if (TAcc == 42)
+      std::printf("unreachable\n");
+  }
 
   // One profiled function, invoked a few times, so the hot-function table
   // has something to show.
