@@ -54,7 +54,7 @@ double allocNs(ICode &IC, RegAllocKind Kind, unsigned &Spills) {
   double Ns = nsPerOp([&] {
     CodeRegion Region(1 << 20, CodePlacement::Sequential);
     vcode::VCode V(Region.base(), Region.capacity());
-    ICode Copy = IC; // compileTo mutates (DCE) — keep the original intact
+    ICode Copy = IC.clone(); // compileTo mutates (DCE) — keep the original
     Stats = icode::CompileStats();
     Copy.compileTo(V, Kind, &Stats);
   }, 5);
@@ -142,7 +142,7 @@ int main() {
                              SpillHeuristic::LowestWeight}) {
       CodeRegion Region(1 << 20, CodePlacement::Sequential);
       vcode::VCode V(Region.base(), Region.capacity());
-      ICode Copy = IC;
+      ICode Copy = IC.clone();
       icode::CompileStats Stats;
       void *Entry = Copy.compileTo(V, RegAllocKind::LinearScan, &Stats, H);
       Region.makeExecutable();

@@ -37,7 +37,7 @@ int main() {
   IO.Backend = BackendKind::ICode;
   unsigned UnionUsed = 0;
   for (const AppCase &App : Set.cases()) {
-    ICode::emitterUsage() = EmitterUsage();
+    ICode::emitterUsage().reset();
     CompiledFn F = App.Specialize(IO);
     (void)F;
     const EmitterUsage &U = ICode::emitterUsage();

@@ -22,13 +22,23 @@ CompileService::CompileService(ServiceConfig Config)
     : Config(Config), Pool(Config.MaxPooledBytes),
       Cache(Config.Shards, Config.MaxCodeBytes) {}
 
+CompiledFn CompileService::compilePooled(Context &Ctx, Stmt Body,
+                                         EvalType RetType,
+                                         CompileOptions Opts) {
+  if (Opts.Ctx)
+    return compileFn(Ctx, Body, RetType, Opts);
+  CompileContextPool::Handle H = CtxPool.acquire();
+  Opts.Ctx = H.get();
+  return compileFn(Ctx, Body, RetType, Opts);
+}
+
 FnHandle CompileService::getOrCompile(Context &Ctx, Stmt Body,
                                       EvalType RetType, CompileOptions Opts) {
   if (!Config.EnableCache) {
     if (Config.EnablePool && !Opts.Pool)
       Opts.Pool = &Pool;
     return std::make_shared<CompiledFn>(
-        compileFn(Ctx, Body, RetType, Opts));
+        compilePooled(Ctx, Body, RetType, Opts));
   }
 
   SpecKey K;
@@ -48,7 +58,7 @@ FnHandle CompileService::getOrCompileKeyed(Context &Ctx, Stmt Body,
 
   if (!Config.EnableCache || !K.Cacheable)
     return std::make_shared<CompiledFn>(
-        compileFn(Ctx, Body, RetType, Opts));
+        compilePooled(Ctx, Body, RetType, Opts));
 
   if (FnHandle H = Cache.lookup(K))
     return H;
@@ -83,7 +93,7 @@ FnHandle CompileService::getOrCompileKeyed(Context &Ctx, Stmt Body,
   // leader published its result and retired; re-probe before compiling.
   FnHandle H = Cache.lookup(K);
   if (!H)
-    H = Cache.insert(K, compileFn(Ctx, Body, RetType, Opts));
+    H = Cache.insert(K, compilePooled(Ctx, Body, RetType, Opts));
   {
     // Retire the flight before publishing: the cache already holds the
     // entry, so late arrivals that miss the flight re-probe and hit.

@@ -30,6 +30,7 @@
 #include "cache/CodeCache.h"
 #include "cache/SpecKey.h"
 #include "core/Compile.h"
+#include "core/CompileContext.h"
 #include "support/CodeBuffer.h"
 
 #include <condition_variable>
@@ -122,6 +123,11 @@ public:
   /// service adds no parallel stats surface of its own.
   CodeCache &cache() { return Cache; }
   RegionPool &pool() { return Pool; }
+  /// Recycled per-compile scratch contexts; every compile the service
+  /// performs (including the tier manager's background promotions, which
+  /// come through getOrCompileKeyed) draws from here, so warm-service
+  /// compiles allocate nothing.
+  core::CompileContextPool &contextPool() { return CtxPool; }
 
   /// Process-wide default instance (ServiceConfig::fromEnv()).
   static CompileService &instance();
@@ -135,7 +141,14 @@ private:
     FnHandle Result;
   };
 
+  /// Compiles with the service's scratch-context pool threaded into Opts
+  /// (unless the caller brought a context of its own).
+  core::CompiledFn compilePooled(core::Context &Ctx, core::Stmt Body,
+                                 core::EvalType RetType,
+                                 core::CompileOptions Opts);
+
   ServiceConfig Config;
+  core::CompileContextPool CtxPool;
   /// Pool is declared before Cache deliberately: cached functions release
   /// their regions into the pool on destruction, so the cache (and its
   /// entries) must be destroyed first. Handles the caller keeps must be

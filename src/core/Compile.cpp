@@ -11,6 +11,7 @@
 
 #include "core/Compile.h"
 
+#include "core/CompileContext.h"
 #include "observability/Metrics.h"
 #include "observability/Names.h"
 #include "observability/Trace.h"
@@ -59,9 +60,11 @@ struct RcVal {
 /// read immediately — this is how `$row[k]` becomes an immediate.
 class RcEvaluator {
 public:
-  explicit RcEvaluator(unsigned NumLocals) : Env(NumLocals) {}
+  RcEvaluator(unsigned NumLocals, Arena &A) : Env(A) {
+    Env.resize(NumLocals, std::nullopt);
+  }
 
-  std::vector<std::optional<RcVal>> Env;
+  ArenaVector<std::optional<RcVal>> Env;
 
   /// Binds a derived run-time constant (unrolled induction variable).
   void bind(std::int32_t Id, const RcVal &V) {
@@ -447,11 +450,15 @@ template <class BE> class Walker {
   };
 
 public:
-  Walker(Context &Ctx, BE &Back, EvalType RetType, const CompileOptions &Opts)
+  Walker(Context &Ctx, BE &Back, EvalType RetType, const CompileOptions &Opts,
+         Arena &Scratch)
       : Ctx(Ctx), Back(Back), RetType(RetType), Opts(Opts),
-        Rc(static_cast<unsigned>(Ctx.locals().size())),
-        LocalLoc(Ctx.locals().size(), INT_MIN),
-        UserLabels(Ctx.numDynLabels()) {}
+        Rc(static_cast<unsigned>(Ctx.locals().size()), Scratch),
+        LocalLoc(Scratch), UserLabels(Scratch), LoopStack(Scratch),
+        ScratchArena(Scratch) {
+    LocalLoc.resize(Ctx.locals().size(), INT_MIN);
+    UserLabels.resize(Ctx.numDynLabels(), std::nullopt);
+  }
 
   /// §4.4 partial-evaluation decisions, tallied during the walk (plain
   /// ints: one flush to the shared metrics registry per compile, not one
@@ -986,7 +993,7 @@ private:
     Val FnV{};
     if (N->A)
       FnV = genExpr(N->A);
-    std::vector<Val> Args;
+    ArenaVector<Val> Args(ScratchArena);
     Args.reserve(N->ArgC);
     for (std::uint32_t I = 0; I < N->ArgC; ++I)
       Args.push_back(genExpr(N->ArgV[I]));
@@ -1199,7 +1206,7 @@ private:
       Back.bindLabel(Head);
       genBranch(S->E, End, false);
       hint(+1);
-      LoopStack.push_back({End, Head});
+      LoopStack.push_back(LoopLabels{End, Head});
       genStmt(S->S1);
       LoopStack.pop_back();
       hint(-1);
@@ -1236,12 +1243,12 @@ private:
     case StmtKind::Break:
       if (LoopStack.empty())
         reportFatalError("break outside a loop");
-      Back.jump(LoopStack.back().first);
+      Back.jump(LoopStack.back().Break);
       return;
     case StmtKind::Continue:
       if (LoopStack.empty())
         reportFatalError("continue outside a loop");
-      Back.jump(LoopStack.back().second);
+      Back.jump(LoopStack.back().Continue);
       return;
     case StmtKind::LabelDef:
       Back.bindLabel(userLabel(S->LocalId));
@@ -1258,12 +1265,12 @@ private:
   }
 
   /// Trip-count values of an unrollable loop, or nullopt.
-  std::optional<std::vector<std::int64_t>>
+  std::optional<ArenaVector<std::int64_t>>
   unrollValues(std::int64_t Init, CmpKind K, std::int64_t Bound,
                std::int64_t Step) {
     if (Step == 0)
       return std::nullopt;
-    std::vector<std::int64_t> Values;
+    ArenaVector<std::int64_t> Values(ScratchArena);
     std::int64_t V = Init;
     auto Holds = [&](std::int64_t X) {
       auto UX = static_cast<std::uint64_t>(X),
@@ -1358,7 +1365,7 @@ private:
       freeVal(Bound);
     }
     hint(+1);
-    LoopStack.push_back({End, Cont});
+    LoopStack.push_back(LoopLabels{End, Cont});
     genStmt(S->S1);
     LoopStack.pop_back();
     Back.bindLabel(Cont);
@@ -1379,14 +1386,23 @@ private:
     Back.bindLabel(End);
   }
 
+  /// Break/continue targets of the enclosing loop. A plain struct rather
+  /// than std::pair: pair's assignment operator is non-trivial, which would
+  /// bar it from arena storage.
+  struct LoopLabels {
+    LabelT Break;
+    LabelT Continue;
+  };
+
   Context &Ctx;
   BE &Back;
   EvalType RetType;
   const CompileOptions &Opts;
   RcEvaluator Rc;
-  std::vector<int> LocalLoc;
-  std::vector<std::optional<LabelT>> UserLabels;
-  std::vector<std::pair<LabelT, LabelT>> LoopStack;
+  ArenaVector<int> LocalLoc;
+  ArenaVector<std::optional<LabelT>> UserLabels;
+  ArenaVector<LoopLabels> LoopStack;
+  Arena &ScratchArena;
   bool BodyHasCalls = false;
   int FpCallSlots[vcode::VCode::NumFloatPool] = {
       INT_MIN, INT_MIN, INT_MIN, INT_MIN, INT_MIN, INT_MIN,
@@ -1402,7 +1418,9 @@ struct CompileMetrics {
   obs::Counter &Walk, &Finalize, &FlowGraph, &Liveness, &Intervals,
       &RegAlloc, &Peephole, &Emit;
   obs::Counter &Spilled, &Unrolled, &DeadBranches, &Strength;
+  obs::Counter &Allocs;
   obs::Histogram &HistVCode, &HistLinear, &HistColor;
+  obs::Histogram &ArenaBytes, &CpiVCode, &CpiICode;
 
   static CompileMetrics &get() {
     using obs::MetricsRegistry;
@@ -1417,9 +1435,12 @@ struct CompileMetrics {
         R.counter(N::PhaseRegAlloc), R.counter(N::PhasePeephole),
         R.counter(N::PhaseEmit), R.counter(N::SpilledIntervals),
         R.counter(N::LoopsUnrolled), R.counter(N::BranchesEliminated),
-        R.counter(N::StrengthReductions), R.histogram(N::HistCyclesVCode),
+        R.counter(N::StrengthReductions), R.counter(N::CompileAllocs),
+        R.histogram(N::HistCyclesVCode),
         R.histogram(N::HistCyclesLinearScan),
-        R.histogram(N::HistCyclesGraphColor)};
+        R.histogram(N::HistCyclesGraphColor),
+        R.histogram(N::HistArenaBytes), R.histogram(N::HistCpiVCode),
+        R.histogram(N::HistCpiICode)};
     return M;
   }
 };
@@ -1440,6 +1461,11 @@ void publishCompileMetrics(const CompiledFn &F, const CompileOptions &Opts,
     M.DeadBranches.inc(PE.BranchesEliminated);
   if (PE.StrengthReductions)
     M.Strength.inc(PE.StrengthReductions);
+  if (S.MachineInstrs > 0) {
+    std::uint64_t Cpi = S.CyclesTotal / S.MachineInstrs;
+    (Opts.Backend == BackendKind::VCode ? M.CpiVCode : M.CpiICode)
+        .record(Cpi);
+  }
   if (Opts.Backend == BackendKind::VCode) {
     M.CountVCode.inc();
     M.HistVCode.record(S.CyclesTotal);
@@ -1472,12 +1498,25 @@ CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
                  ? Opts.Pool->acquire(Opts.CodeCapacity, Opts.Placement)
                  : PooledRegion(new CodeRegion(Opts.CodeCapacity,
                                                Opts.Placement));
+  // Per-compile scratch: the caller's context, or this thread's fallback.
+  // A nested compile on the same thread (a CGF that itself compiles) must
+  // not reset the arena the outer compile is using, so it gets a private
+  // one for the duration.
+  CompileContext *CC =
+      Opts.Ctx ? Opts.Ctx : &CompileContext::forCurrentThread();
+  std::unique_ptr<CompileContext> Nested;
+  if (CC->inUse()) {
+    Nested.reset(new CompileContext());
+    CC = Nested.get();
+  }
+  CompileContext::Scope CtxScope(*CC);
+  Arena &A = CC->arena();
   typename Walker<vcode::VCode>::Decisions PE;
   {
     PhaseScope Total(F.Stats.CyclesTotal);
     if (Opts.Backend == BackendKind::VCode) {
-      vcode::VCode V(F.Region->base(), F.Region->capacity());
-      Walker<vcode::VCode> W(Ctx, V, RetType, Opts);
+      vcode::VCode V(F.Region->base(), F.Region->capacity(), &A);
+      Walker<vcode::VCode> W(Ctx, V, RetType, Opts, A);
       if (F.Prof)
         W.ProfileCounter = &F.Prof->Invocations;
       {
@@ -1490,8 +1529,8 @@ CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
       F.Stats.CodeBytes = V.codeBytes();
       PE = W.PE;
     } else {
-      icode::ICode IC;
-      Walker<icode::ICode> W(Ctx, IC, RetType, Opts);
+      icode::ICode IC(A);
+      Walker<icode::ICode> W(Ctx, IC, RetType, Opts, A);
       if (F.Prof)
         W.ProfileCounter = &F.Prof->Invocations;
       {
@@ -1499,7 +1538,7 @@ CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
         obs::TraceSpan Span(obs::SpanKind::CGFWalk);
         W.run(Body.node());
       }
-      vcode::VCode V(F.Region->base(), F.Region->capacity());
+      vcode::VCode V(F.Region->base(), F.Region->capacity(), &A);
       F.Entry = IC.compileTo(V, Opts.RegAlloc, &F.Stats.ICode, Opts.Spill);
       F.Stats.MachineInstrs = V.instructionsEmitted();
       F.Stats.CodeBytes = V.codeBytes();
@@ -1507,11 +1546,15 @@ CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
             W.PE.StrengthReductions};
     }
     {
-      // Finalization (mprotect + icache sync) is part of what a compile
-      // costs; charge it inside the total so the phase breakdown sums to
-      // the whole.
+      // Finalization is part of what a compile costs; charge it inside the
+      // total so the phase breakdown sums to the whole. For dual-mapped
+      // (pooled) regions this is a flag flip plus the entry-pointer
+      // translation into the exec alias; single mappings pay the classic
+      // mprotect + icache sync here.
       PhaseScope Fin(F.Stats.CyclesFinalize);
       F.Region->makeExecutable();
+      if (F.Entry)
+        F.Entry = F.Region->execPtr(F.Entry);
     }
   }
   if (F.Prof) {
@@ -1523,6 +1566,13 @@ CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
     F.Prof->Backend.store(
         Opts.Backend == BackendKind::VCode ? "vcode" : "icode",
         std::memory_order_relaxed);
+  }
+  {
+    // Compile-path memory accounting: zero allocs in steady state (the
+    // context's arena retains capacity across compiles).
+    CompileMetrics &M = CompileMetrics::get();
+    M.Allocs.inc(CC->allocsThisCompile());
+    M.ArenaBytes.record(CC->arenaBytes());
   }
   publishCompileMetrics<vcode::VCode>(F, Opts, PE);
   return F;

@@ -37,6 +37,8 @@
 namespace tcc {
 namespace core {
 
+class CompileContext;
+
 /// Which dynamic back end instantiation uses.
 enum class BackendKind {
   VCode,
@@ -58,6 +60,12 @@ struct CompileOptions {
   /// to) this pool instead of being mmap'd per instantiation. Not part of
   /// the cache key: pooling changes where code lives, never what it is.
   RegionPool *Pool = nullptr;
+  /// When set, all transient compile-time structures (IR, liveness bitsets,
+  /// intervals, emitter tables) are carved from this context's arena, which
+  /// retains its capacity between compiles — the zero-allocation fast path.
+  /// When null, compileFn uses a per-thread fallback context. Not part of
+  /// the cache key: scratch placement never changes the generated code.
+  CompileContext *Ctx = nullptr;
   /// When true, both back ends plant an atomic invocation-counter bump in
   /// the generated prologue; the CompiledFn carries the counter (see
   /// profile()), making hot specs identifiable at runtime next to their

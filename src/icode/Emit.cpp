@@ -33,14 +33,17 @@ namespace {
 class Emitter {
 public:
   Emitter(const ICode &IC, VCode &V, const Allocation &Alloc)
-      : IC(IC), V(V), Alloc(Alloc), SlotDesignator(IC.numRegs(), INT_MIN) {
-    VLabels.reserve(IC.numLabels());
+      : IC(IC), V(V), Alloc(Alloc),
+        SlotDesignator(IC.arena().allocateArray<int>(IC.numRegs())),
+        VLabels(IC.arena().allocateArray<vcode::Label>(IC.numLabels())) {
+    for (unsigned R = 0; R < IC.numRegs(); ++R)
+      SlotDesignator[R] = INT_MIN;
     for (unsigned I = 0; I < IC.numLabels(); ++I)
-      VLabels.push_back(V.newLabel());
+      VLabels[I] = V.newLabel();
   }
 
   void run() {
-    const std::vector<Instr> &Instrs = IC.instrs();
+    const auto &Instrs = IC.instrs();
     V.enter();
     for (std::size_t I = 0, E = Instrs.size(); I != E; ++I)
       emitOne(Instrs, I);
@@ -61,7 +64,7 @@ private:
 
   /// True if a jump at \p I to label \p LabelId only skips no-ops — the
   /// emitter's jump-to-next peephole.
-  bool jumpIsFallthrough(const std::vector<Instr> &Instrs, std::size_t I,
+  bool jumpIsFallthrough(const ArenaVector<Instr> &Instrs, std::size_t I,
                          std::int32_t LabelId) const {
     std::int32_t Target = IC.labelTarget(LabelId);
     if (Target < static_cast<std::int32_t>(I))
@@ -74,7 +77,7 @@ private:
     return true;
   }
 
-  void emitOne(const std::vector<Instr> &Instrs, std::size_t I) {
+  void emitOne(const ArenaVector<Instr> &Instrs, std::size_t I) {
     const Instr &In = Instrs[I];
     if (In.Opcode != Op::Nop && In.Opcode != Op::Hint)
       ICode::emitterUsage().noteUse(In.Opcode);
@@ -358,8 +361,8 @@ private:
   const ICode &IC;
   VCode &V;
   const Allocation &Alloc;
-  std::vector<int> SlotDesignator;
-  std::vector<vcode::Label> VLabels;
+  int *SlotDesignator;      ///< Arena-resident, numRegs() entries.
+  vcode::Label *VLabels;    ///< Arena-resident, numLabels() entries.
 };
 
 } // namespace
@@ -372,10 +375,13 @@ void *ICode::compileTo(VCode &V, RegAllocKind Kind, CompileStats *Stats,
   {
     PhaseScope T(S.CyclesPeephole);
     obs::TraceSpan Span(obs::SpanKind::Peephole);
-    eliminateDeadCode(Instrs, numRegs());
+    eliminateDeadCode(Instrs.data(), Instrs.size(), numRegs(), *A);
   }
 
-  FlowGraph FG;
+  // Every analysis phase allocates from the ICode's arena: on the pooled
+  // compile path this is a CompileContext arena reset between compiles, so
+  // the whole pipeline below is heap-allocation-free in the steady state.
+  FlowGraph FG(*A);
   {
     PhaseScope T(S.CyclesFlowGraph);
     obs::TraceSpan Span(obs::SpanKind::FlowGraph);
@@ -390,13 +396,13 @@ void *ICode::compileTo(VCode &V, RegAllocKind Kind, CompileStats *Stats,
 
   // Intervals are needed for linear scan and, under either allocator, for
   // deciding which caller-saved-class values cross a call.
-  std::vector<Interval> Intervals;
-  std::vector<bool> MustSpill;
+  ArenaVector<Interval> Intervals;
+  const std::uint8_t *MustSpill = nullptr;
   {
     PhaseScope T(S.CyclesIntervals);
     obs::TraceSpan Span(obs::SpanKind::LiveIntervals);
     Intervals = buildLiveIntervals(*this, FG);
-    MustSpill = computeMustSpill(*this, Intervals);
+    MustSpill = computeMustSpill(*this, Intervals.data(), Intervals.size());
   }
 
   Allocation Alloc;
@@ -407,8 +413,7 @@ void *ICode::compileTo(VCode &V, RegAllocKind Kind, CompileStats *Stats,
                             : obs::SpanKind::GraphColor);
     Alloc =
         Kind == RegAllocKind::LinearScan
-            ? allocateLinearScan(*this, std::move(Intervals),
-                                 vcode::VCode::NumIntPool,
+            ? allocateLinearScan(*this, Intervals, vcode::VCode::NumIntPool,
                                  vcode::VCode::NumFloatPool, Spill, MustSpill)
             : allocateGraphColor(*this, FG, vcode::VCode::NumIntPool,
                                  vcode::VCode::NumFloatPool, Spill, MustSpill);
@@ -425,8 +430,8 @@ void *ICode::compileTo(VCode &V, RegAllocKind Kind, CompileStats *Stats,
 
   S.NumBasicBlocks = static_cast<unsigned>(FG.blocks().size());
   S.NumIntervals = 0;
-  for (int L : Alloc.Location)
-    S.NumIntervals += L != Allocation::Unused;
+  for (unsigned R = 0; R < Alloc.NumRegs; ++R)
+    S.NumIntervals += Alloc.Location[R] != Allocation::Unused;
   S.NumSpilledIntervals = Alloc.NumSpilled;
   for (const Instr &In : Instrs)
     S.NumIRInstrs += In.Opcode != Op::Nop && In.Opcode != Op::Hint &&

@@ -11,6 +11,12 @@
 // optimistic coloring; uncolored nodes are assigned stack locations, which
 // the emitter handles directly.
 //
+// The graph is a packed adjacency bitset matrix in the ICode's arena — the
+// same uint64_t-word representation liveness uses — so edge insertion is a
+// bit set (dedup for free), degree is popcount, and the ablation against
+// linear scan compares allocator algorithms rather than container malloc
+// traffic.
+//
 //===----------------------------------------------------------------------===//
 
 #include "icode/Analysis.h"
@@ -23,33 +29,50 @@ using namespace tcc::icode;
 
 namespace {
 
-/// Compact adjacency-set builder: per-node sorted unique neighbor lists.
+/// Adjacency bitset matrix: row R holds one bit per potential neighbor.
+/// NumRegs rows of RowWords uint64_t words, zero-initialized in the arena.
 class InterferenceGraph {
 public:
-  explicit InterferenceGraph(unsigned N) : Adj(N) {}
+  InterferenceGraph(Arena &A, unsigned N)
+      : RowWords((N + 63) / 64),
+        Bits(A.allocateZeroed<std::uint64_t>(std::size_t(N) * RowWords)) {}
 
   void addEdge(unsigned A, unsigned B) {
     if (A == B)
       return;
-    Adj[A].push_back(B);
-    Adj[B].push_back(A);
+    row(A)[B / 64] |= std::uint64_t(1) << (B % 64);
+    row(B)[A / 64] |= std::uint64_t(1) << (A % 64);
   }
 
-  void finalize() {
-    for (auto &Neighbors : Adj) {
-      std::sort(Neighbors.begin(), Neighbors.end());
-      Neighbors.erase(std::unique(Neighbors.begin(), Neighbors.end()),
-                      Neighbors.end());
+  unsigned degree(unsigned N) const {
+    const std::uint64_t *R = row(N);
+    unsigned D = 0;
+    for (unsigned W = 0; W < RowWords; ++W)
+      D += static_cast<unsigned>(__builtin_popcountll(R[W]));
+    return D;
+  }
+
+  /// Calls \p Fn(neighbor) for each neighbor of \p N, ascending.
+  template <typename FnT> void forEachNeighbor(unsigned N, FnT Fn) const {
+    const std::uint64_t *R = row(N);
+    for (unsigned W = 0; W < RowWords; ++W) {
+      std::uint64_t Word = R[W];
+      while (Word) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(Word));
+        Fn(W * 64 + Bit);
+        Word &= Word - 1;
+      }
     }
   }
 
-  const std::vector<unsigned> &neighbors(unsigned N) const { return Adj[N]; }
-  unsigned degree(unsigned N) const {
-    return static_cast<unsigned>(Adj[N].size());
+private:
+  std::uint64_t *row(unsigned N) { return Bits + std::size_t(N) * RowWords; }
+  const std::uint64_t *row(unsigned N) const {
+    return Bits + std::size_t(N) * RowWords;
   }
 
-private:
-  std::vector<std::vector<unsigned>> Adj;
+  unsigned RowWords;
+  std::uint64_t *Bits;
 };
 
 } // namespace
@@ -57,16 +80,20 @@ private:
 Allocation tcc::icode::allocateGraphColor(const ICode &IC, const FlowGraph &FG,
                                           int NumIntRegs, int NumFloatRegs,
                                           SpillHeuristic Spill,
-                                          const std::vector<bool> &MustSpill) {
-  const std::vector<Instr> &Instrs = IC.instrs();
+                                          const std::uint8_t *MustSpill) {
+  const auto &Instrs = IC.instrs();
   const unsigned NumRegs = IC.numRegs();
+  Arena &A = IC.arena();
 
   Allocation Result;
-  Result.Location.assign(NumRegs, Allocation::Unused);
+  Result.NumRegs = NumRegs;
+  Result.Location = A.allocateArray<int>(NumRegs);
+  for (unsigned R = 0; R < NumRegs; ++R)
+    Result.Location[R] = Allocation::Unused;
 
   // Occurrence mask + spill weights (10^loop-depth per occurrence).
-  std::vector<bool> Occurs(NumRegs, false);
-  std::vector<std::uint64_t> Weight(NumRegs, 0);
+  auto *Occurs = A.allocateZeroed<std::uint8_t>(NumRegs);
+  auto *Weight = A.allocateZeroed<std::uint64_t>(NumRegs);
   {
     std::uint64_t HintWeight = 1;
     int Depth = 0;
@@ -82,11 +109,11 @@ Allocation tcc::icode::allocateGraphColor(const ICode &IC, const FlowGraph &FG,
       unsigned ND, NU;
       ICode::defsUses(In, Defs, ND, Uses, NU);
       for (unsigned U = 0; U < NU; ++U) {
-        Occurs[static_cast<unsigned>(Uses[U])] = true;
+        Occurs[static_cast<unsigned>(Uses[U])] = 1;
         Weight[static_cast<unsigned>(Uses[U])] += HintWeight;
       }
       for (unsigned D = 0; D < ND; ++D) {
-        Occurs[static_cast<unsigned>(Defs[D])] = true;
+        Occurs[static_cast<unsigned>(Defs[D])] = 1;
         Weight[static_cast<unsigned>(Defs[D])] += HintWeight;
       }
     }
@@ -94,11 +121,13 @@ Allocation tcc::icode::allocateGraphColor(const ICode &IC, const FlowGraph &FG,
 
   // Build interference from exact liveness: at each definition point, the
   // defined register interferes with everything currently live in the same
-  // register class.
-  InterferenceGraph Graph(NumRegs);
-  BitVector Live(NumRegs);
+  // register class. `Live` reuses the packed-word layout of the liveness
+  // sets.
+  InterferenceGraph Graph(A, NumRegs);
+  const unsigned W = FG.wordsPerSet();
+  BitSetRef Live{A.allocateZeroed<std::uint64_t>(W), W};
   for (const BasicBlock &BB : FG.blocks()) {
-    Live = BB.LiveOut;
+    Live.copyFrom(BB.LiveOut);
     for (std::int32_t I = BB.End; I-- > BB.Begin;) {
       const Instr &In = Instrs[static_cast<std::size_t>(I)];
       VReg Defs[2], Uses[3];
@@ -117,33 +146,32 @@ Allocation tcc::icode::allocateGraphColor(const ICode &IC, const FlowGraph &FG,
         Live.set(static_cast<unsigned>(Uses[U]));
     }
   }
-  Graph.finalize();
 
   // Simplify: repeatedly remove trivially colorable nodes; when stuck,
   // optimistically push a spill candidate (Briggs).
-  std::vector<unsigned> CurDegree(NumRegs), Stack;
-  std::vector<bool> Removed(NumRegs, false);
+  auto *CurDegree = A.allocateArray<unsigned>(NumRegs);
+  auto *Stack = A.allocateArray<unsigned>(NumRegs);
+  std::size_t StackTop = 0;
+  auto *Removed = A.allocateZeroed<std::uint8_t>(NumRegs);
   unsigned NumNodes = 0;
   for (unsigned R = 0; R < NumRegs; ++R)
     CurDegree[R] = Graph.degree(R);
   for (unsigned R = 0; R < NumRegs; ++R) {
     if (!Occurs[R]) {
-      Removed[R] = true;
+      Removed[R] = 1;
       continue;
     }
-    if (!MustSpill.empty() && MustSpill[R]) {
+    if (MustSpill && MustSpill[R]) {
       // Caller-saved class crossing a call: straight to memory, and its
       // neighbors no longer see it.
-      Removed[R] = true;
+      Removed[R] = 1;
       Result.Location[R] = Allocation::Spilled;
       ++Result.NumSpilled;
-      for (unsigned N : Graph.neighbors(R))
-        --CurDegree[N];
+      Graph.forEachNeighbor(R, [&](unsigned N) { --CurDegree[N]; });
       continue;
     }
     ++NumNodes;
   }
-  Stack.reserve(NumNodes);
 
   auto AvailFor = [&](unsigned R) {
     return IC.isFloatReg(static_cast<VReg>(R)) ? NumFloatRegs : NumIntRegs;
@@ -158,12 +186,13 @@ Allocation tcc::icode::allocateGraphColor(const ICode &IC, const FlowGraph &FG,
         if (Removed[R] ||
             CurDegree[R] >= static_cast<unsigned>(AvailFor(R)))
           continue;
-        Removed[R] = true;
-        Stack.push_back(R);
+        Removed[R] = 1;
+        Stack[StackTop++] = R;
         --RemainingNodes;
-        for (unsigned N : Graph.neighbors(R))
+        Graph.forEachNeighbor(R, [&](unsigned N) {
           if (!Removed[N])
             --CurDegree[N];
+        });
         Progress = true;
       }
     }
@@ -186,27 +215,27 @@ Allocation tcc::icode::allocateGraphColor(const ICode &IC, const FlowGraph &FG,
         BestScore = Score;
       }
     }
-    Removed[Candidate] = true;
-    Stack.push_back(Candidate);
+    Removed[Candidate] = 1;
+    Stack[StackTop++] = Candidate;
     --RemainingNodes;
-    for (unsigned N : Graph.neighbors(Candidate))
+    Graph.forEachNeighbor(Candidate, [&](unsigned N) {
       if (!Removed[N])
         --CurDegree[N];
+    });
   }
 
   // Select: pop in reverse, assigning the lowest color not used by any
   // already-colored neighbor; failures become stack locations.
-  while (!Stack.empty()) {
-    unsigned R = Stack.back();
-    Stack.pop_back();
+  while (StackTop > 0) {
+    unsigned R = Stack[--StackTop];
     int Avail = AvailFor(R);
     // Bitmask of colors taken by colored neighbors (pools are <= 32 regs).
     std::uint32_t Taken = 0;
-    for (unsigned N : Graph.neighbors(R)) {
+    Graph.forEachNeighbor(R, [&](unsigned N) {
       int Loc = Result.Location[N];
       if (Loc >= 0)
         Taken |= 1u << Loc;
-    }
+    });
     int Color = -1;
     for (int C = 0; C < Avail; ++C)
       if (!(Taken & (1u << C))) {

@@ -10,18 +10,26 @@
 using namespace tcc;
 using namespace tcc::icode;
 
-ICode::ICode() {
+ICode::ICode() : Owned(new Arena()), A(Owned.get()), Instrs(*A), Pool(*A),
+                 RegIsFloat(*A), LabelTargets(*A) {
+  Instrs.reserve(64);
+  Pool.reserve(8);
+}
+
+ICode::ICode(Arena &BackingArena)
+    : A(&BackingArena), Instrs(*A), Pool(*A), RegIsFloat(*A),
+      LabelTargets(*A) {
   Instrs.reserve(64);
   Pool.reserve(8);
 }
 
 VReg ICode::newIntReg() {
-  RegIsFloat.push_back(false);
+  RegIsFloat.push_back(0);
   return static_cast<VReg>(RegIsFloat.size() - 1);
 }
 
 VReg ICode::newFloatReg() {
-  RegIsFloat.push_back(true);
+  RegIsFloat.push_back(1);
   return static_cast<VReg>(RegIsFloat.size() - 1);
 }
 
@@ -41,6 +49,21 @@ void ICode::bindLabel(ILabel L) {
   assert(LabelTargets[L.Id] == -1 && "label bound twice");
   LabelTargets[L.Id] = static_cast<std::int32_t>(Instrs.size());
   append(Op::Label, 0, L.Id, 0, 0);
+}
+
+ICode ICode::clone() const {
+  ICode C;
+  auto CopyInto = [](auto &Dst, const auto &Src) {
+    Dst.reserve(Src.size());
+    for (std::size_t I = 0, E = Src.size(); I != E; ++I)
+      Dst.push_back(Src[I]);
+  };
+  CopyInto(C.Instrs, Instrs);
+  CopyInto(C.Pool, Pool);
+  CopyInto(C.RegIsFloat, RegIsFloat);
+  CopyInto(C.LabelTargets, LabelTargets);
+  C.NumLabels = NumLabels;
+  return C;
 }
 
 EmitterUsage &ICode::emitterUsage() {

@@ -26,10 +26,12 @@
 #ifndef TICKC_ICODE_ICODE_H
 #define TICKC_ICODE_ICODE_H
 
+#include "support/Arena.h"
 #include "vcode/VCode.h"
 
+#include <atomic>
 #include <cstdint>
-#include <vector>
+#include <memory>
 
 namespace tcc {
 namespace icode {
@@ -205,7 +207,12 @@ struct CompileStats {
 /// cutting the emitter size "by up to an order of magnitude" (paper §5.2).
 class EmitterUsage {
 public:
-  void noteUse(Op O) { Used[static_cast<unsigned>(O)] = true; }
+  /// Relaxed: the registry is a global written by every concurrent ICODE
+  /// compile; a monotonic flag needs no ordering (and the store costs the
+  /// same as a plain one on x86).
+  void noteUse(Op O) {
+    Used[static_cast<unsigned>(O)].store(true, std::memory_order_relaxed);
+  }
   unsigned usedOpcodes() const;
   static unsigned totalOpcodes() { return NumOpcodes; }
   /// Estimated handler footprint: the paper reports ~100 instructions of
@@ -217,22 +224,39 @@ public:
   static unsigned fullHandlerInstrs() {
     return totalOpcodes() * InstrsPerHandler;
   }
-  bool isUsed(Op O) const { return Used[static_cast<unsigned>(O)]; }
+  bool isUsed(Op O) const {
+    return Used[static_cast<unsigned>(O)].load(std::memory_order_relaxed);
+  }
+
+  /// Clears every flag (bench isolation between measured programs).
+  void reset() {
+    for (auto &U : Used)
+      U.store(false, std::memory_order_relaxed);
+  }
 
 private:
-  bool Used[NumOpcodes] = {};
+  std::atomic<bool> Used[NumOpcodes] = {};
 };
 
 /// ICODE instruction buffer and builder. The mutator interface mirrors
 /// vcode::VCode, but every operation appends to the IR instead of emitting.
 class ICode {
 public:
+  /// Owns a private arena — convenient for tests and ad-hoc use.
   ICode();
+  /// Builds the IR (and every later analysis structure) in \p A — the
+  /// steady-state compile path, where \p A is a pooled CompileContext's
+  /// arena that is reset (retaining its slab) between compiles.
+  explicit ICode(Arena &A);
+
+  /// The arena all pipeline phases allocate from. Exposed const: analysis
+  /// scratch in the arena never changes the IR's logical state.
+  Arena &arena() const { return *A; }
 
   // --- Virtual registers ----------------------------------------------------
   VReg newIntReg();
   VReg newFloatReg();
-  bool isFloatReg(VReg R) const { return RegIsFloat[R]; }
+  bool isFloatReg(VReg R) const { return RegIsFloat[R] != 0; }
   unsigned numRegs() const { return static_cast<unsigned>(RegIsFloat.size()); }
 
   // --- Usage-frequency hints -------------------------------------------------
@@ -454,7 +478,7 @@ public:
                   SpillHeuristic Spill = SpillHeuristic::LongestInterval);
 
   // --- Introspection ------------------------------------------------------------------------------
-  const std::vector<Instr> &instrs() const { return Instrs; }
+  const ArenaVector<Instr> &instrs() const { return Instrs; }
   std::uint64_t poolValue(std::int32_t Idx) const {
     return Pool[static_cast<std::size_t>(Idx)];
   }
@@ -470,6 +494,11 @@ public:
   /// Shared opcode-usage registry (reset explicitly in benchmarks).
   static EmitterUsage &emitterUsage();
 
+  /// Deep copy into a fresh privately-owned arena. For callers (ablation
+  /// benches) that re-run the mutating pipeline over one IR; the hot
+  /// compile path never copies.
+  ICode clone() const;
+
 private:
   void append(Op O, std::uint8_t Sub, std::int32_t A, std::int32_t B,
               std::int32_t C) {
@@ -480,10 +509,14 @@ private:
     return static_cast<std::int32_t>(Pool.size() - 1);
   }
 
-  std::vector<Instr> Instrs;
-  std::vector<std::uint64_t> Pool;
-  std::vector<bool> RegIsFloat;
-  std::vector<std::int32_t> LabelTargets;
+  /// Private arena for the ownerless constructor; null when building into a
+  /// caller-provided (pooled) arena.
+  std::unique_ptr<Arena> Owned;
+  Arena *A;
+  ArenaVector<Instr> Instrs;
+  ArenaVector<std::uint64_t> Pool;
+  ArenaVector<std::uint8_t> RegIsFloat;
+  ArenaVector<std::int32_t> LabelTargets;
   unsigned NumLabels = 0;
 };
 

@@ -21,6 +21,10 @@
 // expiring dead intervals is a short search backwards from the end.
 // Asymptotic cost O(I * R).
 //
+// `active` can never hold more entries than the register class has physical
+// registers, so it is a fixed in-object array — the scan allocates nothing
+// but the result's Location table (from the ICode's arena).
+//
 //===----------------------------------------------------------------------===//
 
 #include "icode/Analysis.h"
@@ -33,25 +37,30 @@ using namespace tcc::icode;
 
 namespace {
 
-/// One register class's scan state.
+/// One register class's scan state. The active list and free stack are
+/// fixed arrays: both are bounded by the physical register count, which the
+/// VCODE layer caps well below MaxPhysRegs.
 class ScanState {
 public:
+  /// Upper bound on physical registers per class (the coloring bitmask and
+  /// the VCODE pools assume <= 32).
+  static constexpr int MaxPhysRegs = 32;
+
   ScanState(int NumRegs, SpillHeuristic Spill, Allocation &Result)
       : Spill(Spill), Result(Result) {
+    assert(NumRegs <= MaxPhysRegs && "register pool exceeds fixed bound");
     for (int R = NumRegs - 1; R >= 0; --R)
-      FreeRegs.push_back(R);
+      FreeRegs[NumFree++] = R;
     NumPhysRegs = NumRegs;
   }
 
   void process(const Interval &I) {
     expireOldIntervals(I);
     int R;
-    if (static_cast<int>(Active.size()) == NumPhysRegs)
+    if (NumActive == NumPhysRegs)
       R = spillVictim(I);
-    else {
-      R = FreeRegs.back();
-      FreeRegs.pop_back();
-    }
+    else
+      R = FreeRegs[--NumFree];
     if (R >= 0) {
       Result.Location[static_cast<std::size_t>(I.Reg)] = R;
       addActive(I, R);
@@ -70,33 +79,36 @@ private:
   void addActive(const Interval &I, int R) {
     // Insert keeping `active` sorted by increasing start point; scanning
     // backwards touches few elements in practice (paper §5.2).
-    auto It = Active.end();
-    while (It != Active.begin() && (It - 1)->IV.Start > I.Start)
-      --It;
-    Active.insert(It, ActiveEntry{I, R});
+    int At = NumActive;
+    while (At > 0 && Active[At - 1].IV.Start > I.Start) {
+      Active[At] = Active[At - 1];
+      --At;
+    }
+    Active[At] = ActiveEntry{I, R};
+    ++NumActive;
   }
 
   /// Removes active intervals that start strictly after I's end point —
   /// they cannot overlap I or anything processed later.
   void expireOldIntervals(const Interval &I) {
-    while (!Active.empty() && Active.back().IV.Start > I.End) {
-      FreeRegs.push_back(Active.back().Reg);
-      Active.pop_back();
+    while (NumActive > 0 && Active[NumActive - 1].IV.Start > I.End) {
+      FreeRegs[NumFree++] = Active[NumActive - 1].Reg;
+      --NumActive;
     }
   }
 
   /// Decides whether to evict an active interval for I. Returns the freed
   /// register, or -1 meaning "spill I itself".
   int spillVictim(const Interval &I) {
-    std::size_t VictimIdx = 0;
+    int VictimIdx = 0;
     bool VictimBeatsI;
     if (Spill == SpillHeuristic::LongestInterval) {
       // The longest interval is the earliest-starting one: active.front().
-      VictimBeatsI = Active.front().IV.Start < I.Start;
+      VictimBeatsI = Active[0].IV.Start < I.Start;
     } else {
       // Ablation heuristic: evict the least-used interval per loop hints.
       std::uint64_t Best = ~0ull;
-      for (std::size_t K = 0; K < Active.size(); ++K)
+      for (int K = 0; K < NumActive; ++K)
         if (Active[K].IV.Weight < Best) {
           Best = Active[K].IV.Weight;
           VictimIdx = K;
@@ -109,26 +121,34 @@ private:
     Result.Location[static_cast<std::size_t>(Active[VictimIdx].IV.Reg)] =
         Allocation::Spilled;
     ++Result.NumSpilled;
-    Active.erase(Active.begin() + static_cast<std::ptrdiff_t>(VictimIdx));
+    for (int K = VictimIdx; K + 1 < NumActive; ++K)
+      Active[K] = Active[K + 1];
+    --NumActive;
     return R;
   }
 
   SpillHeuristic Spill;
   Allocation &Result;
-  std::vector<ActiveEntry> Active;
-  std::vector<int> FreeRegs;
+  ActiveEntry Active[MaxPhysRegs];
+  int NumActive = 0;
+  int FreeRegs[MaxPhysRegs];
+  int NumFree = 0;
   int NumPhysRegs;
 };
 
 } // namespace
 
-Allocation tcc::icode::allocateLinearScan(const ICode &IC,
-                                          std::vector<Interval> Intervals,
-                                          int NumIntRegs, int NumFloatRegs,
-                                          SpillHeuristic Spill,
-                                          const std::vector<bool> &MustSpill) {
+Allocation
+tcc::icode::allocateLinearScan(const ICode &IC,
+                               const ArenaVector<Interval> &Intervals,
+                               int NumIntRegs, int NumFloatRegs,
+                               SpillHeuristic Spill,
+                               const std::uint8_t *MustSpill) {
   Allocation Result;
-  Result.Location.assign(IC.numRegs(), Allocation::Unused);
+  Result.NumRegs = IC.numRegs();
+  Result.Location = IC.arena().allocateArray<int>(Result.NumRegs);
+  for (unsigned R = 0; R < Result.NumRegs; ++R)
+    Result.Location[R] = Allocation::Unused;
 
   assert(std::is_sorted(Intervals.begin(), Intervals.end(),
                         [](const Interval &A, const Interval &B) {
@@ -140,7 +160,7 @@ Allocation tcc::icode::allocateLinearScan(const ICode &IC,
   ScanState FloatState(NumFloatRegs, Spill, Result);
   for (std::size_t K = Intervals.size(); K-- > 0;) {
     const Interval &I = Intervals[K];
-    if (!MustSpill.empty() && MustSpill[static_cast<std::size_t>(I.Reg)]) {
+    if (MustSpill && MustSpill[static_cast<std::size_t>(I.Reg)]) {
       // Caller-saved register class crossing a call: straight to memory.
       Result.Location[static_cast<std::size_t>(I.Reg)] = Allocation::Spilled;
       ++Result.NumSpilled;
@@ -151,23 +171,28 @@ Allocation tcc::icode::allocateLinearScan(const ICode &IC,
   return Result;
 }
 
-std::vector<bool>
-tcc::icode::computeMustSpill(const ICode &IC,
-                             const std::vector<Interval> &Intervals) {
-  std::vector<bool> Result(IC.numRegs(), false);
-  const std::vector<Instr> &Instrs = IC.instrs();
-  std::vector<std::int32_t> CallSites;
+const std::uint8_t *tcc::icode::computeMustSpill(const ICode &IC,
+                                                 const Interval *Intervals,
+                                                 std::size_t NumIntervals) {
+  const auto &Instrs = IC.instrs();
+  Arena &A = IC.arena();
+
+  auto *CallSites = A.allocateArray<std::int32_t>(Instrs.size());
+  std::size_t NumCalls = 0;
   for (std::size_t I = 0, E = Instrs.size(); I != E; ++I)
     if (Instrs[I].Opcode == Op::Call || Instrs[I].Opcode == Op::CallIndirect)
-      CallSites.push_back(static_cast<std::int32_t>(I));
-  if (CallSites.empty())
-    return Result;
-  for (const Interval &IV : Intervals) {
+      CallSites[NumCalls++] = static_cast<std::int32_t>(I);
+  if (NumCalls == 0)
+    return nullptr; // No calls: nothing is forced to memory.
+
+  auto *Result = A.allocateZeroed<std::uint8_t>(IC.numRegs());
+  for (std::size_t K = 0; K < NumIntervals; ++K) {
+    const Interval &IV = Intervals[K];
     if (!IV.IsFloat)
       continue; // The integer pool is callee-saved.
-    for (std::int32_t C : CallSites)
-      if (C > IV.Start && C < IV.End) {
-        Result[static_cast<std::size_t>(IV.Reg)] = true;
+    for (std::size_t C = 0; C < NumCalls; ++C)
+      if (CallSites[C] > IV.Start && CallSites[C] < IV.End) {
+        Result[static_cast<std::size_t>(IV.Reg)] = 1;
         break;
       }
   }

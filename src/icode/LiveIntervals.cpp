@@ -9,6 +9,9 @@
 // information, creating a list of live intervals sorted by start or end
 // point is accomplished in one pass over the code."
 //
+// All scratch (per-vreg Start/End/Weight) and the result list live in the
+// originating ICode's arena; the sort is in place over arena storage.
+//
 //===----------------------------------------------------------------------===//
 
 #include "icode/Analysis.h"
@@ -18,13 +21,20 @@
 using namespace tcc;
 using namespace tcc::icode;
 
-std::vector<Interval> tcc::icode::buildLiveIntervals(const ICode &IC,
+ArenaVector<Interval> tcc::icode::buildLiveIntervals(const ICode &IC,
                                                      const FlowGraph &FG) {
-  const std::vector<Instr> &Instrs = IC.instrs();
+  const auto &Instrs = IC.instrs();
   const unsigned NumRegs = IC.numRegs();
+  Arena &A = IC.arena();
 
-  std::vector<std::int32_t> Start(NumRegs, -1), End(NumRegs, -1);
-  std::vector<std::uint64_t> Weight(NumRegs, 0);
+  auto *Start = A.allocateArray<std::int32_t>(NumRegs);
+  auto *End = A.allocateArray<std::int32_t>(NumRegs);
+  auto *Weight = A.allocateArray<std::uint64_t>(NumRegs);
+  for (unsigned R = 0; R < NumRegs; ++R) {
+    Start[R] = -1;
+    End[R] = -1;
+    Weight[R] = 0;
+  }
 
   auto Extend = [&](unsigned R, std::int32_t Pos) {
     if (Start[R] < 0 || Pos < Start[R])
@@ -71,7 +81,7 @@ std::vector<Interval> tcc::icode::buildLiveIntervals(const ICode &IC,
     BB.LiveOut.forEach([&](unsigned R) { Extend(R, BB.End - 1); });
   }
 
-  std::vector<Interval> Result;
+  ArenaVector<Interval> Result(A);
   Result.reserve(NumRegs);
   for (unsigned R = 0; R < NumRegs; ++R) {
     if (Start[R] < 0)

@@ -68,13 +68,13 @@ static bool isPure(Op O) {
   }
 }
 
-unsigned tcc::icode::eliminateDeadCode(std::vector<Instr> &Instrs,
-                                       unsigned NumRegs) {
-  std::vector<std::uint32_t> UseCount(NumRegs, 0);
-  for (const Instr &In : Instrs) {
+unsigned tcc::icode::eliminateDeadCode(Instr *Instrs, std::size_t NumInstrs,
+                                       unsigned NumRegs, Arena &Scratch) {
+  auto *UseCount = Scratch.allocateZeroed<std::uint32_t>(NumRegs);
+  for (std::size_t I = 0; I < NumInstrs; ++I) {
     VReg Defs[2], Uses[3];
     unsigned ND, NU;
-    ICode::defsUses(In, Defs, ND, Uses, NU);
+    ICode::defsUses(Instrs[I], Defs, ND, Uses, NU);
     for (unsigned U = 0; U < NU; ++U)
       ++UseCount[static_cast<unsigned>(Uses[U])];
   }
@@ -84,7 +84,7 @@ unsigned tcc::icode::eliminateDeadCode(std::vector<Instr> &Instrs,
   while (Changed) {
     Changed = false;
     // Backwards, so a chain of dead computations dies in one sweep.
-    for (std::size_t I = Instrs.size(); I-- > 0;) {
+    for (std::size_t I = NumInstrs; I-- > 0;) {
       Instr &In = Instrs[I];
       if (!isPure(In.Opcode))
         continue;

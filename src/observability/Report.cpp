@@ -143,6 +143,46 @@ std::string tcc::obs::renderReport(const MetricsSnapshot &S) {
             static_cast<unsigned long long>(Mapped),
             static_cast<unsigned long long>(S.counter(names::PoolDropped)));
 
+  // Compile-overhead vitals for the zero-allocation fast path: per-backend
+  // cycles per generated instruction, arena footprint, and how often a
+  // compile had a recycled context waiting for it.
+  const HistogramSnapshot *CpiV = S.histogram(names::HistCpiVCode);
+  const HistogramSnapshot *CpiI = S.histogram(names::HistCpiICode);
+  const HistogramSnapshot *ArenaB = S.histogram(names::HistArenaBytes);
+  std::uint64_t CtxHits = S.counter(names::CtxPoolHits);
+  std::uint64_t CtxMisses = S.counter(names::CtxPoolMisses);
+  if ((CpiV && CpiV->Count) || (CpiI && CpiI->Count) ||
+      (ArenaB && ArenaB->Count) || CtxHits + CtxMisses) {
+    Out += "compile overhead (cycles per generated instruction)\n";
+    for (auto [Label, H] : {std::pair<const char *, const HistogramSnapshot *>(
+                                "vcode", CpiV),
+                            {"icode", CpiI}}) {
+      if (!H || !H->Count)
+        continue;
+      appendf(Out, "  %-6s mean=%-6.0f min=%-6llu max=%-8llu (%llu compiles)\n",
+              Label,
+              static_cast<double>(H->Sum) / static_cast<double>(H->Count),
+              static_cast<unsigned long long>(H->Min),
+              static_cast<unsigned long long>(H->Max),
+              static_cast<unsigned long long>(H->Count));
+    }
+    if (ArenaB && ArenaB->Count)
+      appendf(Out,
+              "  arena: mean %.0f bytes/compile, high water %llu bytes, "
+              "%llu slab allocations (compile.allocs; 0 = steady state)\n",
+              static_cast<double>(ArenaB->Sum) /
+                  static_cast<double>(ArenaB->Count),
+              static_cast<unsigned long long>(ArenaB->Max),
+              static_cast<unsigned long long>(
+                  S.counter(names::CompileAllocs)));
+    if (CtxHits + CtxMisses)
+      appendf(Out, "  context pool: %llu hits / %llu misses (%.1f%% reuse)\n",
+              static_cast<unsigned long long>(CtxHits),
+              static_cast<unsigned long long>(CtxMisses),
+              100.0 * static_cast<double>(CtxHits) /
+                  static_cast<double>(CtxHits + CtxMisses));
+  }
+
   std::uint64_t TierReq = S.counter(names::TierEnqueued);
   std::uint64_t TierDone = S.counter(names::TierPromotions);
   if (TierReq + TierDone) {

@@ -34,6 +34,7 @@ void Arena::addSlab(std::size_t MinBytes) {
   Cur = reinterpret_cast<char *>(S) + sizeof(Slab);
   End = Cur + Payload;
   ++NumSlabs;
+  ++TotalSystemAllocs;
 }
 
 void *Arena::allocate(std::size_t Bytes, std::size_t Align) {
@@ -47,23 +48,30 @@ void *Arena::allocate(std::size_t Bytes, std::size_t Align) {
   }
   Cur = Result + Bytes;
   BytesAllocated += Bytes;
+  if (BytesAllocated > HighWater)
+    HighWater = BytesAllocated;
   return Result;
 }
 
 void Arena::reset() {
-  // Keep the most recently added slab (the largest live one) and free the
-  // rest, so steady-state reuse does not thrash the system allocator.
-  Slab *Keep = Head;
-  Slab *S = Keep->Next;
-  while (S) {
-    Slab *Next = S->Next;
-    std::free(S);
-    S = Next;
+  if (NumSlabs > 1) {
+    // Coalesce: replace the slab chain with one slab big enough for
+    // everything the arena held, so the next compile of the same shape
+    // bumps a pointer through a single slab and the next reset is free.
+    std::size_t Total = 0;
+    Slab *S = Head;
+    while (S) {
+      Total += S->Size;
+      Slab *Next = S->Next;
+      std::free(S);
+      S = Next;
+    }
+    Head = nullptr;
+    NumSlabs = 0;
+    addSlab(Total);
+  } else {
+    Cur = reinterpret_cast<char *>(Head) + sizeof(Slab);
+    End = Cur + Head->Size;
   }
-  Keep->Next = nullptr;
-  Head = Keep;
-  Cur = reinterpret_cast<char *>(Keep) + sizeof(Slab);
-  End = Cur + Keep->Size;
   BytesAllocated = 0;
-  NumSlabs = 1;
 }

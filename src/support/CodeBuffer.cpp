@@ -13,6 +13,12 @@
 #include <mutex>
 #include <sys/mman.h>
 #include <unistd.h>
+#ifdef __linux__
+#include <sys/syscall.h>
+#ifndef MFD_CLOEXEC
+#define MFD_CLOEXEC 0x0001U
+#endif
+#endif
 
 using namespace tcc;
 
@@ -38,7 +44,7 @@ static std::size_t pageSize() {
   return PS;
 }
 
-CodeRegion::CodeRegion(std::size_t Cap, CodePlacement Placement)
+CodeRegion::CodeRegion(std::size_t Cap, CodePlacement Placement, bool DualMap)
     : Placement(Placement) {
   assert(Cap > 0 && "empty code region");
   std::size_t Offset = 0;
@@ -49,6 +55,36 @@ CodeRegion::CodeRegion(std::size_t Cap, CodePlacement Placement)
     Offset = (static_cast<std::size_t>(std::rand()) % ICache) & ~std::size_t(15);
   }
   MappingSize = (Offset + Cap + pageSize() - 1) & ~(pageSize() - 1);
+  if (DualMap) {
+#ifdef __linux__
+    int Fd = static_cast<int>(
+        ::syscall(SYS_memfd_create, "tickc-code", MFD_CLOEXEC));
+    if (Fd >= 0) {
+      if (::ftruncate(Fd, static_cast<off_t>(MappingSize)) == 0) {
+        void *W = ::mmap(nullptr, MappingSize, PROT_READ | PROT_WRITE,
+                         MAP_SHARED, Fd, 0);
+        void *X = W != MAP_FAILED
+                      ? ::mmap(nullptr, MappingSize, PROT_READ | PROT_EXEC,
+                               MAP_SHARED, Fd, 0)
+                      : MAP_FAILED;
+        if (X != MAP_FAILED) {
+          // Both views alias the same pages; the fd can go away now.
+          ::close(Fd);
+          Mapping = static_cast<std::uint8_t *>(W);
+          ExecMapping = static_cast<std::uint8_t *>(X);
+          Base = Mapping + Offset;
+          Capacity = Cap;
+          return;
+        }
+        if (W != MAP_FAILED)
+          ::munmap(W, MappingSize);
+      }
+      ::close(Fd);
+    }
+#endif
+    // No memfd (old kernel, seccomp): fall through to the W^X single
+    // mapping — correct, just two mprotects per compile slower.
+  }
   void *Mem = ::mmap(nullptr, MappingSize, PROT_READ | PROT_WRITE,
                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
   if (Mem == MAP_FAILED)
@@ -61,11 +97,20 @@ CodeRegion::CodeRegion(std::size_t Cap, CodePlacement Placement)
 CodeRegion::~CodeRegion() {
   if (Mapping)
     ::munmap(Mapping, MappingSize);
+  if (ExecMapping)
+    ::munmap(ExecMapping, MappingSize);
 }
 
 void CodeRegion::makeExecutable() {
   if (Executable)
     return;
+  if (ExecMapping) {
+    // The exec alias has been executable since mmap; nothing to flip. No
+    // icache sync is needed on x86-64, and the caller publishing the entry
+    // pointer orders the code stores for other threads.
+    Executable = true;
+    return;
+  }
   obs::TraceSpan Span(obs::SpanKind::ICacheFlush);
   if (::mprotect(Mapping, MappingSize, PROT_READ | PROT_EXEC) != 0)
     reportFatalError("mprotect(PROT_EXEC) on code region failed");
@@ -75,6 +120,10 @@ void CodeRegion::makeExecutable() {
 void CodeRegion::makeWritable() {
   if (!Executable)
     return;
+  if (ExecMapping) {
+    Executable = false;
+    return;
+  }
   if (::mprotect(Mapping, MappingSize, PROT_READ | PROT_WRITE) != 0)
     reportFatalError("mprotect(PROT_WRITE) on code region failed");
   Executable = false;
@@ -129,7 +178,9 @@ PooledRegion RegionPool::acquire(std::size_t Capacity,
     ++Stats.Mapped;
   }
   PoolMetrics::get().Mapped.inc();
-  return PooledRegion(new CodeRegion(Capacity, Placement),
+  // Pool-owned regions are dual-mapped: their whole point is the hot
+  // compile loop, and the alias makes finalize + release syscall-free.
+  return PooledRegion(new CodeRegion(Capacity, Placement, /*DualMap=*/true),
                       RegionReleaser{this});
 }
 

@@ -15,8 +15,13 @@
 ///
 /// The RegionPool recycles mappings across instantiations: a released
 /// region flips back writable and waits on a freelist, so a pooled compile
-/// pays zero mmap/munmap syscalls on the allocation side. W^X is preserved
-/// — a region is writable XOR executable at every point of its lifecycle.
+/// pays zero mmap/munmap syscalls on the allocation side. Pooled regions
+/// are additionally dual-mapped (memfd shared memory mapped twice: a
+/// writable view for emission and an executable alias for calls), which
+/// removes the per-compile mprotect pair entirely — finalizing and
+/// recycling a pooled region is syscall-free. No single virtual range is
+/// ever writable and executable at once; unpooled regions keep the classic
+/// single-mapping W^X mprotect flip.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,7 +46,12 @@ enum class CodePlacement {
 /// can be flipped executable. One CodeRegion per compiled dynamic function.
 class CodeRegion {
 public:
-  CodeRegion(std::size_t Capacity, CodePlacement Placement);
+  /// \p DualMap requests two views of the same pages: base() stays
+  /// writable forever and execPtr() addresses land in a read+exec alias,
+  /// so makeExecutable()/makeWritable() are flag flips with no syscall.
+  /// Falls back to a single W^X mapping if the host lacks memfd_create.
+  CodeRegion(std::size_t Capacity, CodePlacement Placement,
+             bool DualMap = false);
   ~CodeRegion();
 
   CodeRegion(const CodeRegion &) = delete;
@@ -49,6 +59,17 @@ public:
 
   /// Base address code is emitted at (already offset per placement policy).
   std::uint8_t *base() const { return Base; }
+
+  /// Translates a pointer inside the writable view to the address it must
+  /// be executed at: the exec alias for dual-mapped regions, \p P itself
+  /// for single-mapped ones.
+  void *execPtr(void *P) const {
+    if (!ExecMapping)
+      return P;
+    return ExecMapping + (static_cast<std::uint8_t *>(P) - Mapping);
+  }
+
+  bool isDualMapped() const { return ExecMapping != nullptr; }
 
   /// Bytes available starting at base().
   std::size_t capacity() const { return Capacity; }
@@ -68,7 +89,8 @@ public:
   bool isExecutable() const { return Executable; }
 
 private:
-  std::uint8_t *Mapping = nullptr; ///< Page-aligned mmap base.
+  std::uint8_t *Mapping = nullptr; ///< Page-aligned mmap base (writable).
+  std::uint8_t *ExecMapping = nullptr; ///< Read+exec alias (dual mode only).
   std::size_t MappingSize = 0;
   std::uint8_t *Base = nullptr; ///< Emission start inside the mapping.
   std::size_t Capacity = 0;

@@ -136,9 +136,13 @@ static Cond condForDouble(CmpKind K) {
   tcc_unreachable("bad CmpKind");
 }
 
-VCode::VCode(std::uint8_t *Buf, std::size_t Capacity)
-    : Asm(Buf, Capacity), FreeIntMask((1u << NumIntPool) - 1),
-      FreeFloatMask((1u << NumFloatPool) - 1) {}
+VCode::VCode(std::uint8_t *Buf, std::size_t Capacity, Arena *ScratchArena)
+    : Asm(Buf, Capacity),
+      OwnedScratch(ScratchArena ? nullptr : new Arena(4096)),
+      Scratch(ScratchArena ? ScratchArena : OwnedScratch.get()),
+      FreeIntMask((1u << NumIntPool) - 1),
+      FreeFloatMask((1u << NumFloatPool) - 1), FreeSpillSlots(*Scratch),
+      Labels(*Scratch), RestoreSitePcs(*Scratch) {}
 
 // --- Register management -----------------------------------------------------
 
@@ -1015,7 +1019,9 @@ void VCode::stD(Reg Base, std::int32_t Off, FReg S) {
 // --- Control flow ------------------------------------------------------------------------------
 
 Label VCode::newLabel() {
-  Labels.emplace_back();
+  LabelInfo LI;
+  LI.Fixups = ArenaVector<std::size_t>(*Scratch);
+  Labels.push_back(LI);
   return Label{static_cast<unsigned>(Labels.size() - 1)};
 }
 

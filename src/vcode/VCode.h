@@ -34,11 +34,12 @@
 #ifndef TICKC_VCODE_VCODE_H
 #define TICKC_VCODE_VCODE_H
 
+#include "support/Arena.h"
 #include "x86/X86Assembler.h"
 
 #include <cstdint>
+#include <memory>
 #include <utility>
-#include <vector>
 
 namespace tcc {
 namespace vcode {
@@ -91,7 +92,11 @@ public:
   static constexpr int spillSlot(Reg R) { return -R - 1; }
   static constexpr bool isSpill(Reg R) { return R < 0; }
 
-  VCode(std::uint8_t *Buf, std::size_t Capacity);
+  /// Construct over a writable code buffer. \p ScratchArena, when given,
+  /// backs the label/fixup/spill-slot tables (a pooled CompileContext's
+  /// arena on the steady-state compile path); without one the VCode owns a
+  /// small private arena.
+  VCode(std::uint8_t *Buf, std::size_t Capacity, Arena *ScratchArena = nullptr);
 
   // --- Register management (paper §5.1) -----------------------------------
   /// Allocates an integer register; returns a spill designator under
@@ -268,7 +273,7 @@ private:
   struct LabelInfo {
     bool Bound = false;
     std::size_t Pc = 0;
-    std::vector<std::size_t> Fixups;
+    ArenaVector<std::size_t> Fixups;
   };
 
   x86::GPR intPhys(Reg R); ///< Also records the register as touched so
@@ -297,19 +302,23 @@ private:
   void epilogue();
 
   x86::Assembler Asm;
+  /// Private fallback when no scratch arena was injected (kept small: the
+  /// one-pass backend's bookkeeping is a few hundred bytes).
+  std::unique_ptr<Arena> OwnedScratch;
+  Arena *Scratch;
   bool SpillingEnabled = true;
   std::uint32_t FreeIntMask;
   std::uint32_t FreeFloatMask;
-  std::vector<int> FreeSpillSlots;
+  ArenaVector<int> FreeSpillSlots;
   int NumSlots = 0;
-  std::vector<LabelInfo> Labels;
+  ArenaVector<LabelInfo> Labels;
   std::size_t FramePatchOffset = 0;
   bool Finished = false;
   /// Pool registers actually handed to emitted code; unused ones get their
   /// callee-save stores/reloads erased at finish().
   std::uint32_t UsedPoolMask = 0;
   std::size_t SaveSitePc[NumIntPool] = {};
-  std::vector<std::size_t> RestoreSitePcs; ///< NumIntPool entries/epilogue.
+  ArenaVector<std::size_t> RestoreSitePcs; ///< NumIntPool entries/epilogue.
 };
 
 } // namespace vcode

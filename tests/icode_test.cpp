@@ -321,7 +321,7 @@ TEST(LinearScanTest, NoOverlapSharesRegister) {
     // Build a fake ICode with the right number of int vregs.
     ICode IC;
     int N = 5 + static_cast<int>(Rng() % 40);
-    std::vector<Interval> Ivs;
+    ArenaVector<Interval> Ivs(IC.arena());
     for (int K = 0; K < N; ++K) {
       Interval IV;
       IV.Reg = IC.newIntReg();
@@ -351,7 +351,7 @@ TEST(LinearScanTest, NoOverlapSharesRegister) {
 
 TEST(LinearScanTest, NoSpillWhenPressureFits) {
   ICode IC;
-  std::vector<Interval> Ivs;
+  ArenaVector<Interval> Ivs(IC.arena());
   // Four pairwise-overlapping intervals, four registers: zero spills.
   for (int K = 0; K < 4; ++K) {
     Interval IV;
@@ -367,7 +367,7 @@ TEST(LinearScanTest, NoSpillWhenPressureFits) {
 
 TEST(LinearScanTest, SpillsLongestUnderPressure) {
   ICode IC;
-  std::vector<Interval> Ivs;
+  ArenaVector<Interval> Ivs(IC.arena());
   // One long interval plus three short ones overlapping it, two registers:
   // the long interval should be the victim (paper's heuristic).
   Interval Long;
