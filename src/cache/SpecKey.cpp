@@ -2,6 +2,8 @@
 
 #include "cache/SpecKey.h"
 
+#include "verify/Verify.h"
+
 #include <bit>
 #include <cstring>
 
@@ -152,6 +154,11 @@ SpecKey cache::buildSpecKey(const Context &Ctx, Stmt Body, EvalType RetType,
   // semantic input: same-key profiled compiles share the first entry's
   // counter (and name).
   W.u8(Opts.Profile ? 1 : 0);
+  // The *effective* verify setting (option OR the TICKC_VERIFY environment):
+  // a hit on a verified entry must mean the stored code actually passed the
+  // checkers, and flipping the environment variable mid-run must not let
+  // unverified cached code satisfy a verified lookup.
+  W.u8(verify::enabled(Opts.Verify) ? 1 : 0);
   W.u8(static_cast<std::uint8_t>(RetType));
 
   // The vspec table: LocalIds in the tree index into it.

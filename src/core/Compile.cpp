@@ -17,6 +17,7 @@
 #include "observability/Trace.h"
 #include "support/Error.h"
 #include "support/Timing.h"
+#include "verify/Verify.h"
 
 #include <bit>
 #include <cassert>
@@ -1484,11 +1485,60 @@ void publishCompileMetrics(const CompiledFn &F, const CompileOptions &Opts,
   }
 }
 
+/// Bridges the ICODE pipeline's CompileAudit hooks to the verify layers.
+/// The IR is re-verified after the peephole (DCE must not invent or orphan
+/// operands) and the allocation audited the moment it exists, before the
+/// emitter consumes it. Any finding aborts the compile with a structured
+/// report — generated code never escapes a failed check.
+/// Ctx points at the per-compile verify-cycle accumulator: checker time is
+/// recorded under verify.cycles and *subtracted* from the compile's own
+/// CyclesTotal, so verification never skews the Figure 6/7 phase accounting
+/// or the cycles-per-instruction overhead series.
+struct VerifyHooks {
+  static void postPeephole(void *Ctx, const icode::ICode &IC) {
+    std::uint64_t Cyc = 0;
+    verify::Result R;
+    {
+      PhaseScope T(Cyc);
+      R = verify::verifyICode(IC);
+    }
+    *static_cast<std::uint64_t *>(Ctx) += Cyc;
+    verify::recordOutcome(verify::Layer::IR, !R.ok(), Cyc);
+    if (!R.ok())
+      verify::failCompile(R);
+  }
+  static void postRegAlloc(void *Ctx, const icode::ICode &IC,
+                           const icode::Allocation &Alloc) {
+    std::uint64_t Cyc = 0;
+    verify::Result R;
+    {
+      PhaseScope T(Cyc);
+      R = verify::auditAllocation(IC, Alloc);
+    }
+    *static_cast<std::uint64_t *>(Ctx) += Cyc;
+    verify::recordOutcome(verify::Layer::RegAlloc, !R.ok(), Cyc);
+    if (!R.ok())
+      verify::failCompile(R);
+  }
+};
+
 } // namespace
 
 CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
                            const CompileOptions &Opts) {
   assert(Body.valid() && "compiling an empty cspec");
+  const bool DoVerify = verify::enabled(Opts.Verify);
+  if (DoVerify) {
+    std::uint64_t Cyc = 0;
+    verify::Result R;
+    {
+      PhaseScope T(Cyc);
+      R = verify::lintSpec(Ctx, Body.node());
+    }
+    verify::recordOutcome(verify::Layer::Spec, !R.ok(), Cyc);
+    if (!R.ok())
+      verify::failCompile(R);
+  }
   obs::TraceSpan TotalSpan(obs::SpanKind::CompileTotal);
   CompiledFn F;
   if (Opts.Profile)
@@ -1512,6 +1562,9 @@ CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
   CompileContext::Scope CtxScope(*CC);
   Arena &A = CC->arena();
   typename Walker<vcode::VCode>::Decisions PE;
+  // Checker time spent inside the Total scope; deducted below so CyclesTotal
+  // keeps meaning "what the compile itself cost" with or without -verify.
+  std::uint64_t VerifyCyc = 0;
   {
     PhaseScope Total(F.Stats.CyclesTotal);
     if (Opts.Backend == BackendKind::VCode) {
@@ -1538,12 +1591,55 @@ CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
         obs::TraceSpan Span(obs::SpanKind::CGFWalk);
         W.run(Body.node());
       }
+      if (DoVerify) {
+        // Post-lowering IR check; the peephole and regalloc re-checks run
+        // from inside the pipeline via the audit hooks below.
+        std::uint64_t Cyc = 0;
+        verify::Result R;
+        {
+          PhaseScope T(Cyc);
+          R = verify::verifyICode(IC);
+        }
+        VerifyCyc += Cyc;
+        verify::recordOutcome(verify::Layer::IR, !R.ok(), Cyc);
+        if (!R.ok())
+          verify::failCompile(R);
+      }
+      icode::CompileAudit Audit;
+      Audit.Ctx = &VerifyCyc;
+      Audit.PostPeephole = &VerifyHooks::postPeephole;
+      Audit.PostRegAlloc = &VerifyHooks::postRegAlloc;
       vcode::VCode V(F.Region->base(), F.Region->capacity(), &A);
-      F.Entry = IC.compileTo(V, Opts.RegAlloc, &F.Stats.ICode, Opts.Spill);
+      F.Entry = IC.compileTo(V, Opts.RegAlloc, &F.Stats.ICode, Opts.Spill,
+                             DoVerify ? &Audit : nullptr);
       F.Stats.MachineInstrs = V.instructionsEmitted();
       F.Stats.CodeBytes = V.codeBytes();
       PE = {W.PE.LoopsUnrolled, W.PE.BranchesEliminated,
             W.PE.StrengthReductions};
+    }
+    if (DoVerify) {
+      // Audit the finished bytes while the region is still readable through
+      // its write mapping, before anything can execute them.
+      std::uint64_t Cyc = 0;
+      verify::Result R;
+      {
+        PhaseScope T(Cyc);
+        verify::MachineAuditInputs MA;
+        MA.Code = F.Region->base();
+        MA.Size = F.Stats.CodeBytes;
+        MA.ProfileCounter =
+            F.Prof ? static_cast<const void *>(&F.Prof->Invocations) : nullptr;
+        MA.ExpectProfile = Opts.Profile && F.Prof != nullptr;
+        // The usage cross-check and spill dataflow assume ICODE's emission
+        // discipline; VCODE's one-pass output gets the structural checks.
+        MA.CrossCheckEmitterUsage = Opts.Backend == BackendKind::ICode;
+        MA.CheckSpillDiscipline = Opts.Backend == BackendKind::ICode;
+        R = verify::auditMachineCode(MA);
+      }
+      VerifyCyc += Cyc;
+      verify::recordOutcome(verify::Layer::Machine, !R.ok(), Cyc);
+      if (!R.ok())
+        verify::failCompile(R);
     }
     {
       // Finalization is part of what a compile costs; charge it inside the
@@ -1557,6 +1653,7 @@ CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
         F.Entry = F.Region->execPtr(F.Entry);
     }
   }
+  F.Stats.CyclesTotal -= std::min(F.Stats.CyclesTotal, VerifyCyc);
   if (F.Prof) {
     F.Prof->CompileCycles.store(F.Stats.CyclesTotal,
                                 std::memory_order_relaxed);

@@ -73,6 +73,13 @@ struct CompileOptions {
   bool Profile = false;
   /// Label for the profile entry (optional; copied at compile time).
   const char *ProfileName = nullptr;
+  /// When true, every compile is re-checked by the src/verify static
+  /// analyzers (spec lint, IR verifier, register-allocation audit, emitted
+  /// x86 audit); any finding aborts with a structured report. The
+  /// TICKC_VERIFY environment variable enables it globally. Part of the
+  /// cache key: a cached hit must carry the same guarantee the options
+  /// asked for. Zero overhead when off.
+  bool Verify = false;
 };
 
 /// Cost account of one instantiation — the raw material of Table 1 and

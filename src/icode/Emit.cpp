@@ -368,7 +368,7 @@ private:
 } // namespace
 
 void *ICode::compileTo(VCode &V, RegAllocKind Kind, CompileStats *Stats,
-                       SpillHeuristic Spill) {
+                       SpillHeuristic Spill, const CompileAudit *Audit) {
   CompileStats Local;
   CompileStats &S = Stats ? *Stats : Local;
 
@@ -377,6 +377,8 @@ void *ICode::compileTo(VCode &V, RegAllocKind Kind, CompileStats *Stats,
     obs::TraceSpan Span(obs::SpanKind::Peephole);
     eliminateDeadCode(Instrs.data(), Instrs.size(), numRegs(), *A);
   }
+  if (Audit && Audit->PostPeephole)
+    Audit->PostPeephole(Audit->Ctx, *this);
 
   // Every analysis phase allocates from the ICode's arena: on the pooled
   // compile path this is a CompileContext arena reset between compiles, so
@@ -418,6 +420,8 @@ void *ICode::compileTo(VCode &V, RegAllocKind Kind, CompileStats *Stats,
             : allocateGraphColor(*this, FG, vcode::VCode::NumIntPool,
                                  vcode::VCode::NumFloatPool, Spill, MustSpill);
   }
+  if (Audit && Audit->PostRegAlloc)
+    Audit->PostRegAlloc(Audit->Ctx, *this, Alloc);
 
   void *Entry;
   {

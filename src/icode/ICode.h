@@ -172,6 +172,21 @@ struct Instr {
 
 static_assert(sizeof(Instr) == 16, "ICODE instruction should stay compact");
 
+struct Allocation; // Analysis.h
+
+/// Optional checkpoints compileTo() exposes to the verification subsystem
+/// (src/verify). Plain function pointers so icode does not depend on verify;
+/// the core compile driver wires them up when verification is on. Both hooks
+/// observe, never mutate.
+struct CompileAudit {
+  void *Ctx = nullptr;
+  /// After dead-code elimination, before flow-graph construction.
+  void (*PostPeephole)(void *Ctx, const class ICode &IC) = nullptr;
+  /// After register allocation, before machine-code emission.
+  void (*PostRegAlloc)(void *Ctx, const class ICode &IC,
+                       const Allocation &Alloc) = nullptr;
+};
+
 /// Which register allocator compileTo() uses.
 enum class RegAllocKind {
   LinearScan, ///< One scan over live intervals (paper Figure 3).
@@ -475,13 +490,15 @@ public:
   /// peephole, emission. Returns the entry point (V.finish()).
   void *compileTo(vcode::VCode &V, RegAllocKind Kind,
                   CompileStats *Stats = nullptr,
-                  SpillHeuristic Spill = SpillHeuristic::LongestInterval);
+                  SpillHeuristic Spill = SpillHeuristic::LongestInterval,
+                  const CompileAudit *Audit = nullptr);
 
   // --- Introspection ------------------------------------------------------------------------------
   const ArenaVector<Instr> &instrs() const { return Instrs; }
   std::uint64_t poolValue(std::int32_t Idx) const {
     return Pool[static_cast<std::size_t>(Idx)];
   }
+  unsigned poolSize() const { return static_cast<unsigned>(Pool.size()); }
   unsigned numLabels() const { return NumLabels; }
   /// Instruction index a label was bound at (or -1).
   std::int32_t labelTarget(std::int32_t LabelId) const {

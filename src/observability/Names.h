@@ -94,6 +94,18 @@ inline constexpr char TierRetiredBytes[] = "tier.retired.bytes";
 /// Enqueue -> dispatch-slot swap, TSC ticks per promotion.
 inline constexpr char HistTierPromoteLatency[] = "tier.promote.latency.cycles";
 
+// Verification (src/verify): per-layer pass/fail volume and the cycles the
+// checkers themselves consumed (to report verify-time share of compile time).
+inline constexpr char VerifySpecChecked[] = "verify.spec.checked";
+inline constexpr char VerifySpecFailed[] = "verify.spec.failed";
+inline constexpr char VerifyIrChecked[] = "verify.ir.checked";
+inline constexpr char VerifyIrFailed[] = "verify.ir.failed";
+inline constexpr char VerifyAllocChecked[] = "verify.alloc.checked";
+inline constexpr char VerifyAllocFailed[] = "verify.alloc.failed";
+inline constexpr char VerifyCodeChecked[] = "verify.code.checked";
+inline constexpr char VerifyCodeFailed[] = "verify.code.failed";
+inline constexpr char VerifyCycles[] = "verify.cycles";
+
 } // namespace names
 } // namespace obs
 } // namespace tcc

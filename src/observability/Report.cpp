@@ -224,6 +224,40 @@ std::string tcc::obs::renderReport(const MetricsSnapshot &S) {
     }
   }
 
+  // Verification: per-layer pass/fail volume, plus what fraction of total
+  // compile time the checkers themselves cost (they run inside compiles, so
+  // verify.cycles is a share of compile.cycles.total).
+  struct VerifyRow {
+    const char *Label;
+    const char *Checked, *Failed;
+  };
+  constexpr VerifyRow VRows[] = {
+      {"spec lint", names::VerifySpecChecked, names::VerifySpecFailed},
+      {"ir verifier", names::VerifyIrChecked, names::VerifyIrFailed},
+      {"alloc audit", names::VerifyAllocChecked, names::VerifyAllocFailed},
+      {"code audit", names::VerifyCodeChecked, names::VerifyCodeFailed},
+  };
+  std::uint64_t VChecked = 0;
+  for (const VerifyRow &V : VRows)
+    VChecked += S.counter(V.Checked);
+  if (VChecked) {
+    Out += "verify (self-checks over the compile pipeline)\n";
+    for (const VerifyRow &V : VRows) {
+      std::uint64_t C = S.counter(V.Checked), F = S.counter(V.Failed);
+      if (!C && !F)
+        continue;
+      appendf(Out, "  %-12s %10llu checked  %llu failed%s\n", V.Label,
+              static_cast<unsigned long long>(C),
+              static_cast<unsigned long long>(F), F ? "  <-- FAIL" : "");
+    }
+    std::uint64_t VCyc = S.counter(names::VerifyCycles);
+    appendf(Out, "  verify time: %llu cycles (%.1f%% of compile cycles)\n",
+            static_cast<unsigned long long>(VCyc),
+            Total ? 100.0 * static_cast<double>(VCyc) /
+                        static_cast<double>(Total)
+                  : 0.0);
+  }
+
   bool AnyHist = false;
   for (const HistogramSnapshot &H : S.Histograms)
     AnyHist |= H.Count != 0;

@@ -222,6 +222,11 @@ void TierManager::promote(const std::shared_ptr<TieredFn> &Fn) {
     obs::TraceSpan Span(obs::SpanKind::TierCompile);
     Context Ctx;
     Stmt Body = Fn->Build(Ctx);
+    // PromoteOpts inherits Verify from the caller's options, so under
+    // verification the optimized body is fully re-checked (IR, allocation,
+    // emitted bytes) *inside* this compile — i.e. before installPromoted
+    // can swap it into the dispatch slot. A promotion can therefore never
+    // replace working baseline code with bytes that failed an audit.
     Optimized =
         Fn->Service->getOrCompile(Ctx, Body, Fn->RetType, Fn->PromoteOpts);
   }

@@ -29,9 +29,8 @@ static constexpr XMM FScratchA = XMM2;
 static constexpr XMM FScratchB = XMM3;
 static constexpr XMM FScratchAux = XMM1;
 
-// Callee-saved area: rbp push is accounted separately; rbx,r12..r15 = 40
-// bytes below the frame pointer.
-static constexpr std::int32_t CalleeSaveBytes = 40;
+// Callee-saved area below the frame pointer: VCode::CalleeSaveBytes.
+static constexpr std::int32_t CalleeSaveBytes = VCode::CalleeSaveBytes;
 
 CmpKind tcc::vcode::swapOperands(CmpKind K) {
   switch (K) {

@@ -85,6 +85,10 @@ public:
   static constexpr int NumStaticRegs = 2;
   /// Number of double registers getfreg() can hand out.
   static constexpr int NumFloatPool = 12;
+  /// Bytes of callee-saved registers stored below the frame pointer
+  /// (rbx, r12..r15; the rbp push is accounted separately). Spill slots
+  /// start below this area; the machine-code auditor keys off it.
+  static constexpr std::int32_t CalleeSaveBytes = 40;
 
   /// Designator for spill slot \p Slot (0-based).
   static constexpr Reg spillReg(int Slot) { return -Slot - 1; }

@@ -1,0 +1,208 @@
+//===- verify/AllocAudit.cpp - Register-allocation auditor ----------------===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// Layer 2. The allocators (LinearScan, GraphColor) work from *coarse* live
+// intervals; this auditor recomputes **exact** per-instruction liveness from
+// scratch with its own CFG and solver, then proves:
+//
+//  * the allocation is well-shaped (every occurring vreg placed, locations
+//    in range and of the right register class, spill count consistent);
+//  * no instruction defines a physical register while another vreg of the
+//    same class holding that register is still live (complete for any
+//    simultaneous-live conflict: at any point where two vregs overlap, the
+//    later reaching definition of one sees the other live);
+//  * no float-class vreg sits in a physical register across a call — every
+//    XMM register is caller-saved in the System V ABI, so a value that
+//    survives a call must live in a spill slot.
+//
+// Spill-slot *disjointness* is structural in this design (the emitter
+// assigns each spilled vreg a fresh VCode::allocSlot() slot) and
+// reload-before-use is proven at the machine layer instead, where the
+// actual frame offsets are visible.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Verify.h"
+#include "verify/VerifyInternal.h"
+
+#include "icode/Analysis.h"
+#include "vcode/VCode.h"
+
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace verify {
+
+using icode::Allocation;
+using icode::ICode;
+using icode::Instr;
+using icode::Op;
+using icode::VReg;
+using namespace detail;
+
+namespace {
+
+std::string locName(int Loc) {
+  if (Loc == Allocation::Unused)
+    return "unused";
+  if (Loc == Allocation::Spilled)
+    return "spilled";
+  return "p" + std::to_string(Loc);
+}
+
+std::string dumpLocations(const ICode &IC, const Allocation &Alloc,
+                          unsigned Highlight) {
+  std::string S;
+  for (unsigned R = 0; R < Alloc.NumRegs; ++R) {
+    S += R == Highlight ? " *r" : "  r";
+    S += std::to_string(R);
+    S += IC.isFloatReg(static_cast<VReg>(R)) ? " (float): " : " (int):   ";
+    S += locName(Alloc.Location[R]);
+    S += '\n';
+  }
+  return S;
+}
+
+} // namespace
+
+Result auditAllocation(const ICode &IC, const Allocation &Alloc) {
+  Result R;
+  const Instr *Instrs = IC.instrs().data();
+  std::size_t N = IC.instrs().size();
+  unsigned NumRegs = IC.numRegs();
+
+  if (Alloc.NumRegs != NumRegs || (NumRegs && !Alloc.Location)) {
+    R.fail(Layer::RegAlloc, "alloc-shape",
+           "allocation covers " + std::to_string(Alloc.NumRegs) +
+               " vregs but the IR defines " + std::to_string(NumRegs));
+    return R;
+  }
+
+  // Which vregs actually occur in the stream.
+  std::vector<std::uint8_t> Occurs(NumRegs, 0);
+  for (std::size_t I = 0; I < N; ++I) {
+    VReg Ds[3], Us[2];
+    unsigned ND = sigDefs(Instrs[I], Ds), NU = sigUses(Instrs[I], Us);
+    for (unsigned K = 0; K < ND; ++K)
+      if (Ds[K] >= 0 && static_cast<unsigned>(Ds[K]) < NumRegs)
+        Occurs[static_cast<unsigned>(Ds[K])] = 1;
+    for (unsigned K = 0; K < NU; ++K)
+      if (Us[K] >= 0 && static_cast<unsigned>(Us[K]) < NumRegs)
+        Occurs[static_cast<unsigned>(Us[K])] = 1;
+  }
+
+  // Shape checks: every occurring vreg has a placement of the right class.
+  unsigned Spilled = 0;
+  for (unsigned V = 0; V < NumRegs; ++V) {
+    int Loc = Alloc.Location[V];
+    if (Loc == Allocation::Spilled) {
+      ++Spilled;
+      continue;
+    }
+    if (Loc == Allocation::Unused) {
+      if (Occurs[V])
+        R.fail(Layer::RegAlloc, "unused-occurring",
+               "vreg r" + std::to_string(V) +
+                   " occurs in the IR but was placed as unused",
+               dumpLocations(IC, Alloc, V));
+      continue;
+    }
+    unsigned Pool = IC.isFloatReg(static_cast<VReg>(V))
+                        ? vcode::VCode::NumFloatPool
+                        : vcode::VCode::NumIntPool;
+    if (Loc < 0 || static_cast<unsigned>(Loc) >= Pool)
+      R.fail(Layer::RegAlloc, "location-range",
+             "vreg r" + std::to_string(V) + " placed in " + locName(Loc) +
+                 " outside its " + std::to_string(Pool) + "-register pool",
+             dumpLocations(IC, Alloc, V));
+  }
+  if (Spilled != Alloc.NumSpilled)
+    R.fail(Layer::RegAlloc, "spill-count",
+           "allocation reports " + std::to_string(Alloc.NumSpilled) +
+               " spills but " + std::to_string(Spilled) +
+               " vregs are marked spilled");
+  if (!R.ok())
+    return R; // Interference checking over a malformed table just cascades.
+
+  // Exact liveness, recomputed from scratch.
+  Cfg G;
+  G.build(Instrs, N, IC);
+  LiveSets LS;
+  LS.solve(Instrs, N, NumRegs, G);
+  unsigned Words = LS.Words;
+
+  std::vector<std::uint64_t> Live(Words);
+  for (std::size_t BI = 0; BI < G.Blocks.size(); ++BI) {
+    const Cfg::Block &B = G.Blocks[BI];
+    const std::uint64_t *Out = LS.out(BI);
+    for (unsigned W = 0; W < Words; ++W)
+      Live[W] = Out[W];
+    for (std::int32_t I = B.End; I-- > B.Begin;) {
+      const Instr &In = Instrs[static_cast<std::size_t>(I)];
+
+      // Caller-saved discipline: `Live` currently holds liveness *after*
+      // instruction I. Anything live across a call was clobbered unless it
+      // sits in a spill slot; every XMM register is caller-saved, and the
+      // back end's int pool is callee-saved, so the check is float-only.
+      if (In.Opcode == Op::Call || In.Opcode == Op::CallIndirect) {
+        for (unsigned V = 0; V < NumRegs; ++V)
+          if (bitTest(Live.data(), V) &&
+              IC.isFloatReg(static_cast<VReg>(V)) &&
+              Alloc.Location[V] >= 0)
+            R.fail(Layer::RegAlloc, "caller-saved-across-call",
+                   "float vreg r" + std::to_string(V) +
+                       " is live across a call in caller-saved " +
+                       locName(Alloc.Location[V]) +
+                       " (at instruction " + std::to_string(I) + ")",
+                   dumpWindow(Instrs, N, static_cast<std::size_t>(I)) +
+                       dumpLocations(IC, Alloc, V));
+      }
+
+      // Conflict-freedom: a definition writes its physical register; any
+      // other same-class vreg that is live after this instruction and maps
+      // to the same physical register just lost its value.
+      VReg Ds[3];
+      unsigned ND = sigDefs(In, Ds);
+      for (unsigned K = 0; K < ND; ++K) {
+        VReg D = Ds[K];
+        int DL = Alloc.Location[D];
+        if (DL < 0)
+          continue; // Spilled defs write memory, not a register.
+        bool DF = IC.isFloatReg(D);
+        for (unsigned V = 0; V < NumRegs; ++V) {
+          if (static_cast<VReg>(V) == D || !bitTest(Live.data(), V))
+            continue;
+          if (IC.isFloatReg(static_cast<VReg>(V)) == DF &&
+              Alloc.Location[V] == DL)
+            R.fail(Layer::RegAlloc, "phys-conflict",
+                   "defining vreg r" + std::to_string(D) + " in " +
+                       locName(DL) + " clobbers live vreg r" +
+                       std::to_string(V) + " (at instruction " +
+                       std::to_string(I) + ")",
+                   dumpWindow(Instrs, N, static_cast<std::size_t>(I)) +
+                       dumpLocations(IC, Alloc, static_cast<unsigned>(D)));
+        }
+      }
+
+      // Backward transfer: kill defs, gen uses.
+      for (unsigned K = 0; K < ND; ++K)
+        bitClear(Live.data(), static_cast<std::uint32_t>(Ds[K]));
+      VReg Us[2];
+      unsigned NU = sigUses(In, Us);
+      for (unsigned K = 0; K < NU; ++K)
+        bitSet(Live.data(), static_cast<std::uint32_t>(Us[K]));
+
+      if (R.diags().size() > 16)
+        return R;
+    }
+  }
+  return R;
+}
+
+} // namespace verify
+} // namespace tcc

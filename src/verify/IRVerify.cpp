@@ -1,0 +1,387 @@
+//===- verify/IRVerify.cpp - ICODE structural + dataflow verifier ---------===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// Layer 1 of the self-checking pipeline. Two passes:
+//
+//  1. Structural: every instruction checked against the verifier's own
+//     operand-signature table — opcode validity, CmpKind subfields, vreg
+//     ranges and classes, pool/label references, call-argument grouping
+//     (int slots form a dense prefix, float count matches the call), the
+//     argument-binding prologue rule, and a terminated exit path.
+//  2. Dataflow: a forward must-analysis proving every vreg is defined on
+//     all paths before any use. DefIn(entry) = {}; DefIn(b) = intersection
+//     of DefOut over predecessors; unreachable blocks keep the full set and
+//     so never report (they cannot execute).
+//
+// Pass 2 only runs when pass 1 is clean — a stream with broken labels has
+// no trustworthy CFG to analyze.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Verify.h"
+#include "verify/VerifyInternal.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace tcc {
+namespace verify {
+
+using icode::ICode;
+using icode::Instr;
+using icode::Op;
+using icode::VReg;
+using namespace detail;
+
+namespace {
+
+constexpr unsigned MaxCmpKind = 9;  // vcode::CmpKind::GeU
+constexpr unsigned MaxIntSlots = 6; // System V integer argument registers
+constexpr unsigned MaxFpSlots = 8;  // XMM0..XMM7
+
+struct IRChecker {
+  const ICode &IC;
+  const Instr *Instrs;
+  std::size_t N;
+  Result &R;
+  unsigned Errors = 0;
+
+  void fail(std::size_t I, const char *Cat, std::string Msg) {
+    // Cap the report: one corrupted stream can trip hundreds of checks.
+    if (++Errors > 16)
+      return;
+    char Buf[48];
+    std::snprintf(Buf, sizeof(Buf), " (at instruction %zu)", I);
+    R.fail(Layer::IR, Cat, Msg + Buf, dumpWindow(Instrs, N, I));
+  }
+
+  bool checkReg(std::size_t I, std::int32_t V, bool WantFloat) {
+    if (V < 0 || static_cast<unsigned>(V) >= IC.numRegs()) {
+      fail(I, "operand-range",
+           "vreg r" + std::to_string(V) + " outside the register file");
+      return false;
+    }
+    if (IC.isFloatReg(V) != WantFloat) {
+      fail(I, "operand-class",
+           std::string("vreg r") + std::to_string(V) + " is " +
+               (IC.isFloatReg(V) ? "float" : "int") + "-class but used as " +
+               (WantFloat ? "float" : "int"));
+      return false;
+    }
+    return true;
+  }
+
+  void checkField(std::size_t I, FK K, std::int32_t V) {
+    switch (K) {
+    case FK::None:
+    case FK::Imm:
+    case FK::Hint:
+      return;
+    case FK::IntDef:
+    case FK::IntUse:
+      checkReg(I, V, false);
+      return;
+    case FK::FloatDef:
+    case FK::FloatUse:
+      checkReg(I, V, true);
+      return;
+    case FK::ShiftImm:
+      if (V < 0 || V > 63)
+        fail(I, "bad-imm", "shift count " + std::to_string(V));
+      return;
+    case FK::Pool:
+      if (V < 0 || static_cast<unsigned>(V) >= IC.poolSize())
+        fail(I, "bad-pool",
+             "constant-pool index " + std::to_string(V) + " of " +
+                 std::to_string(IC.poolSize()));
+      return;
+    case FK::LabelId:
+      checkLabelRef(I, V);
+      return;
+    case FK::ArgIdx:
+      if (V < 0 || V > 63)
+        fail(I, "bad-imm", "argument index " + std::to_string(V));
+      return;
+    case FK::FpArgIdx:
+      if (V < 0 || static_cast<unsigned>(V) >= MaxFpSlots)
+        fail(I, "bad-imm", "float argument index " + std::to_string(V));
+      return;
+    case FK::Slot:
+      if (V < 0 || static_cast<unsigned>(V) >= MaxIntSlots)
+        fail(I, "bad-imm", "call-argument slot " + std::to_string(V));
+      return;
+    case FK::FpSlot:
+      if (V < 0 || static_cast<unsigned>(V) >= MaxFpSlots)
+        fail(I, "bad-imm", "float call-argument slot " + std::to_string(V));
+      return;
+    case FK::NumFp:
+      if (V < 0 || static_cast<unsigned>(V) > MaxFpSlots)
+        fail(I, "bad-imm", "float-argument count " + std::to_string(V));
+      return;
+    }
+  }
+
+  void checkLabelRef(std::size_t I, std::int32_t Id) {
+    if (Id < 0 || static_cast<unsigned>(Id) >= IC.numLabels()) {
+      fail(I, "bad-label", "label L" + std::to_string(Id) + " of " +
+                               std::to_string(IC.numLabels()));
+      return;
+    }
+    std::int32_t T = IC.labelTarget(Id);
+    if (T < 0 || static_cast<std::size_t>(T) >= N) {
+      fail(I, "bad-label", "label L" + std::to_string(Id) +
+                               (T < 0 ? " was never bound"
+                                      : " bound outside the stream"));
+      return;
+    }
+    const Instr &Target = Instrs[static_cast<std::size_t>(T)];
+    if (Target.Opcode != Op::Label || Target.A != Id)
+      fail(I, "bad-label",
+           "label L" + std::to_string(Id) +
+               " does not resolve to its own Label instruction");
+  }
+
+  void structural() {
+    // Pending call-argument slots since the last call/boundary.
+    bool IntSlot[MaxIntSlots] = {};
+    bool FpSlot[MaxFpSlots] = {};
+    unsigned NumInt = 0, NumFp = 0;
+    bool InBody = false; // Set once a non-prologue instruction appears.
+    std::size_t LastEffective = N;
+
+    auto clearPending = [&](std::size_t I, const char *Why) {
+      if (NumInt || NumFp)
+        fail(I, "bad-callargs",
+             std::string("call arguments pending at ") + Why);
+      for (bool &B : IntSlot)
+        B = false;
+      for (bool &B : FpSlot)
+        B = false;
+      NumInt = NumFp = 0;
+    };
+
+    for (std::size_t I = 0; I < N; ++I) {
+      const Instr &In = Instrs[I];
+      unsigned OpIdx = static_cast<unsigned>(In.Opcode);
+      if (OpIdx >= icode::NumOpcodes) {
+        fail(I, "bad-opcode", "opcode byte " + std::to_string(OpIdx));
+        continue;
+      }
+      const OpSig &S = sigFor(In.Opcode);
+      if (S.Cmp) {
+        if (In.Sub > MaxCmpKind)
+          fail(I, "bad-sub",
+               "comparison kind " + std::to_string(In.Sub) + " out of range");
+      } else if (In.Sub != 0) {
+        fail(I, "bad-sub", "nonzero sub-field " + std::to_string(In.Sub) +
+                               " on a non-comparison opcode");
+      }
+      checkField(I, S.A, In.A);
+      checkField(I, S.B, In.B);
+      checkField(I, S.C, In.C);
+
+      // Argument bindings may only appear in the function prologue, before
+      // any instruction that could clobber the physical argument registers.
+      switch (In.Opcode) {
+      case Op::Nop:
+      case Op::Hint:
+      case Op::ProfileInc:
+        break;
+      case Op::BindArgI:
+      case Op::BindArgD:
+        if (InBody)
+          fail(I, "misplaced-bindarg",
+               "argument binding after the function prologue");
+        break;
+      default:
+        InBody = true;
+        break;
+      }
+
+      // Call-argument grouping.
+      switch (In.Opcode) {
+      case Op::CallArgI:
+      case Op::CallArgP:
+      case Op::CallArgII:
+        if (In.A >= 0 && static_cast<unsigned>(In.A) < MaxIntSlots) {
+          if (IntSlot[In.A])
+            fail(I, "bad-callargs",
+                 "integer slot " + std::to_string(In.A) + " set twice");
+          IntSlot[In.A] = true;
+          ++NumInt;
+        }
+        break;
+      case Op::CallArgD:
+        if (In.A >= 0 && static_cast<unsigned>(In.A) < MaxFpSlots) {
+          if (FpSlot[In.A])
+            fail(I, "bad-callargs",
+                 "float slot " + std::to_string(In.A) + " set twice");
+          FpSlot[In.A] = true;
+          ++NumFp;
+        }
+        break;
+      case Op::Call:
+      case Op::CallIndirect: {
+        for (unsigned K = 0; K < NumInt; ++K)
+          if (!IntSlot[K])
+            fail(I, "bad-callargs",
+                 "integer argument slots are not a dense prefix");
+        for (unsigned K = 0; K < NumFp; ++K)
+          if (!FpSlot[K])
+            fail(I, "bad-callargs",
+                 "float argument slots are not a dense prefix");
+        if (In.B >= 0 && static_cast<unsigned>(In.B) != NumFp)
+          fail(I, "bad-callargs",
+               "call declares " + std::to_string(In.B) +
+                   " float arguments but " + std::to_string(NumFp) +
+                   " were prepared");
+        for (bool &B : IntSlot)
+          B = false;
+        for (bool &B : FpSlot)
+          B = false;
+        NumInt = NumFp = 0;
+        break;
+      }
+      case Op::Label:
+        clearPending(I, "a join point");
+        break;
+      default:
+        if (isTerminator(In.Opcode))
+          clearPending(I, "a branch");
+        break;
+      }
+
+      if (In.Opcode != Op::Nop && In.Opcode != Op::Hint &&
+          In.Opcode != Op::Label)
+        LastEffective = I;
+    }
+
+    if (LastEffective == N) {
+      fail(N ? N - 1 : 0, "missing-ret", "stream has no effective code");
+      return;
+    }
+    Op LastOp = Instrs[LastEffective].Opcode;
+    bool IsRet = LastOp == Op::RetI || LastOp == Op::RetL ||
+                 LastOp == Op::RetD || LastOp == Op::RetVoid;
+    bool FallsOff = !IsRet && LastOp != Op::Jump;
+    if (!FallsOff && LastOp == Op::Jump) {
+      // A label bound *after* the final jump reintroduces a fall-through
+      // path whenever any branch targets it.
+      for (std::size_t I = LastEffective + 1; I < N && !FallsOff; ++I) {
+        if (Instrs[I].Opcode != Op::Label)
+          continue;
+        std::int32_t Id = Instrs[I].A;
+        for (std::size_t J = 0; J < N; ++J)
+          if (branchLabel(Instrs[J]) == Id) {
+            FallsOff = true;
+            break;
+          }
+      }
+    }
+    if (FallsOff)
+      fail(LastEffective, "missing-ret",
+           "control can fall off the end of the function");
+  }
+
+  void definiteAssignment() {
+    Cfg G;
+    G.build(Instrs, N, IC);
+    unsigned Words = (IC.numRegs() + 63) / 64;
+    std::size_t NB = G.Blocks.size();
+    if (!Words || !NB)
+      return;
+
+    // AllDefs per block.
+    std::vector<std::uint64_t> Defs(NB * Words, 0);
+    for (std::size_t BI = 0; BI < NB; ++BI) {
+      std::uint64_t *D = Defs.data() + BI * Words;
+      for (std::int32_t I = G.Blocks[BI].Begin; I < G.Blocks[BI].End; ++I) {
+        VReg Ds[3];
+        unsigned ND = sigDefs(Instrs[I], Ds);
+        for (unsigned K = 0; K < ND; ++K)
+          bitSet(D, static_cast<std::uint32_t>(Ds[K]));
+      }
+    }
+
+    // Forward must-dataflow. Everything starts "defined" except the entry,
+    // so unreachable blocks stay saturated and never report.
+    std::vector<std::uint64_t> DefIn(NB * Words, ~std::uint64_t(0));
+    std::vector<std::uint64_t> DefOut(NB * Words, ~std::uint64_t(0));
+    for (unsigned W = 0; W < Words; ++W) {
+      DefIn[W] = 0;
+      DefOut[W] = Defs[W];
+    }
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (std::size_t BI = 0; BI < NB; ++BI) {
+        std::uint64_t *Out = DefOut.data() + BI * Words;
+        std::uint64_t *In2 = DefIn.data() + BI * Words;
+        for (std::size_t P = 0; P < NB; ++P) {
+          const Cfg::Block &PB = G.Blocks[P];
+          for (unsigned S = 0; S < PB.NumSucc; ++S) {
+            if (PB.Succ[S] != static_cast<std::int32_t>(BI))
+              continue;
+            const std::uint64_t *PO = DefOut.data() + P * Words;
+            for (unsigned W = 0; W < Words; ++W)
+              In2[W] &= PO[W];
+          }
+        }
+        if (BI == 0)
+          for (unsigned W = 0; W < Words; ++W)
+            In2[W] = 0;
+        const std::uint64_t *D = Defs.data() + BI * Words;
+        for (unsigned W = 0; W < Words; ++W) {
+          std::uint64_t NewOut = In2[W] | D[W];
+          if (NewOut != Out[W]) {
+            Out[W] = NewOut;
+            Changed = true;
+          }
+        }
+      }
+    }
+
+    // Reporting walk: exact per-instruction defined-set within each block.
+    std::vector<std::uint64_t> Cur(Words);
+    for (std::size_t BI = 0; BI < NB; ++BI) {
+      const std::uint64_t *In2 = DefIn.data() + BI * Words;
+      for (unsigned W = 0; W < Words; ++W)
+        Cur[W] = In2[W];
+      for (std::int32_t I = G.Blocks[BI].Begin; I < G.Blocks[BI].End; ++I) {
+        VReg Us[2];
+        unsigned NU = sigUses(Instrs[I], Us);
+        for (unsigned K = 0; K < NU; ++K)
+          if (!bitTest(Cur.data(), static_cast<std::uint32_t>(Us[K])))
+            fail(static_cast<std::size_t>(I), "use-before-def",
+                 "vreg r" + std::to_string(Us[K]) +
+                     " may be used before it is defined");
+        VReg Ds[3];
+        unsigned ND = sigDefs(Instrs[I], Ds);
+        for (unsigned K = 0; K < ND; ++K)
+          bitSet(Cur.data(), static_cast<std::uint32_t>(Ds[K]));
+      }
+    }
+  }
+};
+
+} // namespace
+
+Result verifyInstrs(const ICode &IC, const Instr *Instrs, std::size_t N) {
+  Result R;
+  IRChecker C{IC, Instrs, N, R};
+  C.structural();
+  if (R.ok())
+    C.definiteAssignment();
+  return R;
+}
+
+Result verifyICode(const ICode &IC) {
+  return verifyInstrs(IC, IC.instrs().data(), IC.instrs().size());
+}
+
+} // namespace verify
+} // namespace tcc

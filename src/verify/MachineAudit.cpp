@@ -1,0 +1,610 @@
+//===- verify/MachineAudit.cpp - Emitted-x86 static checker ---------------===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// Layer 3. Decodes the finalized region with the strict decoder
+// (x86/X86Decoder.h) and proves, on the actual bytes that will run:
+//
+//  * decode succeeds everywhere and instruction boundaries land exactly on
+//    the region end;
+//  * the prologue is the canonical frame setup (push rbp; mov rbp,rsp;
+//    sub rsp,imm32 with a 16-aligned reserve covering the callee-save
+//    area) and every ret unwinds it symmetrically (mov rsp,rbp; pop rbp);
+//  * every relative branch lands in-region on an instruction boundary;
+//  * push/pop balance: exactly one push (rbp), one pop per ret;
+//  * the profiling hook increments exactly the registered counter (or is
+//    absent when profiling is off);
+//  * spill discipline (ICODE only): every load from a spill slot is
+//    preceded on all paths by a store to that slot — the machine-level
+//    proof that spilled uses are reloaded from initialized memory;
+//  * EmitterUsage cross-check (ICODE only): every decoded instruction is
+//    explainable by an ICODE opcode the link-time-pruning usage table
+//    recorded, so the assembler and the pruning table cannot drift apart
+//    silently.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Verify.h"
+#include "verify/VerifyInternal.h"
+
+#include "x86/X86Decoder.h"
+#include "x86/X86Registers.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace verify {
+
+using icode::Op;
+using x86::Decoded;
+using x86::InstrClass;
+
+namespace {
+
+constexpr std::uint8_t RegRAX = 0, RegRSP = 4, RegRBP = 5, RegR10 = 10;
+
+/// Byte offset of the first spill slot below the frame pointer: the 40-byte
+/// callee-save area comes first, slots follow (VCode::slotOffset).
+constexpr std::int32_t FirstSlotOff = -48;
+
+bool isIntArgReg(std::uint8_t R) {
+  // rdi, rsi, rdx, rcx, r8, r9
+  return R == 7 || R == 6 || R == 2 || R == 1 || R == 8 || R == 9;
+}
+
+/// Which ICODE opcodes can account for one decoded instruction. Scaffold
+/// instructions (frame setup, register shuffling, nop fill) are emitted for
+/// bookkeeping regardless of the IR content.
+struct Just {
+  bool Scaffold = false;
+  Op Ops[8];
+  unsigned N = 0;
+
+  void add(Op O) { Ops[N++] = O; }
+};
+
+Just justify(const Decoded &D) {
+  Just J;
+  switch (D.Cls) {
+  case InstrClass::Push:
+  case InstrClass::Pop:
+  case InstrClass::Ret:
+  case InstrClass::Nop:
+  case InstrClass::MovRR:
+  case InstrClass::SseMov:
+    J.Scaffold = true;
+    break;
+  case InstrClass::MovImm32:
+    J.add(Op::SetI);
+    if (D.Rm == RegRAX) { // `mov eax, nfp` before a vararg-ABI call
+      J.add(Op::Call);
+      J.add(Op::CallIndirect);
+    }
+    break;
+  case InstrClass::MovImm64:
+    if (D.Rm == 10 || D.Rm == 11) // scratch: call targets, wide constants
+      J.Scaffold = true;
+    else if (isIntArgReg(D.Rm)) {
+      J.add(Op::CallArgP);
+      J.add(Op::CallArgII);
+    } else
+      J.add(Op::SetL);
+    break;
+  case InstrClass::MovImmSExt:
+    J.add(Op::SetL);
+    J.add(Op::DivII);
+    J.add(Op::ModII);
+    break;
+  case InstrClass::Load:
+    if (D.Rm == RegRBP)
+      J.Scaffold = true; // spill reload / stack-arg bind / save-area restore
+    else
+      J.add(D.RexW ? Op::LdL : Op::LdI);
+    break;
+  case InstrClass::LoadSExt8: J.add(Op::LdI8s); break;
+  case InstrClass::LoadZExt8: J.add(Op::LdI8u); break;
+  case InstrClass::LoadSExt16: J.add(Op::LdI16s); break;
+  case InstrClass::LoadZExt16: J.add(Op::LdI16u); break;
+  case InstrClass::Store8: J.add(Op::StI8); break;
+  case InstrClass::Store16: J.add(Op::StI16); break;
+  case InstrClass::Store32: J.add(Op::StI); break;
+  case InstrClass::Store64:
+    if (D.Rm == RegRBP)
+      J.Scaffold = true; // spill store / callee-save
+    else
+      J.add(Op::StL);
+    break;
+  case InstrClass::LockInc:
+    J.add(Op::ProfileInc);
+    break;
+  case InstrClass::AluRR:
+    switch (D.Op8) {
+    case 0x03:
+      J.add(Op::AddI); J.add(Op::AddL);
+      J.add(Op::MulII); J.add(Op::DivII); J.add(Op::ModII);
+      break;
+    case 0x2B:
+      J.add(Op::SubI); J.add(Op::SubL);
+      J.add(Op::MulII); J.add(Op::DivII); J.add(Op::ModII);
+      break;
+    case 0x23: J.add(Op::AndI); break;
+    case 0x0B: J.add(Op::OrI); break;
+    case 0x33:
+      J.add(Op::XorI); J.add(Op::SetI); J.add(Op::SetL);
+      J.add(Op::DivUI); J.add(Op::ModUI);
+      J.add(Op::Call); J.add(Op::CallIndirect); // xor eax,eax for nfp=0
+      break;
+    default: // 0x3B cmp
+      J.add(Op::CmpSetI); J.add(Op::CmpSetL);
+      J.add(Op::BrCmpI); J.add(Op::BrCmpL);
+      break;
+    }
+    break;
+  case InstrClass::TestRR:
+    J.add(Op::BrTrue);
+    J.add(Op::BrFalse);
+    break;
+  case InstrClass::AluRI:
+    switch (D.Reg & 7) {
+    case 0: J.add(Op::AddII); J.add(Op::AddLI); break;
+    case 1: J.add(Op::OrII); break;
+    case 4: J.add(Op::AndII); break;
+    case 5:
+      if (D.RexW && D.Rm == RegRSP)
+        J.Scaffold = true; // the patchable frame reserve
+      else
+        J.add(Op::SubII);
+      break;
+    case 6: J.add(Op::XorII); break;
+    default: J.add(Op::CmpSetII); J.add(Op::BrCmpII); break; // 7 cmp
+    }
+    break;
+  case InstrClass::ImulRR:
+    J.add(Op::MulI);
+    J.add(Op::MulL);
+    break;
+  case InstrClass::ImulRRI:
+    if (D.RexW) {
+      J.add(Op::MulLI); J.add(Op::DivII); J.add(Op::ModII);
+    } else
+      J.add(Op::MulII);
+    break;
+  case InstrClass::UnaryGrp:
+    switch (D.Reg & 7) {
+    case 2: J.add(Op::NotI); break;
+    case 3:
+      J.add(Op::NegI); J.add(Op::MulII);
+      J.add(Op::DivII); J.add(Op::ModII);
+      break;
+    case 6: J.add(Op::DivUI); J.add(Op::ModUI); break;
+    default: // 7 idiv
+      J.add(Op::DivI); J.add(Op::ModI);
+      J.add(Op::DivII); J.add(Op::ModII);
+      break;
+    }
+    break;
+  case InstrClass::Cdq:
+    if (!D.RexW) {
+      J.add(Op::DivI); J.add(Op::ModI);
+      J.add(Op::DivII); J.add(Op::ModII);
+    }
+    break;
+  case InstrClass::ShiftCl:
+    switch (D.Reg & 7) {
+    case 4: J.add(Op::ShlI); break;
+    case 5: J.add(Op::UShrI); break;
+    default: J.add(Op::ShrI); break;
+    }
+    break;
+  case InstrClass::ShiftImm:
+    J.add(Op::ShlII); J.add(Op::ShrII); J.add(Op::UShrII); J.add(Op::ShlLI);
+    J.add(Op::MulII); J.add(Op::MulLI); J.add(Op::DivII); J.add(Op::ModII);
+    break;
+  case InstrClass::Movsxd:
+    J.add(Op::SextIToL);
+    J.add(Op::DivII);
+    J.add(Op::ModII);
+    break;
+  case InstrClass::Movzx8RR:
+    J.add(Op::CmpSetI); J.add(Op::CmpSetII);
+    J.add(Op::CmpSetL); J.add(Op::CmpSetD);
+    break;
+  case InstrClass::Setcc:
+    J.add(Op::CmpSetI); J.add(Op::CmpSetII);
+    J.add(Op::CmpSetL); J.add(Op::CmpSetD);
+    break;
+  case InstrClass::Jcc:
+    J.add(Op::BrCmpI); J.add(Op::BrCmpII); J.add(Op::BrCmpL);
+    J.add(Op::BrCmpD); J.add(Op::BrTrue); J.add(Op::BrFalse);
+    break;
+  case InstrClass::Jmp:
+    J.add(Op::Jump);
+    break;
+  case InstrClass::CallInd:
+    J.add(Op::Call);
+    J.add(Op::CallIndirect);
+    break;
+  case InstrClass::SseLoad:
+    if (D.Rm == RegRBP)
+      J.Scaffold = true;
+    else
+      J.add(Op::LdD);
+    break;
+  case InstrClass::SseStore:
+    if (D.Rm == RegRBP)
+      J.Scaffold = true;
+    else
+      J.add(Op::StD);
+    break;
+  case InstrClass::SseArith:
+    switch (D.Op8) {
+    case 0x58: J.add(Op::AddD); break;
+    case 0x5C: J.add(Op::SubD); J.add(Op::NegD); break;
+    case 0x59: J.add(Op::MulD); break;
+    case 0x5E: J.add(Op::DivD); break;
+    default: break; // sqrtsd: never generated from ICODE
+    }
+    break;
+  case InstrClass::SseUcomi:
+    J.add(Op::CmpSetD);
+    J.add(Op::BrCmpD);
+    break;
+  case InstrClass::SseXorpd:
+    J.add(Op::SetD);
+    J.add(Op::NegD);
+    break;
+  case InstrClass::SseCvtSI2SD:
+    J.add(D.RexW ? Op::CvtLToD : Op::CvtIToD);
+    break;
+  case InstrClass::SseCvtSD2SI:
+    if (!D.RexW)
+      J.add(Op::CvtDToI);
+    break;
+  case InstrClass::MovqXR:
+    J.add(Op::SetD);
+    break;
+  // Assembler surface the back ends never reach: no justification, so an
+  // occurrence under the cross-check is itself the finding.
+  case InstrClass::Ud2:
+  case InstrClass::Lea:
+  case InstrClass::Movsx8RR:
+  case InstrClass::Movzx16RR:
+  case InstrClass::Movsx16RR:
+  case InstrClass::JmpInd:
+  case InstrClass::MovqRX:
+    break;
+  }
+  return J;
+}
+
+struct Auditor {
+  const MachineAuditInputs &In;
+  Result &R;
+  std::vector<Decoded> Ins;
+  std::vector<std::uint32_t> Starts; // parallel to Ins
+  std::vector<std::uint8_t> IsStart; // Size bytes
+
+  void fail(std::size_t Off, const char *Cat, std::string Msg) {
+    if (R.diags().size() > 16)
+      return;
+    R.fail(Layer::Machine, Cat,
+           Msg + " (at offset 0x" + [&] {
+             char B[16];
+             std::snprintf(B, sizeof(B), "%zx", Off);
+             return std::string(B);
+           }() + ")",
+           detail::hexWindow(In.Code, In.Size, Off));
+  }
+
+  bool decodeAll() {
+    IsStart.assign(In.Size, 0);
+    if (In.Size == 0) {
+      fail(0, "boundary", "empty code region");
+      return false;
+    }
+    std::size_t Off = 0;
+    while (Off < In.Size) {
+      Decoded D;
+      const char *Err = nullptr;
+      if (!x86::decodeOne(In.Code, In.Size, Off, D, &Err)) {
+        bool Truncated = Err && std::strstr(Err, "truncated");
+        fail(Off, Truncated ? "boundary" : "decode",
+             std::string(Err ? Err : "undecodable bytes"));
+        return false;
+      }
+      IsStart[Off] = 1;
+      Starts.push_back(static_cast<std::uint32_t>(Off));
+      Ins.push_back(D);
+      Off += D.Len;
+    }
+    // The decode loop never reads past Size, so reaching here means the
+    // last instruction ended exactly on the region end.
+    return true;
+  }
+
+  void checkPrologue() {
+    if (Ins.size() < 3) {
+      fail(0, "prologue", "region too short for a frame setup");
+      return;
+    }
+    if (Ins[0].Cls != InstrClass::Push || Ins[0].Rm != RegRBP)
+      fail(Starts[0], "prologue", "function does not start with `push rbp`");
+    const Decoded &M = Ins[1];
+    if (M.Cls != InstrClass::MovRR || !M.RexW || M.Reg != RegRBP ||
+        M.Rm != RegRSP)
+      fail(Starts[1], "prologue", "missing `mov rbp, rsp`");
+    const Decoded &S = Ins[2];
+    if (S.Cls != InstrClass::AluRI || !S.RexW || (S.Reg & 7) != 5 ||
+        S.Rm != RegRSP)
+      fail(Starts[2], "prologue", "missing frame reserve `sub rsp, imm`");
+    else if (S.Imm < 40 || (S.Imm & 15) != 0)
+      fail(Starts[2], "prologue",
+           "frame reserve " + std::to_string(S.Imm) +
+               " is not a 16-aligned size covering the callee-save area");
+  }
+
+  void checkBranches() {
+    for (std::size_t I = 0; I < Ins.size(); ++I) {
+      const Decoded &D = Ins[I];
+      if (D.Cls != InstrClass::Jcc && D.Cls != InstrClass::Jmp)
+        continue;
+      std::int64_t T = static_cast<std::int64_t>(Starts[I]) + D.Len + D.Rel32;
+      if (T < 0 || T >= static_cast<std::int64_t>(In.Size))
+        fail(Starts[I], "branch-target",
+             "relative branch leaves the region (target " +
+                 std::to_string(T) + ")");
+      else if (!IsStart[static_cast<std::size_t>(T)])
+        fail(Starts[I], "branch-target",
+             "branch target 0x" + std::to_string(T) +
+                 " is not an instruction boundary");
+    }
+  }
+
+  void checkStackBalance() {
+    unsigned Pushes = 0, Pops = 0, Rets = 0;
+    for (std::size_t I = 0; I < Ins.size(); ++I) {
+      switch (Ins[I].Cls) {
+      case InstrClass::Push:
+        ++Pushes;
+        if (I != 0 || Ins[I].Rm != RegRBP)
+          fail(Starts[I], "stack-balance",
+               "unexpected push outside the prologue");
+        break;
+      case InstrClass::Pop:
+        ++Pops;
+        break;
+      case InstrClass::Ret: {
+        ++Rets;
+        // Epilogue shape: mov rsp,rbp; pop rbp; ret.
+        if (I < 2 || Ins[I - 1].Cls != InstrClass::Pop ||
+            Ins[I - 1].Rm != RegRBP) {
+          fail(Starts[I], "stack-balance", "ret not preceded by `pop rbp`");
+          break;
+        }
+        const Decoded &M = Ins[I - 2];
+        if (M.Cls != InstrClass::MovRR || !M.RexW || M.Reg != RegRSP ||
+            M.Rm != RegRBP)
+          fail(Starts[I], "stack-balance",
+               "epilogue does not restore rsp from rbp");
+        break;
+      }
+      default:
+        break;
+      }
+    }
+    if (Rets == 0)
+      fail(In.Size ? In.Size - 1 : 0, "stack-balance",
+           "function has no ret");
+    if (Pushes != 1 || Pops != Rets)
+      fail(0, "stack-balance",
+           "push/pop imbalance: " + std::to_string(Pushes) + " push, " +
+               std::to_string(Pops) + " pop, " + std::to_string(Rets) +
+               " ret");
+  }
+
+  void checkProfile() {
+    unsigned Hooks = 0;
+    for (std::size_t I = 0; I < Ins.size(); ++I) {
+      if (Ins[I].Cls != InstrClass::LockInc)
+        continue;
+      ++Hooks;
+      if (!In.ExpectProfile) {
+        fail(Starts[I], "profile",
+             "profiling hook present but profiling is off");
+        continue;
+      }
+      if (Ins[I].Rm != RegR10 || Ins[I].Disp != 0) {
+        fail(Starts[I], "profile",
+             "counter increment does not use the planted [r10] form");
+        continue;
+      }
+      if (I == 0 || Ins[I - 1].Cls != InstrClass::MovImm64 ||
+          Ins[I - 1].Rm != RegR10) {
+        fail(Starts[I], "profile",
+             "counter increment not preceded by `movabs r10, counter`");
+        continue;
+      }
+      auto Want = reinterpret_cast<std::uint64_t>(In.ProfileCounter);
+      if (Ins[I - 1].Imm64 != Want)
+        fail(Starts[I - 1], "profile",
+             "profiling hook targets a counter that was never registered");
+    }
+    if (In.ExpectProfile && Hooks == 0)
+      fail(0, "profile", "profiling requested but no hook was planted");
+  }
+
+  /// Forward must-dataflow over spill-slot initialization: a load from
+  /// [rbp - off] (off at or below the first spill slot) must be dominated
+  /// by a store to the same slot.
+  void checkSpillDiscipline() {
+    // Collect the spill slots referenced anywhere.
+    std::vector<std::int32_t> Slots;
+    auto slotOf = [&](const Decoded &D, bool Store) -> int {
+      bool Mem = (Store ? (D.Cls == InstrClass::Store64 ||
+                           D.Cls == InstrClass::SseStore)
+                        : ((D.Cls == InstrClass::Load && D.RexW) ||
+                           D.Cls == InstrClass::SseLoad));
+      if (!Mem || D.Rm != RegRBP || D.Disp > FirstSlotOff)
+        return -1;
+      auto It = std::find(Slots.begin(), Slots.end(), D.Disp);
+      if (It == Slots.end())
+        return -2;
+      return static_cast<int>(It - Slots.begin());
+    };
+    for (const Decoded &D : Ins) {
+      if ((D.Cls == InstrClass::Store64 || D.Cls == InstrClass::SseStore ||
+           (D.Cls == InstrClass::Load && D.RexW) ||
+           D.Cls == InstrClass::SseLoad) &&
+          D.Rm == RegRBP && D.Disp <= FirstSlotOff &&
+          std::find(Slots.begin(), Slots.end(), D.Disp) == Slots.end())
+        Slots.push_back(D.Disp);
+    }
+    if (Slots.empty())
+      return;
+    unsigned NumSlots = static_cast<unsigned>(Slots.size());
+    unsigned Words = (NumSlots + 63) / 64;
+
+    // Leaders in instruction-index space.
+    std::size_t NI = Ins.size();
+    std::vector<std::uint8_t> Leader(NI, 0);
+    Leader[0] = 1;
+    std::vector<std::size_t> StartToIdx(In.Size, SIZE_MAX);
+    for (std::size_t I = 0; I < NI; ++I)
+      StartToIdx[Starts[I]] = I;
+    for (std::size_t I = 0; I < NI; ++I) {
+      const Decoded &D = Ins[I];
+      if (D.Cls == InstrClass::Jcc || D.Cls == InstrClass::Jmp) {
+        std::int64_t T = static_cast<std::int64_t>(Starts[I]) + D.Len +
+                         D.Rel32;
+        if (T >= 0 && T < static_cast<std::int64_t>(In.Size) &&
+            StartToIdx[static_cast<std::size_t>(T)] != SIZE_MAX)
+          Leader[StartToIdx[static_cast<std::size_t>(T)]] = 1;
+        if (I + 1 < NI)
+          Leader[I + 1] = 1;
+      } else if (D.Cls == InstrClass::Ret && I + 1 < NI)
+        Leader[I + 1] = 1;
+    }
+
+    struct Blk {
+      std::size_t Begin, End;
+      std::size_t Succ[2];
+      unsigned NumSucc = 0;
+    };
+    std::vector<Blk> Blocks;
+    std::vector<std::size_t> BlockOf(NI);
+    for (std::size_t I = 0; I < NI;) {
+      std::size_t J = I + 1;
+      while (J < NI && !Leader[J])
+        ++J;
+      for (std::size_t K = I; K < J; ++K)
+        BlockOf[K] = Blocks.size();
+      Blocks.push_back(Blk{I, J, {0, 0}, 0});
+      I = J;
+    }
+    for (Blk &B : Blocks) {
+      const Decoded &Last = Ins[B.End - 1];
+      bool Fall = Last.Cls != InstrClass::Jmp && Last.Cls != InstrClass::Ret;
+      if (Fall && B.End < NI)
+        B.Succ[B.NumSucc++] = BlockOf[B.End];
+      if (Last.Cls == InstrClass::Jcc || Last.Cls == InstrClass::Jmp) {
+        std::int64_t T = static_cast<std::int64_t>(Starts[B.End - 1]) +
+                         Last.Len + Last.Rel32;
+        std::size_t TI = StartToIdx[static_cast<std::size_t>(T)];
+        std::size_t TB = BlockOf[TI];
+        if (B.NumSucc == 0 || B.Succ[0] != TB)
+          B.Succ[B.NumSucc++] = TB;
+      }
+    }
+
+    // Gen set per block (stores), then forward intersection dataflow.
+    std::size_t NB = Blocks.size();
+    std::vector<std::uint64_t> InSet(NB * Words, ~std::uint64_t(0));
+    std::vector<std::uint64_t> OutSet(NB * Words, ~std::uint64_t(0));
+    auto transfer = [&](std::size_t BI, std::uint64_t *Cur, bool Report) {
+      for (std::size_t I = Blocks[BI].Begin; I < Blocks[BI].End; ++I) {
+        int L = slotOf(Ins[I], /*Store=*/false);
+        if (L >= 0 && Report && !detail::bitTest(Cur, static_cast<unsigned>(L)))
+          fail(Starts[I], "spill-reload",
+               "load from spill slot [rbp" + std::to_string(Slots[L]) +
+                   "] that is not initialized on all paths");
+        int S = slotOf(Ins[I], /*Store=*/true);
+        if (S >= 0)
+          detail::bitSet(Cur, static_cast<unsigned>(S));
+      }
+    };
+    std::vector<std::uint64_t> Tmp(Words);
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (std::size_t BI = 0; BI < NB; ++BI) {
+        std::uint64_t *I2 = InSet.data() + BI * Words;
+        for (std::size_t P = 0; P < NB; ++P)
+          for (unsigned S = 0; S < Blocks[P].NumSucc; ++S)
+            if (Blocks[P].Succ[S] == BI)
+              for (unsigned W = 0; W < Words; ++W)
+                I2[W] &= OutSet[P * Words + W];
+        if (BI == 0)
+          for (unsigned W = 0; W < Words; ++W)
+            I2[W] = 0;
+        for (unsigned W = 0; W < Words; ++W)
+          Tmp[W] = I2[W];
+        transfer(BI, Tmp.data(), /*Report=*/false);
+        std::uint64_t *O = OutSet.data() + BI * Words;
+        for (unsigned W = 0; W < Words; ++W)
+          if (Tmp[W] != O[W]) {
+            O[W] = Tmp[W];
+            Changed = true;
+          }
+      }
+    }
+    for (std::size_t BI = 0; BI < NB; ++BI) {
+      for (unsigned W = 0; W < Words; ++W)
+        Tmp[W] = InSet[BI * Words + W];
+      transfer(BI, Tmp.data(), /*Report=*/true);
+    }
+  }
+
+  void checkEmitterUsage() {
+    const icode::EmitterUsage &U = icode::ICode::emitterUsage();
+    for (std::size_t I = 0; I < Ins.size(); ++I) {
+      Just J = justify(Ins[I]);
+      if (J.Scaffold)
+        continue;
+      bool Ok = false;
+      for (unsigned K = 0; K < J.N && !Ok; ++K)
+        Ok = U.isUsed(J.Ops[K]);
+      if (!Ok)
+        fail(Starts[I], "emitter-usage",
+             std::string("decoded `") + x86::instrClassName(Ins[I].Cls) +
+                 "` has no recorded ICODE opcode that could have emitted "
+                 "it (assembler/pruning-table drift)");
+    }
+  }
+};
+
+} // namespace
+
+Result auditMachineCode(const MachineAuditInputs &In) {
+  Result R;
+  Auditor A{In, R, {}, {}, {}};
+  if (!A.decodeAll())
+    return R;
+  A.checkPrologue();
+  A.checkBranches();
+  A.checkStackBalance();
+  A.checkProfile();
+  if (R.ok() && In.CheckSpillDiscipline)
+    A.checkSpillDiscipline();
+  if (In.CrossCheckEmitterUsage)
+    A.checkEmitterUsage();
+  return R;
+}
+
+} // namespace verify
+} // namespace tcc

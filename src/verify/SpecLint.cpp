@@ -1,0 +1,283 @@
+//===- verify/SpecLint.cpp - Specification-time lint ----------------------===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// Layer 0. Runs over the cspec tree before any lowering and rejects the
+// specification-level mistakes that otherwise surface as wild pointers or
+// silently wrong code deep inside instantiation:
+//
+//  * cspec reuse across contexts — a node built from a *different* Context
+//    spliced into this compile. The classic way this happens is keeping an
+//    Expr handle alive across a closure-arena reset: the handle still points
+//    into recycled memory.
+//  * unbound free variables (a FreeVar node whose captured address is null)
+//    and unbound callees;
+//  * vspec/dynamic-label ids outside the owning context's tables;
+//  * structurally malformed nodes (kind bytes outside the enum, missing
+//    required children, null argument vectors) — the shape a stale arena
+//    pointer typically presents;
+//  * `$`-expressions (RtEval) whose operand can never be evaluated at
+//    instantiation time because it contains a call.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Verify.h"
+
+#include "core/Context.h"
+#include "core/Nodes.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace tcc {
+namespace verify {
+
+using core::Context;
+using core::ExprKind;
+using core::ExprNode;
+using core::StmtKind;
+using core::StmtNode;
+
+namespace {
+
+constexpr std::uint8_t MaxExprKind =
+    static_cast<std::uint8_t>(ExprKind::Cond);
+constexpr std::uint8_t MaxStmtKind =
+    static_cast<std::uint8_t>(StmtKind::Goto);
+
+const char *exprKindName(ExprKind K) {
+  switch (K) {
+  case ExprKind::ConstInt: return "ConstInt";
+  case ExprKind::ConstLong: return "ConstLong";
+  case ExprKind::ConstDouble: return "ConstDouble";
+  case ExprKind::FreeVar: return "FreeVar";
+  case ExprKind::Local: return "Local";
+  case ExprKind::Binary: return "Binary";
+  case ExprKind::Cmp: return "Cmp";
+  case ExprKind::Unary: return "Unary";
+  case ExprKind::Load: return "Load";
+  case ExprKind::Call: return "Call";
+  case ExprKind::RtEval: return "RtEval";
+  case ExprKind::Cond: return "Cond";
+  }
+  return "?";
+}
+
+const char *stmtKindName(StmtKind K) {
+  switch (K) {
+  case StmtKind::Block: return "Block";
+  case StmtKind::ExprStmt: return "ExprStmt";
+  case StmtKind::AssignLocal: return "AssignLocal";
+  case StmtKind::Store: return "Store";
+  case StmtKind::If: return "If";
+  case StmtKind::While: return "While";
+  case StmtKind::For: return "For";
+  case StmtKind::Return: return "Return";
+  case StmtKind::Break: return "Break";
+  case StmtKind::Continue: return "Continue";
+  case StmtKind::LabelDef: return "LabelDef";
+  case StmtKind::Goto: return "Goto";
+  }
+  return "?";
+}
+
+struct Linter {
+  const Context &Ctx;
+  Result &R;
+  // cspecs are DAGs (composition shares subtrees); visit each node once.
+  std::unordered_set<const void *> Seen;
+
+  void fail(const char *Cat, std::string Msg) {
+    if (R.diags().size() > 16)
+      return;
+    R.fail(Layer::Spec, Cat, std::move(Msg));
+  }
+
+  bool checkLocal(std::int32_t Id, const char *What) {
+    if (Id >= 0 && static_cast<std::size_t>(Id) < Ctx.locals().size())
+      return true;
+    fail("bad-local", std::string(What) + " references vspec #" +
+                          std::to_string(Id) + " but the context defines " +
+                          std::to_string(Ctx.locals().size()));
+    return false;
+  }
+
+  void walkExpr(const ExprNode *E) {
+    if (!E || !Seen.insert(E).second)
+      return;
+    if (static_cast<std::uint8_t>(E->Kind) > MaxExprKind) {
+      fail("malformed-node",
+           "expression node with kind byte " +
+               std::to_string(static_cast<unsigned>(E->Kind)) +
+               " outside the ExprKind enum (stale or corrupted cspec?)");
+      return; // Children are not trustworthy.
+    }
+    if (E->Ctx != &Ctx)
+      fail("cross-context",
+           std::string(exprKindName(E->Kind)) +
+               " node was built by a different Context — cspec handles do "
+               "not survive a closure-arena reset");
+
+    auto requires2 = [&](bool NeedB) {
+      if (!E->A || (NeedB && !E->B))
+        fail("malformed-node", std::string(exprKindName(E->Kind)) +
+                                   " node is missing a required operand");
+    };
+
+    switch (E->Kind) {
+    case ExprKind::ConstInt:
+    case ExprKind::ConstLong:
+    case ExprKind::ConstDouble:
+      break;
+    case ExprKind::FreeVar:
+      if (!E->PtrVal)
+        fail("unbound-free-var",
+             "free variable captures a null address; the enclosing "
+             "environment was never bound");
+      break;
+    case ExprKind::Local:
+      checkLocal(E->LocalId, "Local expression");
+      break;
+    case ExprKind::Binary:
+    case ExprKind::Cmp:
+      requires2(true);
+      break;
+    case ExprKind::Unary:
+    case ExprKind::Load:
+      requires2(false);
+      break;
+    case ExprKind::Call: {
+      if (!E->PtrVal && !E->A)
+        fail("unbound-callee",
+             "call cspec has neither a function address nor a callee "
+             "expression");
+      if (E->ArgC > 0 && !E->ArgV)
+        fail("malformed-node",
+             "call node claims " + std::to_string(E->ArgC) +
+                 " arguments but the argument vector is null");
+      break;
+    }
+    case ExprKind::RtEval:
+      if (!E->A)
+        fail("malformed-node", "RtEval node has no operand");
+      else if (E->A->Flags & core::EF_HasCall)
+        fail("nonconstant-rteval",
+             "$-expression contains a call and can never be evaluated to a "
+             "run-time constant at instantiation time");
+      break;
+    case ExprKind::Cond:
+      if (!E->A || !E->B || !E->C)
+        fail("malformed-node", "Cond node is missing an arm");
+      break;
+    }
+
+    walkExpr(E->A);
+    walkExpr(E->B);
+    walkExpr(E->C);
+    if (E->ArgV)
+      for (std::uint32_t I = 0; I < E->ArgC; ++I)
+        walkExpr(E->ArgV[I]);
+  }
+
+  void walkStmt(const StmtNode *S) {
+    if (!S || !Seen.insert(S).second)
+      return;
+    if (static_cast<std::uint8_t>(S->Kind) > MaxStmtKind) {
+      fail("malformed-node",
+           "statement node with kind byte " +
+               std::to_string(static_cast<unsigned>(S->Kind)) +
+               " outside the StmtKind enum (stale or corrupted cspec?)");
+      return;
+    }
+    if (S->Ctx != &Ctx)
+      fail("cross-context",
+           std::string(stmtKindName(S->Kind)) +
+               " statement was built by a different Context — cspec handles "
+               "do not survive a closure-arena reset");
+
+    auto needE = [&](const ExprNode *E, const char *What) {
+      if (!E)
+        fail("malformed-node", std::string(stmtKindName(S->Kind)) +
+                                   " statement is missing its " + What);
+    };
+
+    switch (S->Kind) {
+    case StmtKind::Block:
+      if (S->BodyC > 0 && !S->BodyV)
+        fail("malformed-node",
+             "block claims " + std::to_string(S->BodyC) +
+                 " statements but the body vector is null");
+      break;
+    case StmtKind::ExprStmt:
+      needE(S->E, "expression");
+      break;
+    case StmtKind::AssignLocal:
+      checkLocal(S->LocalId, "assignment");
+      needE(S->E, "value");
+      break;
+    case StmtKind::Store:
+      needE(S->E, "address");
+      needE(S->E2, "value");
+      break;
+    case StmtKind::If:
+      needE(S->E, "condition");
+      if (!S->S1)
+        fail("malformed-node", "if statement has no then-branch");
+      break;
+    case StmtKind::While:
+      needE(S->E, "condition");
+      if (!S->S1)
+        fail("malformed-node", "while statement has no body");
+      break;
+    case StmtKind::For:
+      checkLocal(S->LocalId, "for induction");
+      needE(S->E, "init");
+      needE(S->E2, "bound");
+      needE(S->E3, "step");
+      if (!S->S1)
+        fail("malformed-node", "for statement has no body");
+      break;
+    case StmtKind::Return: // E may be null: void return.
+    case StmtKind::Break:
+    case StmtKind::Continue:
+      break;
+    case StmtKind::LabelDef:
+    case StmtKind::Goto:
+      if (S->LocalId < 0 ||
+          static_cast<unsigned>(S->LocalId) >= Ctx.numDynLabels())
+        fail("bad-dynlabel",
+             std::string(stmtKindName(S->Kind)) + " references dynamic label #" +
+                 std::to_string(S->LocalId) + " but the context defines " +
+                 std::to_string(Ctx.numDynLabels()));
+      break;
+    }
+
+    walkExpr(S->E);
+    walkExpr(S->E2);
+    walkExpr(S->E3);
+    walkStmt(S->S1);
+    walkStmt(S->S2);
+    if (S->BodyV)
+      for (std::uint32_t I = 0; I < S->BodyC; ++I)
+        walkStmt(S->BodyV[I]);
+  }
+};
+
+} // namespace
+
+Result lintSpec(const Context &Ctx, const StmtNode *Body) {
+  Result R;
+  if (!Body) {
+    R.fail(Layer::Spec, "malformed-node", "compiling a null cspec body");
+    return R;
+  }
+  Linter L{Ctx, R, {}};
+  L.walkStmt(Body);
+  return R;
+}
+
+} // namespace verify
+} // namespace tcc

@@ -1,0 +1,145 @@
+//===- verify/Verify.h - Self-checking compile pipeline ---------*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Four independent static-analysis layers that re-check a dynamic compile
+/// after the fact, gated by CompileOptions::Verify or TICKC_VERIFY=1:
+///
+///   Spec     — lints the cspec tree before lowering (dangling cross-context
+///              references after a closure-arena reset, unbound free
+///              variables, `$`-bound expressions that can never be run-time
+///              constants, malformed nodes).
+///   IR       — structural ICODE verification plus a forward must-dataflow
+///              pass proving every vreg is defined on all paths before use.
+///              Runs after Walker lowering and again after the peephole.
+///   RegAlloc — independently recomputes exact liveness and proves the
+///              allocator's assignment is conflict-free, correctly shaped,
+///              and keeps no float in a (caller-saved) register across a
+///              call.
+///   Machine  — decodes the finalized region with the strict x86 decoder
+///              and checks boundaries, branch targets, frame discipline,
+///              the planted profile counter, spill-slot initialization, and
+///              the EmitterUsage cross-check.
+///
+/// Every checker is deliberately *independent* of the code it audits: it
+/// has its own operand-signature table, its own CFG construction, and its
+/// own liveness solver, so a shared bug cannot vouch for itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_VERIFY_VERIFY_H
+#define TICKC_VERIFY_VERIFY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace icode {
+class ICode;
+struct Instr;
+struct Allocation;
+} // namespace icode
+namespace core {
+class Context;
+struct StmtNode;
+} // namespace core
+
+namespace verify {
+
+enum class Layer : std::uint8_t { Spec, IR, RegAlloc, Machine };
+
+const char *layerName(Layer L);
+
+/// One structured finding. Category is a stable machine-checkable slug
+/// (e.g. "use-before-def", "phys-conflict", "branch-target"); Message is
+/// human-oriented; Dump carries the offending IR window, location table, or
+/// hex bytes.
+struct Diagnostic {
+  Layer L;
+  std::string Category;
+  std::string Message;
+  std::string Dump;
+};
+
+/// Accumulated result of one checker run.
+class Result {
+public:
+  bool ok() const { return Diags.empty(); }
+  void fail(Layer L, const char *Category, std::string Message,
+            std::string Dump = {}) {
+    Diags.push_back({L, Category, std::move(Message), std::move(Dump)});
+  }
+  const std::vector<Diagnostic> &diags() const { return Diags; }
+  bool has(const char *Category) const;
+  /// Renders all diagnostics (with dumps) into a printable report.
+  std::string render() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+/// True when TICKC_VERIFY is set to anything but "0"/"" (read once).
+bool envEnabled();
+
+/// Effective gate: explicit option or ambient environment.
+inline bool enabled(bool OptFlag) { return OptFlag || envEnabled(); }
+
+/// Layer 4 (runs first): cspec tree lint before lowering.
+Result lintSpec(const core::Context &Ctx, const core::StmtNode *Body);
+
+/// Layer 1: ICODE verification over the builder's own stream.
+Result verifyICode(const icode::ICode &IC);
+
+/// Layer 1, raw-stream form: verifies \p N instructions at \p Instrs against
+/// the register/label/pool metadata of \p IC. The mutation harness uses this
+/// to check corrupted copies without rebuilding an ICode.
+Result verifyInstrs(const icode::ICode &IC, const icode::Instr *Instrs,
+                    std::size_t N);
+
+/// Layer 2: audits a finished register allocation against independently
+/// recomputed exact liveness.
+Result auditAllocation(const icode::ICode &IC, const icode::Allocation &Alloc);
+
+/// Inputs for the emitted-code audit. Code must be a *readable* view of the
+/// finalized region (the region's writable base, before or after
+/// makeExecutable).
+struct MachineAuditInputs {
+  const std::uint8_t *Code = nullptr;
+  std::size_t Size = 0;
+  /// Address the ProfileInc counter must target; null when profiling is off.
+  const void *ProfileCounter = nullptr;
+  /// When set, the function must contain exactly the planted counter
+  /// increments; when clear, any `lock inc` is an error.
+  bool ExpectProfile = false;
+  /// ICODE-backend compiles only: assert every decoded instruction is
+  /// justified by an opcode EmitterUsage recorded (link-time-pruning drift
+  /// check).
+  bool CrossCheckEmitterUsage = false;
+  /// ICODE-backend compiles only: spill slots obey store-before-load on all
+  /// paths. (VCODE output has no such guarantee — an uninitialized C local
+  /// may legitimately be read.)
+  bool CheckSpillDiscipline = false;
+};
+
+/// Layer 3: strict decode + structural audit of the emitted bytes.
+Result auditMachineCode(const MachineAuditInputs &In);
+
+/// Feeds verify.<layer>.{checked,failed} and verify.cycles into the
+/// MetricsRegistry.
+void recordOutcome(Layer L, bool Failed, std::uint64_t Cycles);
+
+/// Prints the rendered result to stderr and aborts the compile via
+/// reportFatalError. Only called when a checker found corruption — a wrong
+/// answer later would be strictly worse than dying loudly here.
+[[noreturn]] void failCompile(const Result &R);
+
+} // namespace verify
+} // namespace tcc
+
+#endif // TICKC_VERIFY_VERIFY_H

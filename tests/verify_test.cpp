@@ -1,0 +1,832 @@
+//===- tests/verify_test.cpp - Self-checking JIT verification tests -------===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+// Two halves:
+//
+//  * Accept-clean: every benchmark workload compiles with Verify on, under
+//    both register allocators and the VCODE backend, with zero findings.
+//  * Mutation harness: systematically corrupt IR instructions, allocation
+//    tables, and emitted machine bytes; every corruption must be rejected
+//    by the right layer with the right diagnostic category. This is the
+//    proof that the checkers have teeth — a verifier that accepts garbage
+//    is worse than none.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/AppAdapters.h"
+#include "core/Compile.h"
+#include "core/Context.h"
+#include "icode/Analysis.h"
+#include "icode/ICode.h"
+#include "observability/Metrics.h"
+#include "observability/Names.h"
+#include "verify/Verify.h"
+#include "vcode/VCode.h"
+#include "x86/X86Decoder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+using namespace tcc;
+using namespace tcc::core;
+using icode::Allocation;
+using icode::ICode;
+using icode::Instr;
+using icode::Op;
+using icode::VReg;
+using vcode::CmpKind;
+
+namespace {
+
+int dummyCallee(int X) { return X + 1; }
+double dummyCalleeD(double X) { return X * 2; }
+
+// --- IR mutation harness ----------------------------------------------------
+
+/// A small ICODE program plus a pristine copy of its instruction stream the
+/// mutations work on (the ICode itself stays untouched so labels/pool/reg
+/// tables remain the source of truth).
+struct IRProgram {
+  ICode IC;
+  std::vector<Instr> Clean;
+
+  void snapshot() {
+    Clean.assign(IC.instrs().data(), IC.instrs().data() + IC.instrs().size());
+  }
+};
+
+/// P1: straight-line integer arithmetic. Shape (instruction indices):
+///   0 BindArgI  1 SetI  2 AddI  3 MulII  4 CmpSetI  5 ShlII  6 SubI  7 RetI
+struct P1 : IRProgram {
+  VReg A0, B, C, D, E, F, G, FD;
+  P1() {
+    A0 = IC.newIntReg();
+    B = IC.newIntReg();
+    C = IC.newIntReg();
+    D = IC.newIntReg();
+    E = IC.newIntReg();
+    F = IC.newIntReg();
+    G = IC.newIntReg();
+    FD = IC.newFloatReg(); // Never used: exists to make class swaps possible.
+    IC.bindArgI(0, A0);
+    IC.setI(B, 7);
+    IC.addI(C, A0, B);
+    IC.mulII(D, C, 3);
+    IC.cmpSetI(CmpKind::LtS, E, D, B);
+    IC.shlII(F, E, 2);
+    IC.subI(G, F, A0);
+    IC.retI(G);
+    snapshot();
+  }
+};
+
+/// P2: a counted loop with labels and branches.
+///   0 BindArgI  1 SetI  2 Label  3 BrCmpII  4 AddI  5 SubII  6 Jump
+///   7 Label  8 RetI
+struct P2 : IRProgram {
+  VReg X, Acc;
+  P2() {
+    X = IC.newIntReg();
+    Acc = IC.newIntReg();
+    icode::ILabel Head = IC.newLabel(), End = IC.newLabel();
+    IC.bindArgI(0, X);
+    IC.setI(Acc, 0);
+    IC.bindLabel(Head);
+    IC.brCmpII(CmpKind::LeS, X, 0, End);
+    IC.addI(Acc, Acc, X);
+    IC.subII(X, X, 1);
+    IC.jump(Head);
+    IC.bindLabel(End);
+    IC.retI(Acc);
+    snapshot();
+  }
+};
+
+/// P3: doubles and a call.
+///   0 BindArgD  1 SetD  2 AddD  3 CallArgD  4 Call  5 ResultD
+///   6 CvtDToI  7 RetI
+struct P3 : IRProgram {
+  VReg D0, D1, D2, D3, I0;
+  P3() {
+    D0 = IC.newFloatReg();
+    D1 = IC.newFloatReg();
+    D2 = IC.newFloatReg();
+    D3 = IC.newFloatReg();
+    I0 = IC.newIntReg();
+    IC.bindArgD(0, D0);
+    IC.setD(D1, 2.5);
+    IC.addD(D2, D0, D1);
+    IC.prepareCallArgD(0, D2);
+    IC.emitCall(reinterpret_cast<const void *>(&dummyCalleeD), 1);
+    IC.resultToD(D3);
+    IC.cvtDToI(I0, D3);
+    IC.retI(I0);
+    snapshot();
+  }
+};
+
+struct MutationTally {
+  unsigned Cases = 0;
+  unsigned Rejected = 0;
+};
+
+/// Applies one mutation to a fresh copy and checks the verifier rejects it
+/// with the expected category.
+void runIRCase(MutationTally &T, IRProgram &P, const char *Category,
+               const std::function<void(std::vector<Instr> &)> &Mutate,
+               const std::string &What) {
+  std::vector<Instr> Buf = P.Clean;
+  Mutate(Buf);
+  verify::Result R = verify::verifyInstrs(P.IC, Buf.data(), Buf.size());
+  ++T.Cases;
+  EXPECT_FALSE(R.ok()) << What << ": corruption was accepted";
+  EXPECT_TRUE(R.has(Category))
+      << What << ": expected category '" << Category << "', got:\n"
+      << R.render();
+  if (!R.ok() && R.has(Category))
+    ++T.Rejected;
+}
+
+// --- Allocation mutation harness --------------------------------------------
+
+struct AllocFixture {
+  ICode IC;
+  std::vector<VReg> Overlapping; ///< Simultaneously live int vregs.
+  VReg CrossCall = -1;           ///< Float vreg live across the call.
+
+  AllocFixture() {
+    // Eight int vregs all live at once (defined up front, consumed at the
+    // bottom): with a five-register pool some of them must spill, and the
+    // ones that do get registers pairwise overlap — the raw material for
+    // conflict mutations.
+    VReg R[8];
+    for (int I = 0; I < 8; ++I) {
+      R[I] = IC.newIntReg();
+      IC.setI(R[I], I + 1);
+      Overlapping.push_back(R[I]);
+    }
+    // A float computed before a call and used after it: every XMM register
+    // is caller-saved, so the allocator must spill it.
+    CrossCall = IC.newFloatReg();
+    VReg FOut = IC.newFloatReg();
+    IC.setD(CrossCall, 1.5);
+    IC.emitCall(reinterpret_cast<const void *>(&dummyCallee), 0);
+    VReg CallRes = IC.newIntReg();
+    IC.resultToI(CallRes);
+    IC.addD(FOut, CrossCall, CrossCall);
+    VReg FInt = IC.newIntReg();
+    IC.cvtDToI(FInt, FOut);
+    VReg Acc = IC.newIntReg();
+    IC.setI(Acc, 0);
+    for (int I = 0; I < 8; ++I)
+      IC.addI(Acc, Acc, R[I]);
+    IC.addI(Acc, Acc, CallRes);
+    IC.addI(Acc, Acc, FInt);
+    IC.retI(Acc);
+  }
+
+  Allocation allocate(icode::RegAllocKind Kind, std::vector<int> &Backing) {
+    icode::FlowGraph FG;
+    FG.build(IC);
+    FG.solveLiveness(IC);
+    auto Intervals = icode::buildLiveIntervals(IC, FG);
+    const std::uint8_t *MustSpill =
+        icode::computeMustSpill(IC, Intervals.data(), Intervals.size());
+    Allocation A =
+        Kind == icode::RegAllocKind::LinearScan
+            ? icode::allocateLinearScan(IC, Intervals, vcode::VCode::NumIntPool,
+                                        vcode::VCode::NumFloatPool,
+                                        icode::SpillHeuristic::LongestInterval,
+                                        MustSpill)
+            : icode::allocateGraphColor(IC, FG, vcode::VCode::NumIntPool,
+                                        vcode::VCode::NumFloatPool,
+                                        icode::SpillHeuristic::LongestInterval,
+                                        MustSpill);
+    // Re-home the table so mutations cannot scribble on the arena copy.
+    Backing.assign(A.Location, A.Location + A.NumRegs);
+    A.Location = Backing.data();
+    return A;
+  }
+};
+
+void runAllocCase(
+    MutationTally &T, const ICode &IC, const Allocation &Clean,
+    const char *Category,
+    const std::function<void(Allocation &, std::vector<int> &)> &Mutate,
+    const std::string &What) {
+  std::vector<int> Locs(Clean.Location, Clean.Location + Clean.NumRegs);
+  Allocation A = Clean;
+  A.Location = Locs.data();
+  Mutate(A, Locs);
+  verify::Result R = verify::auditAllocation(IC, A);
+  ++T.Cases;
+  EXPECT_FALSE(R.ok()) << What << ": corruption was accepted";
+  EXPECT_TRUE(R.has(Category))
+      << What << ": expected category '" << Category << "', got:\n"
+      << R.render();
+  if (!R.ok() && R.has(Category))
+    ++T.Rejected;
+}
+
+// --- Machine-code mutation harness ------------------------------------------
+
+struct CompiledBytes {
+  std::vector<std::uint8_t> Bytes;
+  std::vector<x86::Decoded> Ins;
+  std::vector<std::size_t> Starts;
+  const void *Counter = nullptr;
+  bool Profiled = false;
+
+  static CompiledBytes of(const CompiledFn &F) {
+    CompiledBytes B;
+    B.Bytes.resize(F.stats().CodeBytes);
+    std::memcpy(B.Bytes.data(), F.entry(), B.Bytes.size());
+    B.Profiled = F.profile() != nullptr;
+    B.Counter = F.profile() ? &F.profile()->Invocations : nullptr;
+    std::size_t Off = 0;
+    while (Off < B.Bytes.size()) {
+      x86::Decoded D;
+      const char *Err = nullptr;
+      if (!x86::decodeOne(B.Bytes.data(), B.Bytes.size(), Off, D, &Err)) {
+        ADD_FAILURE() << "clean code does not decode at +" << Off << ": "
+                      << (Err ? Err : "?");
+        break;
+      }
+      B.Starts.push_back(Off);
+      B.Ins.push_back(D);
+      Off += D.Len;
+    }
+    return B;
+  }
+
+  verify::MachineAuditInputs inputs() const {
+    verify::MachineAuditInputs MA;
+    MA.Code = Bytes.data();
+    MA.Size = Bytes.size();
+    MA.ProfileCounter = Counter;
+    MA.ExpectProfile = Profiled;
+    return MA;
+  }
+};
+
+void runByteCase(MutationTally &T, const CompiledBytes &Clean,
+                 const char *Category,
+                 const std::function<void(std::vector<std::uint8_t> &,
+                                          verify::MachineAuditInputs &)>
+                     &Mutate,
+                 const std::string &What) {
+  std::vector<std::uint8_t> Buf = Clean.Bytes;
+  verify::MachineAuditInputs MA = Clean.inputs();
+  Mutate(Buf, MA);
+  MA.Code = Buf.data();
+  verify::Result R = verify::auditMachineCode(MA);
+  ++T.Cases;
+  EXPECT_FALSE(R.ok()) << What << ": corruption was accepted";
+  EXPECT_TRUE(R.has(Category))
+      << What << ": expected category '" << Category << "', got:\n"
+      << R.render();
+  if (!R.ok() && R.has(Category))
+    ++T.Rejected;
+}
+
+/// sum of n*n for n in [1, N] — a loop with a branch, a multiply, and an
+/// accumulator; compiles to branches + arithmetic under every backend.
+CompiledFn compileLoopFn(const CompileOptions &Opts) {
+  Context C;
+  VSpec N = C.paramInt(0);
+  VSpec Acc = C.localInt();
+  Stmt Body = C.block(
+      {C.assign(Acc, C.intConst(0)),
+       C.whileStmt(Expr(N) > C.intConst(0),
+                   C.block({C.assign(Acc, Expr(Acc) + Expr(N) * Expr(N)),
+                            C.assign(N, Expr(N) - C.intConst(1))})),
+       C.ret(Acc)});
+  return compileFn(C, Body, EvalType::Int, Opts);
+}
+
+CompiledFn compileDoubleFn(const CompileOptions &Opts) {
+  Context C;
+  VSpec X = C.paramDouble(0);
+  Stmt Body = C.ret(Expr(X) * C.doubleConst(3.5) + C.doubleConst(1.25));
+  return compileFn(C, Body, EvalType::Double, Opts);
+}
+
+} // namespace
+
+// --- Accept-clean -----------------------------------------------------------
+
+TEST(VerifyAcceptClean, AllWorkloadsBothAllocatorsAndVCode) {
+  obs::MetricsSnapshot Before = obs::MetricsRegistry::global().snapshot();
+  bench::AppSet Apps;
+  struct Cfg {
+    BackendKind BK;
+    icode::RegAllocKind RA;
+  } Cfgs[] = {{BackendKind::VCode, icode::RegAllocKind::LinearScan},
+              {BackendKind::ICode, icode::RegAllocKind::LinearScan},
+              {BackendKind::ICode, icode::RegAllocKind::GraphColor}};
+  unsigned Compiled = 0;
+  for (const Cfg &Cf : Cfgs) {
+    for (const bench::AppCase &App : Apps.cases()) {
+      CompileOptions Opts;
+      Opts.Backend = Cf.BK;
+      Opts.RegAlloc = Cf.RA;
+      Opts.Verify = true; // Any finding aborts: reaching the end IS the test.
+      CompiledFn F = App.Specialize(Opts);
+      ASSERT_TRUE(F.valid()) << App.Name;
+      App.RunDynamic(F.entry());
+      ++Compiled;
+    }
+  }
+  obs::MetricsSnapshot After = obs::MetricsRegistry::global().snapshot();
+  namespace N = obs::names;
+  EXPECT_EQ(After.counter(N::VerifySpecFailed),
+            Before.counter(N::VerifySpecFailed));
+  EXPECT_EQ(After.counter(N::VerifyIrFailed), Before.counter(N::VerifyIrFailed));
+  EXPECT_EQ(After.counter(N::VerifyAllocFailed),
+            Before.counter(N::VerifyAllocFailed));
+  EXPECT_EQ(After.counter(N::VerifyCodeFailed),
+            Before.counter(N::VerifyCodeFailed));
+  EXPECT_GE(After.counter(N::VerifySpecChecked),
+            Before.counter(N::VerifySpecChecked) + Compiled);
+  EXPECT_GE(After.counter(N::VerifyCodeChecked),
+            Before.counter(N::VerifyCodeChecked) + Compiled);
+  // ICODE compiles verify the IR twice (post-walk + post-peephole) and audit
+  // the allocation once.
+  EXPECT_GT(After.counter(N::VerifyIrChecked),
+            Before.counter(N::VerifyIrChecked));
+  EXPECT_GT(After.counter(N::VerifyAllocChecked),
+            Before.counter(N::VerifyAllocChecked));
+  EXPECT_GT(After.counter(N::VerifyCycles), Before.counter(N::VerifyCycles));
+}
+
+TEST(VerifyAcceptClean, ProfiledCompilePassesAndRuns) {
+  CompileOptions Opts;
+  Opts.Backend = BackendKind::ICode;
+  Opts.Verify = true;
+  Opts.Profile = true;
+  Opts.ProfileName = "verify-clean";
+  CompiledFn F = compileLoopFn(Opts);
+  ASSERT_TRUE(F.valid());
+  EXPECT_EQ(F.as<int(int)>()(4), 16 + 9 + 4 + 1);
+}
+
+// --- Spec lint --------------------------------------------------------------
+
+TEST(VerifySpecLint, RejectsBadSpecs) {
+  // Unbound free variable.
+  {
+    Context C;
+    Stmt Body = C.ret(C.fvInt(nullptr));
+    verify::Result R = verify::lintSpec(C, Body.node());
+    EXPECT_TRUE(R.has("unbound-free-var")) << R.render();
+  }
+  // Cross-context splice: an expression owned by a different Context.
+  {
+    Context C1, C2;
+    Expr Foreign = C2.intConst(7);
+    Stmt Body = C1.ret(Foreign);
+    verify::Result R = verify::lintSpec(C1, Body.node());
+    EXPECT_TRUE(R.has("cross-context")) << R.render();
+  }
+  // $ over a call can never be a run-time constant.
+  {
+    Context C;
+    Expr Call = C.callC(reinterpret_cast<const void *>(&dummyCallee),
+                        EvalType::Int, {C.intConst(1)});
+    Stmt Body = C.ret(C.rtEval(Call));
+    verify::Result R = verify::lintSpec(C, Body.node());
+    EXPECT_TRUE(R.has("nonconstant-rteval")) << R.render();
+  }
+  // Out-of-range vspec id (simulates a stale handle).
+  {
+    Context C;
+    VSpec V = C.localInt();
+    Stmt Body = C.block({C.assign(V, C.intConst(1)), C.ret(C.read(V))});
+    Body.node()->BodyV[0]->LocalId = 99;
+    verify::Result R = verify::lintSpec(C, Body.node());
+    EXPECT_TRUE(R.has("bad-local")) << R.render();
+  }
+  // Dynamic label outside the context's table.
+  {
+    Context C;
+    DynLabel L = C.newLabel();
+    Stmt Body = C.block({C.gotoLabel(L), C.labelHere(L), C.retVoid()});
+    Body.node()->BodyV[0]->LocalId = 57;
+    verify::Result R = verify::lintSpec(C, Body.node());
+    EXPECT_TRUE(R.has("bad-dynlabel")) << R.render();
+  }
+  // Structurally broken node.
+  {
+    Context C;
+    Stmt Body = C.ret(C.intConst(1));
+    Body.node()->Kind = static_cast<StmtKind>(77);
+    verify::Result R = verify::lintSpec(C, Body.node());
+    EXPECT_TRUE(R.has("malformed-node")) << R.render();
+  }
+  // A clean spec stays clean.
+  {
+    Context C;
+    VSpec X = C.paramInt(0);
+    Stmt Body = C.ret(Expr(X) * C.intConst(3));
+    verify::Result R = verify::lintSpec(C, Body.node());
+    EXPECT_TRUE(R.ok()) << R.render();
+  }
+}
+
+// --- IR mutations -----------------------------------------------------------
+
+TEST(VerifyMutation, CorruptedIRIsRejected) {
+  P1 A;
+  P2 B;
+  P3 C;
+  MutationTally T;
+
+  // Clean streams pass.
+  EXPECT_TRUE(verify::verifyICode(A.IC).ok())
+      << verify::verifyICode(A.IC).render();
+  EXPECT_TRUE(verify::verifyICode(B.IC).ok())
+      << verify::verifyICode(B.IC).render();
+  EXPECT_TRUE(verify::verifyICode(C.IC).ok())
+      << verify::verifyICode(C.IC).render();
+
+  // Bulk: an out-of-enum opcode byte anywhere is caught.
+  for (IRProgram *P : {static_cast<IRProgram *>(&A), static_cast<IRProgram *>(&B),
+                       static_cast<IRProgram *>(&C)})
+    for (std::size_t I = 0; I < P->Clean.size(); ++I)
+      runIRCase(
+          T, *P, "bad-opcode",
+          [I](std::vector<Instr> &S) { S[I].Opcode = static_cast<Op>(0xEE); },
+          "opcode byte smash at " + std::to_string(I));
+
+  // Operand out of range (per reg-typed field).
+  runIRCase(T, A, "operand-range",
+            [](std::vector<Instr> &S) { S[2].A = 9999; },
+            "AddI dest out of range");
+  runIRCase(T, A, "operand-range",
+            [](std::vector<Instr> &S) { S[2].B = 9999; },
+            "AddI src out of range");
+  runIRCase(T, A, "operand-range", [](std::vector<Instr> &S) { S[6].C = -3; },
+            "SubI negative reg");
+  runIRCase(T, B, "operand-range",
+            [](std::vector<Instr> &S) { S[4].A = 12345; },
+            "loop AddI reg out of range");
+  runIRCase(T, C, "operand-range",
+            [](std::vector<Instr> &S) { S[2].B = 9999; },
+            "AddD reg out of range");
+
+  // Class swaps: float reg in an int slot and vice versa.
+  runIRCase(T, A, "operand-class",
+            [&A](std::vector<Instr> &S) { S[2].B = A.FD; },
+            "AddI fed a float reg");
+  runIRCase(T, A, "operand-class",
+            [&A](std::vector<Instr> &S) { S[7].A = A.FD; },
+            "RetI of a float reg");
+  runIRCase(T, C, "operand-class",
+            [&C](std::vector<Instr> &S) { S[2].B = C.I0; },
+            "AddD fed an int reg");
+  runIRCase(T, C, "operand-class",
+            [&C](std::vector<Instr> &S) { S[6].B = C.I0; },
+            "CvtDToI fed an int reg");
+
+  // Sub-opcode abuse.
+  runIRCase(T, A, "bad-sub", [](std::vector<Instr> &S) { S[2].Sub = 3; },
+            "AddI with nonzero sub");
+  runIRCase(T, A, "bad-sub", [](std::vector<Instr> &S) { S[4].Sub = 77; },
+            "CmpSetI with bogus CmpKind");
+  runIRCase(T, B, "bad-sub", [](std::vector<Instr> &S) { S[3].Sub = 99; },
+            "BrCmpII with bogus CmpKind");
+
+  // Branch/label integrity.
+  runIRCase(T, B, "bad-label",
+            [&B](std::vector<Instr> &S) {
+              S[6].A = static_cast<std::int32_t>(B.IC.numLabels()) + 5;
+            },
+            "Jump to unknown label");
+  runIRCase(T, B, "bad-label",
+            [&B](std::vector<Instr> &S) {
+              S[3].C = static_cast<std::int32_t>(B.IC.numLabels()) + 5;
+            },
+            "BrCmpII to unknown label");
+
+  // Pool references.
+  runIRCase(T, C, "bad-pool",
+            [&C](std::vector<Instr> &S) {
+              S[1].B = static_cast<std::int32_t>(C.IC.poolSize()) + 3;
+            },
+            "SetD pool index out of range");
+  runIRCase(T, C, "bad-pool",
+            [&C](std::vector<Instr> &S) {
+              S[4].A = static_cast<std::int32_t>(C.IC.poolSize()) + 9;
+            },
+            "Call pool index out of range");
+
+  // Immediate-range fields.
+  runIRCase(T, A, "bad-imm", [](std::vector<Instr> &S) { S[5].C = 64; },
+            "shift amount 64");
+  runIRCase(T, C, "bad-imm", [](std::vector<Instr> &S) { S[3].A = 8; },
+            "fp call slot 8");
+  runIRCase(T, C, "bad-imm", [](std::vector<Instr> &S) { S[4].B = 9; },
+            "call with 9 fp args");
+  runIRCase(T, A, "bad-imm", [](std::vector<Instr> &S) { S[0].B = -1; },
+            "bind of arg -1");
+
+  // BindArg after the body started.
+  runIRCase(T, A, "misplaced-bindarg",
+            [&A](std::vector<Instr> &S) {
+              S[3] = Instr{Op::BindArgI, 0, A.D, 0, 0};
+            },
+            "BindArgI mid-function");
+
+  // Call-argument grouping.
+  runIRCase(T, C, "bad-callargs", [](std::vector<Instr> &S) { S[3].A = 1; },
+            "fp arg slot not dense");
+  runIRCase(T, C, "bad-callargs", [](std::vector<Instr> &S) { S[4].B = 2; },
+            "call fp-arity mismatch");
+  runIRCase(T, A, "bad-callargs",
+            [&A](std::vector<Instr> &S) {
+              S[1] = Instr{Op::CallArgI, 0, 0, A.A0, 0};
+            },
+            "orphan call argument");
+
+  // Termination.
+  runIRCase(T, A, "missing-ret",
+            [](std::vector<Instr> &S) { S[7].Opcode = Op::Nop; },
+            "function falls off the end");
+  runIRCase(T, B, "missing-ret",
+            [](std::vector<Instr> &S) { S[8].Opcode = Op::Nop; },
+            "loop falls off the end");
+
+  // Definite assignment.
+  runIRCase(T, A, "use-before-def",
+            [](std::vector<Instr> &S) { S[1].Opcode = Op::Nop; },
+            "SetI removed before use");
+  runIRCase(T, B, "use-before-def",
+            [](std::vector<Instr> &S) { S[1].Opcode = Op::Nop; },
+            "loop accumulator never defined");
+  runIRCase(T, C, "use-before-def",
+            [](std::vector<Instr> &S) { S[1].Opcode = Op::Nop; },
+            "SetD removed before use");
+
+  EXPECT_GE(T.Cases, 50u);
+  EXPECT_EQ(T.Rejected, T.Cases) << "some IR corruptions slipped through";
+}
+
+// --- Allocation mutations ---------------------------------------------------
+
+TEST(VerifyMutation, CorruptedAllocationIsRejected) {
+  AllocFixture Fx;
+  ASSERT_TRUE(verify::verifyICode(Fx.IC).ok())
+      << verify::verifyICode(Fx.IC).render();
+  MutationTally T;
+
+  for (icode::RegAllocKind Kind :
+       {icode::RegAllocKind::LinearScan, icode::RegAllocKind::GraphColor}) {
+    std::vector<int> Backing;
+    Allocation Clean = Fx.allocate(Kind, Backing);
+    {
+      verify::Result R = verify::auditAllocation(Fx.IC, Clean);
+      ASSERT_TRUE(R.ok()) << R.render();
+    }
+
+    // Every vreg the allocator placed in a register, and the subset of the
+    // deliberately overlapping ints among them.
+    std::vector<VReg> InRegAll, InRegOverlap;
+    for (unsigned V = 0; V < Clean.NumRegs; ++V)
+      if (Clean.Location[V] >= 0)
+        InRegAll.push_back(static_cast<VReg>(V));
+    for (VReg V : Fx.Overlapping)
+      if (Clean.Location[V] >= 0)
+        InRegOverlap.push_back(V);
+    ASSERT_GE(InRegAll.size(), 4u);
+    ASSERT_GE(InRegOverlap.size(), 2u);
+
+    // Duplicate physical registers among simultaneously live vregs.
+    for (std::size_t I = 0; I < InRegOverlap.size(); ++I)
+      for (std::size_t J = 0; J < InRegOverlap.size(); ++J) {
+        if (I == J)
+          continue;
+        VReg VI = InRegOverlap[I], VJ = InRegOverlap[J];
+        if (Clean.Location[VI] == Clean.Location[VJ])
+          continue;
+        runAllocCase(T, Fx.IC, Clean, "phys-conflict",
+                     [VI, VJ](Allocation &, std::vector<int> &L) {
+                       L[static_cast<std::size_t>(VI)] =
+                           L[static_cast<std::size_t>(VJ)];
+                     },
+                     "duplicate phys assignment");
+      }
+
+    // Locations outside the pools, and occurring vregs demoted to Unused.
+    for (VReg V : InRegAll) {
+      for (int Bad : {99, 1000, -5})
+        runAllocCase(T, Fx.IC, Clean, "location-range",
+                     [V, Bad](Allocation &, std::vector<int> &L) {
+                       L[static_cast<std::size_t>(V)] = Bad;
+                     },
+                     "location out of pool range");
+      runAllocCase(T, Fx.IC, Clean, "unused-occurring",
+                   [V](Allocation &, std::vector<int> &L) {
+                     L[static_cast<std::size_t>(V)] = Allocation::Unused;
+                   },
+                   "live vreg marked unused");
+    }
+
+    // The call-crossing float must stay spilled; "allocating" it puts a
+    // value in a caller-saved XMM register across the call.
+    ASSERT_EQ(Clean.Location[Fx.CrossCall], Allocation::Spilled);
+    runAllocCase(T, Fx.IC, Clean, "caller-saved-across-call",
+                 [&Fx](Allocation &A2, std::vector<int> &L) {
+                   L[static_cast<std::size_t>(Fx.CrossCall)] = 11;
+                   A2.NumSpilled -= 1; // Keep the spill count consistent.
+                 },
+                 "float un-spilled across a call");
+    runAllocCase(T, Fx.IC, Clean, "location-range",
+                 [&Fx](Allocation &A2, std::vector<int> &L) {
+                   L[static_cast<std::size_t>(Fx.CrossCall)] = 99;
+                   A2.NumSpilled -= 1;
+                 },
+                 "spilled float location out of range");
+
+    // Bookkeeping lies.
+    runAllocCase(T, Fx.IC, Clean, "spill-count",
+                 [](Allocation &A2, std::vector<int> &) { A2.NumSpilled += 1; },
+                 "spill count inflated");
+    runAllocCase(T, Fx.IC, Clean, "alloc-shape",
+                 [](Allocation &A2, std::vector<int> &) { A2.NumRegs -= 1; },
+                 "table shorter than numRegs");
+  }
+
+  EXPECT_GE(T.Cases, 50u);
+  EXPECT_EQ(T.Rejected, T.Cases)
+      << "some allocation corruptions slipped through";
+}
+
+// --- Machine-code mutations -------------------------------------------------
+
+TEST(VerifyMutation, CorruptedBytesAreRejected) {
+  MutationTally T;
+  std::vector<CompiledBytes> Bodies;
+
+  for (BackendKind BK : {BackendKind::VCode, BackendKind::ICode}) {
+    CompileOptions Opts;
+    Opts.Backend = BK;
+    Bodies.push_back(CompiledBytes::of(compileLoopFn(Opts)));
+    Bodies.push_back(CompiledBytes::of(compileDoubleFn(Opts)));
+  }
+  CompileOptions ProfOpts;
+  ProfOpts.Backend = BackendKind::ICode;
+  ProfOpts.Profile = true;
+  ProfOpts.ProfileName = "verify-mutation";
+  CompiledFn ProfFn = compileLoopFn(ProfOpts); // Outlives its counter uses.
+  Bodies.push_back(CompiledBytes::of(ProfFn));
+
+  for (const CompiledBytes &CB : Bodies) {
+    ASSERT_FALSE(CB.Bytes.empty());
+    ASSERT_GE(CB.Ins.size(), 5u);
+    // Clean bytes pass.
+    {
+      verify::Result R = verify::auditMachineCode(CB.inputs());
+      EXPECT_TRUE(R.ok()) << R.render();
+    }
+
+    // Bulk: an undecodable opcode byte at instruction starts.
+    for (std::size_t I = 0; I < CB.Starts.size(); I += 3)
+      runByteCase(T, CB, "decode",
+                  [&CB, I](std::vector<std::uint8_t> &Buf,
+                           verify::MachineAuditInputs &) {
+                    Buf[CB.Starts[I]] = 0x06; // push es: invalid in 64-bit.
+                  },
+                  "invalid opcode at instr " + std::to_string(I));
+
+    // REX.X can never appear (neither emitter uses scaled indexing).
+    for (std::size_t I = 0; I < CB.Starts.size(); ++I)
+      if ((CB.Bytes[CB.Starts[I]] & 0xF0) == 0x40) {
+        runByteCase(T, CB, "decode",
+                    [&CB, I](std::vector<std::uint8_t> &Buf,
+                             verify::MachineAuditInputs &) {
+                      Buf[CB.Starts[I]] |= 0x02;
+                    },
+                    "REX.X planted at instr " + std::to_string(I));
+        break;
+      }
+
+    // Every ret turned into a nop unbalances the frame.
+    for (std::size_t I = 0; I < CB.Ins.size(); ++I)
+      if (CB.Ins[I].Cls == x86::InstrClass::Ret)
+        runByteCase(T, CB, "stack-balance",
+                    [&CB, I](std::vector<std::uint8_t> &Buf,
+                             verify::MachineAuditInputs &) {
+                      Buf[CB.Starts[I]] = 0x90;
+                    },
+                    "ret replaced with nop");
+
+    // Every relative branch redirected out of the region.
+    for (std::size_t I = 0; I < CB.Ins.size(); ++I)
+      if (CB.Ins[I].Cls == x86::InstrClass::Jcc ||
+          CB.Ins[I].Cls == x86::InstrClass::Jmp)
+        runByteCase(T, CB, "branch-target",
+                    [&CB, I](std::vector<std::uint8_t> &Buf,
+                             verify::MachineAuditInputs &) {
+                      std::int32_t Wild = 1 << 20;
+                      std::memcpy(&Buf[CB.Starts[I] + CB.Ins[I].Len - 4],
+                                  &Wild, 4);
+                    },
+                    "branch redirected out of region");
+
+    // Prologue vandalism: push rax instead of push rbp.
+    runByteCase(T, CB, "prologue",
+                [](std::vector<std::uint8_t> &Buf,
+                   verify::MachineAuditInputs &) { Buf[0] = 0x50; },
+                "push rbp replaced");
+
+    // Truncation into the frame-reserve imm32 (instruction 2, 7 bytes).
+    runByteCase(T, CB, "boundary",
+                [&CB](std::vector<std::uint8_t> &Buf,
+                      verify::MachineAuditInputs &MA) {
+                  std::size_t Cut = CB.Starts[2] + 2;
+                  Buf.resize(Cut);
+                  MA.Size = Cut;
+                },
+                "region truncated mid-instruction");
+  }
+
+  // Profiling-hook integrity (on the profiled body).
+  const CompiledBytes &PB = Bodies.back();
+  ASSERT_TRUE(PB.Profiled);
+  runByteCase(T, PB, "profile",
+              [](std::vector<std::uint8_t> &,
+                 verify::MachineAuditInputs &MA) { MA.ExpectProfile = false; },
+              "hook present but profiling off");
+  runByteCase(T, PB, "profile",
+              [](std::vector<std::uint8_t> &, verify::MachineAuditInputs &MA) {
+                static std::uint64_t NotTheCounter;
+                MA.ProfileCounter = &NotTheCounter;
+              },
+              "hook targets an unregistered counter");
+  bool FoundHook = false;
+  for (std::size_t I = 0; I + 1 < PB.Ins.size(); ++I)
+    if (PB.Ins[I].Cls == x86::InstrClass::MovImm64 && PB.Ins[I].Rm == 10 &&
+        PB.Ins[I + 1].Cls == x86::InstrClass::LockInc) {
+      FoundHook = true;
+      runByteCase(T, PB, "profile",
+                  [&PB, I](std::vector<std::uint8_t> &Buf,
+                           verify::MachineAuditInputs &) {
+                    Buf[PB.Starts[I] + 5] ^= 0x40; // Flip an imm64 byte.
+                  },
+                  "counter address corrupted");
+      break;
+    }
+  EXPECT_TRUE(FoundHook) << "no movabs-r10 + lock-inc pair in profiled code";
+  // A non-profiled body cannot satisfy an expected hook.
+  runByteCase(T, Bodies.front(), "profile",
+              [](std::vector<std::uint8_t> &, verify::MachineAuditInputs &MA) {
+                static std::uint64_t Counter;
+                MA.ExpectProfile = true;
+                MA.ProfileCounter = &Counter;
+              },
+              "profiling expected but no hook planted");
+
+  EXPECT_GE(T.Cases, 50u);
+  EXPECT_EQ(T.Rejected, T.Cases) << "some byte corruptions slipped through";
+}
+
+TEST(VerifyMutation, EmitterUsageCrossCheckCatchesForeignInstructions) {
+  // Warm the usage table with a real ICODE compile so ordinary opcodes are
+  // recorded, then hand-assemble a function containing an instruction no
+  // ICODE opcode can justify (movsx r32, r16): the cross-check must flag it
+  // even though it decodes fine.
+  CompileOptions Opts;
+  Opts.Backend = BackendKind::ICode;
+  (void)compileLoopFn(Opts);
+
+  std::vector<std::uint8_t> Code = {
+      0x55,                                     // push rbp
+      0x48, 0x8B, 0xEC,                         // mov rbp, rsp
+      0x48, 0x81, 0xEC, 0x30, 0x00, 0x00, 0x00, // sub rsp, 48
+      0x0F, 0xBF, 0xC1,                         // movsx eax, cx  <-- foreign
+      0x48, 0x8B, 0xE5,                         // mov rsp, rbp
+      0x5D,                                     // pop rbp
+      0xC3,                                     // ret
+  };
+  verify::MachineAuditInputs MA;
+  MA.Code = Code.data();
+  MA.Size = Code.size();
+  MA.CrossCheckEmitterUsage = true;
+  verify::Result R = verify::auditMachineCode(MA);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(R.has("emitter-usage")) << R.render();
+
+  // The same frame without the foreign instruction is fine.
+  std::vector<std::uint8_t> Clean = Code;
+  Clean.erase(Clean.begin() + 11, Clean.begin() + 14);
+  MA.Code = Clean.data();
+  MA.Size = Clean.size();
+  R = verify::auditMachineCode(MA);
+  EXPECT_TRUE(R.ok()) << R.render();
+}

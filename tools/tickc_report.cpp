@@ -44,13 +44,18 @@ int main(int argc, char **argv) {
     const char *Name;
     CompileOptions Opts;
   };
-  Config Configs[3];
+  Config Configs[4];
   Configs[0].Name = "vcode";
   Configs[1].Name = "icode/ls";
   Configs[1].Opts.Backend = BackendKind::ICode;
   Configs[2].Name = "icode/gc";
   Configs[2].Opts.Backend = BackendKind::ICode;
   Configs[2].Opts.RegAlloc = icode::RegAllocKind::GraphColor;
+  // Verified compiles populate the report's verify section (all four layers
+  // plus the verify-time share of compile cycles).
+  Configs[3].Name = "icode/verify";
+  Configs[3].Opts.Backend = BackendKind::ICode;
+  Configs[3].Opts.Verify = true;
 
   for (const Config &C : Configs) {
     for (unsigned I = 0; I < Reps; ++I) {
