@@ -15,6 +15,8 @@
 #include "observability/Metrics.h"
 #include "observability/Names.h"
 #include "observability/Trace.h"
+#include "pcode/PCode.h"
+#include "pcode/StencilLibrary.h"
 #include "support/Error.h"
 #include "support/Timing.h"
 #include "verify/Verify.h"
@@ -22,6 +24,8 @@
 #include <bit>
 #include <cassert>
 #include <climits>
+#include <cstdlib>
+#include <cstring>
 #include <optional>
 #include <vector>
 
@@ -344,17 +348,19 @@ private:
 
 template <class B> struct BackendTraits;
 
-template <> struct BackendTraits<vcode::VCode> {
+/// Covers every VCODE-machine instantiation: the classic encoder-backed
+/// vcode::VCode and the copy-and-patch pcode::PCode share the abstract
+/// machine, so they share the walker traits too.
+template <class AsmT> struct BackendTraits<vcode::VCodeT<AsmT>> {
+  using VM = vcode::VCodeT<AsmT>;
   static constexpr bool OnePass = true;
   using LabelT = vcode::Label;
-  static int allocI(vcode::VCode &V) { return V.getreg(); }
-  static void freeI(vcode::VCode &V, int R) { V.putreg(R); }
-  static int allocF(vcode::VCode &V) { return V.getfreg(); }
-  static void freeF(vcode::VCode &V, int R) { V.putfreg(R); }
+  static int allocI(VM &V) { return V.getreg(); }
+  static void freeI(VM &V, int R) { V.putreg(R); }
+  static int allocF(VM &V) { return V.getfreg(); }
+  static void freeF(VM &V, int R) { V.putfreg(R); }
   /// Memory-resident double location (safe across emitted calls).
-  static int allocMemF(vcode::VCode &V) {
-    return vcode::VCode::spillReg(V.allocSlot());
-  }
+  static int allocMemF(VM &V) { return VM::spillReg(V.allocSlot()); }
 };
 
 template <> struct BackendTraits<icode::ICode> {
@@ -1414,14 +1420,14 @@ private:
 /// each compile flushes its DynStats/decisions with a handful of relaxed
 /// adds, keeping the instrumented path within the disabled-overhead budget.
 struct CompileMetrics {
-  obs::Counter &CountVCode, &CountICode;
+  obs::Counter &CountVCode, &CountICode, &CountPCode;
   obs::Counter &CyclesTotal, &CodeBytes, &MachineInstrs;
   obs::Counter &Walk, &Finalize, &FlowGraph, &Liveness, &Intervals,
       &RegAlloc, &Peephole, &Emit;
   obs::Counter &Spilled, &Unrolled, &DeadBranches, &Strength;
-  obs::Counter &Allocs;
-  obs::Histogram &HistVCode, &HistLinear, &HistColor;
-  obs::Histogram &ArenaBytes, &CpiVCode, &CpiICode;
+  obs::Counter &Allocs, &StencilPatches;
+  obs::Histogram &HistVCode, &HistPCode, &HistLinear, &HistColor;
+  obs::Histogram &ArenaBytes, &CpiVCode, &CpiICode, &CpiPCode;
 
   static CompileMetrics &get() {
     using obs::MetricsRegistry;
@@ -1429,6 +1435,7 @@ struct CompileMetrics {
     auto &R = MetricsRegistry::global();
     static CompileMetrics M{
         R.counter(N::CompileCountVCode), R.counter(N::CompileCountICode),
+        R.counter(N::CompileCountPCode),
         R.counter(N::CompileCyclesTotal), R.counter(N::CompileCodeBytes),
         R.counter(N::CompileMachineInstrs), R.counter(N::PhaseCgfWalk),
         R.counter(N::PhaseFinalize), R.counter(N::PhaseFlowGraph),
@@ -1437,11 +1444,12 @@ struct CompileMetrics {
         R.counter(N::PhaseEmit), R.counter(N::SpilledIntervals),
         R.counter(N::LoopsUnrolled), R.counter(N::BranchesEliminated),
         R.counter(N::StrengthReductions), R.counter(N::CompileAllocs),
-        R.histogram(N::HistCyclesVCode),
+        R.counter(N::StencilPatches),
+        R.histogram(N::HistCyclesVCode), R.histogram(N::HistCyclesPCode),
         R.histogram(N::HistCyclesLinearScan),
         R.histogram(N::HistCyclesGraphColor),
         R.histogram(N::HistArenaBytes), R.histogram(N::HistCpiVCode),
-        R.histogram(N::HistCpiICode)};
+        R.histogram(N::HistCpiICode), R.histogram(N::HistCpiPCode)};
     return M;
   }
 };
@@ -1464,12 +1472,17 @@ void publishCompileMetrics(const CompiledFn &F, const CompileOptions &Opts,
     M.Strength.inc(PE.StrengthReductions);
   if (S.MachineInstrs > 0) {
     std::uint64_t Cpi = S.CyclesTotal / S.MachineInstrs;
-    (Opts.Backend == BackendKind::VCode ? M.CpiVCode : M.CpiICode)
+    (Opts.Backend == BackendKind::VCode   ? M.CpiVCode
+     : Opts.Backend == BackendKind::PCode ? M.CpiPCode
+                                          : M.CpiICode)
         .record(Cpi);
   }
   if (Opts.Backend == BackendKind::VCode) {
     M.CountVCode.inc();
     M.HistVCode.record(S.CyclesTotal);
+  } else if (Opts.Backend == BackendKind::PCode) {
+    M.CountPCode.inc();
+    M.HistPCode.record(S.CyclesTotal);
   } else {
     M.CountICode.inc();
     M.FlowGraph.inc(S.ICode.CyclesFlowGraph);
@@ -1524,6 +1537,20 @@ struct VerifyHooks {
 
 } // namespace
 
+BackendKind core::baselineBackendFromEnv() {
+  static const BackendKind K = [] {
+    const char *V = std::getenv("TICKC_BACKEND");
+    if (V) {
+      if (std::strcmp(V, "vcode") == 0)
+        return BackendKind::VCode;
+      if (std::strcmp(V, "icode") == 0)
+        return BackendKind::ICode;
+    }
+    return BackendKind::PCode;
+  }();
+  return K;
+}
+
 CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
                            const CompileOptions &Opts) {
   assert(Body.valid() && "compiling an empty cspec");
@@ -1565,6 +1592,11 @@ CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
   // Checker time spent inside the Total scope; deducted below so CyclesTotal
   // keeps meaning "what the compile itself cost" with or without -verify.
   std::uint64_t VerifyCyc = 0;
+  // Resolve the stencil library before the timed region: it is a one-time
+  // process cost (stencil.library.build_cycles), and letting it land inside
+  // the first PCODE compile's CyclesTotal would skew the phase accounting.
+  if (Opts.Backend == BackendKind::PCode)
+    (void)pcode::StencilLibrary::get();
   {
     PhaseScope Total(F.Stats.CyclesTotal);
     if (Opts.Backend == BackendKind::VCode) {
@@ -1581,6 +1613,26 @@ CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
       F.Stats.MachineInstrs = V.instructionsEmitted();
       F.Stats.CodeBytes = V.codeBytes();
       PE = W.PE;
+    } else if (Opts.Backend == BackendKind::PCode) {
+      // Copy-and-patch: same abstract machine as VCODE, but emission is a
+      // stencil memcpy + hole patch instead of per-op x86 encoding. The
+      // stencil library is built (and self-validated) once per process; its
+      // cost never lands on an individual compile.
+      pcode::PCode P(F.Region->base(), F.Region->capacity(), &A);
+      Walker<pcode::PCode> W(Ctx, P, RetType, Opts, A);
+      if (F.Prof)
+        W.ProfileCounter = &F.Prof->Invocations;
+      {
+        PhaseScope Walk(F.Stats.CyclesWalk);
+        obs::TraceSpan Span(obs::SpanKind::CGFWalk);
+        W.run(Body.node());
+        F.Entry = P.finish();
+      }
+      F.Stats.MachineInstrs = P.instructionsEmitted();
+      F.Stats.CodeBytes = P.codeBytes();
+      CompileMetrics::get().StencilPatches.inc(P.assembler().patchesApplied());
+      PE = {W.PE.LoopsUnrolled, W.PE.BranchesEliminated,
+            W.PE.StrengthReductions};
     } else {
       icode::ICode IC(A);
       Walker<icode::ICode> W(Ctx, IC, RetType, Opts, A);
@@ -1634,6 +1686,18 @@ CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
         // discipline; VCODE's one-pass output gets the structural checks.
         MA.CrossCheckEmitterUsage = Opts.Backend == BackendKind::ICode;
         MA.CheckSpillDiscipline = Opts.Backend == BackendKind::ICode;
+        if (Opts.Backend == BackendKind::PCode) {
+          // Patched output must stay inside the instruction vocabulary the
+          // stencil library rendered (plus the escape-hatch ops that call
+          // the encoder directly). A class outside the mask means a patch
+          // corrupted an opcode byte or the library drifted from the
+          // emitter. Byte-level patch correctness itself is proven at
+          // library build time (dual-render re-patch equivalence) and by
+          // the differential suite.
+          MA.CheckStencilClasses = true;
+          MA.StencilClassMask = pcode::StencilLibrary::get().ClassMask |
+                                pcode::StencilAssembler::glueClassMask();
+        }
         R = verify::auditMachineCode(MA);
       }
       VerifyCyc += Cyc;
@@ -1660,9 +1724,10 @@ CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
     F.Prof->CodeBytes.store(F.Stats.CodeBytes, std::memory_order_relaxed);
     F.Prof->MachineInstrs.store(F.Stats.MachineInstrs,
                                 std::memory_order_relaxed);
-    F.Prof->Backend.store(
-        Opts.Backend == BackendKind::VCode ? "vcode" : "icode",
-        std::memory_order_relaxed);
+    F.Prof->Backend.store(Opts.Backend == BackendKind::VCode   ? "vcode"
+                          : Opts.Backend == BackendKind::PCode ? "pcode"
+                                                               : "icode",
+                          std::memory_order_relaxed);
   }
   {
     // Compile-path memory accounting: zero allocs in steady state (the

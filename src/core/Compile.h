@@ -39,11 +39,22 @@ namespace core {
 
 class CompileContext;
 
-/// Which dynamic back end instantiation uses.
+/// Which dynamic back end instantiation uses. Serialized into SpecKey (the
+/// first option byte), so each backend's output occupies its own cache slot.
 enum class BackendKind {
   VCode,
   ICode,
+  /// Copy-and-patch: the VCODE abstract machine over pre-rendered stencils
+  /// (src/pcode). Emits byte-identical code to VCode at a fraction of the
+  /// instantiation cost; the preferred tier-0 baseline.
+  PCode,
 };
+
+/// The tier-0 baseline backend: BackendKind::PCode (copy-and-patch — the
+/// cheapest instantiation with VCODE-identical code), unless overridden by
+/// the TICKC_BACKEND environment variable (`vcode`, `pcode`, or `icode`;
+/// read once, unknown values fall back to PCode).
+BackendKind baselineBackendFromEnv();
 
 /// Knobs for one instantiation.
 struct CompileOptions {
@@ -144,6 +155,12 @@ inline CompiledFn compileVCode(Context &Ctx, Stmt Body, EvalType RetType) {
 inline CompiledFn compileICode(Context &Ctx, Stmt Body, EvalType RetType) {
   CompileOptions Opts;
   Opts.Backend = BackendKind::ICode;
+  return compileFn(Ctx, Body, RetType, Opts);
+}
+
+inline CompiledFn compilePCode(Context &Ctx, Stmt Body, EvalType RetType) {
+  CompileOptions Opts;
+  Opts.Backend = BackendKind::PCode;
   return compileFn(Ctx, Body, RetType, Opts);
 }
 

@@ -1,0 +1,23 @@
+//===- pcode/PCode.cpp ----------------------------------------------------==//
+//
+// Explicit instantiation of the copy-and-patch VCODE machine over the
+// stencil-backed emitter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pcode/PCode.h"
+
+namespace tcc {
+namespace pcode {
+
+thread_local std::vector<StencilAssembler::TraceEnt> *StencilAssembler::Trace =
+    nullptr;
+
+} // namespace pcode
+
+namespace vcode {
+
+template class VCodeT<pcode::StencilAssembler>;
+
+} // namespace vcode
+} // namespace tcc

@@ -238,12 +238,13 @@ TieredFnHandle TierManager::getOrCreate(cache::CompileService &Service,
                                         const SpecBuild &Build,
                                         EvalType RetType,
                                         CompileOptions BaseOpts) {
-  // Baseline tier: VCODE with the profiling prologue — the counter is the
-  // promotion sensor. The optimizing tier keeps the prologue too, so the
-  // two bodies differ only by back end (and promoted code keeps counting,
-  // which the report surfaces as per-fn invocation totals).
+  // Baseline tier: PCODE (copy-and-patch, overridable via TICKC_BACKEND)
+  // with the profiling prologue — the counter is the promotion sensor. The
+  // optimizing tier keeps the prologue too, so the two bodies differ only
+  // by back end (and promoted code keeps counting, which the report
+  // surfaces as per-fn invocation totals).
   CompileOptions BaselineOpts = BaseOpts;
-  BaselineOpts.Backend = BackendKind::VCode;
+  BaselineOpts.Backend = baselineBackendFromEnv();
   BaselineOpts.Profile = true;
   CompileOptions PromoteOpts = BaseOpts;
   PromoteOpts.Backend = BackendKind::ICode;

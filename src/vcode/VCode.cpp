@@ -1,36 +1,17 @@
 //===- vcode/VCode.cpp ----------------------------------------------------==//
+//
+// Non-template pieces of the VCODE machine (comparison-kind algebra and the
+// division magic-number search) plus the explicit instantiation of the
+// classic encoder-backed VCodeT<x86::Assembler>.
+//
+//===----------------------------------------------------------------------===//
 
 #include "vcode/VCode.h"
 
 #include "support/Error.h"
 
-#include <bit>
-#include <cassert>
-#include <cstring>
-
 using namespace tcc;
 using namespace tcc::vcode;
-using namespace tcc::x86;
-
-// Physical register assignment. The integer pool is callee-saved so that
-// values survive calls emitted into dynamic code; R10/R11/RAX(/RDX/RCX) are
-// emission scratch and never allocated; R8/R9 are the reserved static
-// registers of paper §5.1.
-static constexpr GPR IntPoolPhys[VCode::NumIntPool + VCode::NumStaticRegs] = {
-    RBX, R12, R13, R14, R15, R8, R9};
-static constexpr GPR ScratchA = R10;
-static constexpr GPR ScratchB = R11;
-static constexpr GPR ScratchAux = RAX;
-
-static constexpr XMM FloatPoolPhys[VCode::NumFloatPool] = {
-    XMM4, XMM5, XMM6,  XMM7,  XMM8,  XMM9,
-    XMM10, XMM11, XMM12, XMM13, XMM14, XMM15};
-static constexpr XMM FScratchA = XMM2;
-static constexpr XMM FScratchB = XMM3;
-static constexpr XMM FScratchAux = XMM1;
-
-// Callee-saved area below the frame pointer: VCode::CalleeSaveBytes.
-static constexpr std::int32_t CalleeSaveBytes = VCode::CalleeSaveBytes;
 
 CmpKind tcc::vcode::swapOperands(CmpKind K) {
   switch (K) {
@@ -83,680 +64,8 @@ CmpKind tcc::vcode::negate(CmpKind K) {
   tcc_unreachable("bad CmpKind");
 }
 
-/// x86 condition for an integer comparison.
-static Cond condFor(CmpKind K) {
-  switch (K) {
-  case CmpKind::Eq:
-    return Cond::E;
-  case CmpKind::Ne:
-    return Cond::NE;
-  case CmpKind::LtS:
-    return Cond::L;
-  case CmpKind::LeS:
-    return Cond::LE;
-  case CmpKind::GtS:
-    return Cond::G;
-  case CmpKind::GeS:
-    return Cond::GE;
-  case CmpKind::LtU:
-    return Cond::B;
-  case CmpKind::LeU:
-    return Cond::BE;
-  case CmpKind::GtU:
-    return Cond::A;
-  case CmpKind::GeU:
-    return Cond::AE;
-  }
-  tcc_unreachable("bad CmpKind");
-}
-
-/// x86 condition after ucomisd (which sets flags like an unsigned compare).
-/// NaN operands take the "unordered" outcome; like the original tcc we do
-/// not emit the extra parity check.
-static Cond condForDouble(CmpKind K) {
-  switch (K) {
-  case CmpKind::Eq:
-    return Cond::E;
-  case CmpKind::Ne:
-    return Cond::NE;
-  case CmpKind::LtS:
-  case CmpKind::LtU:
-    return Cond::B;
-  case CmpKind::LeS:
-  case CmpKind::LeU:
-    return Cond::BE;
-  case CmpKind::GtS:
-  case CmpKind::GtU:
-    return Cond::A;
-  case CmpKind::GeS:
-  case CmpKind::GeU:
-    return Cond::AE;
-  }
-  tcc_unreachable("bad CmpKind");
-}
-
-VCode::VCode(std::uint8_t *Buf, std::size_t Capacity, Arena *ScratchArena)
-    : Asm(Buf, Capacity),
-      OwnedScratch(ScratchArena ? nullptr : new Arena(4096)),
-      Scratch(ScratchArena ? ScratchArena : OwnedScratch.get()),
-      FreeIntMask((1u << NumIntPool) - 1),
-      FreeFloatMask((1u << NumFloatPool) - 1), FreeSpillSlots(*Scratch),
-      Labels(*Scratch), RestoreSitePcs(*Scratch) {}
-
-// --- Register management -----------------------------------------------------
-
-Reg VCode::getreg() {
-  if (FreeIntMask) {
-    int Idx = std::countr_zero(FreeIntMask);
-    FreeIntMask &= FreeIntMask - 1;
-    return Idx;
-  }
-  if (!SpillingEnabled)
-    reportFatalError("getreg: register pool exhausted with spilling disabled");
-  if (!FreeSpillSlots.empty()) {
-    int Slot = FreeSpillSlots.back();
-    FreeSpillSlots.pop_back();
-    return spillReg(Slot);
-  }
-  return spillReg(allocSlot());
-}
-
-void VCode::putreg(Reg R) {
-  if (isSpill(R)) {
-    FreeSpillSlots.push_back(spillSlot(R));
-    return;
-  }
-  assert(R < NumIntPool && "putreg on a static register");
-  assert(!(FreeIntMask & (1u << R)) && "double putreg");
-  FreeIntMask |= 1u << R;
-}
-
-FReg VCode::getfreg() {
-  if (FreeFloatMask) {
-    int Idx = std::countr_zero(FreeFloatMask);
-    FreeFloatMask &= FreeFloatMask - 1;
-    return Idx;
-  }
-  if (!SpillingEnabled)
-    reportFatalError("getfreg: register pool exhausted with spilling disabled");
-  if (!FreeSpillSlots.empty()) {
-    int Slot = FreeSpillSlots.back();
-    FreeSpillSlots.pop_back();
-    return spillReg(Slot);
-  }
-  return spillReg(allocSlot());
-}
-
-void VCode::putfreg(FReg R) {
-  if (isSpill(R)) {
-    FreeSpillSlots.push_back(spillSlot(R));
-    return;
-  }
-  assert(!(FreeFloatMask & (1u << R)) && "double putfreg");
-  FreeFloatMask |= 1u << R;
-}
-
-int VCode::freeIntRegs() const { return std::popcount(FreeIntMask); }
-
-GPR VCode::intPhys(Reg R) {
-  assert(R >= 0 && R < NumIntPool + NumStaticRegs && "bad register designator");
-  if (R < NumIntPool)
-    UsedPoolMask |= 1u << R;
-  return IntPoolPhys[R];
-}
-
-XMM VCode::fpPhys(FReg R) const {
-  assert(R >= 0 && R < NumFloatPool && "bad register designator");
-  return FloatPoolPhys[R];
-}
-
-std::int32_t VCode::slotOffset(int Slot) const {
-  assert(Slot >= 0 && "bad spill slot");
-  return -(CalleeSaveBytes + 8 * (Slot + 1));
-}
-
-GPR VCode::srcI(Reg R, GPR Scratch) {
-  if (!isSpill(R))
-    return intPhys(R);
-  int Slot = spillSlot(R);
-  if (Slot >= NumSlots)
-    NumSlots = Slot + 1;
-  Asm.loadRM64(Scratch, RBP, slotOffset(Slot));
-  return Scratch;
-}
-
-XMM VCode::srcD(FReg R, XMM Scratch) {
-  if (!isSpill(R))
-    return fpPhys(R);
-  int Slot = spillSlot(R);
-  if (Slot >= NumSlots)
-    NumSlots = Slot + 1;
-  Asm.movsdRM(Scratch, RBP, slotOffset(Slot));
-  return Scratch;
-}
-
-GPR VCode::dstI(Reg R, GPR Scratch) {
-  return isSpill(R) ? Scratch : intPhys(R);
-}
-
-XMM VCode::dstD(FReg R, XMM Scratch) const {
-  return isSpill(R) ? Scratch : fpPhys(R);
-}
-
-void VCode::writeBackI(Reg R, GPR Phys) {
-  if (!isSpill(R))
-    return;
-  int Slot = spillSlot(R);
-  if (Slot >= NumSlots)
-    NumSlots = Slot + 1;
-  Asm.storeMR64(RBP, slotOffset(Slot), Phys);
-}
-
-void VCode::writeBackD(FReg R, XMM Phys) {
-  if (!isSpill(R))
-    return;
-  int Slot = spillSlot(R);
-  if (Slot >= NumSlots)
-    NumSlots = Slot + 1;
-  Asm.movsdMR(RBP, slotOffset(Slot), Phys);
-}
-
-// --- Function boundaries --------------------------------------------------------
-
-void VCode::enter() {
-  // Callee-saved pool registers are preserved with rbp-relative stores
-  // (fixed 4-byte encodings) rather than pushes, so that finish() can erase
-  // the ones this function never used — keeping small dynamic functions'
-  // prologues lean without a second pass.
-  Asm.push(RBP);
-  Asm.movRR64(RBP, RSP);
-  FramePatchOffset = Asm.subRI64Patchable(RSP);
-  for (int I = 0; I < NumIntPool; ++I) {
-    SaveSitePc[I] = Asm.pc();
-    Asm.storeMR64(RBP, -8 * (I + 1), IntPoolPhys[I]);
-    assert(Asm.pc() - SaveSitePc[I] == 4 && "save store must be 4 bytes");
-  }
-}
-
-void VCode::profileEntry(const void *Counter) {
-  Asm.movRI64(ScratchA, reinterpret_cast<std::uint64_t>(Counter));
-  Asm.lockIncM64(ScratchA, 0);
-}
-
-void VCode::bindArgI(unsigned Index, Reg Dst) {
-  GPR Pd = dstI(Dst, ScratchA);
-  if (Index < 6)
-    Asm.movRR64(Pd, IntArgRegs[Index]);
-  else
-    Asm.loadRM64(Pd, RBP, 16 + 8 * static_cast<std::int32_t>(Index - 6));
-  writeBackI(Dst, Pd);
-}
-
-void VCode::bindArgD(unsigned Index, FReg Dst) {
-  assert(Index < 8 && "stack-passed double arguments not supported");
-  XMM Pd = dstD(Dst, FScratchA);
-  Asm.movsdRR(Pd, FloatArgRegs[Index]);
-  writeBackD(Dst, Pd);
-}
-
-void VCode::epilogue() {
-  for (int I = 0; I < NumIntPool; ++I) {
-    RestoreSitePcs.push_back(Asm.pc());
-    Asm.loadRM64(IntPoolPhys[I], RBP, -8 * (I + 1));
-  }
-  Asm.movRR64(RSP, RBP);
-  Asm.pop(RBP);
-  Asm.ret();
-}
-
-void VCode::retVoid() { epilogue(); }
-
-void VCode::retI(Reg R) {
-  GPR P = srcI(R, ScratchA);
-  Asm.movRR32(RAX, P);
-  epilogue();
-}
-
-void VCode::retL(Reg R) {
-  GPR P = srcI(R, ScratchA);
-  if (P != RAX)
-    Asm.movRR64(RAX, P);
-  epilogue();
-}
-
-void VCode::retD(FReg R) {
-  XMM P = srcD(R, FScratchA);
-  if (P != XMM0)
-    Asm.movsdRR(XMM0, P);
-  epilogue();
-}
-
-void *VCode::finish() {
-  assert(!Finished && "finish called twice");
-#ifndef NDEBUG
-  for (const LabelInfo &L : Labels)
-    assert(L.Bound && "unbound label at finish");
-#endif
-  std::uint32_t Frame =
-      CalleeSaveBytes + 8 * static_cast<std::uint32_t>(NumSlots);
-  Frame = (Frame + 15) & ~15u; // Keep calls 16-byte aligned.
-  Asm.patch32(FramePatchOffset, Frame);
-  // Erase callee-save traffic for pool registers never handed out.
-  for (int I = 0; I < NumIntPool; ++I) {
-    if (UsedPoolMask & (1u << I))
-      continue;
-    Asm.nopFill(SaveSitePc[I], 4);
-    for (std::size_t E = 0; E < RestoreSitePcs.size(); E += NumIntPool)
-      Asm.nopFill(RestoreSitePcs[E + static_cast<std::size_t>(I)], 4);
-  }
-  Finished = true;
-  return Asm.bufferBase();
-}
-
-// --- Moves and constants -----------------------------------------------------------
-
-void VCode::setI(Reg D, std::int32_t Imm) {
-  GPR Pd = dstI(D, ScratchA);
-  if (Imm == 0)
-    Asm.xorRR32(Pd, Pd);
-  else
-    Asm.movRI32(Pd, static_cast<std::uint32_t>(Imm));
-  writeBackI(D, Pd);
-}
-
-void VCode::setL(Reg D, std::int64_t Imm) {
-  GPR Pd = dstI(D, ScratchA);
-  if (Imm == 0)
-    Asm.xorRR32(Pd, Pd);
-  else if (Imm >= INT32_MIN && Imm <= INT32_MAX)
-    Asm.movRI64SExt32(Pd, static_cast<std::int32_t>(Imm));
-  else
-    Asm.movRI64(Pd, static_cast<std::uint64_t>(Imm));
-  writeBackI(D, Pd);
-}
-
-void VCode::setD(FReg D, double Imm) {
-  std::uint64_t Bits;
-  std::memcpy(&Bits, &Imm, 8);
-  XMM Pd = dstD(D, FScratchA);
-  if (Bits == 0) {
-    Asm.xorpd(Pd, Pd);
-  } else {
-    Asm.movRI64(ScratchA, Bits);
-    Asm.movqXR(Pd, ScratchA);
-  }
-  writeBackD(D, Pd);
-}
-
-void VCode::movL(Reg D, Reg S) {
-  if (D == S)
-    return;
-  GPR Ps = srcI(S, ScratchA);
-  GPR Pd = dstI(D, ScratchA);
-  if (Pd != Ps)
-    Asm.movRR64(Pd, Ps);
-  writeBackI(D, Pd);
-}
-
-void VCode::movD(FReg D, FReg S) {
-  if (D == S)
-    return;
-  XMM Ps = srcD(S, FScratchA);
-  XMM Pd = dstD(D, FScratchA);
-  if (Pd != Ps)
-    Asm.movsdRR(Pd, Ps);
-  writeBackD(D, Pd);
-}
-
-// --- Integer arithmetic ---------------------------------------------------------------
-
-void VCode::binI(Reg D, Reg A, Reg B, BinOp Op, bool Commutative) {
-  GPR Pa = srcI(A, ScratchA);
-  GPR Pb = srcI(B, ScratchB);
-  GPR Pd = dstI(D, ScratchA);
-  if (Pd == Pb && Pd != Pa) {
-    if (Commutative) {
-      (Asm.*Op)(Pd, Pa);
-      writeBackI(D, Pd);
-      return;
-    }
-    Asm.movRR64(ScratchAux, Pb);
-    Pb = ScratchAux;
-  }
-  if (Pd != Pa)
-    Asm.movRR64(Pd, Pa);
-  (Asm.*Op)(Pd, Pb);
-  writeBackI(D, Pd);
-}
-
-void VCode::addI(Reg D, Reg A, Reg B) {
-  binI(D, A, B, &x86::Assembler::addRR32, true);
-}
-void VCode::subI(Reg D, Reg A, Reg B) {
-  binI(D, A, B, &x86::Assembler::subRR32, false);
-}
-void VCode::mulI(Reg D, Reg A, Reg B) {
-  binI(D, A, B, &x86::Assembler::imulRR32, true);
-}
-void VCode::andI(Reg D, Reg A, Reg B) {
-  binI(D, A, B, &x86::Assembler::andRR32, true);
-}
-void VCode::orI(Reg D, Reg A, Reg B) {
-  binI(D, A, B, &x86::Assembler::orRR32, true);
-}
-void VCode::xorI(Reg D, Reg A, Reg B) {
-  binI(D, A, B, &x86::Assembler::xorRR32, true);
-}
-void VCode::addL(Reg D, Reg A, Reg B) {
-  binI(D, A, B, &x86::Assembler::addRR64, true);
-}
-void VCode::subL(Reg D, Reg A, Reg B) {
-  binI(D, A, B, &x86::Assembler::subRR64, false);
-}
-void VCode::mulL(Reg D, Reg A, Reg B) {
-  binI(D, A, B, &x86::Assembler::imulRR64, true);
-}
-
-void VCode::divModCommon(Reg D, Reg A, Reg B, bool WantRemainder,
-                         bool Unsigned) {
-  GPR Pa = srcI(A, ScratchA);
-  GPR Pb = srcI(B, ScratchB);
-  Asm.movRR64(RAX, Pa);
-  if (Unsigned) {
-    Asm.xorRR32(RDX, RDX);
-    Asm.divR32(Pb);
-  } else {
-    Asm.cdq();
-    Asm.idivR32(Pb);
-  }
-  GPR Res = WantRemainder ? RDX : RAX;
-  GPR Pd = dstI(D, ScratchA);
-  if (Pd != Res)
-    Asm.movRR64(Pd, Res);
-  writeBackI(D, Pd);
-}
-
-void VCode::divI(Reg D, Reg A, Reg B) { divModCommon(D, A, B, false, false); }
-void VCode::modI(Reg D, Reg A, Reg B) { divModCommon(D, A, B, true, false); }
-void VCode::divUI(Reg D, Reg A, Reg B) { divModCommon(D, A, B, false, true); }
-void VCode::modUI(Reg D, Reg A, Reg B) { divModCommon(D, A, B, true, true); }
-
-void VCode::shiftI(Reg D, Reg A, Reg B, void (x86::Assembler::*Op)(GPR)) {
-  GPR Pa = srcI(A, ScratchA);
-  GPR Pb = srcI(B, ScratchB);
-  Asm.movRR64(RCX, Pb);
-  GPR Pd = dstI(D, ScratchA);
-  if (Pd != Pa)
-    Asm.movRR64(Pd, Pa);
-  (Asm.*Op)(Pd);
-  writeBackI(D, Pd);
-}
-
-void VCode::shlI(Reg D, Reg A, Reg B) {
-  shiftI(D, A, B, &x86::Assembler::shlCl32);
-}
-void VCode::shrI(Reg D, Reg A, Reg B) {
-  shiftI(D, A, B, &x86::Assembler::sarCl32);
-}
-void VCode::ushrI(Reg D, Reg A, Reg B) {
-  shiftI(D, A, B, &x86::Assembler::shrCl32);
-}
-
-void VCode::negI(Reg D, Reg A) {
-  GPR Pa = srcI(A, ScratchA);
-  GPR Pd = dstI(D, ScratchA);
-  if (Pd != Pa)
-    Asm.movRR64(Pd, Pa);
-  Asm.negR32(Pd);
-  writeBackI(D, Pd);
-}
-
-void VCode::notI(Reg D, Reg A) {
-  GPR Pa = srcI(A, ScratchA);
-  GPR Pd = dstI(D, ScratchA);
-  if (Pd != Pa)
-    Asm.movRR64(Pd, Pa);
-  Asm.notR32(Pd);
-  writeBackI(D, Pd);
-}
-
-// --- Immediate forms --------------------------------------------------------------------
-
-void VCode::binII(Reg D, Reg A, std::int32_t Imm,
-                  void (x86::Assembler::*Op)(GPR, std::int32_t), bool) {
-  GPR Pa = srcI(A, ScratchA);
-  GPR Pd = dstI(D, ScratchA);
-  if (Pd != Pa)
-    Asm.movRR64(Pd, Pa);
-  (Asm.*Op)(Pd, Imm);
-  writeBackI(D, Pd);
-}
-
-void VCode::addII(Reg D, Reg A, std::int32_t Imm) {
-  if (Imm == 0) {
-    movI(D, A);
-    return;
-  }
-  binII(D, A, Imm, &x86::Assembler::addRI32, false);
-}
-void VCode::subII(Reg D, Reg A, std::int32_t Imm) {
-  if (Imm == 0) {
-    movI(D, A);
-    return;
-  }
-  binII(D, A, Imm, &x86::Assembler::subRI32, false);
-}
-void VCode::andII(Reg D, Reg A, std::int32_t Imm) {
-  binII(D, A, Imm, &x86::Assembler::andRI32, false);
-}
-void VCode::orII(Reg D, Reg A, std::int32_t Imm) {
-  if (Imm == 0) {
-    movI(D, A);
-    return;
-  }
-  binII(D, A, Imm, &x86::Assembler::orRI32, false);
-}
-void VCode::xorII(Reg D, Reg A, std::int32_t Imm) {
-  if (Imm == 0) {
-    movI(D, A);
-    return;
-  }
-  binII(D, A, Imm, &x86::Assembler::xorRI32, false);
-}
-void VCode::addLI(Reg D, Reg A, std::int32_t Imm) {
-  if (Imm == 0) {
-    movL(D, A);
-    return;
-  }
-  binII(D, A, Imm, &x86::Assembler::addRI64, true);
-}
-
-void VCode::shlII(Reg D, Reg A, std::uint8_t Imm) {
-  if (Imm == 0) {
-    movI(D, A);
-    return;
-  }
-  GPR Pa = srcI(A, ScratchA);
-  GPR Pd = dstI(D, ScratchA);
-  if (Pd != Pa)
-    Asm.movRR64(Pd, Pa);
-  Asm.shlRI32(Pd, Imm);
-  writeBackI(D, Pd);
-}
-
-void VCode::shrII(Reg D, Reg A, std::uint8_t Imm) {
-  if (Imm == 0) {
-    movI(D, A);
-    return;
-  }
-  GPR Pa = srcI(A, ScratchA);
-  GPR Pd = dstI(D, ScratchA);
-  if (Pd != Pa)
-    Asm.movRR64(Pd, Pa);
-  Asm.sarRI32(Pd, Imm);
-  writeBackI(D, Pd);
-}
-
-void VCode::ushrII(Reg D, Reg A, std::uint8_t Imm) {
-  if (Imm == 0) {
-    movI(D, A);
-    return;
-  }
-  GPR Pa = srcI(A, ScratchA);
-  GPR Pd = dstI(D, ScratchA);
-  if (Pd != Pa)
-    Asm.movRR64(Pd, Pa);
-  Asm.shrRI32(Pd, Imm);
-  writeBackI(D, Pd);
-}
-
-void VCode::shlLI(Reg D, Reg A, std::uint8_t Imm) {
-  if (Imm == 0) {
-    movL(D, A);
-    return;
-  }
-  GPR Pa = srcI(A, ScratchA);
-  GPR Pd = dstI(D, ScratchA);
-  if (Pd != Pa)
-    Asm.movRR64(Pd, Pa);
-  Asm.shlRI64(Pd, Imm);
-  writeBackI(D, Pd);
-}
-
-void VCode::mulII(Reg D, Reg A, std::int32_t Imm) {
-  // Strength reduction on the run-time-constant operand (paper §4.4).
-  if (Imm == 0) {
-    setI(D, 0);
-    return;
-  }
-  if (Imm == 1) {
-    movI(D, A);
-    return;
-  }
-  if (Imm == -1) {
-    negI(D, A);
-    return;
-  }
-  bool Negate = Imm < 0;
-  std::uint32_t M = Negate ? static_cast<std::uint32_t>(-std::int64_t(Imm))
-                           : static_cast<std::uint32_t>(Imm);
-  if (std::has_single_bit(M)) {
-    GPR Pa = srcI(A, ScratchA);
-    GPR Pd = dstI(D, ScratchA);
-    if (Pd != Pa)
-      Asm.movRR64(Pd, Pa);
-    Asm.shlRI32(Pd, static_cast<std::uint8_t>(std::countr_zero(M)));
-    if (Negate)
-      Asm.negR32(Pd);
-    writeBackI(D, Pd);
-    return;
-  }
-  if (std::popcount(M) == 2) {
-    // a*(2^hi + 2^lo) = (a<<hi) + (a<<lo).
-    int Hi = 31 - std::countl_zero(M);
-    int Lo = std::countr_zero(M);
-    GPR Pa = srcI(A, ScratchA);
-    Asm.movRR64(ScratchB, Pa);
-    Asm.shlRI32(ScratchB, static_cast<std::uint8_t>(Hi));
-    GPR Pd = dstI(D, ScratchA);
-    if (Pd != Pa)
-      Asm.movRR64(Pd, Pa);
-    if (Lo != 0)
-      Asm.shlRI32(Pd, static_cast<std::uint8_t>(Lo));
-    Asm.addRR32(Pd, ScratchB);
-    if (Negate)
-      Asm.negR32(Pd);
-    writeBackI(D, Pd);
-    return;
-  }
-  GPR Pa = srcI(A, ScratchA);
-  GPR Pd = dstI(D, ScratchA);
-  Asm.imulRRI32(Pd, Pa, Imm);
-  writeBackI(D, Pd);
-}
-
-void VCode::mulLI(Reg D, Reg A, std::int32_t Imm) {
-  if (Imm == 1) {
-    movL(D, A);
-    return;
-  }
-  if (Imm > 0 && std::has_single_bit(static_cast<std::uint32_t>(Imm))) {
-    shlLI(D, A,
-          static_cast<std::uint8_t>(
-              std::countr_zero(static_cast<std::uint32_t>(Imm))));
-    return;
-  }
-  GPR Pa = srcI(A, ScratchA);
-  GPR Pd = dstI(D, ScratchA);
-  Asm.imulRRI64(Pd, Pa, Imm);
-  writeBackI(D, Pd);
-}
-
-void VCode::divII(Reg D, Reg A, std::int32_t Imm) {
-  if (Imm == 1) {
-    movI(D, A);
-    return;
-  }
-  if (Imm == -1) {
-    negI(D, A);
-    return;
-  }
-  if (Imm > 1 && std::has_single_bit(static_cast<std::uint32_t>(Imm))) {
-    // Signed division by 2^k with the rounding-toward-zero bias:
-    //   d = (a + ((a >> 31) >>> (32-k))) >> k.
-    int K = std::countr_zero(static_cast<std::uint32_t>(Imm));
-    GPR Pa = srcI(A, ScratchA);
-    Asm.movRR64(ScratchB, Pa);
-    Asm.sarRI32(ScratchB, 31);
-    Asm.shrRI32(ScratchB, static_cast<std::uint8_t>(32 - K));
-    GPR Pd = dstI(D, ScratchA);
-    if (Pd != Pa)
-      Asm.movRR64(Pd, Pa);
-    Asm.addRR32(Pd, ScratchB);
-    Asm.sarRI32(Pd, static_cast<std::uint8_t>(K));
-    writeBackI(D, Pd);
-    return;
-  }
-  // General divisors: Granlund/Montgomery magic-number multiplication —
-  // the natural endpoint of the paper's "emit different machine
-  // instructions depending on the value of the immediate operand".
-  if (Imm != 0 && Imm != INT32_MIN) {
-    auto [Magic, Shift] = signedDivisionMagic(Imm);
-    GPR Pa = srcI(A, ScratchA);
-    // rdx:rax = magic * a (signed 64-bit via imul on sign-extended values).
-    Asm.movsxd(ScratchB, Pa);
-    Asm.imulRRI64(ScratchB, ScratchB, Magic);
-    // q0 = high32(product) (+ a if magic < 0, - a if divisor < 0 handled
-    // by the magic's construction); then arithmetic shift and sign fixup.
-    Asm.sarRI64(ScratchB, 32);
-    if (Magic < 0 && Imm > 0)
-      Asm.addRR32(ScratchB, Pa);
-    if (Magic > 0 && Imm < 0)
-      Asm.subRR32(ScratchB, Pa);
-    if (Shift > 0)
-      Asm.sarRI32(ScratchB, static_cast<std::uint8_t>(Shift));
-    // q += (q >> 31) & 1  — add the sign bit to round toward zero.
-    Asm.movRR32(RAX, ScratchB);
-    Asm.shrRI32(RAX, 31);
-    GPR Pd = dstI(D, ScratchA);
-    if (Pd != ScratchB)
-      Asm.movRR64(Pd, ScratchB);
-    Asm.addRR32(Pd, RAX);
-    writeBackI(D, Pd);
-    return;
-  }
-  GPR Pa = srcI(A, ScratchA);
-  Asm.movRR64(RAX, Pa);
-  Asm.movRI64SExt32(ScratchB, Imm);
-  Asm.cdq();
-  Asm.idivR32(ScratchB);
-  GPR Pd = dstI(D, ScratchA);
-  if (Pd != RAX)
-    Asm.movRR64(Pd, RAX);
-  writeBackI(D, Pd);
-}
-
-std::pair<std::int32_t, int> VCode::signedDivisionMagic(std::int32_t Divisor) {
+std::pair<std::int32_t, int>
+tcc::vcode::signedDivisionMagicImpl(std::int32_t Divisor) {
   // Hacker's Delight, figure 10-1 (Granlund & Montgomery). Returns the
   // magic multiplier M and post-shift s such that for all 32-bit a,
   //   a / Divisor == high32(M * a) [+/- a] >> s, plus a sign-bit fixup.
@@ -791,367 +100,10 @@ std::pair<std::int32_t, int> VCode::signedDivisionMagic(std::int32_t Divisor) {
   return {Magic, P - 32};
 }
 
-void VCode::modII(Reg D, Reg A, std::int32_t Imm) {
-  if (Imm > 1 && std::has_single_bit(static_cast<std::uint32_t>(Imm))) {
-    // Signed remainder by 2^k: m = a - (((a + bias) >> k) << k) with the
-    // same rounding bias as division.
-    int K = std::countr_zero(static_cast<std::uint32_t>(Imm));
-    GPR Pa = srcI(A, ScratchA);
-    Asm.movRR64(ScratchB, Pa);
-    Asm.sarRI32(ScratchB, 31);
-    Asm.shrRI32(ScratchB, static_cast<std::uint8_t>(32 - K));
-    Asm.addRR32(ScratchB, Pa);
-    Asm.sarRI32(ScratchB, static_cast<std::uint8_t>(K));
-    Asm.shlRI32(ScratchB, static_cast<std::uint8_t>(K));
-    GPR Pd = dstI(D, ScratchA);
-    if (Pd != Pa)
-      Asm.movRR64(Pd, Pa);
-    Asm.subRR32(Pd, ScratchB);
-    writeBackI(D, Pd);
-    return;
-  }
-  GPR Pa = srcI(A, ScratchA);
-  Asm.movRR64(RAX, Pa);
-  Asm.movRI64SExt32(ScratchB, Imm);
-  Asm.cdq();
-  Asm.idivR32(ScratchB);
-  GPR Pd = dstI(D, ScratchA);
-  if (Pd != RDX)
-    Asm.movRR64(Pd, RDX);
-  writeBackI(D, Pd);
-}
+namespace tcc {
+namespace vcode {
 
-void VCode::sextIToL(Reg D, Reg S) {
-  GPR Ps = srcI(S, ScratchA);
-  GPR Pd = dstI(D, ScratchA);
-  Asm.movsxd(Pd, Ps);
-  writeBackI(D, Pd);
-}
+template class VCodeT<x86::Assembler>;
 
-// --- Doubles ---------------------------------------------------------------------------------
-
-void VCode::binD(FReg D, FReg A, FReg B, FBinOp Op, bool Commutative) {
-  XMM Pa = srcD(A, FScratchA);
-  XMM Pb = srcD(B, FScratchB);
-  XMM Pd = dstD(D, FScratchA);
-  if (Pd == Pb && Pd != Pa) {
-    if (Commutative) {
-      (Asm.*Op)(Pd, Pa);
-      writeBackD(D, Pd);
-      return;
-    }
-    Asm.movsdRR(FScratchAux, Pb);
-    Pb = FScratchAux;
-  }
-  if (Pd != Pa)
-    Asm.movsdRR(Pd, Pa);
-  (Asm.*Op)(Pd, Pb);
-  writeBackD(D, Pd);
-}
-
-void VCode::addD(FReg D, FReg A, FReg B) {
-  binD(D, A, B, &x86::Assembler::addsd, true);
-}
-void VCode::subD(FReg D, FReg A, FReg B) {
-  binD(D, A, B, &x86::Assembler::subsd, false);
-}
-void VCode::mulD(FReg D, FReg A, FReg B) {
-  binD(D, A, B, &x86::Assembler::mulsd, true);
-}
-void VCode::divD(FReg D, FReg A, FReg B) {
-  binD(D, A, B, &x86::Assembler::divsd, false);
-}
-
-void VCode::negD(FReg D, FReg A) {
-  XMM Pa = srcD(A, FScratchA);
-  Asm.xorpd(FScratchB, FScratchB);
-  Asm.subsd(FScratchB, Pa);
-  XMM Pd = dstD(D, FScratchA);
-  if (Pd != FScratchB)
-    Asm.movsdRR(Pd, FScratchB);
-  writeBackD(D, Pd);
-}
-
-void VCode::cvtIToD(FReg D, Reg S) {
-  GPR Ps = srcI(S, ScratchA);
-  XMM Pd = dstD(D, FScratchA);
-  Asm.cvtsi2sd32(Pd, Ps);
-  writeBackD(D, Pd);
-}
-
-void VCode::cvtLToD(FReg D, Reg S) {
-  GPR Ps = srcI(S, ScratchA);
-  XMM Pd = dstD(D, FScratchA);
-  Asm.cvtsi2sd64(Pd, Ps);
-  writeBackD(D, Pd);
-}
-
-void VCode::cvtDToI(Reg D, FReg S) {
-  XMM Ps = srcD(S, FScratchA);
-  GPR Pd = dstI(D, ScratchA);
-  Asm.cvttsd2si32(Pd, Ps);
-  writeBackI(D, Pd);
-}
-
-// --- Comparisons -----------------------------------------------------------------------------
-
-void VCode::cmpSetI(CmpKind K, Reg D, Reg A, Reg B) {
-  GPR Pa = srcI(A, ScratchA);
-  GPR Pb = srcI(B, ScratchB);
-  Asm.cmpRR32(Pa, Pb);
-  GPR Pd = dstI(D, ScratchA);
-  Asm.setcc(condFor(K), Pd);
-  Asm.movzx8RR(Pd, Pd);
-  writeBackI(D, Pd);
-}
-
-void VCode::cmpSetII(CmpKind K, Reg D, Reg A, std::int32_t Imm) {
-  GPR Pa = srcI(A, ScratchA);
-  Asm.cmpRI32(Pa, Imm);
-  GPR Pd = dstI(D, ScratchA);
-  Asm.setcc(condFor(K), Pd);
-  Asm.movzx8RR(Pd, Pd);
-  writeBackI(D, Pd);
-}
-
-void VCode::cmpSetL(CmpKind K, Reg D, Reg A, Reg B) {
-  GPR Pa = srcI(A, ScratchA);
-  GPR Pb = srcI(B, ScratchB);
-  Asm.cmpRR64(Pa, Pb);
-  GPR Pd = dstI(D, ScratchA);
-  Asm.setcc(condFor(K), Pd);
-  Asm.movzx8RR(Pd, Pd);
-  writeBackI(D, Pd);
-}
-
-void VCode::cmpSetD(CmpKind K, Reg D, FReg A, FReg B) {
-  XMM Pa = srcD(A, FScratchA);
-  XMM Pb = srcD(B, FScratchB);
-  Asm.ucomisd(Pa, Pb);
-  GPR Pd = dstI(D, ScratchA);
-  Asm.setcc(condForDouble(K), Pd);
-  Asm.movzx8RR(Pd, Pd);
-  writeBackI(D, Pd);
-}
-
-// --- Memory ----------------------------------------------------------------------------------
-
-void VCode::ldI(Reg D, Reg Base, std::int32_t Off) {
-  GPR Pb = srcI(Base, ScratchA);
-  GPR Pd = dstI(D, ScratchA);
-  Asm.loadRM32(Pd, Pb, Off);
-  writeBackI(D, Pd);
-}
-
-void VCode::ldL(Reg D, Reg Base, std::int32_t Off) {
-  GPR Pb = srcI(Base, ScratchA);
-  GPR Pd = dstI(D, ScratchA);
-  Asm.loadRM64(Pd, Pb, Off);
-  writeBackI(D, Pd);
-}
-
-void VCode::ldI8s(Reg D, Reg Base, std::int32_t Off) {
-  GPR Pb = srcI(Base, ScratchA);
-  GPR Pd = dstI(D, ScratchA);
-  Asm.loadSExt8(Pd, Pb, Off);
-  writeBackI(D, Pd);
-}
-
-void VCode::ldI8u(Reg D, Reg Base, std::int32_t Off) {
-  GPR Pb = srcI(Base, ScratchA);
-  GPR Pd = dstI(D, ScratchA);
-  Asm.loadZExt8(Pd, Pb, Off);
-  writeBackI(D, Pd);
-}
-
-void VCode::ldI16s(Reg D, Reg Base, std::int32_t Off) {
-  GPR Pb = srcI(Base, ScratchA);
-  GPR Pd = dstI(D, ScratchA);
-  Asm.loadSExt16(Pd, Pb, Off);
-  writeBackI(D, Pd);
-}
-
-void VCode::ldI16u(Reg D, Reg Base, std::int32_t Off) {
-  GPR Pb = srcI(Base, ScratchA);
-  GPR Pd = dstI(D, ScratchA);
-  Asm.loadZExt16(Pd, Pb, Off);
-  writeBackI(D, Pd);
-}
-
-void VCode::ldD(FReg D, Reg Base, std::int32_t Off) {
-  GPR Pb = srcI(Base, ScratchA);
-  XMM Pd = dstD(D, FScratchA);
-  Asm.movsdRM(Pd, Pb, Off);
-  writeBackD(D, Pd);
-}
-
-void VCode::stI(Reg Base, std::int32_t Off, Reg S) {
-  GPR Pb = srcI(Base, ScratchA);
-  GPR Ps = srcI(S, ScratchB);
-  Asm.storeMR32(Pb, Off, Ps);
-}
-
-void VCode::stL(Reg Base, std::int32_t Off, Reg S) {
-  GPR Pb = srcI(Base, ScratchA);
-  GPR Ps = srcI(S, ScratchB);
-  Asm.storeMR64(Pb, Off, Ps);
-}
-
-void VCode::stI8(Reg Base, std::int32_t Off, Reg S) {
-  GPR Pb = srcI(Base, ScratchA);
-  GPR Ps = srcI(S, ScratchB);
-  Asm.storeMR8(Pb, Off, Ps);
-}
-
-void VCode::stI16(Reg Base, std::int32_t Off, Reg S) {
-  GPR Pb = srcI(Base, ScratchA);
-  GPR Ps = srcI(S, ScratchB);
-  Asm.storeMR16(Pb, Off, Ps);
-}
-
-void VCode::stD(Reg Base, std::int32_t Off, FReg S) {
-  GPR Pb = srcI(Base, ScratchA);
-  XMM Ps = srcD(S, FScratchA);
-  Asm.movsdMR(Pb, Off, Ps);
-}
-
-// --- Control flow ------------------------------------------------------------------------------
-
-Label VCode::newLabel() {
-  LabelInfo LI;
-  LI.Fixups = ArenaVector<std::size_t>(*Scratch);
-  Labels.push_back(LI);
-  return Label{static_cast<unsigned>(Labels.size() - 1)};
-}
-
-void VCode::bindLabel(Label L) {
-  assert(L.valid() && L.Id < Labels.size() && "bad label");
-  LabelInfo &Info = Labels[L.Id];
-  assert(!Info.Bound && "label bound twice");
-  Info.Bound = true;
-  Info.Pc = Asm.pc();
-  for (std::size_t Fixup : Info.Fixups)
-    Asm.patchBranch(Fixup, Info.Pc);
-  Info.Fixups.clear();
-}
-
-void VCode::branchOn(Cond C, Label L) {
-  assert(L.valid() && L.Id < Labels.size() && "bad label");
-  LabelInfo &Info = Labels[L.Id];
-  if (Info.Bound)
-    Asm.jccTo(C, Info.Pc);
-  else
-    Info.Fixups.push_back(Asm.jcc(C));
-}
-
-void VCode::jump(Label L) {
-  assert(L.valid() && L.Id < Labels.size() && "bad label");
-  LabelInfo &Info = Labels[L.Id];
-  if (Info.Bound)
-    Asm.jmpTo(Info.Pc);
-  else
-    Info.Fixups.push_back(Asm.jmp());
-}
-
-void VCode::brCmpI(CmpKind K, Reg A, Reg B, Label L) {
-  GPR Pa = srcI(A, ScratchA);
-  GPR Pb = srcI(B, ScratchB);
-  Asm.cmpRR32(Pa, Pb);
-  branchOn(condFor(K), L);
-}
-
-void VCode::brCmpII(CmpKind K, Reg A, std::int32_t Imm, Label L) {
-  GPR Pa = srcI(A, ScratchA);
-  Asm.cmpRI32(Pa, Imm);
-  branchOn(condFor(K), L);
-}
-
-void VCode::brCmpL(CmpKind K, Reg A, Reg B, Label L) {
-  GPR Pa = srcI(A, ScratchA);
-  GPR Pb = srcI(B, ScratchB);
-  Asm.cmpRR64(Pa, Pb);
-  branchOn(condFor(K), L);
-}
-
-void VCode::brCmpD(CmpKind K, FReg A, FReg B, Label L) {
-  XMM Pa = srcD(A, FScratchA);
-  XMM Pb = srcD(B, FScratchB);
-  Asm.ucomisd(Pa, Pb);
-  branchOn(condForDouble(K), L);
-}
-
-void VCode::brTrueI(Reg A, Label L) {
-  GPR Pa = srcI(A, ScratchA);
-  Asm.testRR32(Pa, Pa);
-  branchOn(Cond::NE, L);
-}
-
-void VCode::brFalseI(Reg A, Label L) {
-  GPR Pa = srcI(A, ScratchA);
-  Asm.testRR32(Pa, Pa);
-  branchOn(Cond::E, L);
-}
-
-// --- Calls -------------------------------------------------------------------------------------
-
-void VCode::prepareCallArgI(unsigned Slot, Reg Src) {
-  assert(Slot < 6 && "stack-passed call arguments not supported");
-  if (isSpill(Src)) {
-    Asm.loadRM64(IntArgRegs[Slot], RBP, slotOffset(spillSlot(Src)));
-    return;
-  }
-  GPR Ps = intPhys(Src);
-  if (Ps != IntArgRegs[Slot])
-    Asm.movRR64(IntArgRegs[Slot], Ps);
-}
-
-void VCode::prepareCallArgP(unsigned Slot, const void *Ptr) {
-  assert(Slot < 6 && "stack-passed call arguments not supported");
-  Asm.movRI64(IntArgRegs[Slot], reinterpret_cast<std::uintptr_t>(Ptr));
-}
-
-void VCode::prepareCallArgII(unsigned Slot, std::int64_t Imm) {
-  assert(Slot < 6 && "stack-passed call arguments not supported");
-  Asm.movRI64(IntArgRegs[Slot], static_cast<std::uint64_t>(Imm));
-}
-
-void VCode::prepareCallArgD(unsigned FpSlot, FReg Src) {
-  assert(FpSlot < 8 && "stack-passed call arguments not supported");
-  if (isSpill(Src)) {
-    Asm.movsdRM(FloatArgRegs[FpSlot], RBP, slotOffset(spillSlot(Src)));
-    return;
-  }
-  XMM Ps = fpPhys(Src);
-  if (Ps != FloatArgRegs[FpSlot])
-    Asm.movsdRR(FloatArgRegs[FpSlot], Ps);
-}
-
-void VCode::emitCall(const void *Fn, unsigned NumFpArgs) {
-  Asm.movRI64(ScratchA, reinterpret_cast<std::uintptr_t>(Fn));
-  Asm.movRI32(RAX, NumFpArgs); // AL = #vector args, for variadic callees.
-  Asm.callR(ScratchA);
-}
-
-void VCode::emitCallIndirect(Reg Src, unsigned NumFpArgs) {
-  GPR Ps = srcI(Src, ScratchA);
-  if (Ps != ScratchA)
-    Asm.movRR64(ScratchA, Ps);
-  Asm.movRI32(RAX, NumFpArgs);
-  Asm.callR(ScratchA);
-}
-
-void VCode::resultToI(Reg D) {
-  GPR Pd = dstI(D, ScratchA);
-  if (Pd != RAX)
-    Asm.movRR64(Pd, RAX);
-  writeBackI(D, Pd);
-}
-
-void VCode::resultToL(Reg D) { resultToI(D); }
-
-void VCode::resultToD(FReg D) {
-  XMM Pd = dstD(D, FScratchA);
-  if (Pd != XMM0)
-    Asm.movsdRR(Pd, XMM0);
-  writeBackD(D, Pd);
-}
+} // namespace vcode
+} // namespace tcc

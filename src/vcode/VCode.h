@@ -29,301 +29,25 @@
 /// Types: the I suffix denotes 32-bit integer operations, L 64-bit
 /// integer/pointer operations, D IEEE double operations.
 ///
+/// The implementation lives in vcode/VCodeT.h, templated over the emitter
+/// (so the PCODE copy-and-patch backend can reuse the whole abstract
+/// machine); VCode is the classic instantiation over x86::Assembler,
+/// compiled once in VCode.cpp.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TICKC_VCODE_VCODE_H
 #define TICKC_VCODE_VCODE_H
 
-#include "support/Arena.h"
-#include "x86/X86Assembler.h"
-
-#include <cstdint>
-#include <memory>
-#include <utility>
+#include "vcode/VCodeT.h"
 
 namespace tcc {
 namespace vcode {
 
-/// Integer register designator: >= 0 physical, < 0 spill slot.
-using Reg = int;
-/// Floating-point register designator: >= 0 physical, < 0 spill slot.
-using FReg = int;
+/// The one-pass encoder-backed VCODE machine (paper §4.2/§5.1).
+using VCode = VCodeT<x86::Assembler>;
 
-/// Comparison kinds shared by compare-and-set and compare-and-branch forms.
-enum class CmpKind : std::uint8_t {
-  Eq,
-  Ne,
-  LtS,
-  LeS,
-  GtS,
-  GeS,
-  LtU,
-  LeU,
-  GtU,
-  GeU,
-};
-
-/// Returns the comparison with operands swapped (a OP b == b OP' a).
-CmpKind swapOperands(CmpKind K);
-/// Returns the negated comparison (!(a OP b) == a OP' b).
-CmpKind negate(CmpKind K);
-
-/// Branch-target handle. Labels may be bound before or after being used as
-/// jump targets; forward references are back-patched.
-struct Label {
-  unsigned Id = ~0u;
-  bool valid() const { return Id != ~0u; }
-};
-
-/// One-pass code generator. Construct over a writable code buffer, emit
-/// operations, then call finish(); the caller flips the buffer executable.
-class VCode {
-public:
-  /// Number of integer registers getreg() can hand out.
-  static constexpr int NumIntPool = 5;
-  /// Number of reserved static integer registers (see staticReg()).
-  static constexpr int NumStaticRegs = 2;
-  /// Number of double registers getfreg() can hand out.
-  static constexpr int NumFloatPool = 12;
-  /// Bytes of callee-saved registers stored below the frame pointer
-  /// (rbx, r12..r15; the rbp push is accounted separately). Spill slots
-  /// start below this area; the machine-code auditor keys off it.
-  static constexpr std::int32_t CalleeSaveBytes = 40;
-
-  /// Designator for spill slot \p Slot (0-based).
-  static constexpr Reg spillReg(int Slot) { return -Slot - 1; }
-  /// Slot index of a spilled designator.
-  static constexpr int spillSlot(Reg R) { return -R - 1; }
-  static constexpr bool isSpill(Reg R) { return R < 0; }
-
-  /// Construct over a writable code buffer. \p ScratchArena, when given,
-  /// backs the label/fixup/spill-slot tables (a pooled CompileContext's
-  /// arena on the steady-state compile path); without one the VCode owns a
-  /// small private arena.
-  VCode(std::uint8_t *Buf, std::size_t Capacity, Arena *ScratchArena = nullptr);
-
-  // --- Register management (paper §5.1) -----------------------------------
-  /// Allocates an integer register; returns a spill designator under
-  /// pressure (or aborts if spilling was disabled).
-  Reg getreg();
-  void putreg(Reg R);
-  FReg getfreg();
-  void putfreg(FReg R);
-  /// Static register \p I (0 <= I < NumStaticRegs); never tracked, does not
-  /// survive emitted calls.
-  static constexpr Reg staticReg(int I) { return NumIntPool + I; }
-  /// When disabled, getreg aborts instead of spilling, and operations skip
-  /// the per-operand spill checks (the paper's fast path).
-  void setSpillingEnabled(bool Enabled) { SpillingEnabled = Enabled; }
-  /// Number of integer registers currently free in the pool.
-  int freeIntRegs() const;
-  /// Bitmask of float pool registers currently handed out by getfreg().
-  /// Clients use it to save caller-saved doubles around emitted calls.
-  std::uint32_t allocatedFpMask() const {
-    return ~FreeFloatMask & ((1u << NumFloatPool) - 1);
-  }
-
-  /// Reserves a fresh 8-byte stack slot (used by the ICODE register
-  /// allocator to place spilled virtual registers).
-  int allocSlot() { return NumSlots++; }
-
-  /// Granlund/Montgomery magic constant for signed division by \p Divisor
-  /// (non-zero, not INT32_MIN): {multiplier, post-shift}. Exposed for
-  /// testing; divII uses it to avoid idiv for run-time constant divisors.
-  static std::pair<std::int32_t, int> signedDivisionMagic(
-      std::int32_t Divisor);
-
-  // --- Function boundaries -------------------------------------------------
-  /// Emits the prologue. Call bindArgI/bindArgD for each incoming parameter
-  /// immediately afterwards, before any other operation.
-  void enter();
-  /// Plants the opt-in profiling hook (observability/Profile.h): one
-  /// `lock inc qword [Counter]` on a 64-bit invocation counter that must
-  /// outlive the generated code. Call between enter() and the bindArg*
-  /// sequence; only scratch state is clobbered.
-  void profileEntry(const void *Counter);
-  /// Moves integer argument \p Index (0-based, SysV) into \p Dst.
-  void bindArgI(unsigned Index, Reg Dst);
-  /// Moves double argument \p Index (0-based among FP args) into \p Dst.
-  void bindArgD(unsigned Index, FReg Dst);
-  /// Emits epilogue + return with no value.
-  void retVoid();
-  void retI(Reg R);
-  void retL(Reg R);
-  void retD(FReg R);
-  /// Patches the frame size; returns the entry point. No operations may be
-  /// emitted afterwards.
-  void *finish();
-
-  // --- Moves and constants --------------------------------------------------
-  void setI(Reg D, std::int32_t Imm);
-  void setL(Reg D, std::int64_t Imm);
-  void setP(Reg D, const void *Ptr) {
-    setL(D, reinterpret_cast<std::intptr_t>(Ptr));
-  }
-  void setD(FReg D, double Imm);
-  void movI(Reg D, Reg S) { movL(D, S); }
-  void movL(Reg D, Reg S);
-  void movD(FReg D, FReg S);
-
-  // --- Integer arithmetic (32-bit) -------------------------------------------
-  void addI(Reg D, Reg A, Reg B);
-  void subI(Reg D, Reg A, Reg B);
-  void mulI(Reg D, Reg A, Reg B);
-  void divI(Reg D, Reg A, Reg B); ///< Signed quotient.
-  void modI(Reg D, Reg A, Reg B); ///< Signed remainder.
-  void divUI(Reg D, Reg A, Reg B);
-  void modUI(Reg D, Reg A, Reg B);
-  void andI(Reg D, Reg A, Reg B);
-  void orI(Reg D, Reg A, Reg B);
-  void xorI(Reg D, Reg A, Reg B);
-  void shlI(Reg D, Reg A, Reg B);
-  void shrI(Reg D, Reg A, Reg B);  ///< Arithmetic (signed) right shift.
-  void ushrI(Reg D, Reg A, Reg B); ///< Logical right shift.
-  void negI(Reg D, Reg A);
-  void notI(Reg D, Reg A);
-
-  // --- Integer op-with-immediate forms. mulII/divII/modII strength-reduce
-  // run-time-constant operands (paper §4.4: "rather than emitting a fixed
-  // sequence of instructions, it first checks the value of its immediate
-  // operand"). -----------------------------------------------------------
-  void addII(Reg D, Reg A, std::int32_t Imm);
-  void subII(Reg D, Reg A, std::int32_t Imm);
-  void mulII(Reg D, Reg A, std::int32_t Imm);
-  void divII(Reg D, Reg A, std::int32_t Imm);
-  void modII(Reg D, Reg A, std::int32_t Imm);
-  void andII(Reg D, Reg A, std::int32_t Imm);
-  void orII(Reg D, Reg A, std::int32_t Imm);
-  void xorII(Reg D, Reg A, std::int32_t Imm);
-  void shlII(Reg D, Reg A, std::uint8_t Imm);
-  void shrII(Reg D, Reg A, std::uint8_t Imm);
-  void ushrII(Reg D, Reg A, std::uint8_t Imm);
-
-  // --- 64-bit / pointer arithmetic -------------------------------------------
-  void addL(Reg D, Reg A, Reg B);
-  void subL(Reg D, Reg A, Reg B);
-  void mulL(Reg D, Reg A, Reg B);
-  void addLI(Reg D, Reg A, std::int32_t Imm);
-  void mulLI(Reg D, Reg A, std::int32_t Imm);
-  void shlLI(Reg D, Reg A, std::uint8_t Imm);
-  /// D = sign-extension of the 32-bit value in S.
-  void sextIToL(Reg D, Reg S);
-
-  // --- Double arithmetic -----------------------------------------------------
-  void addD(FReg D, FReg A, FReg B);
-  void subD(FReg D, FReg A, FReg B);
-  void mulD(FReg D, FReg A, FReg B);
-  void divD(FReg D, FReg A, FReg B);
-  void negD(FReg D, FReg A);
-  void cvtIToD(FReg D, Reg S);
-  void cvtLToD(FReg D, Reg S);
-  void cvtDToI(Reg D, FReg S); ///< Truncating.
-
-  // --- Comparison producing 0/1 ---------------------------------------------
-  void cmpSetI(CmpKind K, Reg D, Reg A, Reg B);
-  void cmpSetII(CmpKind K, Reg D, Reg A, std::int32_t Imm);
-  void cmpSetL(CmpKind K, Reg D, Reg A, Reg B);
-  void cmpSetD(CmpKind K, Reg D, FReg A, FReg B);
-
-  // --- Memory ----------------------------------------------------------------
-  void ldI(Reg D, Reg Base, std::int32_t Off);    ///< 32-bit load.
-  void ldL(Reg D, Reg Base, std::int32_t Off);    ///< 64-bit load.
-  void ldI8s(Reg D, Reg Base, std::int32_t Off);  ///< Sign-extending byte load.
-  void ldI8u(Reg D, Reg Base, std::int32_t Off);  ///< Zero-extending byte load.
-  void ldI16s(Reg D, Reg Base, std::int32_t Off);
-  void ldI16u(Reg D, Reg Base, std::int32_t Off);
-  void ldD(FReg D, Reg Base, std::int32_t Off);
-  void stI(Reg Base, std::int32_t Off, Reg S);
-  void stL(Reg Base, std::int32_t Off, Reg S);
-  void stI8(Reg Base, std::int32_t Off, Reg S);
-  void stI16(Reg Base, std::int32_t Off, Reg S);
-  void stD(Reg Base, std::int32_t Off, FReg S);
-
-  // --- Control flow ------------------------------------------------------------
-  Label newLabel();
-  void bindLabel(Label L);
-  void jump(Label L);
-  void brCmpI(CmpKind K, Reg A, Reg B, Label L);
-  void brCmpII(CmpKind K, Reg A, std::int32_t Imm, Label L);
-  void brCmpL(CmpKind K, Reg A, Reg B, Label L);
-  void brCmpD(CmpKind K, FReg A, FReg B, Label L);
-  void brTrueI(Reg A, Label L);
-  void brFalseI(Reg A, Label L);
-
-  // --- Calls --------------------------------------------------------------------
-  // Argument slots are SysV positions; prepare all arguments, then emitCall.
-  // Sources must be pool registers or spill slots (not static registers in
-  // slots >= 4, which alias the argument registers).
-  void prepareCallArgI(unsigned Slot, Reg Src);
-  void prepareCallArgP(unsigned Slot, const void *Ptr);
-  void prepareCallArgII(unsigned Slot, std::int64_t Imm);
-  void prepareCallArgD(unsigned FpSlot, FReg Src);
-  /// Calls \p Fn. \p NumFpArgs is the number of vector-register arguments
-  /// (needed in AL for variadic callees such as printf).
-  void emitCall(const void *Fn, unsigned NumFpArgs = 0);
-  /// Calls through a function pointer held in \p Src.
-  void emitCallIndirect(Reg Src, unsigned NumFpArgs = 0);
-  void resultToI(Reg D);
-  void resultToL(Reg D);
-  void resultToD(FReg D);
-
-  // --- Statistics -----------------------------------------------------------------
-  unsigned instructionsEmitted() const { return Asm.instructionsEmitted(); }
-  std::size_t codeBytes() const { return Asm.pc(); }
-  int slotsUsed() const { return NumSlots; }
-  x86::Assembler &assembler() { return Asm; }
-
-private:
-  struct LabelInfo {
-    bool Bound = false;
-    std::size_t Pc = 0;
-    ArenaVector<std::size_t> Fixups;
-  };
-
-  x86::GPR intPhys(Reg R); ///< Also records the register as touched so
-                           ///< finish() keeps its callee-save store.
-  x86::XMM fpPhys(FReg R) const;
-  std::int32_t slotOffset(int Slot) const;
-  /// Physical register holding R's value: pool register, or a load into
-  /// \p Scratch for spilled designators.
-  x86::GPR srcI(Reg R, x86::GPR Scratch);
-  x86::XMM srcD(FReg R, x86::XMM Scratch);
-  /// Physical destination for R (Scratch when spilled); pair with writeBack.
-  x86::GPR dstI(Reg R, x86::GPR Scratch);
-  x86::XMM dstD(FReg R, x86::XMM Scratch) const;
-  void writeBackI(Reg R, x86::GPR Phys);
-  void writeBackD(FReg R, x86::XMM Phys);
-
-  using BinOp = void (x86::Assembler::*)(x86::GPR, x86::GPR);
-  using FBinOp = void (x86::Assembler::*)(x86::XMM, x86::XMM);
-  void binI(Reg D, Reg A, Reg B, BinOp Op, bool Commutative);
-  void binII(Reg D, Reg A, std::int32_t Imm,
-             void (x86::Assembler::*Op)(x86::GPR, std::int32_t), bool Wide);
-  void shiftI(Reg D, Reg A, Reg B, void (x86::Assembler::*Op)(x86::GPR));
-  void divModCommon(Reg D, Reg A, Reg B, bool WantRemainder, bool Unsigned);
-  void binD(FReg D, FReg A, FReg B, FBinOp Op, bool Commutative);
-  void branchOn(x86::Cond C, Label L);
-  void epilogue();
-
-  x86::Assembler Asm;
-  /// Private fallback when no scratch arena was injected (kept small: the
-  /// one-pass backend's bookkeeping is a few hundred bytes).
-  std::unique_ptr<Arena> OwnedScratch;
-  Arena *Scratch;
-  bool SpillingEnabled = true;
-  std::uint32_t FreeIntMask;
-  std::uint32_t FreeFloatMask;
-  ArenaVector<int> FreeSpillSlots;
-  int NumSlots = 0;
-  ArenaVector<LabelInfo> Labels;
-  std::size_t FramePatchOffset = 0;
-  bool Finished = false;
-  /// Pool registers actually handed to emitted code; unused ones get their
-  /// callee-save stores/reloads erased at finish().
-  std::uint32_t UsedPoolMask = 0;
-  std::size_t SaveSitePc[NumIntPool] = {};
-  ArenaVector<std::size_t> RestoreSitePcs; ///< NumIntPool entries/epilogue.
-};
+extern template class VCodeT<x86::Assembler>;
 
 } // namespace vcode
 } // namespace tcc

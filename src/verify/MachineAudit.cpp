@@ -323,6 +323,15 @@ struct Auditor {
       Ins.push_back(D);
       Off += D.Len;
     }
+    if (In.CheckStencilClasses)
+      for (std::size_t I = 0; I < Ins.size(); ++I)
+        if (!(In.StencilClassMask &
+              (std::uint64_t(1) << static_cast<unsigned>(Ins[I].Cls))))
+          fail(Starts[I], "stencil-class",
+               std::string("decoded `") + x86::instrClassName(Ins[I].Cls) +
+                   "` is outside the stencil library's rendered vocabulary "
+                   "and the encoder-fallback glue set (patch corrupted an "
+                   "opcode byte, or the library drifted from the emitter)");
     // The decode loop never reads past Size, so reaching here means the
     // last instruction ended exactly on the region end.
     return true;

@@ -125,6 +125,13 @@ struct MachineAuditInputs {
   /// paths. (VCODE output has no such guarantee — an uninitialized C local
   /// may legitimately be read.)
   bool CheckSpillDiscipline = false;
+  /// PCODE-backend compiles only: every decoded instruction's x86::InstrClass
+  /// bit must be set in StencilClassMask (the stencil library's rendered
+  /// vocabulary ∪ the encoder-fallback glue classes). A class outside the
+  /// mask means a stencil patch landed on an opcode byte or the library
+  /// drifted from the emitter it was rendered from.
+  bool CheckStencilClasses = false;
+  std::uint64_t StencilClassMask = 0;
 };
 
 /// Layer 3: strict decode + structural audit of the emitted bytes.

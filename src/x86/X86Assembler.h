@@ -87,6 +87,37 @@ public:
     return W;
   }
 
+  // --- Stencil support (pcode copy-and-patch backend) ---------------------
+  /// Bulk-appends \p Len pre-rendered bytes covering \p Instrs machine
+  /// instructions; returns the offset the bytes landed at so hole patches
+  /// can be applied relative to it. When the buffer has slack we copy a
+  /// fixed-size window (one or two vector stores instead of a variable
+  /// memcpy); the overhang past Len is dead bytes that the next append or
+  /// patch overwrites.
+  static constexpr std::size_t StencilWindow = 40;
+  std::size_t appendStencil(const std::uint8_t *Src, unsigned Len,
+                            unsigned Instrs) {
+    assert(Pos + Len <= Capacity && "code buffer overflow");
+    std::size_t At = Pos;
+    if (Pos + StencilWindow <= Capacity)
+      std::memcpy(Buf + At, Src, StencilWindow);
+    else
+      std::memcpy(Buf + At, Src, Len);
+    Pos += Len;
+    NumInstrs += Instrs;
+    return At;
+  }
+  /// Overwrites one already-emitted byte (stencil hole patching).
+  void patch8(std::size_t At, std::uint8_t B) {
+    assert(At < Pos && "patch outside emitted code");
+    Buf[At] = B;
+  }
+  /// Overwrites a previously emitted 64-bit field (stencil hole patching).
+  void patch64(std::size_t At, std::uint64_t W) {
+    assert(At + 8 <= Pos && "patch outside emitted code");
+    std::memcpy(Buf + At, &W, 8);
+  }
+
   // --- Moves --------------------------------------------------------------
   void movRR32(GPR Dst, GPR Src);
   void movRR64(GPR Dst, GPR Src);

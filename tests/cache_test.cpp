@@ -64,6 +64,50 @@ TEST(SpecKey, CompileOptionsChangeTheKey) {
   EXPECT_FALSE(keyOf(3, 7, IC) == keyOf(3, 7, GC));
 }
 
+TEST(SpecKey, BackendsOccupyDistinctSlots) {
+  // BackendKind is the first serialized option byte, so the three back ends
+  // can never share a cache entry — even PCODE, whose output is
+  // byte-identical to VCODE by construction. Pairwise over the exhaustive
+  // backend set, keys must differ while each remains self-equal.
+  const BackendKind All[] = {BackendKind::VCode, BackendKind::ICode,
+                             BackendKind::PCode};
+  for (BackendKind A : All) {
+    CompileOptions OA;
+    OA.Backend = A;
+    EXPECT_TRUE(keyOf(3, 7, OA) == keyOf(3, 7, OA));
+    for (BackendKind B : All) {
+      if (A == B)
+        continue;
+      CompileOptions OB;
+      OB.Backend = B;
+      EXPECT_FALSE(keyOf(3, 7, OA) == keyOf(3, 7, OB))
+          << static_cast<int>(A) << " vs " << static_cast<int>(B);
+    }
+  }
+}
+
+TEST(CompileService, ThreeBackendsThreeEntries) {
+  CompileService S;
+  apps::PowerApp P(13);
+  CompileOptions VC, IC, PC;
+  VC.Backend = BackendKind::VCode;
+  IC.Backend = BackendKind::ICode;
+  PC.Backend = BackendKind::PCode;
+  FnHandle A = P.specializeCached(S, VC);
+  FnHandle B = P.specializeCached(S, IC);
+  FnHandle C = P.specializeCached(S, PC);
+  EXPECT_NE(A.get(), B.get());
+  EXPECT_NE(B.get(), C.get());
+  EXPECT_NE(A.get(), C.get());
+  EXPECT_EQ(S.cache().stats().Insertions, 3u);
+  EXPECT_EQ(A->as<int(int)>()(3), 1594323);
+  EXPECT_EQ(B->as<int(int)>()(3), 1594323);
+  EXPECT_EQ(C->as<int(int)>()(3), 1594323);
+  // Re-requesting each hits its own slot — no cross-backend aliasing.
+  EXPECT_EQ(P.specializeCached(S, PC).get(), C.get());
+  EXPECT_EQ(S.cache().stats().Insertions, 3u);
+}
+
 TEST(SpecKey, PoolDoesNotChangeTheKey) {
   RegionPool Pool;
   CompileOptions WithPool;

@@ -2,11 +2,13 @@
 //
 // Generates random structured programs (locals, arithmetic, nested ifs and
 // bounded loops) and checks that every configuration of the system —
-// VCODE, ICODE with linear scan, ICODE with graph coloring, and both spill
-// heuristics — computes exactly the same result as a host-side reference
-// interpreter. This is the strongest whole-pipeline invariant we have:
-// any divergence in the encoder, register allocators, spill paths,
-// strength reduction, or the CGF walk shows up as a value mismatch.
+// VCODE, PCODE (copy-and-patch), ICODE with linear scan, ICODE with graph
+// coloring, and both spill heuristics — computes exactly the same result as
+// a host-side reference interpreter. This is the strongest whole-pipeline
+// invariant we have: any divergence in the encoder, stencil patching,
+// register allocators, spill paths, strength reduction, or the CGF walk
+// shows up as a value mismatch. PCODE is additionally held to byte
+// identity against VCODE on every random program.
 //
 //===----------------------------------------------------------------------===//
 
@@ -17,6 +19,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <random>
 #include <vector>
 
@@ -209,6 +212,8 @@ TEST(Differential, AllConfigurationsAgree) {
     const Config Configs[] = {
         {"vcode", BackendKind::VCode, icode::RegAllocKind::LinearScan,
          icode::SpillHeuristic::LongestInterval},
+        {"pcode", BackendKind::PCode, icode::RegAllocKind::LinearScan,
+         icode::SpillHeuristic::LongestInterval},
         {"icode-ls", BackendKind::ICode, icode::RegAllocKind::LinearScan,
          icode::SpillHeuristic::LongestInterval},
         {"icode-ls-weighted", BackendKind::ICode,
@@ -216,6 +221,7 @@ TEST(Differential, AllConfigurationsAgree) {
         {"icode-gc", BackendKind::ICode, icode::RegAllocKind::GraphColor,
          icode::SpillHeuristic::LongestInterval},
     };
+    std::vector<CompiledFn> Fns;
     for (const Config &Cfg : Configs) {
       CompileOptions O;
       O.Backend = Cfg.Backend;
@@ -229,15 +235,25 @@ TEST(Differential, AllConfigurationsAgree) {
             << "trial " << Trial << " config " << Cfg.Name << " args ("
             << A0 << ", " << A1 << ")";
       }
+      Fns.push_back(std::move(F));
     }
+    // PCODE (Configs[1]) instantiates by stencil copy + patch but must
+    // produce the exact bytes VCODE (Configs[0]) encodes.
+    const CompiledFn &FV = Fns[0], &FP = Fns[1];
+    ASSERT_EQ(FV.stats().CodeBytes, FP.stats().CodeBytes) << "trial " << Trial;
+    EXPECT_EQ(std::memcmp(FV.entry(), FP.entry(), FV.stats().CodeBytes), 0)
+        << "trial " << Trial;
   }
 }
 
 // The tiered configuration: the same random programs dispatched through a
-// TieredFn slot with a promotion mid-stream. The reference must agree
-// before the swap (VCODE tier), across it (concurrent background compile),
-// and after it (ICODE tier) — any divergence between the two tiers of one
-// spec, or any tearing during the swap, shows up as a value mismatch.
+// TieredFn slot with a promotion mid-stream. The baseline tier is the
+// default from baselineBackendFromEnv() — PCODE unless TICKC_BACKEND
+// overrides it — so this pins the PCODE-baseline → ICODE promotion path.
+// The reference must agree before the swap (stencil-instantiated tier),
+// across it (concurrent background compile), and after it (ICODE tier) —
+// any divergence between the two tiers of one spec, or any tearing during
+// the swap, shows up as a value mismatch.
 TEST(Differential, TieredPromotionAgreesMidStream) {
   std::mt19937 Rng(20260806);
   const std::pair<int, int> Inputs[] = {

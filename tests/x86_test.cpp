@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "x86/X86Assembler.h"
+#include "x86/X86Decoder.h"
 
 #include "support/CodeBuffer.h"
 
@@ -225,6 +226,117 @@ TEST(X86Exec, MovqRoundTrip) {
   R.makeExecutable();
   auto Fn = reinterpret_cast<std::int64_t (*)(std::int64_t)>(R.base());
   EXPECT_EQ(Fn(0x123456789ABCDEF0ll), 0x123456789ABCDEF0ll);
+}
+
+// --- Strict-decoder coverage of the stencil renderer's vocabulary ----------
+//
+// The PCODE stencil library is rendered by driving this encoder with
+// sentinel operands and then strictly decoded at build time; these tests
+// pin the decode side of that contract directly. Every form the renderer
+// emits must decode, and the forms the renderer was *constrained away
+// from* (condition nibbles the back end never generates) must stay
+// rejected — that rejection is what keeps the library inside the audited
+// vocabulary.
+
+std::vector<std::uint8_t> emit(void (*Emit)(Assembler &)) {
+  std::uint8_t Buf[64];
+  Assembler A(Buf, sizeof(Buf));
+  Emit(A);
+  return std::vector<std::uint8_t>(Buf, Buf + A.pc());
+}
+
+bool decodesAs(const std::vector<std::uint8_t> &Code, InstrClass Want) {
+  Decoded D;
+  const char *Err = nullptr;
+  if (!decodeOne(Code.data(), Code.size(), 0, D, &Err))
+    return false;
+  return D.Cls == Want && D.Len == Code.size();
+}
+
+TEST(Decoder, AcceptsStencilImmediateForms) {
+  // Both ALU immediate widths (83 /digit ib and 81 /digit id): the stencil
+  // library renders a distinct stencil per width class.
+  EXPECT_TRUE(decodesAs(emit([](Assembler &A) { A.addRI32(RBX, 5); }),
+                        InstrClass::AluRI));
+  EXPECT_TRUE(decodesAs(emit([](Assembler &A) { A.addRI32(RBX, 100000); }),
+                        InstrClass::AluRI));
+  EXPECT_TRUE(decodesAs(emit([](Assembler &A) { A.cmpRI32(R12, -129); }),
+                        InstrClass::AluRI));
+  // Shift-by-immediate is always C1 /digit ib — never the shift-by-1 short
+  // form — so any count patches into the same hole.
+  EXPECT_TRUE(decodesAs(emit([](Assembler &A) { A.shlRI32(RBX, 1); }),
+                        InstrClass::ShiftImm));
+  EXPECT_TRUE(decodesAs(emit([](Assembler &A) { A.sarRI32(R13, 31); }),
+                        InstrClass::ShiftImm));
+  // The three mov-immediate size classes (SetI / SetL stencils).
+  EXPECT_TRUE(decodesAs(emit([](Assembler &A) { A.movRI32(R14, 7); }),
+                        InstrClass::MovImm32));
+  EXPECT_TRUE(
+      decodesAs(emit([](Assembler &A) { A.movRI64SExt32(R14, -7); }),
+                InstrClass::MovImmSExt));
+  EXPECT_TRUE(decodesAs(
+      emit([](Assembler &A) { A.movRI64(R14, 0x0123456789ABCDEFull); }),
+      InstrClass::MovImm64));
+}
+
+TEST(Decoder, AcceptsStencilMemoryForms) {
+  // All three displacement classes over pool registers, including the two
+  // encoder specials: R12 base forces a SIB byte, R13 base forces a
+  // displacement even when zero.
+  EXPECT_TRUE(decodesAs(emit([](Assembler &A) { A.loadRM32(RBX, R15, 0); }),
+                        InstrClass::Load));
+  EXPECT_TRUE(decodesAs(emit([](Assembler &A) { A.loadRM32(RBX, R15, 8); }),
+                        InstrClass::Load));
+  EXPECT_TRUE(
+      decodesAs(emit([](Assembler &A) { A.loadRM32(RBX, R15, 1000); }),
+                InstrClass::Load));
+  EXPECT_TRUE(decodesAs(emit([](Assembler &A) { A.loadRM32(RBX, R12, 0); }),
+                        InstrClass::Load));
+  EXPECT_TRUE(decodesAs(emit([](Assembler &A) { A.loadRM32(RBX, R13, 0); }),
+                        InstrClass::Load));
+  EXPECT_TRUE(decodesAs(emit([](Assembler &A) { A.storeMR32(R13, 0, RBX); }),
+                        InstrClass::Store32));
+  EXPECT_TRUE(decodesAs(emit([](Assembler &A) { A.storeMR64(R12, 40, R8); }),
+                        InstrClass::Store64));
+}
+
+TEST(Decoder, AcceptsStencilSetccForBackendConditions) {
+  // The renderer emits setcc+movzx only for the condition nibbles the back
+  // end's compare lowering produces.
+  for (Cond C : {Cond::B, Cond::AE, Cond::E, Cond::NE, Cond::BE, Cond::A,
+                 Cond::L, Cond::GE, Cond::LE, Cond::G}) {
+    std::uint8_t Buf[16];
+    Assembler A(Buf, sizeof(Buf));
+    A.setcc(C, RBX);
+    Decoded D;
+    const char *Err = nullptr;
+    ASSERT_TRUE(decodeOne(Buf, A.pc(), 0, D, &Err))
+        << "cond " << static_cast<int>(C) << ": " << (Err ? Err : "");
+    EXPECT_EQ(D.Cls, InstrClass::Setcc);
+  }
+}
+
+TEST(Decoder, RejectsConditionsTheRendererSkips) {
+  // 0F 90+cc with a nibble outside the back end's set (O/NO/S/NS/P/NP):
+  // the stencil builder leaves these SetZx entries unrendered, and the
+  // decoder keeps rejecting the raw encodings.
+  for (std::uint8_t Nibble : {0x0, 0x1, 0x8, 0x9, 0xA, 0xB}) {
+    const std::uint8_t Code[] = {0x0F, static_cast<std::uint8_t>(0x90 | Nibble),
+                                 0xC3};
+    Decoded D;
+    const char *Err = nullptr;
+    EXPECT_FALSE(decodeOne(Code, sizeof(Code), 0, D, &Err))
+        << "nibble " << static_cast<int>(Nibble);
+  }
+}
+
+TEST(Decoder, RejectsOutOfRangeShiftImmediate) {
+  // C1 /4 with a count the encoder can never produce (> 63). A stencil
+  // patch writing such a byte would be caught at the machine-audit layer.
+  const std::uint8_t Code[] = {0xC1, 0xE0, 64};
+  Decoded D;
+  const char *Err = nullptr;
+  EXPECT_FALSE(decodeOne(Code, sizeof(Code), 0, D, &Err));
 }
 
 TEST(X86Exec, CallThroughRegister) {
