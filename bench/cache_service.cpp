@@ -22,6 +22,7 @@
 #include "apps/Query.h"
 #include "bench/Harness.h"
 #include "cache/CompileService.h"
+#include "observability/Metrics.h"
 #include "observability/Report.h"
 
 #include <algorithm>
@@ -211,7 +212,8 @@ int main() {
                   "  \"threads_hit_mt\": 8,\n  \"workloads\": [\n");
   for (std::size_t I = 0; I < Results.size(); ++I)
     emitJson(F, Results[I], I + 1 == Results.size());
-  std::fprintf(F, "  ]\n}\n");
+  std::fprintf(F, "  ],\n  \"metrics\": %s\n}\n",
+               obs::MetricsRegistry::global().snapshotJson(2).c_str());
   std::fclose(F);
   std::printf("wrote BENCH_cache.json\n\n");
 

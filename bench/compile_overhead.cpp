@@ -264,7 +264,11 @@ int main() {
                  static_cast<unsigned long long>(R.SteadyAllocs),
                  R.ArenaHighWater, I + 1 == Rows.size() ? "" : ",");
   }
-  std::fprintf(F, "  ]\n}\n");
+  // The metrics block rides after the workloads array; loadBaseline's
+  // scanner keys on `"name": "<workload>"` pairs, which snapshotJson never
+  // emits, so old and new files stay mutually parseable.
+  std::fprintf(F, "  ],\n  \"metrics\": %s\n}\n",
+               obs::MetricsRegistry::global().snapshotJson(2).c_str());
   std::fclose(F);
   std::printf("wrote BENCH_overhead.json%s\n",
               HadBaseline ? "" : " (first run: recorded as baseline)");

@@ -550,7 +550,8 @@ int main() {
                  R.PcodeFullCpi, R.Pass ? "true" : "false",
                  I + 1 == Rows.size() ? "" : ",");
   }
-  std::fprintf(Out, "  ],\n  \"passes\": %u\n}\n", Passes);
+  std::fprintf(Out, "  ],\n  \"passes\": %u,\n  \"metrics\": %s\n}\n", Passes,
+               obs::MetricsRegistry::global().snapshotJson(2).c_str());
   std::fclose(Out);
   std::printf("wrote BENCH_stencil.json\n");
 

@@ -21,6 +21,7 @@
 #include "apps/Query.h"
 #include "bench/Harness.h"
 #include "cache/CompileService.h"
+#include "observability/Metrics.h"
 #include "observability/Report.h"
 #include "tier/Tier.h"
 
@@ -434,7 +435,8 @@ int main() {
                   "  \"units\": \"nanoseconds\",\n  \"workloads\": [\n");
   for (std::size_t I = 0; I < Results.size(); ++I)
     emitJson(F, Results[I], I + 1 == Results.size());
-  std::fprintf(F, "  ]\n}\n");
+  std::fprintf(F, "  ],\n  \"metrics\": %s\n}\n",
+               obs::MetricsRegistry::global().snapshotJson(2).c_str());
   std::fclose(F);
   std::printf("wrote BENCH_tier.json\n\n");
 

@@ -3,10 +3,12 @@
 #include "cache/CodeCache.h"
 
 #include "observability/Metrics.h"
+#include "observability/Flight.h"
 #include "observability/Names.h"
 #include "observability/Trace.h"
 
 #include <bit>
+#include <cstdint>
 
 using namespace tcc;
 using namespace tcc::cache;
@@ -91,6 +93,10 @@ FnHandle CodeCache::insert(const SpecKey &K, core::CompiledFn &&Fn) {
     Entry &Victim = S.Lru.back();
     S.Bytes -= Victim.Bytes;
     GM.BytesEvicted.inc(Victim.Bytes);
+    obs::flightRecord(
+        obs::FlightEvent::CacheEvict,
+        Victim.Fn ? reinterpret_cast<std::uintptr_t>(Victim.Fn->entry()) : 0,
+        Victim.Bytes);
     S.Map.erase(Victim.Key);
     S.Lru.pop_back();
     Evictions.inc();

@@ -7,6 +7,8 @@
 #include "observability/Trace.h"
 #include "support/Env.h"
 
+#include <cstdio>
+
 using namespace tcc;
 using namespace tcc::cache;
 using namespace tcc::core;
@@ -55,6 +57,21 @@ FnHandle CompileService::getOrCompileKeyed(Context &Ctx, Stmt Body,
                                            const SpecKey &K) {
   if (Config.EnablePool && !Opts.Pool)
     Opts.Pool = &Pool;
+
+  // Runtime symbol name derived from the spec key: perf/flamegraph frames
+  // then distinguish specializations of the same source function by their
+  // structural hash. Lives on the stack for the duration of the compile;
+  // compileFn copies it into the symbol table.
+  char SymBuf[64];
+  if (!Opts.SymbolName) {
+    if (Opts.ProfileName && *Opts.ProfileName)
+      std::snprintf(SymBuf, sizeof(SymBuf), "%s#%08llx", Opts.ProfileName,
+                    static_cast<unsigned long long>(K.Hash & 0xFFFFFFFFu));
+    else
+      std::snprintf(SymBuf, sizeof(SymBuf), "spec-%016llx",
+                    static_cast<unsigned long long>(K.Hash));
+    Opts.SymbolName = SymBuf;
+  }
 
   if (!Config.EnableCache || !K.Cacheable)
     return std::make_shared<CompiledFn>(

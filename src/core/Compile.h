@@ -29,6 +29,7 @@
 #include "core/Context.h"
 #include "icode/ICode.h"
 #include "observability/Profile.h"
+#include "observability/RuntimeSymbols.h"
 #include "support/CodeBuffer.h"
 
 #include <cstdint>
@@ -84,6 +85,13 @@ struct CompileOptions {
   bool Profile = false;
   /// Label for the profile entry (optional; copied at compile time).
   const char *ProfileName = nullptr;
+  /// Runtime symbol name for the finalized region (optional; copied at
+  /// compile time, truncated to RuntimeSymbolTable::NameBytes-1). Every
+  /// finalized region registers with obs::RuntimeSymbolTable regardless —
+  /// this only controls the human-readable name; when null, ProfileName is
+  /// used, then a generic label. Not part of the cache key: naming never
+  /// changes the generated code.
+  const char *SymbolName = nullptr;
   /// When true, every compile is re-checked by the src/verify static
   /// analyzers (spec lint, IR verifier, register-allocation audit, emitted
   /// x86 audit); any finding aborts with a structured report. The
@@ -97,6 +105,7 @@ struct CompileOptions {
 /// Figures 6/7.
 struct DynStats {
   std::uint64_t CyclesTotal = 0; ///< Entire compile() call, TSC ticks.
+  std::uint64_t CyclesSetup = 0; ///< Backend/walker construction.
   std::uint64_t CyclesWalk = 0;  ///< CGF walk (VCode: walk == emission;
                                  ///< ICode: IR construction).
   std::uint64_t CyclesFinalize = 0; ///< mprotect + icache flush.
@@ -138,6 +147,11 @@ private:
   void *Entry = nullptr;
   DynStats Stats;
   std::shared_ptr<obs::ProfileEntry> Prof;
+  /// Runtime symbol registration. Declared last on purpose: destruction
+  /// runs in reverse order, so the symbol retires (draining any in-flight
+  /// sampler hit that might bump Prof->Samples) before Prof is released
+  /// and before Region can be recycled into the pool.
+  obs::SymbolHandle Sym;
 };
 
 /// The `compile` special form: instantiates \p Body as a function returning

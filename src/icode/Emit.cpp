@@ -425,21 +425,22 @@ void *ICode::compileTo(VCode &V, RegAllocKind Kind, CompileStats *Stats,
 
   void *Entry;
   {
+    // The final stat tally stays inside the emit scope so the per-phase
+    // cycles keep covering the whole pipeline (tickc-report drift guard).
     PhaseScope T(S.CyclesEmit);
     obs::TraceSpan Span(obs::SpanKind::Emit);
     Emitter E(*this, V, Alloc);
     E.run();
     Entry = V.finish();
+    S.NumBasicBlocks = static_cast<unsigned>(FG.blocks().size());
+    S.NumIntervals = 0;
+    for (unsigned R = 0; R < Alloc.NumRegs; ++R)
+      S.NumIntervals += Alloc.Location[R] != Allocation::Unused;
+    S.NumSpilledIntervals = Alloc.NumSpilled;
+    for (const Instr &In : Instrs)
+      S.NumIRInstrs += In.Opcode != Op::Nop && In.Opcode != Op::Hint &&
+                       In.Opcode != Op::Label;
+    S.NumMachineInstrs = V.instructionsEmitted();
   }
-
-  S.NumBasicBlocks = static_cast<unsigned>(FG.blocks().size());
-  S.NumIntervals = 0;
-  for (unsigned R = 0; R < Alloc.NumRegs; ++R)
-    S.NumIntervals += Alloc.Location[R] != Allocation::Unused;
-  S.NumSpilledIntervals = Alloc.NumSpilled;
-  for (const Instr &In : Instrs)
-    S.NumIRInstrs += In.Opcode != Op::Nop && In.Opcode != Op::Hint &&
-                     In.Opcode != Op::Label;
-  S.NumMachineInstrs = V.instructionsEmitted();
   return Entry;
 }

@@ -1,0 +1,261 @@
+//===- observability/Flight.cpp - Crash-time flight recorder --------------===//
+
+#include "observability/Flight.h"
+
+#include "observability/Metrics.h"
+#include "observability/Names.h"
+#include "observability/RuntimeSymbols.h"
+#include "support/Timing.h"
+
+#include <cstring>
+
+#include <signal.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+using namespace tcc;
+using namespace tcc::obs;
+
+const char *tcc::obs::flightEventName(FlightEvent E) {
+  switch (E) {
+  case FlightEvent::CompileBegin:
+    return "compile.begin";
+  case FlightEvent::CompileEnd:
+    return "compile.end";
+  case FlightEvent::TierSwap:
+    return "tier.swap";
+  case FlightEvent::CacheEvict:
+    return "cache.evict";
+  case FlightEvent::VerifyFail:
+    return "verify.fail";
+  case FlightEvent::RegionRetire:
+    return "region.retire";
+  }
+  return "?";
+}
+
+FlightRecorder &FlightRecorder::global() {
+  static FlightRecorder *F = new FlightRecorder();
+  return *F;
+}
+
+void FlightRecorder::record(FlightEvent Kind, std::uint64_t A,
+                            std::uint64_t B, const char *Name) {
+  static Counter &Events =
+      MetricsRegistry::global().counter(names::FlightEvents);
+  std::uint64_t Ticket = Head.fetch_add(1, std::memory_order_relaxed);
+  Slot &S = Ring[Ticket & (Capacity - 1)];
+
+  // Invalidate, fill, publish: a reader that loads Seq before and after and
+  // sees the same nonzero ticket knows every field load between was sound.
+  S.Seq.store(0, std::memory_order_release);
+  S.Tsc.store(readCycleCounter(), std::memory_order_relaxed);
+  S.A.store(A, std::memory_order_relaxed);
+  S.B.store(B, std::memory_order_relaxed);
+  S.Kind.store(static_cast<std::uint8_t>(Kind), std::memory_order_relaxed);
+  std::uint64_t Words[NameBytes / 8] = {};
+  if (Name && *Name) {
+    char Buf[NameBytes] = {};
+    std::strncpy(Buf, Name, NameBytes - 1);
+    std::memcpy(Words, Buf, NameBytes);
+  }
+  for (unsigned I = 0; I < NameBytes / 8; ++I)
+    S.Name[I].store(Words[I], std::memory_order_relaxed);
+  S.Seq.store(Ticket + 1, std::memory_order_release);
+  Events.inc();
+}
+
+std::uint64_t FlightRecorder::eventCount() const {
+  return Head.load(std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Reading the ring
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Reads one slot into \p Out iff it still holds \p Ticket's record.
+bool readSlot(const FlightRecorder::Slot &S, std::uint64_t Ticket,
+              FlightRecorder::Record &Out) {
+  if (S.Seq.load(std::memory_order_acquire) != Ticket + 1)
+    return false;
+  Out.Tsc = S.Tsc.load(std::memory_order_relaxed);
+  Out.A = S.A.load(std::memory_order_relaxed);
+  Out.B = S.B.load(std::memory_order_relaxed);
+  Out.Kind = static_cast<FlightEvent>(S.Kind.load(std::memory_order_relaxed));
+  std::uint64_t Words[FlightRecorder::NameBytes / 8];
+  for (unsigned I = 0; I < FlightRecorder::NameBytes / 8; ++I)
+    Words[I] = S.Name[I].load(std::memory_order_relaxed);
+  if (S.Seq.load(std::memory_order_acquire) != Ticket + 1)
+    return false;
+  std::memcpy(Out.Name, Words, FlightRecorder::NameBytes);
+  Out.Name[FlightRecorder::NameBytes - 1] = '\0';
+  return true;
+}
+
+// --- Async-signal-safe formatting (write(2) + manual digits only) --------
+
+void fdWrite(int Fd, const char *S, std::size_t N) {
+  while (N) {
+    ssize_t W = ::write(Fd, S, N);
+    if (W <= 0)
+      return;
+    S += W;
+    N -= static_cast<std::size_t>(W);
+  }
+}
+
+void fdStr(int Fd, const char *S) { fdWrite(Fd, S, std::strlen(S)); }
+
+void fdDec(int Fd, std::uint64_t V) {
+  char Buf[24];
+  char *P = Buf + sizeof(Buf);
+  do {
+    *--P = static_cast<char>('0' + V % 10);
+    V /= 10;
+  } while (V);
+  fdWrite(Fd, P, static_cast<std::size_t>(Buf + sizeof(Buf) - P));
+}
+
+void fdHex(int Fd, std::uint64_t V) {
+  char Buf[20];
+  char *P = Buf + sizeof(Buf);
+  do {
+    unsigned D = static_cast<unsigned>(V & 0xF);
+    *--P = static_cast<char>(D < 10 ? '0' + D : 'a' + D - 10);
+    V >>= 4;
+  } while (V);
+  *--P = 'x';
+  *--P = '0';
+  fdWrite(Fd, P, static_cast<std::size_t>(Buf + sizeof(Buf) - P));
+}
+
+} // namespace
+
+void FlightRecorder::dump(int Fd, std::uintptr_t FaultPC) {
+  fdStr(Fd, "=== tickc flight recorder ===\n");
+  if (FaultPC) {
+    fdStr(Fd, "fault pc ");
+    fdHex(Fd, FaultPC);
+    char Name[RuntimeSymbolTable::NameBytes];
+    std::uintptr_t Start = 0;
+    std::size_t Size = 0;
+    if (RuntimeSymbolTable::global().resolve(FaultPC, Name, &Start, &Size)) {
+      fdStr(Fd, " in specialization '");
+      fdStr(Fd, Name);
+      fdStr(Fd, "' (");
+      fdHex(Fd, Start);
+      fdStr(Fd, "+");
+      fdHex(Fd, FaultPC - Start);
+      fdStr(Fd, ", size ");
+      fdDec(Fd, Size);
+      fdStr(Fd, ")\n");
+    } else {
+      fdStr(Fd, " outside generated code\n");
+    }
+  }
+  std::uint64_t H = Head.load(std::memory_order_acquire);
+  std::uint64_t First = H > Capacity ? H - Capacity : 0;
+  fdStr(Fd, "events ");
+  fdDec(Fd, H);
+  fdStr(Fd, " total, ring holds ");
+  fdDec(Fd, H - First);
+  fdStr(Fd, ":\n");
+  for (std::uint64_t T = First; T < H; ++T) {
+    Record R;
+    if (!readSlot(Ring[T & (Capacity - 1)], T, R))
+      continue;
+    fdStr(Fd, "  [");
+    fdDec(Fd, T);
+    fdStr(Fd, "] tsc=");
+    fdDec(Fd, R.Tsc);
+    fdStr(Fd, " ");
+    fdStr(Fd, flightEventName(R.Kind));
+    if (R.Name[0]) {
+      fdStr(Fd, " '");
+      fdStr(Fd, R.Name);
+      fdStr(Fd, "'");
+    }
+    fdStr(Fd, " a=");
+    fdHex(Fd, R.A);
+    fdStr(Fd, " b=");
+    fdHex(Fd, R.B);
+    fdStr(Fd, "\n");
+  }
+  fdStr(Fd, "=== end flight recorder ===\n");
+}
+
+std::vector<FlightRecorder::Record> FlightRecorder::snapshot() {
+  std::vector<Record> Out;
+  std::uint64_t H = Head.load(std::memory_order_acquire);
+  std::uint64_t First = H > Capacity ? H - Capacity : 0;
+  for (std::uint64_t T = First; T < H; ++T) {
+    Record R;
+    if (readSlot(Ring[T & (Capacity - 1)], T, R))
+      Out.push_back(R);
+  }
+  return Out;
+}
+
+void FlightRecorder::resetForTesting() {
+  for (Slot &S : Ring)
+    S.Seq.store(0, std::memory_order_relaxed);
+  Head.store(0, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Fatal-signal handler
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::atomic<bool> GFatalInstalled{false};
+constexpr int FatalSignals[] = {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT};
+
+void onFatal(int Sig, siginfo_t *, void *Uc) {
+  std::uintptr_t PC = 0;
+#if defined(__x86_64__)
+  if (Uc)
+    PC = static_cast<std::uintptr_t>(
+        static_cast<ucontext_t *>(Uc)->uc_mcontext.gregs[REG_RIP]);
+#else
+  (void)Uc;
+#endif
+  fdStr(2, "\ntickc: fatal signal ");
+  fdDec(2, static_cast<std::uint64_t>(Sig));
+  fdStr(2, "\n");
+  FlightRecorder::global().dump(2, PC);
+  // Chain to the default disposition so the process dies with the original
+  // signal (and the usual core/exit-status semantics).
+  signal(Sig, SIG_DFL);
+  raise(Sig);
+}
+
+} // namespace
+
+void FlightRecorder::installFatalHandler() {
+  bool Expected = false;
+  if (!GFatalInstalled.compare_exchange_strong(Expected, true))
+    return;
+
+  // Dedicated stack: a SIGSEGV from a runaway generated function may have
+  // clobbered or exhausted the thread stack.
+  static char AltStack[64 * 1024]; // SIGSTKSZ is not constexpr on glibc 2.34+.
+  stack_t Ss;
+  Ss.ss_sp = AltStack;
+  Ss.ss_size = sizeof(AltStack);
+  Ss.ss_flags = 0;
+  sigaltstack(&Ss, nullptr);
+
+  struct sigaction Sa;
+  sigemptyset(&Sa.sa_mask);
+  Sa.sa_flags = SA_SIGINFO | SA_ONSTACK;
+  Sa.sa_sigaction = onFatal;
+  for (int Sig : FatalSignals)
+    sigaction(Sig, &Sa, nullptr);
+}
+
+bool FlightRecorder::fatalHandlerInstalled() const {
+  return GFatalInstalled.load(std::memory_order_relaxed);
+}

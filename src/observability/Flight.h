@@ -1,0 +1,117 @@
+//===- observability/Flight.h - Crash-time flight recorder -----*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size lock-free ring of structured runtime events — compile
+/// begin/end, tier swap, cache evict, verify failure, region retire — that
+/// a fatal-signal handler (SIGSEGV/SIGBUS/SIGILL/SIGFPE/SIGABRT, opt-in via
+/// `TICKC_FLIGHT=1`) dumps to stderr together with the specialization the
+/// faulting PC landed in. A crash inside generated code then tells a story:
+/// which region faulted, what was compiled/swapped/evicted in the moments
+/// before, rather than an anonymous address in a JIT mapping.
+///
+/// Writers claim a slot with one fetch_add and publish it by storing the
+/// claim ticket into the record's sequence word last — a reader (the signal
+/// handler, or snapshot() in tests) accepts a record only when the sequence
+/// matches the slot's expected ticket, so half-written or wrapped records
+/// are skipped, never torn. Recording allocates nothing and takes no locks;
+/// the dump path uses only write(2) and manual integer formatting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_OBSERVABILITY_FLIGHT_H
+#define TICKC_OBSERVABILITY_FLIGHT_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace obs {
+
+enum class FlightEvent : std::uint8_t {
+  CompileBegin, ///< A = SpecKey hash (0 if uncacheable), Name = symbol.
+  CompileEnd,   ///< A = code bytes, B = total compile cycles.
+  TierSwap,     ///< A = old entry, B = new entry, Name = symbol.
+  CacheEvict,   ///< A = entry, B = code bytes, Name = symbol.
+  VerifyFail,   ///< Name = failing layer/rule.
+  RegionRetire, ///< A = entry, B = size, Name = symbol.
+};
+
+const char *flightEventName(FlightEvent E);
+
+class FlightRecorder {
+public:
+  static constexpr unsigned Capacity = 256; ///< Power of two.
+  static constexpr unsigned NameBytes = 40;
+
+  struct Record {
+    std::uint64_t Tsc = 0;
+    std::uint64_t A = 0, B = 0;
+    FlightEvent Kind = FlightEvent::CompileBegin;
+    char Name[NameBytes] = {};
+  };
+
+  /// All fields are word-sized relaxed atomics (the name packed into
+  /// words), so a reader racing a wrapping writer is well-defined — the
+  /// sequence check then discards the torn result.
+  struct Slot {
+    /// 0 = never written; otherwise the claim ticket + 1 of the writer
+    /// that last completed this slot.
+    std::atomic<std::uint64_t> Seq{0};
+    std::atomic<std::uint64_t> Tsc{0}, A{0}, B{0};
+    std::atomic<std::uint8_t> Kind{0};
+    std::atomic<std::uint64_t> Name[NameBytes / 8] = {};
+  };
+
+  /// The process-wide recorder (never destroyed: the fatal handler runs
+  /// at arbitrary times, including during static destruction).
+  static FlightRecorder &global();
+
+  /// Appends an event. Lock-free, allocation-free, callable from any
+  /// normal thread (not intended for signal context — the fatal handler
+  /// only reads).
+  void record(FlightEvent Kind, std::uint64_t A = 0, std::uint64_t B = 0,
+              const char *Name = nullptr);
+
+  /// Installs the fatal-signal dump handler (idempotent) on an alternate
+  /// stack, chaining to the default disposition after dumping so the
+  /// process still dies with the original signal.
+  void installFatalHandler();
+  bool fatalHandlerInstalled() const;
+
+  /// Writes the ring (oldest first) to \p Fd using only async-signal-safe
+  /// primitives. \p FaultPC, when nonzero, is resolved against the
+  /// RuntimeSymbolTable and reported as the faulting specialization.
+  void dump(int Fd, std::uintptr_t FaultPC = 0);
+
+  std::uint64_t eventCount() const;
+
+  /// Consistent copies of the currently-readable records, oldest first.
+  std::vector<Record> snapshot();
+
+  void resetForTesting();
+
+private:
+  FlightRecorder() = default;
+
+  std::atomic<std::uint64_t> Head{0}; ///< Next claim ticket.
+  Slot Ring[Capacity];
+};
+
+/// Convenience: append to the global recorder.
+inline void flightRecord(FlightEvent Kind, std::uint64_t A = 0,
+                         std::uint64_t B = 0, const char *Name = nullptr) {
+  FlightRecorder::global().record(Kind, A, B, Name);
+}
+
+} // namespace obs
+} // namespace tcc
+
+#endif // TICKC_OBSERVABILITY_FLIGHT_H

@@ -3,6 +3,7 @@
 #include "observability/Metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 
 using namespace tcc;
 using namespace tcc::obs;
@@ -65,6 +66,59 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     S.Histograms.push_back(std::move(HS));
   }
   return S;
+}
+
+std::string MetricsSnapshot::toJson(unsigned Indent) const {
+  std::string Pad(Indent, ' ');
+  std::string In = Pad + "  ";
+  std::string S = "{\n";
+  char Buf[160];
+
+  S += In + "\"counters\": {";
+  for (std::size_t I = 0; I < Counters.size(); ++I) {
+    std::snprintf(Buf, sizeof(Buf), "%s\n%s  \"%s\": %llu",
+                  I ? "," : "", In.c_str(), Counters[I].Name.c_str(),
+                  static_cast<unsigned long long>(Counters[I].Value));
+    S += Buf;
+  }
+  S += Counters.empty() ? "},\n" : "\n" + In + "},\n";
+
+  S += In + "\"histograms\": {";
+  for (std::size_t I = 0; I < Histograms.size(); ++I) {
+    const HistogramSnapshot &H = Histograms[I];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s\n%s  \"%s\": {\"count\": %llu, \"sum\": %llu, "
+                  "\"min\": %llu, \"max\": %llu, \"mean\": %.1f, "
+                  "\"buckets\": [",
+                  I ? "," : "", In.c_str(), H.Name.c_str(),
+                  static_cast<unsigned long long>(H.Count),
+                  static_cast<unsigned long long>(H.Sum),
+                  static_cast<unsigned long long>(H.Min),
+                  static_cast<unsigned long long>(H.Max),
+                  H.Count ? static_cast<double>(H.Sum) /
+                                static_cast<double>(H.Count)
+                          : 0.0);
+    S += Buf;
+    bool First = true;
+    for (unsigned B = 0; B < Histogram::NumBuckets; ++B) {
+      if (!H.Buckets[B])
+        continue;
+      std::snprintf(Buf, sizeof(Buf), "%s[%llu, %llu]", First ? "" : ", ",
+                    static_cast<unsigned long long>(Histogram::bucketLo(B)),
+                    static_cast<unsigned long long>(H.Buckets[B]));
+      S += Buf;
+      First = false;
+    }
+    S += "]}";
+  }
+  S += Histograms.empty() ? "}\n" : "\n" + In + "}\n";
+
+  S += Pad + "}";
+  return S;
+}
+
+std::string MetricsRegistry::snapshotJson(unsigned Indent) const {
+  return snapshot().toJson(Indent);
 }
 
 void MetricsRegistry::resetAll() {

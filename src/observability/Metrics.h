@@ -134,6 +134,14 @@ struct MetricsSnapshot {
   /// Value of counter \p Name, or 0 if it was never registered.
   std::uint64_t counter(std::string_view Name) const;
   const HistogramSnapshot *histogram(std::string_view Name) const;
+
+  /// Renders the snapshot as a JSON object:
+  /// `{"counters": {name: value, ...}, "histograms": {name: {count, sum,
+  /// min, max, mean, buckets: [[lo, n], ...]}, ...}}` (buckets only where
+  /// nonzero). \p Indent is the column the object's braces sit at, so the
+  /// block nests cleanly inside a larger document — the shared writer every
+  /// BENCH_*.json metrics block goes through.
+  std::string toJson(unsigned Indent = 0) const;
 };
 
 /// Name -> metric registry. Metrics are created on first use and have
@@ -148,6 +156,8 @@ public:
   Histogram &histogram(std::string_view Name);
 
   MetricsSnapshot snapshot() const;
+  /// snapshot().toJson(Indent) — one call for benches and tools.
+  std::string snapshotJson(unsigned Indent = 0) const;
 
   /// Zeroes every registered metric (names and addresses survive). For
   /// benchmarks that want per-section deltas without re-resolving.

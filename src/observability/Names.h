@@ -28,6 +28,7 @@ inline constexpr char CompileCodeBytes[] = "compile.code.bytes";
 inline constexpr char CompileMachineInstrs[] = "compile.machine.instrs";
 
 // Per-phase cycle accumulators (the Figure 6/7 stacked-bar raw material).
+inline constexpr char PhaseSetup[] = "phase.setup.cycles";
 inline constexpr char PhaseCgfWalk[] = "phase.cgf_walk.cycles";
 inline constexpr char PhaseFlowGraph[] = "phase.flow_graph.cycles";
 inline constexpr char PhaseLiveness[] = "phase.liveness.cycles";
@@ -104,6 +105,19 @@ inline constexpr char TierRetiredFns[] = "tier.retired.fns";
 inline constexpr char TierRetiredBytes[] = "tier.retired.bytes";
 /// Enqueue -> dispatch-slot swap, TSC ticks per promotion.
 inline constexpr char HistTierPromoteLatency[] = "tier.promote.latency.cycles";
+
+// Runtime execution observability (src/observability/Runtime*): the JIT
+// symbol table, SIGPROF sampling profiler, and flight recorder.
+inline constexpr char SymtabRegistered[] = "symtab.registered";
+inline constexpr char SymtabRetired[] = "symtab.retired";
+inline constexpr char SymtabDropped[] = "symtab.dropped";
+inline constexpr char SampleTotal[] = "sample.total";
+inline constexpr char SampleHits[] = "sample.hits";
+inline constexpr char SampleMisses[] = "sample.misses";
+inline constexpr char FlightEvents[] = "flight.events";
+/// Promotions initiated by the sample watcher rather than the invocation
+/// counter (loop-bound specializations whose counters never fire).
+inline constexpr char TierPromoteSampled[] = "tier.promote.sampled";
 
 // Verification (src/verify): per-layer pass/fail volume and the cycles the
 // checkers themselves consumed (to report verify-time share of compile time).

@@ -42,6 +42,11 @@ struct ProfileEntry {
   std::atomic<std::uint64_t> CodeBytes{0};
   std::atomic<std::uint64_t> MachineInstrs{0};
   std::atomic<const char *> Backend{""}; ///< "vcode" or "icode".
+  /// SIGPROF samples attributed to this function's code region by the
+  /// sampling profiler (Sampler.h) — the execution-side heat signal. Bumped
+  /// from signal context (relaxed fetch_add); the RuntimeSymbolTable's
+  /// retirement drain guarantees no bump after the entry is freed.
+  std::atomic<std::uint64_t> Samples{0};
   /// Invocation count at which the tier manager promotes the function to
   /// the optimizing back end; 0 when the function is not tier-managed
   /// (src/tier reads Invocations against this after every dispatched call).

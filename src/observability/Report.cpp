@@ -2,8 +2,11 @@
 
 #include "observability/Report.h"
 
+#include "observability/Flight.h"
 #include "observability/Names.h"
 #include "observability/Profile.h"
+#include "observability/RuntimeSymbols.h"
+#include "observability/Sampler.h"
 
 #include <algorithm>
 #include <cstdarg>
@@ -20,6 +23,7 @@ struct PhaseRow {
 };
 
 constexpr PhaseRow Phases[] = {
+    {"setup", names::PhaseSetup},
     {"cgf walk", names::PhaseCgfWalk},
     {"flow graph", names::PhaseFlowGraph},
     {"liveness", names::PhaseLiveness},
@@ -70,6 +74,14 @@ std::uint64_t tcc::obs::phaseCycleSum(const MetricsSnapshot &S) {
   return Sum;
 }
 
+bool tcc::obs::phaseCoverageOk(const MetricsSnapshot &S) {
+  std::uint64_t Total = S.counter(names::CompileCyclesTotal);
+  if (!Total)
+    return true;
+  return static_cast<double>(phaseCycleSum(S)) >=
+         0.95 * static_cast<double>(Total);
+}
+
 std::string tcc::obs::renderReport(const MetricsSnapshot &S) {
   std::string Out;
   Out += "tickc-report: dynamic-compilation cost breakdown\n";
@@ -97,6 +109,14 @@ std::string tcc::obs::renderReport(const MetricsSnapshot &S) {
           Total ? 100.0 * static_cast<double>(PhaseSum) /
                       static_cast<double>(Total)
                 : 0.0);
+  if (!phaseCoverageOk(S))
+    appendf(Out,
+            "  WARNING: phases cover only %.1f%% of compile.cycles.total "
+            "(< 95%%) — a timed region lost its PhaseScope; the percentages "
+            "above are understated\n",
+            Total ? 100.0 * static_cast<double>(PhaseSum) /
+                        static_cast<double>(Total)
+                  : 0.0);
 
   std::uint64_t NV = S.counter(names::CompileCountVCode);
   std::uint64_t NI = S.counter(names::CompileCountICode);
@@ -330,6 +350,56 @@ std::string tcc::obs::renderReport(const MetricsSnapshot &S) {
     if (Hot.size() > N)
       appendf(Out, "  ... and %llu more\n",
               static_cast<unsigned long long>(Hot.size() - N));
+  }
+
+  // Execution hotspots: where SIGPROF samples actually landed, resolved
+  // against the runtime symbol table (live regions plus the retained
+  // totals of tier-retired generations).
+  std::uint64_t SampTotal = S.counter(names::SampleTotal);
+  if (SampTotal) {
+    std::uint64_t SampHits = S.counter(names::SampleHits);
+    appendf(Out,
+            "hotspots (execution samples @ %u Hz)\n"
+            "  %llu samples, %llu in generated code (%.1f%% attributed), "
+            "%llu native\n",
+            Sampler::global().hz(),
+            static_cast<unsigned long long>(SampTotal),
+            static_cast<unsigned long long>(SampHits),
+            100.0 * static_cast<double>(SampHits) /
+                static_cast<double>(SampTotal),
+            static_cast<unsigned long long>(S.counter(names::SampleMisses)));
+    std::vector<SymbolInfo> Syms = RuntimeSymbolTable::global().hotSymbols();
+    std::size_t Shown = 0;
+    for (const SymbolInfo &Sym : Syms) {
+      if (!Sym.Samples || Shown == 10)
+        break;
+      ++Shown;
+      appendf(Out, "  %-32s %10llu samples  %5.1f%%%s  ", Sym.Name.c_str(),
+              static_cast<unsigned long long>(Sym.Samples),
+              100.0 * static_cast<double>(Sym.Samples) /
+                  static_cast<double>(SampTotal),
+              Sym.Live ? "" : " (retired)");
+      appendBar(Out, static_cast<double>(Sym.Samples) /
+                         static_cast<double>(SampTotal));
+      Out += '\n';
+    }
+  }
+
+  // Flight recorder: the trailing event window a fatal-signal dump would
+  // print, summarized.
+  FlightRecorder &FR = FlightRecorder::global();
+  if (std::uint64_t Events = FR.eventCount()) {
+    auto Ring = FR.snapshot();
+    appendf(Out, "flight recorder: %llu events (%zu in ring%s); last:\n",
+            static_cast<unsigned long long>(Events), Ring.size(),
+            FR.fatalHandlerInstalled() ? ", fatal-signal dump armed" : "");
+    std::size_t First = Ring.size() > 6 ? Ring.size() - 6 : 0;
+    for (std::size_t I = First; I < Ring.size(); ++I)
+      appendf(Out, "  %-14s %-32s a=%llx b=%llx\n",
+              flightEventName(Ring[I].Kind),
+              Ring[I].Name[0] ? Ring[I].Name : "-",
+              static_cast<unsigned long long>(Ring[I].A),
+              static_cast<unsigned long long>(Ring[I].B));
   }
   return Out;
 }

@@ -2,6 +2,7 @@
 
 #include "tier/Tier.h"
 
+#include "observability/Flight.h"
 #include "observability/Metrics.h"
 #include "observability/Names.h"
 #include "observability/Trace.h"
@@ -33,6 +34,8 @@ TierConfig TierConfig::fromEnv() {
       1, envUInt64("TICKC_TIER_THREADS", C.Workers)));
   C.PromoteThreshold = std::max<std::uint64_t>(
       1, envUInt64("TICKC_TIER_THRESHOLD", C.PromoteThreshold));
+  C.SamplePromoteThreshold =
+      envUInt64("TICKC_TIER_SAMPLES", C.SamplePromoteThreshold);
   return C;
 }
 
@@ -80,8 +83,13 @@ void TieredFn::installPromoted(cache::FnHandle NewFn) {
     std::lock_guard<std::mutex> G(M);
     StartNs = EnqueuedNs;
     StartTsc = EnqueuedTsc;
+    void *OldEntry = Entry.load();
     Promoted = std::move(NewFn);
     Entry.store(Promoted->entry());
+    obs::flightRecord(obs::FlightEvent::TierSwap,
+                      reinterpret_cast<std::uintptr_t>(OldEntry),
+                      reinterpret_cast<std::uintptr_t>(Promoted->entry()),
+                      Prof ? Prof->Name.c_str() : nullptr);
     // From here every new call dispatches to the ICODE body; only callers
     // already past their Entry.load() can still be running the baseline.
   }
@@ -136,6 +144,8 @@ TierManager::TierManager(TierConfig Config) : Config(Config) {
   Workers.reserve(Config.Workers);
   for (unsigned I = 0; I < Config.Workers; ++I)
     Workers.emplace_back([this] { workerLoop(); });
+  if (Config.SamplePromoteThreshold)
+    SampleWatcher = std::thread([this] { sampleWatchLoop(); });
 }
 
 TierManager::~TierManager() {
@@ -147,6 +157,8 @@ TierManager::~TierManager() {
   QueueCV.notify_all();
   for (std::thread &W : Workers)
     W.join();
+  if (SampleWatcher.joinable())
+    SampleWatcher.join();
   // Detach every surviving slot: a slot left Baseline would enqueue into
   // this (dead) manager the next time its counter crossed the trigger.
   // Failed slots keep dispatching whatever tier they reached and never
@@ -196,6 +208,40 @@ void TierManager::workerLoop() {
       promote(Fn);
     else
       counter(obs::names::TierAbandoned).inc();
+  }
+}
+
+void TierManager::sampleWatchLoop() {
+  // The invocation-counter trigger lives in the call path, so a spec whose
+  // single invocation spins in a hot loop for minutes never fires it. This
+  // watcher is the execution-side complement: it reads the SIGPROF sample
+  // count the profiler accumulates into each slot's ProfileEntry and
+  // enqueues a promotion once it crosses the configured threshold.
+  std::vector<std::shared_ptr<TieredFn>> Live;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> L(QueueM);
+      QueueCV.wait_for(L, std::chrono::milliseconds(Config.SampleWatchMs),
+                       [&] { return Stopping; });
+      if (Stopping)
+        return;
+    }
+    Live.clear();
+    {
+      std::lock_guard<std::mutex> G(SlotsM);
+      for (std::weak_ptr<TieredFn> &W : AllSlots)
+        if (std::shared_ptr<TieredFn> Fn = W.lock())
+          if (Fn->State.load(std::memory_order_relaxed) ==
+              TierState::Baseline)
+            Live.push_back(std::move(Fn));
+    }
+    for (std::shared_ptr<TieredFn> &Fn : Live) {
+      if (Fn->Prof->Samples.load(std::memory_order_relaxed) <
+          Config.SamplePromoteThreshold)
+        continue;
+      counter(obs::names::TierPromoteSampled).inc();
+      Fn->requestPromotion();
+    }
   }
 }
 

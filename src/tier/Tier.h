@@ -68,9 +68,19 @@ struct TierConfig {
   /// slot retries once the counter doubles) and counted as
   /// tier.promote.queue_full.
   std::size_t QueueCapacity = 256;
+  /// Alternative promotion signal: when nonzero, a watcher thread promotes
+  /// any baseline slot whose ProfileEntry::Samples (SIGPROF samples landing
+  /// in its code, see observability/Sampler.h) reaches this count — so a
+  /// specialization stuck in one long-running hot loop tiers up even though
+  /// its invocation counter never crosses PromoteThreshold. Counted as
+  /// tier.promote.sampled. Requires the sampler (TICKC_SAMPLE_HZ) to
+  /// actually produce samples.
+  std::uint64_t SamplePromoteThreshold = 0;
+  /// Poll period of the sample watcher.
+  unsigned SampleWatchMs = 5;
 
   /// Defaults with environment overrides applied: TICKC_TIER_THREADS,
-  /// TICKC_TIER_THRESHOLD.
+  /// TICKC_TIER_THRESHOLD, TICKC_TIER_SAMPLES.
   static TierConfig fromEnv();
 };
 
@@ -227,6 +237,10 @@ private:
   void workerLoop();
   /// Recompile + verify + swap for one dequeued slot.
   void promote(const std::shared_ptr<TieredFn> &Fn);
+  /// Polls AllSlots for baseline slots whose execution-sample count crossed
+  /// Config.SamplePromoteThreshold and enqueues them (runs only when the
+  /// threshold is nonzero).
+  void sampleWatchLoop();
 
   TierConfig Config;
 
@@ -235,6 +249,7 @@ private:
   std::deque<std::weak_ptr<TieredFn>> Queue;
   bool Stopping = false;
   std::vector<std::thread> Workers;
+  std::thread SampleWatcher;
 
   std::mutex SlotsM;
   std::unordered_map<cache::SpecKey, std::weak_ptr<TieredFn>,

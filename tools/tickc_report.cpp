@@ -11,6 +11,9 @@
 //
 //   tickc-report [reps]          # default 50 compiles per configuration
 //   TICKC_TRACE=out.json tickc-report   # also writes a Perfetto trace
+//   TICKC_PERF_MAP=1 tickc-report       # also exports /tmp/perf-<pid>.map
+//                                       # and snapshots it (while the code
+//                                       # is live) to perf-map-live.snapshot
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,10 +21,14 @@
 #include "apps/Query.h"
 #include "cache/CompileService.h"
 #include "observability/Report.h"
+#include "observability/RuntimeSymbols.h"
+#include "observability/Sampler.h"
 #include "tier/Tier.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 using namespace tcc;
 using namespace tcc::core;
@@ -85,18 +92,40 @@ int main(int argc, char **argv) {
       std::printf("unreachable\n");
   }
 
-  // One profiled function, invoked a few times, so the hot-function table
-  // has something to show.
+  // One profiled function, driven through a short sampled hot phase so the
+  // invocation-count table and the execution-hotspot table both have data.
+  // TICKC_SAMPLE_HZ keeps whatever rate the user asked for; otherwise the
+  // sampler runs at 997 Hz just for this phase.
   CompileOptions ProfOpts;
   ProfOpts.Profile = true;
   ProfOpts.ProfileName = "pow13";
   CompiledFn Prof = Power.specialize(ProfOpts);
+  obs::Sampler &S = obs::Sampler::global();
+  bool OwnSampler = !S.running() && S.start(997);
   int Acc = 0;
-  for (unsigned I = 0; I < 1000; ++I)
-    Acc += Prof.as<int(int)>()(3);
+  auto HotEnd = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(150);
+  while (std::chrono::steady_clock::now() < HotEnd)
+    for (unsigned I = 0; I < 1000; ++I)
+      Acc += Prof.as<int(int)>()(3);
   if (Acc == 42)
     std::printf("unreachable\n"); // Keep the calls observable.
 
+  // When perf export is on, snapshot the map while this process's compiled
+  // regions are still live: retirement rewrites the file, so by process
+  // exit the map is (correctly) empty and CI could not check coverage.
+  obs::RuntimeSymbolTable &T = obs::RuntimeSymbolTable::global();
+  if (T.perfExport() == obs::PerfExport::Map ||
+      T.perfExport() == obs::PerfExport::Both) {
+    std::ifstream In(T.perfMapPath(), std::ios::binary);
+    std::ofstream Snap("perf-map-live.snapshot", std::ios::binary);
+    Snap << In.rdbuf();
+    std::printf("perf map: %s (live snapshot: perf-map-live.snapshot)\n",
+                T.perfMapPath().c_str());
+  }
+
   std::printf("%s", obs::renderReport().c_str());
+  if (OwnSampler)
+    S.stop();
   return 0;
 }
