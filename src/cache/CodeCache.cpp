@@ -88,6 +88,11 @@ FnHandle CodeCache::insert(const SpecKey &K, core::CompiledFn &&Fn) {
   S.Map.emplace(K, S.Lru.begin());
   Insertions.inc();
   GM.Insertions.inc();
+  // Provenance split: the process-wide cache.snapshot.* counters live in
+  // the persist layer (which knows about probes and rejects too); the
+  // per-instance count here lets tests pin loads to one cache.
+  if (S.Lru.front().Fn->fromSnapshot())
+    SnapshotLoads.inc();
   // Evict from the cold end, but never the entry just inserted.
   while (S.Bytes > ShardBudget && S.Lru.size() > 1) {
     Entry &Victim = S.Lru.back();
@@ -120,6 +125,7 @@ CacheStats CodeCache::stats() const {
   St.Misses = Misses.value();
   St.Evictions = Evictions.value();
   St.Insertions = Insertions.value();
+  St.SnapshotLoads = SnapshotLoads.value();
   for (const auto &SP : Shards) {
     std::lock_guard<std::mutex> G(SP->M);
     St.CodeBytes += SP->Bytes;

@@ -53,6 +53,11 @@ struct CacheStats {
   std::uint64_t Misses = 0;      ///< Lookups that found nothing.
   std::uint64_t Evictions = 0;   ///< Entries pushed out by the byte bound.
   std::uint64_t Insertions = 0;
+  /// Insertions whose function was revived from a persistent snapshot
+  /// (CompiledFn::fromSnapshot()) rather than compiled in this process —
+  /// kept distinct from Hits so warm-start loads never masquerade as
+  /// in-memory hits in the report.
+  std::uint64_t SnapshotLoads = 0;
   std::size_t CodeBytes = 0;     ///< Emitted bytes currently resident.
   std::size_t Entries = 0;
 };
@@ -106,7 +111,7 @@ private:
   std::vector<std::unique_ptr<Shard>> Shards;
   std::size_t ShardBudget;
 
-  obs::Counter Hits, Misses, Evictions, Insertions;
+  obs::Counter Hits, Misses, Evictions, Insertions, SnapshotLoads;
 };
 
 } // namespace cache

@@ -5,9 +5,12 @@
 #include "observability/Metrics.h"
 #include "observability/Names.h"
 #include "observability/Trace.h"
+#include "persist/Snapshot.h"
 #include "support/Env.h"
+#include "support/Reloc.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 using namespace tcc;
 using namespace tcc::cache;
@@ -17,12 +20,22 @@ ServiceConfig ServiceConfig::fromEnv() {
   ServiceConfig C;
   C.MaxCodeBytes = static_cast<std::size_t>(
       envUInt64("TICKC_CACHE_BYTES", C.MaxCodeBytes));
+  if (const char *Dir = std::getenv("TICKC_SNAPSHOT_DIR"))
+    C.SnapshotDir = Dir;
+  C.SnapshotCompactBytes = static_cast<std::size_t>(
+      envUInt64("TICKC_SNAPSHOT_COMPACT", C.SnapshotCompactBytes));
   return C;
 }
 
 CompileService::CompileService(ServiceConfig Config)
     : Config(Config), Pool(Config.MaxPooledBytes),
-      Cache(Config.Shards, Config.MaxCodeBytes) {}
+      Cache(Config.Shards, Config.MaxCodeBytes) {
+  if (!this->Config.SnapshotDir.empty() && this->Config.EnableCache)
+    Snap = persist::SnapshotCache::open(this->Config.SnapshotDir,
+                                        this->Config.SnapshotCompactBytes);
+}
+
+CompileService::~CompileService() = default;
 
 CompiledFn CompileService::compilePooled(Context &Ctx, Stmt Body,
                                          EvalType RetType,
@@ -109,6 +122,24 @@ FnHandle CompileService::getOrCompileKeyed(Context &Ctx, Stmt Body,
   // The leader may have won the in-flight slot just after a previous
   // leader published its result and retired; re-probe before compiling.
   FnHandle H = Cache.lookup(K);
+  if (!H && Snap) {
+    // Warm-start path: probe the on-disk snapshot before paying for a
+    // compile, and teach it any compile it could not serve. Both sides key
+    // on the address-independent PersistKey (one extra fingerprint walk,
+    // only ever on a cold miss with persistence enabled).
+    PersistKey PK = buildPersistKey(Ctx, Body, RetType, Opts);
+    core::CompiledFn L = Snap->tryLoad(PK, Opts);
+    if (L.valid())
+      H = Cache.insert(K, std::move(L));
+    if (!H) {
+      support::RelocTable Relocs;
+      CompileOptions SaveOpts = Opts;
+      SaveOpts.Relocs = &Relocs;
+      core::CompiledFn F = compilePooled(Ctx, Body, RetType, SaveOpts);
+      Snap->trySave(PK, F, Relocs);
+      H = Cache.insert(K, std::move(F));
+    }
+  }
   if (!H)
     H = Cache.insert(K, compilePooled(Ctx, Body, RetType, Opts));
   {

@@ -39,6 +39,10 @@
 
 namespace tcc {
 
+namespace persist {
+class SnapshotCache;
+}
+
 namespace tier {
 class TierManager;
 class TieredFn;
@@ -62,9 +66,19 @@ struct ServiceConfig {
   std::size_t MaxPooledBytes = 64u << 20;
   bool EnableCache = true;
   bool EnablePool = true;
+  /// When non-empty, the service opens (creating on demand) the persistent
+  /// snapshot file in this directory: in-memory cache misses probe it
+  /// before compiling, and fresh compiles of portable specs append to it —
+  /// the warm-start path that lets a second process skip every recompile.
+  std::string SnapshotDir;
+  /// Dead-byte threshold at which opening the snapshot compacts it
+  /// (duplicate records from concurrent writers); 0 disables compaction.
+  std::size_t SnapshotCompactBytes = 1u << 20;
 
   /// Default config with environment overrides applied:
-  /// TICKC_CACHE_BYTES caps MaxCodeBytes (decimal bytes). Used by
+  /// TICKC_CACHE_BYTES caps MaxCodeBytes (decimal bytes);
+  /// TICKC_SNAPSHOT_DIR enables the persistent snapshot cache;
+  /// TICKC_SNAPSHOT_COMPACT sets its compaction threshold. Used by
   /// CompileService::instance() so benches and CI can sweep the cache
   /// bound without rebuilding.
   static ServiceConfig fromEnv();
@@ -75,6 +89,7 @@ struct ServiceConfig {
 class CompileService {
 public:
   explicit CompileService(ServiceConfig Config = ServiceConfig());
+  ~CompileService(); // Out of line: Snap's type is incomplete here.
 
   /// Returns the cached function for this (spec, run-time constants,
   /// options) identity, compiling at most once per identity. Concurrent
@@ -123,6 +138,10 @@ public:
   /// service adds no parallel stats surface of its own.
   CodeCache &cache() { return Cache; }
   RegionPool &pool() { return Pool; }
+  /// The persistent snapshot cache, or null when ServiceConfig::SnapshotDir
+  /// was empty (or the directory was unusable — persistence degrades to
+  /// off, never to an error).
+  persist::SnapshotCache *snapshot() { return Snap.get(); }
   /// Recycled per-compile scratch contexts; every compile the service
   /// performs (including the tier manager's background promotions, which
   /// come through getOrCompileKeyed) draws from here, so warm-service
@@ -149,6 +168,10 @@ private:
 
   ServiceConfig Config;
   core::CompileContextPool CtxPool;
+  /// Open snapshot file, or null when persistence is off. Holds only file
+  /// state (fd, mapping, record index) — no code regions — so its position
+  /// in the destruction order is unconstrained.
+  std::unique_ptr<persist::SnapshotCache> Snap;
   /// Pool is declared before Cache deliberately: cached functions release
   /// their regions into the pool on destruction, so the cache (and its
   /// entries) must be destroyed first. Handles the caller keeps must be

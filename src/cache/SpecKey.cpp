@@ -2,6 +2,7 @@
 
 #include "cache/SpecKey.h"
 
+#include "support/Hash.h"
 #include "verify/Verify.h"
 
 #include <bit>
@@ -19,7 +20,9 @@ namespace {
 /// stay unambiguous.
 class KeyWriter {
 public:
-  explicit KeyWriter(std::vector<std::uint8_t> &Out) : Out(Out) {}
+  explicit KeyWriter(std::vector<std::uint8_t> &Out,
+                     std::vector<ExtRef> *Refs = nullptr)
+      : Out(Out), Refs(Refs) {}
 
   bool Cacheable = true;
 
@@ -57,11 +60,18 @@ public:
       u64(std::bit_cast<std::uint64_t>(N->FpVal));
       break;
     case ExprKind::FreeVar:
-    case ExprKind::Call:
-      // Captured addresses are part of the code the walk emits.
-      u64(static_cast<std::uint64_t>(
-          reinterpret_cast<std::uintptr_t>(N->PtrVal)));
+    case ExprKind::Call: {
+      // Captured addresses are part of the code the walk emits. In persist
+      // mode (Refs attached) the key stays address-independent: the bytes
+      // carry the first-occurrence ordinal, the addresses land in Refs.
+      std::uint64_t Addr = static_cast<std::uint64_t>(
+          reinterpret_cast<std::uintptr_t>(N->PtrVal));
+      if (Refs)
+        u32(refOrdinal(static_cast<std::uint8_t>(N->Kind), Addr));
+      else
+        u64(Addr);
       break;
+    }
     case ExprKind::RtEval:
       // The rc interpreter may read memory under $: the immediate it embeds
       // depends on the pointee at instantiation time, not on the tree.
@@ -102,45 +112,31 @@ public:
   }
 
 private:
+  /// First-occurrence ordinal of (Kind, Addr). Linear scan: spec trees
+  /// capture a handful of externals, not hundreds.
+  std::uint32_t refOrdinal(std::uint8_t Kind, std::uint64_t Addr) {
+    for (std::size_t I = 0; I < Refs->size(); ++I)
+      if ((*Refs)[I].Kind == Kind && (*Refs)[I].Addr == Addr)
+        return static_cast<std::uint32_t>(I);
+    Refs->push_back({Kind, Addr});
+    return static_cast<std::uint32_t>(Refs->size() - 1);
+  }
+
   std::vector<std::uint8_t> &Out;
+  std::vector<ExtRef> *Refs;
 };
 
-/// Hashes the key bytes a word at a time. A byte-serial FNV loop is one
-/// dependent multiply per byte (~0.5µs for a modest spec) and dominated key
-/// construction; eight bytes per mix step makes hashing noise instead.
-/// Equality still compares the full byte strings, so hash quality only
-/// affects shard/bucket spread.
+/// Hashes the key bytes a word at a time (support/Hash.h — shared with the
+/// snapshot layer so record probes and spec keys agree on one algorithm).
 std::uint64_t hashBytes(const std::vector<std::uint8_t> &Bytes) {
-  auto Mix = [](std::uint64_t H) {
-    H ^= H >> 33;
-    H *= 0xff51afd7ed558ccdull;
-    H ^= H >> 33;
-    return H;
-  };
-  std::uint64_t H = 0x9e3779b97f4a7c15ull ^ Bytes.size();
-  const std::uint8_t *P = Bytes.data();
-  std::size_t N = Bytes.size();
-  for (; N >= 8; P += 8, N -= 8) {
-    std::uint64_t W;
-    std::memcpy(&W, P, 8);
-    H = Mix(H ^ W);
-  }
-  if (N) {
-    std::uint64_t W = 0;
-    std::memcpy(&W, P, N);
-    H = Mix(H ^ W);
-  }
-  return H;
+  return support::hashBytes(Bytes.data(), Bytes.size());
 }
 
-} // namespace
-
-SpecKey cache::buildSpecKey(const Context &Ctx, Stmt Body, EvalType RetType,
-                            const CompileOptions &Opts) {
-  SpecKey K;
-  K.Bytes.reserve(256);
-  KeyWriter W(K.Bytes);
-
+/// The canonical serialization both key flavors share; only the FreeVar /
+/// Call leaf encoding differs (address vs ordinal), decided by whether the
+/// writer carries a Refs collector.
+void writeKeyBody(KeyWriter &W, const Context &Ctx, Stmt Body,
+                  EvalType RetType, const CompileOptions &Opts) {
   // Everything in CompileOptions that changes generated code (Pool changes
   // only where code lives, so it is deliberately absent).
   //
@@ -178,7 +174,28 @@ SpecKey cache::buildSpecKey(const Context &Ctx, Stmt Body, EvalType RetType,
   }
 
   W.stmt(Body.node());
+}
 
+} // namespace
+
+SpecKey cache::buildSpecKey(const Context &Ctx, Stmt Body, EvalType RetType,
+                            const CompileOptions &Opts) {
+  SpecKey K;
+  K.Bytes.reserve(256);
+  KeyWriter W(K.Bytes);
+  writeKeyBody(W, Ctx, Body, RetType, Opts);
+  K.Cacheable = W.Cacheable;
+  K.Hash = hashBytes(K.Bytes);
+  return K;
+}
+
+PersistKey cache::buildPersistKey(const Context &Ctx, Stmt Body,
+                                  EvalType RetType,
+                                  const CompileOptions &Opts) {
+  PersistKey K;
+  K.Bytes.reserve(256);
+  KeyWriter W(K.Bytes, &K.Refs);
+  writeKeyBody(W, Ctx, Body, RetType, Opts);
   K.Cacheable = W.Cacheable;
   K.Hash = hashBytes(K.Bytes);
   return K;

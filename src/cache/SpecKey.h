@@ -60,6 +60,39 @@ SpecKey buildSpecKey(const core::Context &Ctx, core::Stmt Body,
                      core::EvalType RetType,
                      const core::CompileOptions &Opts);
 
+/// One canonical external reference of a spec tree, in first-occurrence
+/// walk order. Kind is the ExprKind byte (FreeVar or Call) so the same
+/// numeric address captured both as data and as a callee never aliases.
+struct ExtRef {
+  std::uint8_t Kind = 0;
+  std::uint64_t Addr = 0;
+  bool operator==(const ExtRef &O) const {
+    return Kind == O.Kind && Addr == O.Addr;
+  }
+};
+
+/// Address-independent identity for persistent snapshot records. Canonical
+/// bytes are serialized exactly like SpecKey except each captured address
+/// is replaced by the ordinal of its first occurrence, with the addresses
+/// themselves collected into Refs. Two processes that build the same tree
+/// over ASLR-relocated globals therefore produce the same PersistKey bytes
+/// with different Refs — the pairing the loader uses to re-point imm64
+/// relocation slots (old address at ordinal i → this process's address at
+/// ordinal i).
+struct PersistKey {
+  std::vector<std::uint8_t> Bytes;
+  std::uint64_t Hash = 0;
+  std::vector<ExtRef> Refs;
+  /// Mirrors SpecKey::Cacheable; uncacheable specs are never persisted.
+  bool Cacheable = true;
+};
+
+/// Builds the address-independent persistence identity (one extra tree
+/// walk; only taken on in-memory cache misses when a snapshot is open).
+PersistKey buildPersistKey(const core::Context &Ctx, core::Stmt Body,
+                           core::EvalType RetType,
+                           const core::CompileOptions &Opts);
+
 } // namespace cache
 } // namespace tcc
 

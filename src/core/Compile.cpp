@@ -1622,6 +1622,8 @@ CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
       // guard asserts >= 95% coverage).
       std::uint64_t SetupStart = readCycleCounterBegin();
       vcode::VCode V(F.Region->base(), F.Region->capacity(), &A);
+      if (Opts.Relocs)
+        V.assembler().setRelocTable(Opts.Relocs);
       Walker<vcode::VCode> W(Ctx, V, RetType, Opts, A);
       if (F.Prof)
         W.ProfileCounter = &F.Prof->Invocations;
@@ -1642,6 +1644,8 @@ CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
       // cost never lands on an individual compile.
       std::uint64_t SetupStart = readCycleCounterBegin();
       pcode::PCode P(F.Region->base(), F.Region->capacity(), &A);
+      if (Opts.Relocs)
+        P.assembler().setRelocTable(Opts.Relocs);
       Walker<pcode::PCode> W(Ctx, P, RetType, Opts, A);
       if (F.Prof)
         W.ProfileCounter = &F.Prof->Invocations;
@@ -1689,6 +1693,8 @@ CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
       Audit.PostRegAlloc = &VerifyHooks::postRegAlloc;
       SetupStart = readCycleCounterBegin();
       vcode::VCode V(F.Region->base(), F.Region->capacity(), &A);
+      if (Opts.Relocs)
+        V.assembler().setRelocTable(Opts.Relocs);
       F.Stats.CyclesSetup += readCycleCounterEnd() - SetupStart;
       F.Entry = IC.compileTo(V, Opts.RegAlloc, &F.Stats.ICode, Opts.Spill,
                              DoVerify ? &Audit : nullptr);
@@ -1775,5 +1781,38 @@ CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
   obs::flightRecord(obs::FlightEvent::CompileEnd, F.Stats.CodeBytes,
                     F.Stats.CyclesTotal, SymName);
   publishCompileMetrics<vcode::VCode>(F, Opts, PE);
+  return F;
+}
+
+CompiledFn core::adoptLoadedCode(LoadedCode &&L) {
+  assert(L.Region && L.CodeBytes && "adopting an empty loaded region");
+  CompiledFn F;
+  F.Region = std::move(L.Region);
+  F.Prof = std::move(L.Prof);
+  F.FromSnapshot = true;
+  F.Stats.CodeBytes = L.CodeBytes;
+  F.Stats.MachineInstrs = L.MachineInstrs;
+  // Compile-phase cycles stay zero: nothing was compiled here, and a loaded
+  // function reporting a walk cost would corrupt the paper's per-phase
+  // tables. The snapshot layer accounts load latency separately
+  // (cache.snapshot.load.cycles).
+  {
+    PhaseScope Fin(F.Stats.CyclesFinalize);
+    F.Region->makeExecutable();
+    F.Entry = F.Region->execPtr(F.Region->base());
+  }
+  const char *SymName =
+      L.SymbolName && *L.SymbolName ? L.SymbolName : "spec.snapshot";
+  if (F.Prof) {
+    F.Prof->CodeBytes.store(F.Stats.CodeBytes, std::memory_order_relaxed);
+    F.Prof->MachineInstrs.store(F.Stats.MachineInstrs,
+                                std::memory_order_relaxed);
+    F.Prof->Backend.store("snapshot", std::memory_order_relaxed);
+  }
+  F.Sym = obs::RuntimeSymbolTable::global().registerRegion(
+      F.Entry, F.Stats.CodeBytes, SymName,
+      F.Prof ? &F.Prof->Samples : nullptr);
+  obs::flightRecord(obs::FlightEvent::CompileEnd, F.Stats.CodeBytes, 0,
+                    SymName);
   return F;
 }

@@ -31,6 +31,7 @@
 #include "observability/Profile.h"
 #include "observability/RuntimeSymbols.h"
 #include "support/CodeBuffer.h"
+#include "support/Reloc.h"
 
 #include <cstdint>
 #include <memory>
@@ -99,6 +100,12 @@ struct CompileOptions {
   /// cache key: a cached hit must carry the same guarantee the options
   /// asked for. Zero overhead when off.
   bool Verify = false;
+  /// When set, the backend's assembler records every external imm64 it
+  /// plants (free-variable addresses, callee entries, the profile counter)
+  /// into this side table — the raw material for persistent snapshots
+  /// (src/persist). Recording never changes the emitted bytes. Not part of
+  /// the cache key. Owned by the caller; must outlive the compile.
+  support::RelocTable *Relocs = nullptr;
 };
 
 /// Cost account of one instantiation — the raw material of Table 1 and
@@ -139,13 +146,19 @@ public:
   /// manager's dispatch slots) that must keep reading the counter after
   /// they drop the function handle itself.
   std::shared_ptr<obs::ProfileEntry> profileShared() const { return Prof; }
+  /// True when this function was revived from a persistent snapshot
+  /// (src/persist) rather than compiled in this process. Lets the cache
+  /// and tier layers classify warm-start loads separately from compiles.
+  bool fromSnapshot() const { return FromSnapshot; }
 
 private:
   friend CompiledFn compileFn(Context &, Stmt, EvalType,
                               const CompileOptions &);
+  friend CompiledFn adoptLoadedCode(struct LoadedCode &&);
   PooledRegion Region;
   void *Entry = nullptr;
   DynStats Stats;
+  bool FromSnapshot = false;
   std::shared_ptr<obs::ProfileEntry> Prof;
   /// Runtime symbol registration. Declared last on purpose: destruction
   /// runs in reverse order, so the symbol retires (draining any in-flight
@@ -159,6 +172,25 @@ private:
 /// body. Thin wrappers below fix the backend.
 CompiledFn compileFn(Context &Ctx, Stmt Body, EvalType RetType,
                      const CompileOptions &Opts = CompileOptions());
+
+/// Everything the persistence layer hands core to revive one snapshot
+/// record as a live function: a still-writable region already holding the
+/// relocation-patched bytes (the loader audits them *before* calling this).
+struct LoadedCode {
+  PooledRegion Region;
+  std::size_t CodeBytes = 0;
+  unsigned MachineInstrs = 0;
+  /// The loading process's freshly created profile entry whose counter the
+  /// patched code increments; null for unprofiled records.
+  std::shared_ptr<obs::ProfileEntry> Prof;
+  /// Runtime symbol name (copied; may be null for a generic label).
+  const char *SymbolName = nullptr;
+};
+
+/// Finalizes a loaded region (W^X flip + icache discipline) and wraps it in
+/// a CompiledFn indistinguishable from a fresh compile except for its
+/// fromSnapshot() provenance bit and zeroed compile-cost stats.
+CompiledFn adoptLoadedCode(LoadedCode &&L);
 
 inline CompiledFn compileVCode(Context &Ctx, Stmt Body, EvalType RetType) {
   CompileOptions Opts;

@@ -96,6 +96,10 @@ private:
     case Op::SetL:
       V.setL(loc(In.A), static_cast<std::int64_t>(IC.poolValue(In.B)));
       break;
+    case Op::SetP:
+      V.setP(loc(In.A), reinterpret_cast<const void *>(
+                            static_cast<std::uintptr_t>(IC.poolValue(In.B))));
+      break;
     case Op::SetD: {
       std::uint64_t Bits = IC.poolValue(In.B);
       double D;
@@ -328,8 +332,9 @@ private:
       V.prepareCallArgI(static_cast<unsigned>(In.A), loc(In.B));
       break;
     case Op::CallArgP:
-      V.prepareCallArgII(static_cast<unsigned>(In.A),
-                         static_cast<std::int64_t>(IC.poolValue(In.B)));
+      V.prepareCallArgP(static_cast<unsigned>(In.A),
+                        reinterpret_cast<const void *>(
+                            static_cast<std::uintptr_t>(IC.poolValue(In.B))));
       break;
     case Op::CallArgII:
       V.prepareCallArgII(static_cast<unsigned>(In.A),

@@ -170,6 +170,7 @@ const char *tcc::icode::opName(Op O) {
     CASE(ResultD);
     CASE(Hint);
     CASE(ProfileInc);
+    CASE(SetP);
     CASE(Nop);
 #undef CASE
   }
@@ -184,6 +185,7 @@ void ICode::defsUses(const Instr &I, VReg *Defs, unsigned &NumDefs, VReg *Uses,
   // def-only
   case Op::SetI:
   case Op::SetL:
+  case Op::SetP:
   case Op::SetD:
   case Op::BindArgI:
   case Op::BindArgD:

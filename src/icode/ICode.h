@@ -152,6 +152,10 @@ enum class Op : std::uint8_t {
   // Profiling hook: atomic increment of the invocation counter whose
   // address sits in the constant pool (A). Impure — never erased.
   ProfileInc,
+  // SetL whose pool payload (B) is a captured external address rather
+  // than plain data. Identical machine code; the distinction lets the
+  // emitter record a relocation so the persistent cache can re-point it.
+  SetP,
   // Erased by the peephole pass; never emitted.
   Nop,
 };
@@ -295,7 +299,7 @@ public:
     append(Op::SetL, 0, D, addPool(static_cast<std::uint64_t>(Imm)), 0);
   }
   void setP(VReg D, const void *P) {
-    setL(D, reinterpret_cast<std::intptr_t>(P));
+    append(Op::SetP, 0, D, addPool(reinterpret_cast<std::uintptr_t>(P)), 0);
   }
   void setD(VReg D, double Imm);
   void movI(VReg D, VReg S) { append(Op::MovI, 0, D, S, 0); }

@@ -20,6 +20,7 @@ static bool isPure(Op O) {
   switch (O) {
   case Op::SetI:
   case Op::SetL:
+  case Op::SetP:
   case Op::SetD:
   case Op::MovI:
   case Op::MovD:

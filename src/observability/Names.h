@@ -84,6 +84,19 @@ inline constexpr char CacheInsertions[] = "cache.insertions";
 inline constexpr char CacheBytesInserted[] = "cache.bytes.inserted";
 inline constexpr char CacheBytesEvicted[] = "cache.bytes.evicted";
 
+// Persistent cross-process snapshot cache (src/persist). Hits/misses count
+// probe outcomes on in-memory cache misses; rejects count records refused
+// for fingerprint mismatch, corruption, or failed byte audit; unportable
+// counts compiles whose pointers escaped the imm64 form and so could not
+// be persisted. The load histogram is probe → executable-function latency.
+inline constexpr char SnapshotHits[] = "cache.snapshot.hits";
+inline constexpr char SnapshotMisses[] = "cache.snapshot.misses";
+inline constexpr char SnapshotRejects[] = "cache.snapshot.rejects";
+inline constexpr char SnapshotSaves[] = "cache.snapshot.saves";
+inline constexpr char SnapshotUnportable[] = "cache.snapshot.unportable";
+inline constexpr char SnapshotCompactions[] = "cache.snapshot.compactions";
+inline constexpr char HistSnapshotLoad[] = "cache.snapshot.load.cycles";
+
 // Region pool (all RegionPool instances, cumulative).
 inline constexpr char PoolReused[] = "pool.regions.reused";
 inline constexpr char PoolMapped[] = "pool.regions.mapped";
@@ -105,6 +118,11 @@ inline constexpr char TierRetiredFns[] = "tier.retired.fns";
 inline constexpr char TierRetiredBytes[] = "tier.retired.bytes";
 /// Enqueue -> dispatch-slot swap, TSC ticks per promotion.
 inline constexpr char HistTierPromoteLatency[] = "tier.promote.latency.cycles";
+/// Tier-0 baselines revived from a persistent snapshot instead of compiled
+/// (warm-started processes answer at hit latency from the first call; the
+/// promotion machinery works on them unchanged — loaded code carries a
+/// live patched counter).
+inline constexpr char TierBaselineSnapshot[] = "tier.baseline.from_snapshot";
 
 // Runtime execution observability (src/observability/Runtime*): the JIT
 // symbol table, SIGPROF sampling profiler, and flight recorder.

@@ -157,6 +157,38 @@ std::string tcc::obs::renderReport(const MetricsSnapshot &S) {
                 S.counter(names::CacheBytesInserted) -
                 S.counter(names::CacheBytesEvicted)));
   }
+  // Persistent snapshot cache: warm-start loads are deliberately reported
+  // apart from in-memory hits — a load costs a disk probe + relocation
+  // patch + byte audit, not a map lookup, and "how many compiles did the
+  // snapshot save this process" is the number the feature is judged by.
+  std::uint64_t SnapHits = S.counter(names::SnapshotHits);
+  std::uint64_t SnapMisses = S.counter(names::SnapshotMisses);
+  std::uint64_t SnapSaves = S.counter(names::SnapshotSaves);
+  std::uint64_t SnapRejects = S.counter(names::SnapshotRejects);
+  if (SnapHits + SnapMisses + SnapSaves + SnapRejects) {
+    Out += "snapshot (persistent cross-process code cache)\n";
+    appendf(Out,
+            "  %llu loads / %llu misses, %llu saves, %llu rejected, "
+            "%llu unportable, %llu compactions\n",
+            static_cast<unsigned long long>(SnapHits),
+            static_cast<unsigned long long>(SnapMisses),
+            static_cast<unsigned long long>(SnapSaves),
+            static_cast<unsigned long long>(SnapRejects),
+            static_cast<unsigned long long>(
+                S.counter(names::SnapshotUnportable)),
+            static_cast<unsigned long long>(
+                S.counter(names::SnapshotCompactions)));
+    std::uint64_t TierSnap = S.counter(names::TierBaselineSnapshot);
+    if (TierSnap)
+      appendf(Out, "  %llu tier-0 baselines revived without compiling\n",
+              static_cast<unsigned long long>(TierSnap));
+    if (const HistogramSnapshot *H = S.histogram(names::HistSnapshotLoad))
+      if (H->Count) {
+        Out += "  load latency (probe -> executable fn, cycles)\n";
+        renderHistogram(Out, *H);
+      }
+  }
+
   std::uint64_t Reused = S.counter(names::PoolReused);
   std::uint64_t Mapped = S.counter(names::PoolMapped);
   if (Reused + Mapped)

@@ -131,12 +131,16 @@ public:
       putPatch(Lib.SetI[D][1], Imm);
   }
   void opSetL(int D, std::int64_t Imm) {
-    if (Imm == 0)
+    if (Imm == 0) {
       put(Lib.SetL[D][0]);
-    else if (Imm >= INT32_MIN && Imm <= INT32_MAX)
+    } else if (Imm >= INT32_MIN && Imm <= INT32_MAX) {
       putPatch(Lib.SetL[D][1], Imm);
-    else
+    } else {
+      // The movabs stencil ends with the imm64 hole, so after the append
+      // pc()-8 is the immediate's region offset.
       putPatch(Lib.SetL[D][2], Imm);
+      captureReloc64(pc() - 8, static_cast<std::uint64_t>(Imm));
+    }
   }
   void opSetD(int D, std::uint64_t Bits) {
     if (Bits == 0) {
@@ -299,6 +303,7 @@ public:
   }
   void movRI64(x86::GPR D, std::uint64_t Imm) {
     putPatch(Lib.RawMovRI64[D], static_cast<std::int64_t>(Imm));
+    captureReloc64(pc() - 8, Imm);
   }
   void movRI64SExt32(x86::GPR D, std::int32_t Imm) {
     putPatch(Lib.RawMovRI64S[D], Imm);

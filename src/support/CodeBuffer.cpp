@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <sys/mman.h>
 #include <unistd.h>
@@ -182,6 +183,15 @@ PooledRegion RegionPool::acquire(std::size_t Capacity,
   // compile loop, and the alias makes finalize + release syscall-free.
   return PooledRegion(new CodeRegion(Capacity, Placement, /*DualMap=*/true),
                       RegionReleaser{this});
+}
+
+PooledRegion RegionPool::acquireLoaded(const std::uint8_t *Bytes,
+                                       std::size_t Len,
+                                       CodePlacement Placement) {
+  assert(Bytes && Len && "loading empty code bytes");
+  PooledRegion R = acquire(Len, Placement);
+  std::memcpy(R->base(), Bytes, Len);
+  return R;
 }
 
 void RegionPool::release(CodeRegion *R) {

@@ -136,6 +136,13 @@ public:
   /// mapping when one fits; otherwise maps a fresh region.
   PooledRegion acquire(std::size_t Capacity, CodePlacement Placement);
 
+  /// The snapshot loader's load-without-compile entry point: a pooled
+  /// (dual-mapped where possible) region with \p Bytes already copied to
+  /// base(). Still writable on return — the caller patches relocations and
+  /// audits the bytes before flipping it executable.
+  PooledRegion acquireLoaded(const std::uint8_t *Bytes, std::size_t Len,
+                             CodePlacement Placement);
+
   /// Returns \p R (writable again) to the freelist, or unmaps it if the
   /// pool is full. Called by RegionReleaser; takes ownership.
   void release(CodeRegion *R);

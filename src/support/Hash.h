@@ -1,0 +1,56 @@
+//===- support/Hash.h - Word-at-a-time byte-string hash --------*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hash the cache and persistence layers share for fingerprinting byte
+/// strings (spec keys, snapshot records, build fingerprints). Eight bytes
+/// per mix step: a byte-serial FNV loop is one dependent multiply per byte
+/// and would dominate key construction on the cache-hit path. Consumers
+/// that need certainty compare the full byte strings; hash quality only
+/// affects bucket spread and false-probe rates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_SUPPORT_HASH_H
+#define TICKC_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace tcc {
+namespace support {
+
+inline std::uint64_t hashMix64(std::uint64_t H) {
+  H ^= H >> 33;
+  H *= 0xff51afd7ed558ccdull;
+  H ^= H >> 33;
+  return H;
+}
+
+inline std::uint64_t hashBytes(const void *Data, std::size_t Size,
+                               std::uint64_t Seed = 0) {
+  std::uint64_t H = 0x9e3779b97f4a7c15ull ^ Size ^ Seed;
+  const std::uint8_t *P = static_cast<const std::uint8_t *>(Data);
+  std::size_t N = Size;
+  for (; N >= 8; P += 8, N -= 8) {
+    std::uint64_t W;
+    std::memcpy(&W, P, 8);
+    H = hashMix64(H ^ W);
+  }
+  if (N) {
+    std::uint64_t W = 0;
+    std::memcpy(&W, P, N);
+    H = hashMix64(H ^ W);
+  }
+  return H;
+}
+
+} // namespace support
+} // namespace tcc
+
+#endif // TICKC_SUPPORT_HASH_H

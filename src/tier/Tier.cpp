@@ -313,6 +313,11 @@ TieredFnHandle TierManager::getOrCreate(cache::CompileService &Service,
       Service.getOrCompileKeyed(Ctx, Body, RetType, BaselineOpts, Key);
   if (!Baseline || !Baseline->valid())
     reportFatalError("tier: baseline instantiation failed");
+  // Warm-start provenance: a snapshot-revived baseline enters the tier
+  // machinery exactly like a fresh compile (its patched counter drives
+  // promotion), but the report should attribute it to the snapshot.
+  if (Baseline->fromSnapshot())
+    counter(obs::names::TierBaselineSnapshot).inc();
 
   // make_shared needs a public constructor; this avoids befriending every
   // allocator by constructing through a local derived type.

@@ -307,6 +307,7 @@ public:
   /// outlive the generated code. Call between enter() and the bindArg*
   /// sequence; only scratch state is clobbered.
   void profileEntry(const void *Counter) {
+    Asm.armReloc(support::RelocKind::Profile);
     Asm.movRI64(detail::ScratchA, reinterpret_cast<std::uint64_t>(Counter));
     Asm.lockIncM64(detail::ScratchA, 0);
   }
@@ -448,7 +449,12 @@ public:
   }
 
   void setP(Reg D, const void *Ptr) {
+    // Captured addresses that fold to xor/imm32 leave the pending arming
+    // set; the trailing disarm then marks the compile unportable rather
+    // than letting an unpatchable encoding reach a snapshot.
+    Asm.armReloc(support::RelocKind::Ptr);
     setL(D, reinterpret_cast<std::intptr_t>(Ptr));
+    Asm.disarmReloc();
   }
 
   void setD(FReg D, double Imm) {
@@ -1483,6 +1489,7 @@ public:
 
   void prepareCallArgP(unsigned Slot, const void *Ptr) {
     assert(Slot < 6 && "stack-passed call arguments not supported");
+    Asm.armReloc(support::RelocKind::Ptr);
     Asm.movRI64(x86::IntArgRegs[Slot], reinterpret_cast<std::uintptr_t>(Ptr));
   }
 
@@ -1506,6 +1513,7 @@ public:
   /// Calls \p Fn. \p NumFpArgs is the number of vector-register arguments
   /// (needed in AL for variadic callees such as printf).
   void emitCall(const void *Fn, unsigned NumFpArgs = 0) {
+    Asm.armReloc(support::RelocKind::Callee);
     Asm.movRI64(detail::ScratchA, reinterpret_cast<std::uintptr_t>(Fn));
     Asm.movRI32(x86::RAX, NumFpArgs); // AL = #vector args (variadic ABI).
     Asm.callR(detail::ScratchA);

@@ -93,11 +93,14 @@ Just justify(const Decoded &D) {
     else if (isIntArgReg(D.Rm)) {
       J.add(Op::CallArgP);
       J.add(Op::CallArgII);
-    } else
+    } else {
       J.add(Op::SetL);
+      J.add(Op::SetP);
+    }
     break;
   case InstrClass::MovImmSExt:
     J.add(Op::SetL);
+    J.add(Op::SetP);
     J.add(Op::DivII);
     J.add(Op::ModII);
     break;
@@ -136,7 +139,7 @@ Just justify(const Decoded &D) {
     case 0x23: J.add(Op::AndI); break;
     case 0x0B: J.add(Op::OrI); break;
     case 0x33:
-      J.add(Op::XorI); J.add(Op::SetI); J.add(Op::SetL);
+      J.add(Op::XorI); J.add(Op::SetI); J.add(Op::SetL); J.add(Op::SetP);
       J.add(Op::DivUI); J.add(Op::ModUI);
       J.add(Op::Call); J.add(Op::CallIndirect); // xor eax,eax for nfp=0
       break;

@@ -156,6 +156,7 @@ struct SigTable {
   SigTable() {
     set(Op::SetI, FK::IntDef, FK::Imm);
     set(Op::SetL, FK::IntDef, FK::Pool);
+    set(Op::SetP, FK::IntDef, FK::Pool);
     set(Op::SetD, FK::FloatDef, FK::Pool);
     set(Op::MovI, FK::IntDef, FK::IntUse);
     set(Op::MovD, FK::FloatDef, FK::FloatUse);

@@ -53,6 +53,7 @@ void Assembler::movRI64(GPR Dst, std::uint64_t Imm) {
   rex(true, false, false, Dst >= 8);
   byte(0xB8 + (Dst & 7));
   word64(Imm);
+  captureReloc64(Pos - 8, Imm);
 }
 
 void Assembler::movRI64SExt32(GPR Dst, std::int32_t Imm) {

@@ -20,6 +20,7 @@
 #ifndef TICKC_X86_X86ASSEMBLER_H
 #define TICKC_X86_X86ASSEMBLER_H
 
+#include "support/Reloc.h"
 #include "x86/X86Registers.h"
 
 #include <cassert>
@@ -47,6 +48,42 @@ public:
   /// of the paper's "cycles per generated instruction" metric (Table 1,
   /// Figures 6 and 7).
   unsigned instructionsEmitted() const { return NumInstrs; }
+
+  // --- Relocation recording (persistent code cache) -----------------------
+  /// Attach an external-reference side table. Null (the default) keeps
+  /// recording disabled; recording never changes the emitted bytes.
+  void setRelocTable(support::RelocTable *T) { Relocs = T; }
+
+  /// Declare that the *next* 64-bit immediate emitted is an external
+  /// address of kind \p K. movRI64 (and the pcode stencil equivalents)
+  /// record the imm64's offset into the attached table and clear the
+  /// arming. Callers that discover the armed value took a non-imm64
+  /// encoding must call disarmReloc() instead.
+  void armReloc(support::RelocKind K) {
+    if (Relocs)
+      PendingReloc = K;
+  }
+
+  /// Cancel an armed relocation because the pointer escaped the imm64
+  /// form (imm32/xor folding). The emitted bytes then embed an address
+  /// the loader cannot re-point, so the whole compile is marked
+  /// unportable — excluded from snapshots, never mis-patched.
+  void disarmReloc() {
+    if (Relocs && PendingReloc != support::RelocKind::None) {
+      Relocs->Unportable = true;
+      PendingReloc = support::RelocKind::None;
+    }
+  }
+
+  /// Record an armed 64-bit immediate at buffer offset \p ImmOff. No-op
+  /// unless a kind is armed and a table is attached.
+  void captureReloc64(std::size_t ImmOff, std::uint64_t V) {
+    if (!Relocs || PendingReloc == support::RelocKind::None)
+      return;
+    Relocs->Entries.push_back(
+        {static_cast<std::uint32_t>(ImmOff), PendingReloc, V});
+    PendingReloc = support::RelocKind::None;
+  }
 
   // --- Raw emission -------------------------------------------------------
   void byte(std::uint8_t B) {
@@ -348,6 +385,8 @@ private:
   std::size_t Capacity;
   std::size_t Pos = 0;
   unsigned NumInstrs = 0;
+  support::RelocTable *Relocs = nullptr;
+  support::RelocKind PendingReloc = support::RelocKind::None;
 };
 
 } // namespace x86

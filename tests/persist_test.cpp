@@ -1,0 +1,510 @@
+//===- tests/persist_test.cpp - Persistent snapshot cache tests -----------===//
+//
+// Covers the warm-start path end to end: relocation side-table capture,
+// address-independent PersistKeys, save/load round trips through all three
+// back ends (every load re-audited by the strict x86 decoder before it can
+// execute), relocation patching against moved free variables and fresh
+// profile counters, rejection of wrong-fingerprint / corrupted / torn
+// files, and an 8-thread concurrent load+compile stress (run under
+// -fsanitize=thread in CI).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Hash.h"
+#include "apps/Power.h"
+#include "apps/Query.h"
+#include "cache/CompileService.h"
+#include "cache/SpecKey.h"
+#include "core/Compile.h"
+#include "core/Context.h"
+#include "persist/Snapshot.h"
+#include "support/Fingerprint.h"
+#include "support/Reloc.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace tcc;
+using namespace tcc::core;
+using namespace tcc::cache;
+
+namespace {
+
+/// A fresh snapshot directory per test, removed (with contents) afterwards.
+struct TempDir {
+  std::string Path;
+  TempDir() {
+    char Buf[] = "/tmp/tickc_persist_XXXXXX";
+    Path = mkdtemp(Buf);
+  }
+  ~TempDir() {
+    if (DIR *D = opendir(Path.c_str())) {
+      while (dirent *E = readdir(D)) {
+        std::string Name = E->d_name;
+        if (Name != "." && Name != "..")
+          ::unlink((Path + "/" + Name).c_str());
+      }
+      closedir(D);
+    }
+    ::rmdir(Path.c_str());
+  }
+  std::string file() const { return Path + "/tickc.snapshot"; }
+};
+
+ServiceConfig snapConfig(const TempDir &Dir) {
+  ServiceConfig C;
+  C.SnapshotDir = Dir.Path;
+  return C;
+}
+
+/// `fn(x) = x + *Cell`: the free variable's *address* is captured in the
+/// closure and planted as a movabs imm64 — the relocation the loader must
+/// re-point when the cell lives elsewhere in the loading process.
+FnHandle compileCell(CompileService &S, const int *Cell,
+                     CompileOptions Opts = CompileOptions()) {
+  Context C;
+  VSpec X = C.paramInt(0);
+  return S.getOrCompile(C, C.ret(Expr(X) + C.fvInt(Cell)), EvalType::Int,
+                        Opts);
+}
+
+cache::PersistKey persistKeyForCell(const int *Cell,
+                                    const CompileOptions &Opts = {}) {
+  Context C;
+  VSpec X = C.paramInt(0);
+  Stmt Body = C.ret(Expr(X) + C.fvInt(Cell));
+  return buildPersistKey(C, Body, EvalType::Int, Opts);
+}
+
+/// Flips one byte of the snapshot file at \p Offset (negative = from end).
+void flipByte(const std::string &File, long Offset) {
+  int Fd = ::open(File.c_str(), O_RDWR);
+  ASSERT_GE(Fd, 0);
+  struct stat St;
+  ASSERT_EQ(::fstat(Fd, &St), 0);
+  off_t Pos = Offset >= 0 ? Offset : St.st_size + Offset;
+  std::uint8_t B;
+  ASSERT_EQ(::pread(Fd, &B, 1, Pos), 1);
+  B ^= 0xFF;
+  ASSERT_EQ(::pwrite(Fd, &B, 1, Pos), 1);
+  ::close(Fd);
+}
+
+off_t fileSize(const std::string &File) {
+  struct stat St;
+  return ::stat(File.c_str(), &St) == 0 ? St.st_size : -1;
+}
+
+} // namespace
+
+// --- Relocation side table --------------------------------------------------
+
+TEST(RelocTable, CapturesFreeVarAndProfileImm64Slots) {
+  static int Cell = 5;
+  Context C;
+  VSpec X = C.paramInt(0);
+  Stmt Body = C.ret(Expr(X) + C.fvInt(&Cell));
+
+  support::RelocTable RT;
+  CompileOptions Opts;
+  Opts.Profile = true;
+  Opts.Relocs = &RT;
+  CompiledFn F = compileFn(C, Body, EvalType::Int, Opts);
+  ASSERT_TRUE(F.valid());
+  EXPECT_FALSE(RT.Unportable);
+
+  // Every recorded slot must hold, verbatim, the imm64 it claims to track:
+  // the cell's address for the Ptr reloc, the live invocation counter for
+  // the Profile reloc.
+  bool SawPtr = false, SawProfile = false;
+  const auto *Code = static_cast<const std::uint8_t *>(F.entry());
+  for (const support::RelocEntry &E : RT.Entries) {
+    std::uint64_t Imm;
+    ASSERT_LE(E.Offset + 8, F.stats().CodeBytes);
+    std::memcpy(&Imm, Code + E.Offset, 8);
+    EXPECT_EQ(Imm, E.Value);
+    if (E.Kind == support::RelocKind::Ptr &&
+        E.Value == reinterpret_cast<std::uint64_t>(&Cell))
+      SawPtr = true;
+    if (E.Kind == support::RelocKind::Profile) {
+      EXPECT_EQ(E.Value,
+                reinterpret_cast<std::uint64_t>(&F.profile()->Invocations));
+      SawProfile = true;
+    }
+  }
+  EXPECT_TRUE(SawPtr);
+  EXPECT_TRUE(SawProfile);
+}
+
+TEST(RelocTable, RecordingDoesNotChangeEmittedBytes) {
+  static int Cell = 9;
+  for (BackendKind B :
+       {BackendKind::VCode, BackendKind::ICode, BackendKind::PCode}) {
+    Context C1, C2;
+    VSpec X1 = C1.paramInt(0);
+    VSpec X2 = C2.paramInt(0);
+    CompileOptions Plain;
+    Plain.Backend = B;
+    CompileOptions Recorded = Plain;
+    support::RelocTable RT;
+    Recorded.Relocs = &RT;
+    CompiledFn A =
+        compileFn(C1, C1.ret(Expr(X1) + C1.fvInt(&Cell)), EvalType::Int, Plain);
+    CompiledFn F = compileFn(C2, C2.ret(Expr(X2) + C2.fvInt(&Cell)),
+                             EvalType::Int, Recorded);
+    ASSERT_EQ(A.stats().CodeBytes, F.stats().CodeBytes);
+    EXPECT_EQ(std::memcmp(A.entry(), F.entry(), A.stats().CodeBytes), 0)
+        << "backend " << static_cast<int>(B);
+  }
+}
+
+// --- PersistKey canonicalization -------------------------------------------
+
+TEST(PersistKey, AddressIndependentAcrossMovedFreeVars) {
+  static int CellA = 1, CellB = 2;
+  cache::PersistKey KA = persistKeyForCell(&CellA);
+  cache::PersistKey KB = persistKeyForCell(&CellB);
+  // Same canonical bytes (the address became an ordinal) ...
+  EXPECT_EQ(KA.Hash, KB.Hash);
+  EXPECT_EQ(KA.Bytes, KB.Bytes);
+  // ... with the differing addresses carried out-of-band, pairable by
+  // position.
+  ASSERT_EQ(KA.Refs.size(), 1u);
+  ASSERT_EQ(KB.Refs.size(), 1u);
+  EXPECT_EQ(KA.Refs[0].Addr, reinterpret_cast<std::uint64_t>(&CellA));
+  EXPECT_EQ(KB.Refs[0].Addr, reinterpret_cast<std::uint64_t>(&CellB));
+  EXPECT_EQ(KA.Refs[0].Kind, KB.Refs[0].Kind);
+
+  // The in-memory SpecKey, by contrast, must keep the addresses inline —
+  // two different cells are two different functions to one process.
+  Context C1, C2;
+  VSpec X1 = C1.paramInt(0), X2 = C2.paramInt(0);
+  SpecKey SA = buildSpecKey(C1, C1.ret(Expr(X1) + C1.fvInt(&CellA)),
+                            EvalType::Int, CompileOptions());
+  SpecKey SB = buildSpecKey(C2, C2.ret(Expr(X2) + C2.fvInt(&CellB)),
+                            EvalType::Int, CompileOptions());
+  EXPECT_FALSE(SA == SB);
+}
+
+// --- Save / load round trips ------------------------------------------------
+
+TEST(Snapshot, RoundTripAllBackendsOnFig7Workloads) {
+  apps::HashApp Hash;
+  apps::PowerApp Power(13);
+  apps::QueryApp Query(64);
+  for (BackendKind B :
+       {BackendKind::VCode, BackendKind::ICode, BackendKind::PCode}) {
+    TempDir Dir;
+    CompileOptions Opts;
+    Opts.Backend = B;
+
+    int HashWant, PowerWant, QueryWant;
+    {
+      CompileService Cold(snapConfig(Dir));
+      ASSERT_NE(Cold.snapshot(), nullptr);
+      HashWant = Hash.specializeCached(Cold, Opts)
+                     ->as<int(int)>()(Hash.presentKey());
+      PowerWant = Power.specializeCached(Cold, Opts)->as<int(int)>()(3);
+      QueryWant = Query.specializeCached(Query.benchmarkQuery(), Cold, Opts)
+                      ->as<int(const apps::Record *)>()(&Query.records()[0]);
+      EXPECT_EQ(Cold.snapshot()->stats().Hits, 0u);
+      EXPECT_EQ(Cold.snapshot()->stats().Saves, 3u);
+      EXPECT_EQ(Cold.cache().stats().SnapshotLoads, 0u);
+    }
+
+    // A second service over the same directory stands in for a second
+    // process: its in-memory cache is empty, so every spec would recompile
+    // — unless the snapshot serves it. Every load passed the strict byte
+    // audit before executing (tryLoad runs it unconditionally).
+    CompileService Warm(snapConfig(Dir));
+    FnHandle H = Hash.specializeCached(Warm, Opts);
+    EXPECT_TRUE(H->fromSnapshot()) << "backend " << static_cast<int>(B);
+    EXPECT_EQ(H->as<int(int)>()(Hash.presentKey()), HashWant);
+    EXPECT_EQ(H->as<int(int)>()(Hash.absentKey()), apps::HashApp::Empty);
+    EXPECT_EQ(Power.specializeCached(Warm, Opts)->as<int(int)>()(3),
+              PowerWant);
+    EXPECT_EQ(Query.specializeCached(Query.benchmarkQuery(), Warm, Opts)
+                  ->as<int(const apps::Record *)>()(&Query.records()[0]),
+              QueryWant);
+    EXPECT_EQ(Warm.snapshot()->stats().Hits, 3u);
+    EXPECT_EQ(Warm.snapshot()->stats().Rejects, 0u);
+    EXPECT_EQ(Warm.snapshot()->stats().Saves, 0u);
+    // Satellite guarantee: warm-start loads are classified apart from
+    // in-memory hits ...
+    EXPECT_EQ(Warm.cache().stats().SnapshotLoads, 3u);
+    EXPECT_EQ(Warm.cache().stats().Hits, 0u);
+    // ... and a repeat request is an ordinary in-memory hit, not a second
+    // snapshot load.
+    EXPECT_EQ(Hash.specializeCached(Warm, Opts).get(), H.get());
+    EXPECT_EQ(Warm.cache().stats().Hits, 1u);
+    EXPECT_EQ(Warm.snapshot()->stats().Hits, 3u);
+  }
+}
+
+TEST(Snapshot, RelocationPatchingTracksMovedFreeVariable) {
+  // The same canonical spec over two different cells: the record written
+  // for CellA must, when loaded against CellB's key, read CellB — a loader
+  // that skipped (or mis-indexed) the patch would keep answering from
+  // CellA.
+  static int CellA = 111, CellB = 222;
+  TempDir Dir;
+  {
+    CompileService S1(snapConfig(Dir));
+    EXPECT_EQ(compileCell(S1, &CellA)->as<int(int)>()(0), 111);
+    EXPECT_EQ(S1.snapshot()->stats().Saves, 1u);
+  }
+  CompileService S2(snapConfig(Dir));
+  FnHandle H = compileCell(S2, &CellB);
+  EXPECT_TRUE(H->fromSnapshot());
+  EXPECT_EQ(H->as<int(int)>()(0), 222);
+  // Still a live load, not a baked constant.
+  CellB = 333;
+  EXPECT_EQ(H->as<int(int)>()(0), 333);
+  CellB = 222;
+  EXPECT_EQ(S2.snapshot()->stats().Hits, 1u);
+}
+
+TEST(Snapshot, ProfiledLoadPatchesFreshCounter) {
+  static int Cell = 7;
+  TempDir Dir;
+  CompileOptions Opts;
+  Opts.Profile = true;
+  Opts.ProfileName = "persist.prof";
+  {
+    CompileService S1(snapConfig(Dir));
+    FnHandle H = compileCell(S1, &Cell, Opts);
+    (void)H->as<int(int)>()(1);
+    EXPECT_EQ(S1.snapshot()->stats().Saves, 1u);
+  }
+  CompileService S2(snapConfig(Dir));
+  FnHandle H = compileCell(S2, &Cell, Opts);
+  ASSERT_TRUE(H->fromSnapshot());
+  ASSERT_NE(H->profile(), nullptr);
+  // The loaded prologue bumps a counter created by *this* service's load,
+  // starting from zero — not the saving process's counter address.
+  EXPECT_EQ(H->profile()->Invocations.load(), 0u);
+  EXPECT_EQ(H->as<int(int)>()(1), 8);
+  EXPECT_EQ(H->as<int(int)>()(2), 9);
+  EXPECT_EQ(H->as<int(int)>()(3), 10);
+  EXPECT_EQ(H->profile()->Invocations.load(), 3u);
+  EXPECT_STREQ(H->profile()->Backend.load(), "snapshot");
+}
+
+// --- Rejection and recovery -------------------------------------------------
+
+TEST(Snapshot, WrongFingerprintRejectedNotFatal) {
+  static int Cell = 4;
+  TempDir Dir;
+  {
+    CompileService S1(snapConfig(Dir));
+    (void)compileCell(S1, &Cell);
+  }
+  // Another build's fingerprint (byte 8 of the file header): the whole file
+  // is a counted reject, then reset — never an abort, never executed code.
+  flipByte(Dir.file(), 8);
+  CompileService S2(snapConfig(Dir));
+  ASSERT_NE(S2.snapshot(), nullptr);
+  EXPECT_EQ(S2.snapshot()->stats().Rejects, 1u);
+  EXPECT_EQ(S2.snapshot()->recordCount(), 0u);
+  FnHandle H = compileCell(S2, &Cell);
+  EXPECT_FALSE(H->fromSnapshot());
+  EXPECT_EQ(H->as<int(int)>()(1), 5);
+  EXPECT_EQ(S2.snapshot()->stats().Saves, 1u); // Re-seeded for the next run.
+}
+
+TEST(Snapshot, CorruptedRecordDroppedByChecksum) {
+  static int Cell = 4;
+  TempDir Dir;
+  {
+    CompileService S1(snapConfig(Dir));
+    (void)compileCell(S1, &Cell);
+  }
+  // Flip the last code byte: lengths still parse, the checksum does not.
+  flipByte(Dir.file(), -1);
+  CompileService S2(snapConfig(Dir));
+  EXPECT_EQ(S2.snapshot()->recordCount(), 0u);
+  FnHandle H = compileCell(S2, &Cell);
+  EXPECT_FALSE(H->fromSnapshot());
+  EXPECT_EQ(H->as<int(int)>()(1), 5);
+}
+
+TEST(Snapshot, CrashMidAppendRecoversValidPrefix) {
+  static int CellA = 10, CellB = 20;
+  TempDir Dir;
+  {
+    CompileService S1(snapConfig(Dir));
+    (void)compileCell(S1, &CellA);
+    CompileOptions Prof; // A different key, so a second record.
+    Prof.Profile = true;
+    (void)compileCell(S1, &CellA, Prof);
+    EXPECT_EQ(S1.snapshot()->stats().Saves, 2u);
+  }
+  // A crash mid-append leaves a torn tail: chop 5 bytes off the second
+  // record. The opener must keep the intact first record and truncate the
+  // rest.
+  off_t Full = fileSize(Dir.file());
+  ASSERT_GT(Full, 5);
+  ASSERT_EQ(::truncate(Dir.file().c_str(), Full - 5), 0);
+
+  CompileService S2(snapConfig(Dir));
+  EXPECT_EQ(S2.snapshot()->recordCount(), 1u);
+  EXPECT_LT(fileSize(Dir.file()), Full - 5); // Torn tail gone.
+  FnHandle H = compileCell(S2, &CellB); // Moved cell still loads + patches.
+  EXPECT_TRUE(H->fromSnapshot());
+  EXPECT_EQ(H->as<int(int)>()(1), 21);
+}
+
+TEST(Snapshot, CompactionRewritesDuplicateRecords) {
+  static int Cell = 6;
+  TempDir Dir;
+  {
+    CompileService S1(snapConfig(Dir));
+    (void)compileCell(S1, &Cell);
+  }
+  // Simulate racing writers: duplicate the record region so the file holds
+  // the same key twice.
+  off_t Full = fileSize(Dir.file());
+  {
+    int Fd = ::open(Dir.file().c_str(), O_RDWR);
+    ASSERT_GE(Fd, 0);
+    std::vector<std::uint8_t> Rec(static_cast<std::size_t>(Full) - 16);
+    ASSERT_EQ(::pread(Fd, Rec.data(), Rec.size(), 16),
+              static_cast<ssize_t>(Rec.size()));
+    ASSERT_EQ(::pwrite(Fd, Rec.data(), Rec.size(), Full),
+              static_cast<ssize_t>(Rec.size()));
+    ::close(Fd);
+  }
+  ASSERT_EQ(fileSize(Dir.file()), 2 * Full - 16);
+
+  // Threshold 1: any dead byte triggers compaction at open.
+  ServiceConfig Cfg = snapConfig(Dir);
+  Cfg.SnapshotCompactBytes = 1;
+  CompileService S2(Cfg);
+  EXPECT_EQ(S2.snapshot()->stats().Compactions, 1u);
+  EXPECT_EQ(S2.snapshot()->recordCount(), 1u);
+  EXPECT_EQ(fileSize(Dir.file()), Full);
+  FnHandle H = compileCell(S2, &Cell);
+  EXPECT_TRUE(H->fromSnapshot());
+  EXPECT_EQ(H->as<int(int)>()(1), 7);
+}
+
+TEST(Snapshot, UncacheableSpecsNeverPersist) {
+  static int Cell = 50;
+  TempDir Dir;
+  CompileService S(snapConfig(Dir));
+  Context C;
+  VSpec X = C.paramInt(0);
+  // rtEval over memory: the embedded immediate depends on what the cell
+  // holds at instantiation time; neither the in-memory cache nor the
+  // snapshot may reuse it.
+  FnHandle H = S.getOrCompile(
+      C, C.ret(Expr(X) + C.rtEval(C.fvInt(&Cell))), EvalType::Int);
+  EXPECT_EQ(H->as<int(int)>()(1), 51);
+  EXPECT_EQ(S.snapshot()->stats().Saves, 0u);
+  EXPECT_EQ(S.snapshot()->stats().Hits, 0u);
+  EXPECT_EQ(S.snapshot()->stats().Misses, 0u);
+  EXPECT_EQ(fileSize(Dir.file()), 16); // Header only — nothing appended.
+}
+
+// --- Concurrency ------------------------------------------------------------
+
+TEST(Snapshot, ConcurrentLoadAndCompileIsSafe) {
+  // Half the working set is pre-seeded on disk, half must be compiled and
+  // saved under contention: 8 threads race loads, compiles, single-flight
+  // waits, and snapshot appends over one service. Run under TSan in CI.
+  TempDir Dir;
+  std::vector<apps::PowerApp> Apps;
+  for (int E = 2; E <= 9; ++E)
+    Apps.emplace_back(E);
+  {
+    CompileService Seed(snapConfig(Dir));
+    for (int I = 0; I < 4; ++I)
+      (void)Apps[static_cast<std::size_t>(I)].specializeCached(Seed);
+    EXPECT_EQ(Seed.snapshot()->stats().Saves, 4u);
+  }
+
+  CompileService S(snapConfig(Dir));
+  constexpr unsigned Threads = 8, Iters = 50;
+  std::atomic<bool> Go{false};
+  std::atomic<unsigned> Wrong{0};
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T < Threads; ++T) {
+    Pool.emplace_back([&, T] {
+      while (!Go.load(std::memory_order_acquire))
+        ;
+      for (unsigned I = 0; I < Iters; ++I) {
+        std::size_t App = (T + I) % Apps.size();
+        int Exp = 2 + static_cast<int>(App);
+        FnHandle H = Apps[App].specializeCached(S);
+        int Want = 1;
+        for (int K = 0; K < Exp; ++K)
+          Want *= 3;
+        if (H->as<int(int)>()(3) != Want)
+          Wrong.fetch_add(1);
+      }
+    });
+  }
+  Go.store(true, std::memory_order_release);
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(Wrong.load(), 0u);
+  // One entry per exponent; seeded ones loaded, the rest compiled once and
+  // appended.
+  EXPECT_EQ(S.cache().stats().Insertions, Apps.size());
+  EXPECT_EQ(S.cache().stats().SnapshotLoads, 4u);
+  EXPECT_EQ(S.snapshot()->stats().Hits, 4u);
+  EXPECT_EQ(S.snapshot()->stats().Saves, 4u);
+
+  // And the post-race snapshot serves the whole set to the next comer.
+  CompileService After(snapConfig(Dir));
+  for (std::size_t I = 0; I < Apps.size(); ++I)
+    (void)Apps[I].specializeCached(After);
+  EXPECT_EQ(After.snapshot()->stats().Hits, Apps.size());
+  EXPECT_EQ(After.cache().stats().SnapshotLoads, Apps.size());
+}
+
+// --- Shared directory across test-suite runs --------------------------------
+
+// CI points TICKC_SNAPSHOT_DIR at one directory and runs the whole suite
+// twice: the first pass seeds this spec, the second revives it — a
+// cross-process warm start exercised by the real test harness. With the
+// variable unset the test is self-contained in a temp dir (the first
+// service seeds, so the assertions below hold either way).
+TEST(Snapshot, SharedDirAcrossRunsServesWithoutRecompile) {
+  TempDir Fallback;
+  const char *Env = std::getenv("TICKC_SNAPSHOT_DIR");
+  ServiceConfig Cfg;
+  Cfg.SnapshotDir = Env && *Env ? Env : Fallback.Path.c_str();
+
+  apps::PowerApp Power(21); // Portable: pure integer math, no addresses.
+  {
+    CompileService First(Cfg);
+    ASSERT_NE(First.snapshot(), nullptr);
+    EXPECT_EQ(Power.specializeCached(First)->as<int(int)>()(2), 1 << 21);
+    persist::SnapshotStats S = First.snapshot()->stats();
+    // Either this run seeded the record or a previous run already had.
+    EXPECT_EQ(S.Hits + S.Saves, 1u);
+    EXPECT_EQ(S.Rejects, 0u);
+  }
+
+  // The directory is warm now no matter what: a fresh service must serve
+  // the spec from the snapshot with zero recompiles.
+  CompileService Second(Cfg);
+  EXPECT_EQ(Power.specializeCached(Second)->as<int(int)>()(2), 1 << 21);
+  persist::SnapshotStats S2 = Second.snapshot()->stats();
+  EXPECT_EQ(S2.Hits, 1u);
+  EXPECT_EQ(S2.Saves, 0u);
+  EXPECT_EQ(Second.cache().stats().SnapshotLoads, 1u);
+}
