@@ -78,3 +78,19 @@ CompiledFn BinSearchApp::specialize(const CompileOptions &Opts) const {
       buildTree(C, Key, Sorted, 0, static_cast<int>(Sorted.size()) - 1);
   return compileFn(C, Tree, EvalType::Int, Opts);
 }
+
+tier::TieredFnHandle
+BinSearchApp::specializeTiered(cache::CompileService &Service,
+                               tier::TierManager *Manager,
+                               const CompileOptions &Opts) const {
+  // The table values are baked into the decision tree, so the closure
+  // copies them: the slot stays valid after the app goes away.
+  std::vector<int> Table = Sorted;
+  return Service.getOrCompileTiered(
+      [Table](Context &C) {
+        VSpec Key = C.paramInt(0);
+        return buildTree(C, Key, Table, 0,
+                         static_cast<int>(Table.size()) - 1);
+      },
+      EvalType::Int, Opts, Manager);
+}

@@ -17,6 +17,7 @@
 #ifndef TICKC_APPS_BINSEARCH_H
 #define TICKC_APPS_BINSEARCH_H
 
+#include "cache/CompileService.h"
 #include "core/Compile.h"
 
 #include <vector>
@@ -35,6 +36,12 @@ public:
   /// Instantiates `int find(int key)` as a nested-if decision tree with
   /// the array values hardwired into the instruction stream.
   core::CompiledFn specialize(const core::CompileOptions &Opts) const;
+
+  /// Tiered instantiation: interpreted immediately, machine code in the
+  /// background. Call as `TF->call<int(int)>(Key)`.
+  tier::TieredFnHandle specializeTiered(
+      cache::CompileService &Service, tier::TierManager *Manager = nullptr,
+      const core::CompileOptions &Opts = core::CompileOptions()) const;
 
   int presentKey() const { return Sorted[Sorted.size() / 3]; }
   int absentKey() const { return Absent; }

@@ -55,8 +55,11 @@ std::uint32_t ComposeApp::pipeStaticO2(std::uint32_t *Dst) const {
   return pipeO2(Src.data(), Dst, words(), &checksumStep, &byteswapStep);
 }
 
-CompiledFn ComposeApp::specialize(const CompileOptions &Opts) const {
-  Context C;
+namespace {
+
+/// Builds the fused checksum+byteswap copy loop into \p C.
+Stmt buildComposeSpec(Context &C, const std::uint32_t *SrcData,
+                      unsigned Words) {
   VSpec Dst = C.paramPtr(0);
   VSpec I = C.localInt();
   VSpec W = C.localInt();
@@ -74,17 +77,40 @@ CompiledFn ComposeApp::specialize(const CompileOptions &Opts) const {
   };
 
   Stmt Body = C.block({
-      C.assign(W, C.index(C.rcPtr(Src.data()), Expr(I), MemType::I32)),
+      C.assign(W, C.index(C.rcPtr(SrcData), Expr(I), MemType::I32)),
       C.assign(Sum, Checksum(Expr(Sum), Expr(W))),
       C.storeIndex(Expr(Dst), Expr(I), MemType::I32, Byteswap(Expr(W))),
   });
-  Stmt Fn = C.block({
+  return C.block({
       C.assign(Sum, C.intConst(0)),
       C.forStmt(I, C.intConst(0), CmpKind::LtS,
-                C.rcInt(static_cast<int>(words())), C.intConst(1), Body),
+                C.rcInt(static_cast<int>(Words)), C.intConst(1), Body),
       C.ret(Sum),
   });
+}
+
+/// 1024 words: keep the copy loop rolled.
+CompileOptions cmpOptions(const CompileOptions &Opts) {
   CompileOptions O = Opts;
-  O.UnrollLimit = 64; // 1024 words: keep the copy loop rolled.
-  return compileFn(C, Fn, EvalType::Int, O);
+  O.UnrollLimit = 64;
+  return O;
+}
+
+} // namespace
+
+CompiledFn ComposeApp::specialize(const CompileOptions &Opts) const {
+  Context C;
+  return compileFn(C, buildComposeSpec(C, Src.data(), words()), EvalType::Int,
+                   cmpOptions(Opts));
+}
+
+tier::TieredFnHandle
+ComposeApp::specializeTiered(cache::CompileService &Service,
+                             tier::TierManager *Manager,
+                             const CompileOptions &Opts) const {
+  const std::uint32_t *SrcData = Src.data();
+  unsigned W = words();
+  return Service.getOrCompileTiered(
+      [SrcData, W](Context &C) { return buildComposeSpec(C, SrcData, W); },
+      EvalType::Int, cmpOptions(Opts), Manager);
 }

@@ -17,6 +17,7 @@
 #ifndef TICKC_APPS_COMPOSE_H
 #define TICKC_APPS_COMPOSE_H
 
+#include "cache/CompileService.h"
 #include "core/Compile.h"
 
 #include <cstdint>
@@ -37,6 +38,13 @@ public:
   /// Instantiates `int pipe(uint32_t *dst)` with both data operations
   /// composed into the copy loop.
   core::CompiledFn specialize(const core::CompileOptions &Opts) const;
+
+  /// Tiered instantiation: interpreted immediately, machine code in the
+  /// background. The ComposeApp must outlive the returned slot. Call as
+  /// `TF->call<int(std::uint32_t *)>(Dst)`.
+  tier::TieredFnHandle specializeTiered(
+      cache::CompileService &Service, tier::TierManager *Manager = nullptr,
+      const core::CompileOptions &Opts = core::CompileOptions()) const;
 
   unsigned words() const { return static_cast<unsigned>(Src.size()); }
   const std::uint32_t *source() const { return Src.data(); }

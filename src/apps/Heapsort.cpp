@@ -71,9 +71,12 @@ void HeapsortApp::sortStaticO2(HeapRecord *A) const {
   heapO2(A, static_cast<int>(Data.size()), sizeof(HeapRecord));
 }
 
-CompiledFn HeapsortApp::specialize(const CompileOptions &Opts) const {
+namespace {
+
+/// Builds the specialized sort (element count and 12-byte swap hardwired)
+/// into \p C.
+Stmt buildHeapsortSpec(Context &C, int N) {
   constexpr int ESize = sizeof(HeapRecord);
-  Context C;
   VSpec Base = C.paramPtr(0);
   VSpec Root = C.localInt(), Child = C.localInt(), End = C.localInt(),
         Start = C.localInt();
@@ -124,7 +127,6 @@ CompiledFn HeapsortApp::specialize(const CompileOptions &Opts) const {
                     C.whileStmt(C.intConst(1), Body)});
   };
 
-  int N = static_cast<int>(Data.size());
   Stmt Phase1 = C.block({
       C.assign(Start, C.rcInt(N / 2 - 1)),
       C.whileStmt(Expr(Start) >= C.intConst(0),
@@ -139,6 +141,23 @@ CompiledFn HeapsortApp::specialize(const CompileOptions &Opts) const {
                                     Expr(End) - C.intConst(1)),
                            C.assign(End, Expr(End) - C.intConst(1))})),
   });
-  return compileFn(C, C.block({Phase1, Phase2, C.retVoid()}),
+  return C.block({Phase1, Phase2, C.retVoid()});
+}
+
+} // namespace
+
+CompiledFn HeapsortApp::specialize(const CompileOptions &Opts) const {
+  Context C;
+  return compileFn(C, buildHeapsortSpec(C, static_cast<int>(Data.size())),
                    EvalType::Void, Opts);
+}
+
+tier::TieredFnHandle
+HeapsortApp::specializeTiered(cache::CompileService &Service,
+                              tier::TierManager *Manager,
+                              const CompileOptions &Opts) const {
+  int N = static_cast<int>(Data.size());
+  return Service.getOrCompileTiered(
+      [N](Context &C) { return buildHeapsortSpec(C, N); }, EvalType::Void,
+      Opts, Manager);
 }

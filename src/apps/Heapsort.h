@@ -17,6 +17,7 @@
 #ifndef TICKC_APPS_HEAPSORT_H
 #define TICKC_APPS_HEAPSORT_H
 
+#include "cache/CompileService.h"
 #include "core/Compile.h"
 
 #include <cstdint>
@@ -42,6 +43,12 @@ public:
   /// Instantiates `void sort(HeapRecord *a)` with the element count and a
   /// 12-byte swap specialized into the sort.
   core::CompiledFn specialize(const core::CompileOptions &Opts) const;
+
+  /// Tiered instantiation: interpreted immediately, machine code in the
+  /// background. Call as `TF->call<void(HeapRecord *)>(A)`.
+  tier::TieredFnHandle specializeTiered(
+      cache::CompileService &Service, tier::TierManager *Manager = nullptr,
+      const core::CompileOptions &Opts = core::CompileOptions()) const;
 
   std::vector<HeapRecord> data() const { return Data; }
   unsigned count() const { return static_cast<unsigned>(Data.size()); }

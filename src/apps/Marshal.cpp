@@ -115,6 +115,16 @@ MarshalApp::buildUnmarshalerCached(const void *Target,
 }
 
 tier::TieredFnHandle
+MarshalApp::buildMarshalerTiered(cache::CompileService &Service,
+                                 tier::TierManager *Manager,
+                                 const CompileOptions &Opts) const {
+  std::string F = Format;
+  return Service.getOrCompileTiered(
+      [F](Context &C) { return buildMarshalSpec(C, F); }, EvalType::Void,
+      Opts, Manager);
+}
+
+tier::TieredFnHandle
 MarshalApp::buildUnmarshalerTiered(const void *Target,
                                    cache::CompileService &Service,
                                    tier::TierManager *Manager,

@@ -63,6 +63,13 @@ public:
       const void *Target, cache::CompileService &Service,
       const core::CompileOptions &Opts = core::CompileOptions()) const;
 
+  /// Tiered marshaler: interpreted immediately, machine code in the
+  /// background. Call as
+  /// `TF->call<void(int, int, int, int, int, std::uint8_t *)>(...)`.
+  tier::TieredFnHandle buildMarshalerTiered(
+      cache::CompileService &Service, tier::TierManager *Manager = nullptr,
+      const core::CompileOptions &Opts = core::CompileOptions()) const;
+
   /// Tiered unmarshaler: answers RPC dispatch at VCODE latency and promotes
   /// the hot format's stub to ICODE in the background. Call as
   /// `TF->call<int(const std::uint8_t *)>(Buf)`.

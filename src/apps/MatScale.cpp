@@ -32,23 +32,47 @@ MatScaleApp::MatScaleApp(unsigned Dim, int Factor, unsigned Seed)
 void MatScaleApp::scaleStaticO0(int *M) const { scaleO0(M, elems(), Factor); }
 void MatScaleApp::scaleStaticO2(int *M) const { scaleO2(M, elems(), Factor); }
 
-CompiledFn MatScaleApp::specialize(const CompileOptions &Opts) const {
-  Context C;
+namespace {
+
+/// Builds the scale-loop body into \p C.
+Stmt buildMatScaleSpec(Context &C, unsigned Elems, int Factor) {
   VSpec M = C.paramPtr(0);
   VSpec I = C.localInt();
   // for (i = 0; i < $n; ++i) m[i] = m[i] * $factor;
-  // The element count is large, so the loop stays a loop (the unroll limit
-  // guards against pathological code growth, paper §4.4); the multiply by
-  // the run-time constant factor strength-reduces.
-  CompileOptions O = Opts;
-  O.UnrollLimit = 64;
   Stmt Body = C.storeIndex(
       Expr(M), Expr(I), MemType::I32,
       C.index(Expr(M), Expr(I), MemType::I32) * C.rcInt(Factor));
-  Stmt Fn = C.block({
+  return C.block({
       C.forStmt(I, C.intConst(0), CmpKind::LtS,
-                C.rcInt(static_cast<int>(elems())), C.intConst(1), Body),
+                C.rcInt(static_cast<int>(Elems)), C.intConst(1), Body),
       C.retVoid(),
   });
-  return compileFn(C, Fn, EvalType::Void, O);
+}
+
+/// The element count is large, so the loop stays a loop (the unroll limit
+/// guards against pathological code growth, paper §4.4); the multiply by
+/// the run-time constant factor strength-reduces.
+CompileOptions msOptions(const CompileOptions &Opts) {
+  CompileOptions O = Opts;
+  O.UnrollLimit = 64;
+  return O;
+}
+
+} // namespace
+
+CompiledFn MatScaleApp::specialize(const CompileOptions &Opts) const {
+  Context C;
+  return compileFn(C, buildMatScaleSpec(C, elems(), Factor), EvalType::Void,
+                   msOptions(Opts));
+}
+
+tier::TieredFnHandle
+MatScaleApp::specializeTiered(cache::CompileService &Service,
+                              tier::TierManager *Manager,
+                              const CompileOptions &Opts) const {
+  unsigned N = elems();
+  int F = Factor;
+  return Service.getOrCompileTiered(
+      [N, F](Context &C) { return buildMatScaleSpec(C, N, F); },
+      EvalType::Void, msOptions(Opts), Manager);
 }

@@ -15,6 +15,7 @@
 #ifndef TICKC_APPS_MATSCALE_H
 #define TICKC_APPS_MATSCALE_H
 
+#include "cache/CompileService.h"
 #include "core/Compile.h"
 
 #include <vector>
@@ -31,6 +32,12 @@ public:
 
   /// Instantiates `void scale(int *m)` with factor and extent hardwired.
   core::CompiledFn specialize(const core::CompileOptions &Opts) const;
+
+  /// Tiered instantiation: interpreted immediately, machine code in the
+  /// background. Call as `TF->call<void(int *)>(M)`.
+  tier::TieredFnHandle specializeTiered(
+      cache::CompileService &Service, tier::TierManager *Manager = nullptr,
+      const core::CompileOptions &Opts = core::CompileOptions()) const;
 
   /// A fresh working copy of the matrix.
   std::vector<int> matrix() const { return Data; }

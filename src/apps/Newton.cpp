@@ -41,8 +41,10 @@ double NewtonApp::solveStaticO2(double X0) const {
   return solveO2(X0, Tol, MaxIter, &fOf, &fPrimeOf);
 }
 
-CompiledFn NewtonApp::specialize(const CompileOptions &Opts) const {
-  Context C;
+namespace {
+
+/// Builds the solver with f and f' spliced into the loop into \p C.
+Stmt buildNewtonSpec(Context &C, double Tol, unsigned MaxIter) {
   VSpec X0 = C.paramDouble(0);
   VSpec X = C.localDouble();
   VSpec FX = C.localDouble();
@@ -77,8 +79,31 @@ CompiledFn NewtonApp::specialize(const CompileOptions &Opts) const {
                 C.intConst(static_cast<int>(MaxIter)), C.intConst(1), Body),
       C.ret(X),
   });
-  // MaxIter is a plain constant; keep the loop rolled like the baseline.
+  return Fn;
+}
+
+/// MaxIter is a plain constant; keep the loop rolled like the baseline.
+CompileOptions ntnOptions(const CompileOptions &Opts) {
   CompileOptions O = Opts;
   O.UnrollLimit = 0;
-  return compileFn(C, Fn, EvalType::Double, O);
+  return O;
+}
+
+} // namespace
+
+CompiledFn NewtonApp::specialize(const CompileOptions &Opts) const {
+  Context C;
+  return compileFn(C, buildNewtonSpec(C, Tol, MaxIter), EvalType::Double,
+                   ntnOptions(Opts));
+}
+
+tier::TieredFnHandle
+NewtonApp::specializeTiered(cache::CompileService &Service,
+                            tier::TierManager *Manager,
+                            const CompileOptions &Opts) const {
+  double T = Tol;
+  unsigned MI = MaxIter;
+  return Service.getOrCompileTiered(
+      [T, MI](Context &C) { return buildNewtonSpec(C, T, MI); },
+      EvalType::Double, ntnOptions(Opts), Manager);
 }

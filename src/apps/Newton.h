@@ -17,6 +17,7 @@
 #ifndef TICKC_APPS_NEWTON_H
 #define TICKC_APPS_NEWTON_H
 
+#include "cache/CompileService.h"
 #include "core/Compile.h"
 
 namespace tcc {
@@ -32,6 +33,12 @@ public:
 
   /// Instantiates `double solve(double x0)` with f and f' inlined.
   core::CompiledFn specialize(const core::CompileOptions &Opts) const;
+
+  /// Tiered instantiation: interpreted immediately, machine code in the
+  /// background. Call as `TF->call<double(double)>(X0)`.
+  tier::TieredFnHandle specializeTiered(
+      cache::CompileService &Service, tier::TierManager *Manager = nullptr,
+      const core::CompileOptions &Opts = core::CompileOptions()) const;
 
   double tolerance() const { return Tol; }
 

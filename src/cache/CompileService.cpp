@@ -24,6 +24,11 @@ ServiceConfig ServiceConfig::fromEnv() {
     C.SnapshotDir = Dir;
   C.SnapshotCompactBytes = static_cast<std::size_t>(
       envUInt64("TICKC_SNAPSHOT_COMPACT", C.SnapshotCompactBytes));
+  C.SnapshotBudgetBytes = static_cast<std::size_t>(
+      envUInt64("TICKC_SNAPSHOT_BUDGET", C.SnapshotBudgetBytes));
+  C.EnableTier0 = envUInt64("TICKC_TIER0", C.EnableTier0 ? 1 : 0) != 0;
+  C.EnableTier0Profile =
+      envUInt64("TICKC_TIER0_PROFILE", C.EnableTier0Profile ? 1 : 0) != 0;
   return C;
 }
 
@@ -32,7 +37,8 @@ CompileService::CompileService(ServiceConfig Config)
       Cache(Config.Shards, Config.MaxCodeBytes) {
   if (!this->Config.SnapshotDir.empty() && this->Config.EnableCache)
     Snap = persist::SnapshotCache::open(this->Config.SnapshotDir,
-                                        this->Config.SnapshotCompactBytes);
+                                        this->Config.SnapshotCompactBytes,
+                                        this->Config.SnapshotBudgetBytes);
 }
 
 CompileService::~CompileService() = default;

@@ -74,13 +74,29 @@ struct ServiceConfig {
   /// Dead-byte threshold at which opening the snapshot compacts it
   /// (duplicate records from concurrent writers); 0 disables compaction.
   std::size_t SnapshotCompactBytes = 1u << 20;
+  /// Per-file size budget for the snapshot (bytes); when an append would
+  /// grow the file past it, the oldest records are evicted on the next
+  /// compaction pass and oversized appends are dropped (counted as
+  /// cache.snapshot.evictions). 0 = unbounded (the pre-budget behavior).
+  std::size_t SnapshotBudgetBytes = 0;
+  /// Interpreter tier 0 (tier/Tier.h): getOrCompileTiered answers from the
+  /// spec-tree interpreter immediately and compiles the baseline in the
+  /// background. Off, every tiered slot compiles its baseline
+  /// synchronously — the pre-tier-0 behavior.
+  bool EnableTier0 = true;
+  /// Collect tier-0 execution profiles (trip counts, branch bias,
+  /// `$`-stability) and feed them into the ICODE promotion's unroll
+  /// decisions (CompileOptions::TripProfile).
+  bool EnableTier0Profile = true;
 
   /// Default config with environment overrides applied:
   /// TICKC_CACHE_BYTES caps MaxCodeBytes (decimal bytes);
   /// TICKC_SNAPSHOT_DIR enables the persistent snapshot cache;
-  /// TICKC_SNAPSHOT_COMPACT sets its compaction threshold. Used by
-  /// CompileService::instance() so benches and CI can sweep the cache
-  /// bound without rebuilding.
+  /// TICKC_SNAPSHOT_COMPACT sets its compaction threshold;
+  /// TICKC_SNAPSHOT_BUDGET caps the snapshot file size;
+  /// TICKC_TIER0=0 / TICKC_TIER0_PROFILE=0 disable the interpreter tier
+  /// and its profile collection. Used by CompileService::instance() so
+  /// benches and CI can sweep the knobs without rebuilding.
   static ServiceConfig fromEnv();
 };
 
@@ -147,6 +163,10 @@ public:
   /// come through getOrCompileKeyed) draws from here, so warm-service
   /// compiles allocate nothing.
   core::CompileContextPool &contextPool() { return CtxPool; }
+
+  /// The configuration this service was built with (the tier manager reads
+  /// the tier-0 knobs through this).
+  const ServiceConfig &config() const { return Config; }
 
   /// Process-wide default instance (ServiceConfig::fromEnv()).
   static CompileService &instance();

@@ -2,6 +2,7 @@
 
 #include "cache/SpecKey.h"
 
+#include "core/SpecInterp.h"
 #include "support/Hash.h"
 #include "verify/Verify.h"
 
@@ -22,27 +23,42 @@ class KeyWriter {
 public:
   explicit KeyWriter(std::vector<std::uint8_t> &Out,
                      std::vector<ExtRef> *Refs = nullptr)
-      : Out(Out), Refs(Refs) {}
+      : Out(Out), Refs(Refs) {
+    Out.resize(1024);
+    Cur = Out.data();
+    End = Cur + Out.size();
+  }
 
   bool Cacheable = true;
 
-  // Multi-byte fields land via one ranged insert (a single growth check and
-  // a memcpy) instead of a per-byte push_back: key construction sits on the
-  // cache-hit path, so the serializer is tuned like one. Host byte order is
-  // fine — keys never leave the process.
-  void raw(const void *P, std::size_t N) {
-    const std::uint8_t *B = static_cast<const std::uint8_t *>(P);
-    Out.insert(Out.end(), B, B + N);
+  /// Trims the buffer to the bytes actually written. Must be called before
+  /// the caller reads Out.
+  void finish() { Out.resize(static_cast<std::size_t>(Cur - Out.data())); }
+
+  // Key construction sits on the cache-hit path, so the serializer is tuned
+  // like one: a raw cursor over a pre-grown buffer, one capacity check per
+  // node covering all of that node's fixed-width fields, then unchecked
+  // stores. Host byte order is fine — keys never leave the process.
+  void ensure(std::size_t N) {
+    if (static_cast<std::size_t>(End - Cur) < N)
+      grow(N);
   }
-  void u8(std::uint8_t V) { Out.push_back(V); }
+  void raw(const void *P, std::size_t N) {
+    std::memcpy(Cur, P, N);
+    Cur += N;
+  }
+  void u8(std::uint8_t V) { *Cur++ = V; }
   void u32(std::uint32_t V) { raw(&V, sizeof V); }
   void u64(std::uint64_t V) { raw(&V, sizeof V); }
 
   void expr(const ExprNode *N) {
     if (!N) {
+      ensure(1);
       u8(0);
       return;
     }
+    // Header (8) plus the widest leaf payload (8).
+    ensure(16);
     std::uint8_t Hdr[8];
     Hdr[0] = 1;
     Hdr[1] = static_cast<std::uint8_t>(N->Kind);
@@ -84,6 +100,7 @@ public:
     expr(N->A);
     expr(N->B);
     expr(N->C);
+    ensure(4);
     u32(N->ArgC);
     for (std::uint32_t I = 0; I < N->ArgC; ++I)
       expr(N->ArgV[I]);
@@ -91,9 +108,11 @@ public:
 
   void stmt(const StmtNode *S) {
     if (!S) {
+      ensure(1);
       u8(0);
       return;
     }
+    ensure(7);
     std::uint8_t Hdr[7];
     Hdr[0] = 1;
     Hdr[1] = static_cast<std::uint8_t>(S->Kind);
@@ -106,6 +125,7 @@ public:
     expr(S->E3);
     stmt(S->S1);
     stmt(S->S2);
+    ensure(4);
     u32(S->BodyC);
     for (std::uint32_t I = 0; I < S->BodyC; ++I)
       stmt(S->BodyV[I]);
@@ -122,8 +142,21 @@ private:
     return static_cast<std::uint32_t>(Refs->size() - 1);
   }
 
+  void grow(std::size_t N) {
+    std::size_t Len = static_cast<std::size_t>(Cur - Out.data());
+    std::size_t Cap = Out.size();
+    do
+      Cap *= 2;
+    while (Cap - Len < N);
+    Out.resize(Cap);
+    Cur = Out.data() + Len;
+    End = Out.data() + Out.size();
+  }
+
   std::vector<std::uint8_t> &Out;
   std::vector<ExtRef> *Refs;
+  std::uint8_t *Cur = nullptr;
+  std::uint8_t *End = nullptr;
 };
 
 /// Hashes the key bytes a word at a time (support/Hash.h — shared with the
@@ -140,6 +173,8 @@ void writeKeyBody(KeyWriter &W, const Context &Ctx, Stmt Body,
   // Everything in CompileOptions that changes generated code (Pool changes
   // only where code lives, so it is deliberately absent).
   //
+  // Fixed-width options prefix: one capacity check covers it all.
+  W.ensure(32);
   // Backend is the FIRST key byte and covers BackendKind exhaustively:
   // VCode=0, ICode=1, PCode=2 each serialize to a distinct byte, and key
   // equality is full byte-string equality, so the three back ends can never
@@ -153,6 +188,20 @@ void writeKeyBody(KeyWriter &W, const Context &Ctx, Stmt Body,
   W.u8(static_cast<std::uint8_t>(Opts.Placement));
   W.u64(Opts.CodeCapacity);
   W.u32(Opts.UnrollLimit);
+  // Tier-0 profile digest: the per-loop unroll decisions steer code shape,
+  // so differently-profiled compiles of one spec must occupy distinct
+  // slots (and snapshot records). Unprofiled compiles write a single zero
+  // byte, keeping their keys byte-identical to the pre-profile format.
+  W.u8(Opts.TripProfile != nullptr);
+  if (const core::Tier0ProfileSnapshot *TP = Opts.TripProfile) {
+    // +8 keeps the trailing flag bytes below inside this check's envelope.
+    W.ensure(12 + 5 * static_cast<std::size_t>(TP->NumLoops));
+    W.u32(TP->NumLoops);
+    for (std::uint32_t I = 0; I < TP->NumLoops; ++I) {
+      W.u8(TP->Decision[I]);
+      W.u32(TP->MaxTrip[I]);
+    }
+  }
   // Profiled code carries an extra prologue instruction, so it can never
   // share an entry with unprofiled code. ProfileName is a label, not a
   // semantic input: same-key profiled compiles share the first entry's
@@ -167,6 +216,7 @@ void writeKeyBody(KeyWriter &W, const Context &Ctx, Stmt Body,
 
   // The vspec table: LocalIds in the tree index into it.
   const std::vector<LocalInfo> &Locals = Ctx.locals();
+  W.ensure(4 + 5 * Locals.size());
   W.u32(static_cast<std::uint32_t>(Locals.size()));
   for (const LocalInfo &L : Locals) {
     W.u8(static_cast<std::uint8_t>(L.Type));
@@ -181,9 +231,9 @@ void writeKeyBody(KeyWriter &W, const Context &Ctx, Stmt Body,
 SpecKey cache::buildSpecKey(const Context &Ctx, Stmt Body, EvalType RetType,
                             const CompileOptions &Opts) {
   SpecKey K;
-  K.Bytes.reserve(256);
   KeyWriter W(K.Bytes);
   writeKeyBody(W, Ctx, Body, RetType, Opts);
+  W.finish();
   K.Cacheable = W.Cacheable;
   K.Hash = hashBytes(K.Bytes);
   return K;
@@ -193,9 +243,9 @@ PersistKey cache::buildPersistKey(const Context &Ctx, Stmt Body,
                                   EvalType RetType,
                                   const CompileOptions &Opts) {
   PersistKey K;
-  K.Bytes.reserve(256);
   KeyWriter W(K.Bytes, &K.Refs);
   writeKeyBody(W, Ctx, Body, RetType, Opts);
+  W.finish();
   K.Cacheable = W.Cacheable;
   K.Hash = hashBytes(K.Bytes);
   return K;

@@ -12,6 +12,7 @@
 #include "core/Compile.h"
 
 #include "core/CompileContext.h"
+#include "core/SpecInterp.h"
 #include "observability/Flight.h"
 #include "observability/Metrics.h"
 #include "observability/Names.h"
@@ -22,6 +23,7 @@
 #include "support/Timing.h"
 #include "verify/Verify.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <climits>
@@ -445,6 +447,64 @@ bool hasEscapingControl(const StmtNode *S) {
   return false;
 }
 
+// --- Tier-0 profile plumbing -------------------------------------------------
+
+/// True if the subtree contains an rtEval that references a vspec — a
+/// `$`-expression that only folds while the enclosing loops unroll. A
+/// profile decision to roll such a loop would leave the rtEval unevaluable
+/// at instantiation time (a fatal error), so genFor must never honor it.
+bool exprHasRtEvalLocal(const ExprNode *N) {
+  if (!N)
+    return false;
+  if (N->Kind == ExprKind::RtEval && (N->Flags & EF_HasLocal))
+    return true;
+  if (exprHasRtEvalLocal(N->A) || exprHasRtEvalLocal(N->B) ||
+      exprHasRtEvalLocal(N->C))
+    return true;
+  for (std::uint32_t I = 0; I < N->ArgC; ++I)
+    if (exprHasRtEvalLocal(N->ArgV[I]))
+      return true;
+  return false;
+}
+
+bool stmtHasRtEvalLocal(const StmtNode *S) {
+  if (!S)
+    return false;
+  if (exprHasRtEvalLocal(S->E) || exprHasRtEvalLocal(S->E2) ||
+      exprHasRtEvalLocal(S->E3))
+    return true;
+  if (stmtHasRtEvalLocal(S->S1) || stmtHasRtEvalLocal(S->S2))
+    return true;
+  for (std::uint32_t I = 0; I < S->BodyC; ++I)
+    if (stmtHasRtEvalLocal(S->BodyV[I]))
+      return true;
+  return false;
+}
+
+/// Ordinal of \p Target in the pre-order every-visit For numbering rooted
+/// at the spec body — the allocation-free mirror of SpecInterp's indexing
+/// (a shared For subtree is numbered at its first visit; later visits only
+/// advance the counter). Returns false when \p Target is unreachable.
+bool forOrdinalRec(const StmtNode *S, const StmtNode *Target,
+                   unsigned &Counter, unsigned &Out) {
+  if (!S)
+    return false;
+  if (S->Kind == StmtKind::For) {
+    if (S == Target) {
+      Out = Counter;
+      return true;
+    }
+    ++Counter;
+  }
+  if (forOrdinalRec(S->S1, Target, Counter, Out) ||
+      forOrdinalRec(S->S2, Target, Counter, Out))
+    return true;
+  for (std::uint32_t I = 0; I < S->BodyC; ++I)
+    if (forOrdinalRec(S->BodyV[I], Target, Counter, Out))
+      return true;
+  return false;
+}
+
 // --- The walker ---------------------------------------------------------------------
 
 template <class BE> class Walker {
@@ -476,6 +536,7 @@ public:
     unsigned LoopsUnrolled = 0;
     unsigned BranchesEliminated = 0;
     unsigned StrengthReductions = 0;
+    unsigned ProfiledUnrolls = 0;
   };
   Decisions PE;
 
@@ -484,6 +545,7 @@ public:
   const void *ProfileCounter = nullptr;
 
   void run(const StmtNode *Body) {
+    Root = Body;
     BodyHasCalls = stmtHasCall(Body);
     if constexpr (TR::OnePass)
       Back.enter();
@@ -1276,7 +1338,7 @@ private:
   /// Trip-count values of an unrollable loop, or nullopt.
   std::optional<ArenaVector<std::int64_t>>
   unrollValues(std::int64_t Init, CmpKind K, std::int64_t Bound,
-               std::int64_t Step) {
+               std::int64_t Step, std::uint64_t Limit) {
     if (Step == 0)
       return std::nullopt;
     ArenaVector<std::int64_t> Values(ScratchArena);
@@ -1309,7 +1371,7 @@ private:
       return false;
     };
     while (Holds(V)) {
-      if (Values.size() > Opts.UnrollLimit)
+      if (Values.size() > Limit)
         return std::nullopt;
       Values.push_back(V);
       V += Step;
@@ -1319,14 +1381,40 @@ private:
 
   void genFor(const StmtNode *S) {
     auto K = static_cast<CmpKind>(S->OpByte);
+    // Tier-0 profile consult: a measured trip count replaces the static
+    // UnrollLimit heuristic for this loop. Decision 1 (roll) is ignored
+    // when the body holds a vspec-dependent `$`-expression — that only
+    // folds while the loop unrolls, so rolling would be a fatal error at
+    // instantiation time.
+    std::uint64_t EffLimit = Opts.UnrollLimit;
+    bool SkipUnroll = false;
+    if (Opts.TripProfile) {
+      unsigned Ord = 0, Counter = 0;
+      if (forOrdinalRec(Root, S, Counter, Ord) &&
+          Ord < Opts.TripProfile->NumLoops) {
+        std::uint8_t D = Opts.TripProfile->Decision[Ord];
+        if (D == 1 && !stmtHasRtEvalLocal(S->S1)) {
+          SkipUnroll = true;
+          ++PE.ProfiledUnrolls;
+        } else if (D == 2) {
+          // Tighten, never raise: a caller's explicit UnrollLimit is a
+          // code-size cap, and a measured trip count must not blow past
+          // it (profiles refine the heuristic in the rolling direction).
+          EffLimit = std::min<std::uint64_t>(Opts.UnrollLimit,
+                                             Opts.TripProfile->MaxTrip[Ord]);
+          ++PE.ProfiledUnrolls;
+        }
+      }
+    }
     // Dynamic loop unrolling (paper §4.4): run-time-constant bounds and
     // step, and a body that never reassigns the induction variable.
     auto IV = Rc.eval(S->E, false);
     auto BV = Rc.eval(S->E2, false);
     auto SV = Rc.eval(S->E3, false);
-    if (IV && BV && SV && !IV->isFp() && !BV->isFp() && !SV->isFp() &&
-        !assignsLocal(S->S1, S->LocalId) && !hasEscapingControl(S->S1)) {
-      if (auto Values = unrollValues(IV->I, K, BV->I, SV->I)) {
+    if (!SkipUnroll && IV && BV && SV && !IV->isFp() && !BV->isFp() &&
+        !SV->isFp() && !assignsLocal(S->S1, S->LocalId) &&
+        !hasEscapingControl(S->S1)) {
+      if (auto Values = unrollValues(IV->I, K, BV->I, SV->I, EffLimit)) {
         ++PE.LoopsUnrolled;
         EvalType VarT =
             Ctx.locals()[static_cast<std::size_t>(S->LocalId)].Type;
@@ -1412,6 +1500,7 @@ private:
   ArenaVector<std::optional<LabelT>> UserLabels;
   ArenaVector<LoopLabels> LoopStack;
   Arena &ScratchArena;
+  const StmtNode *Root = nullptr;
   bool BodyHasCalls = false;
   int FpCallSlots[vcode::VCode::NumFloatPool] = {
       INT_MIN, INT_MIN, INT_MIN, INT_MIN, INT_MIN, INT_MIN,
@@ -1426,7 +1515,7 @@ struct CompileMetrics {
   obs::Counter &CyclesTotal, &CodeBytes, &MachineInstrs;
   obs::Counter &Setup, &Walk, &Finalize, &FlowGraph, &Liveness, &Intervals,
       &RegAlloc, &Peephole, &Emit;
-  obs::Counter &Spilled, &Unrolled, &DeadBranches, &Strength;
+  obs::Counter &Spilled, &Unrolled, &DeadBranches, &Strength, &Profiled;
   obs::Counter &Allocs, &StencilPatches;
   obs::Histogram &HistVCode, &HistPCode, &HistLinear, &HistColor;
   obs::Histogram &ArenaBytes, &CpiVCode, &CpiICode, &CpiPCode;
@@ -1446,7 +1535,8 @@ struct CompileMetrics {
         R.counter(N::PhaseRegAlloc), R.counter(N::PhasePeephole),
         R.counter(N::PhaseEmit), R.counter(N::SpilledIntervals),
         R.counter(N::LoopsUnrolled), R.counter(N::BranchesEliminated),
-        R.counter(N::StrengthReductions), R.counter(N::CompileAllocs),
+        R.counter(N::StrengthReductions), R.counter(N::UnrollProfiled),
+        R.counter(N::CompileAllocs),
         R.counter(N::StencilPatches),
         R.histogram(N::HistCyclesVCode), R.histogram(N::HistCyclesPCode),
         R.histogram(N::HistCyclesLinearScan),
@@ -1474,6 +1564,8 @@ void publishCompileMetrics(const CompiledFn &F, const CompileOptions &Opts,
     M.DeadBranches.inc(PE.BranchesEliminated);
   if (PE.StrengthReductions)
     M.Strength.inc(PE.StrengthReductions);
+  if (PE.ProfiledUnrolls)
+    M.Profiled.inc(PE.ProfiledUnrolls);
   if (S.MachineInstrs > 0) {
     std::uint64_t Cpi = S.CyclesTotal / S.MachineInstrs;
     (Opts.Backend == BackendKind::VCode   ? M.CpiVCode
@@ -1660,7 +1752,7 @@ CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
       F.Stats.CodeBytes = P.codeBytes();
       CompileMetrics::get().StencilPatches.inc(P.assembler().patchesApplied());
       PE = {W.PE.LoopsUnrolled, W.PE.BranchesEliminated,
-            W.PE.StrengthReductions};
+            W.PE.StrengthReductions, W.PE.ProfiledUnrolls};
     } else {
       std::uint64_t SetupStart = readCycleCounterBegin();
       icode::ICode IC(A);
@@ -1701,7 +1793,7 @@ CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
       F.Stats.MachineInstrs = V.instructionsEmitted();
       F.Stats.CodeBytes = V.codeBytes();
       PE = {W.PE.LoopsUnrolled, W.PE.BranchesEliminated,
-            W.PE.StrengthReductions};
+            W.PE.StrengthReductions, W.PE.ProfiledUnrolls};
     }
     if (DoVerify) {
       // Audit the finished bytes while the region is still readable through

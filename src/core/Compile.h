@@ -40,6 +40,7 @@ namespace tcc {
 namespace core {
 
 class CompileContext;
+struct Tier0ProfileSnapshot;
 
 /// Which dynamic back end instantiation uses. Serialized into SpecKey (the
 /// first option byte), so each backend's output occupies its own cache slot.
@@ -106,6 +107,13 @@ struct CompileOptions {
   /// (src/persist). Recording never changes the emitted bytes. Not part of
   /// the cache key. Owned by the caller; must outlive the compile.
   support::RelocTable *Relocs = nullptr;
+  /// Frozen tier-0 execution profile (core/SpecInterp.h). When set, the
+  /// Walker chooses per-loop unroll bounds from the measured trip counts
+  /// instead of the static UnrollLimit heuristic. Part of the cache key
+  /// (the per-loop decision digest), so differently-profiled compiles of
+  /// one spec never alias in the cache or snapshot. Owned by the caller;
+  /// must outlive the compile.
+  const Tier0ProfileSnapshot *TripProfile = nullptr;
 };
 
 /// Cost account of one instantiation — the raw material of Table 1 and

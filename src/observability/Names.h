@@ -75,6 +75,9 @@ inline constexpr char StencilPatches[] = "stencil.patches";
 inline constexpr char LoopsUnrolled[] = "opt.loops_unrolled";
 inline constexpr char BranchesEliminated[] = "opt.branches_eliminated";
 inline constexpr char StrengthReductions[] = "opt.strength_reductions";
+/// Loops whose unroll decision came from a tier-0 measured trip count
+/// (CompileOptions::TripProfile) instead of the static UnrollLimit.
+inline constexpr char UnrollProfiled[] = "opt.unroll.profiled";
 
 // Code cache (all CodeCache instances, cumulative).
 inline constexpr char CacheHits[] = "cache.hits";
@@ -95,6 +98,8 @@ inline constexpr char SnapshotRejects[] = "cache.snapshot.rejects";
 inline constexpr char SnapshotSaves[] = "cache.snapshot.saves";
 inline constexpr char SnapshotUnportable[] = "cache.snapshot.unportable";
 inline constexpr char SnapshotCompactions[] = "cache.snapshot.compactions";
+/// Records dropped to keep a snapshot file under TICKC_SNAPSHOT_BUDGET.
+inline constexpr char SnapshotEvictions[] = "cache.snapshot.evictions";
 inline constexpr char HistSnapshotLoad[] = "cache.snapshot.load.cycles";
 
 // Region pool (all RegionPool instances, cumulative).
@@ -123,6 +128,17 @@ inline constexpr char HistTierPromoteLatency[] = "tier.promote.latency.cycles";
 /// promotion machinery works on them unchanged — loaded code carries a
 /// live patched counter).
 inline constexpr char TierBaselineSnapshot[] = "tier.baseline.from_snapshot";
+
+// Interpreter tier 0 (src/core/SpecInterp + src/tier): slots that answer
+// from the spec-tree interpreter the instant getOrCompileTiered returns,
+// while the PCODE baseline compiles off the caller's critical path.
+/// Calls dispatched through the interpreted entry (before the swap).
+inline constexpr char Tier0Invocations[] = "tier0.invocations";
+/// Tier-0 slots that fell back to a synchronous baseline compile because
+/// the background queue was full.
+inline constexpr char Tier0Fallback[] = "tier0.fallback";
+/// Slot creation -> baseline machine-code swap, TSC ticks.
+inline constexpr char HistTier0SwapLatency[] = "tier0.swap_latency";
 
 // Runtime execution observability (src/observability/Runtime*): the JIT
 // symbol table, SIGPROF sampling profiler, and flight recorder.

@@ -133,12 +133,15 @@ std::string tcc::obs::renderReport(const MetricsSnapshot &S) {
           static_cast<unsigned long long>(S.counter(names::SpilledIntervals)));
   appendf(Out,
           "partial evaluation: %llu loops unrolled, %llu dead branches "
-          "eliminated, %llu strength reductions\n",
+          "eliminated, %llu strength reductions, %llu profile-directed "
+          "unroll decisions\n",
           static_cast<unsigned long long>(S.counter(names::LoopsUnrolled)),
           static_cast<unsigned long long>(
               S.counter(names::BranchesEliminated)),
           static_cast<unsigned long long>(
-              S.counter(names::StrengthReductions)));
+              S.counter(names::StrengthReductions)),
+          static_cast<unsigned long long>(
+              S.counter(names::UnrollProfiled)));
 
   std::uint64_t Hits = S.counter(names::CacheHits);
   std::uint64_t Misses = S.counter(names::CacheMisses);
@@ -169,7 +172,7 @@ std::string tcc::obs::renderReport(const MetricsSnapshot &S) {
     Out += "snapshot (persistent cross-process code cache)\n";
     appendf(Out,
             "  %llu loads / %llu misses, %llu saves, %llu rejected, "
-            "%llu unportable, %llu compactions\n",
+            "%llu unportable, %llu compactions, %llu budget evictions\n",
             static_cast<unsigned long long>(SnapHits),
             static_cast<unsigned long long>(SnapMisses),
             static_cast<unsigned long long>(SnapSaves),
@@ -177,7 +180,9 @@ std::string tcc::obs::renderReport(const MetricsSnapshot &S) {
             static_cast<unsigned long long>(
                 S.counter(names::SnapshotUnportable)),
             static_cast<unsigned long long>(
-                S.counter(names::SnapshotCompactions)));
+                S.counter(names::SnapshotCompactions)),
+            static_cast<unsigned long long>(
+                S.counter(names::SnapshotEvictions)));
     std::uint64_t TierSnap = S.counter(names::TierBaselineSnapshot);
     if (TierSnap)
       appendf(Out, "  %llu tier-0 baselines revived without compiling\n",
@@ -307,6 +312,32 @@ std::string tcc::obs::renderReport(const MetricsSnapshot &S) {
         }
       }
     }
+  }
+
+  // Interpreter tier 0: calls answered before any machine code existed, and
+  // how long each slot spent interpreting before its baseline landed. The
+  // swap-latency tail is the window where every call pays interpreter speed.
+  std::uint64_t T0Inv = S.counter(names::Tier0Invocations);
+  std::uint64_t T0Fallback = S.counter(names::Tier0Fallback);
+  const HistogramSnapshot *T0Swap = S.histogram(names::HistTier0SwapLatency);
+  if (T0Inv + T0Fallback || (T0Swap && T0Swap->Count)) {
+    Out += "tier 0 (interpreted dispatch until the baseline compile lands)\n";
+    appendf(Out,
+            "  %llu interpreted calls; %llu slots fell back to a "
+            "synchronous baseline (queue full)\n",
+            static_cast<unsigned long long>(T0Inv),
+            static_cast<unsigned long long>(T0Fallback));
+    if (T0Swap && T0Swap->Count) {
+      Out += "  baseline swap latency (slot creation -> machine code, "
+             "cycles)\n";
+      renderHistogram(Out, *T0Swap);
+    }
+    std::uint64_t Prof = S.counter(names::UnrollProfiled);
+    if (Prof)
+      appendf(Out,
+              "  %llu unroll decisions taken from interpreter trip "
+              "profiles instead of the static heuristic\n",
+              static_cast<unsigned long long>(Prof));
   }
 
   // Verification: per-layer pass/fail volume, plus what fraction of total

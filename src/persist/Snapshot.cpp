@@ -12,6 +12,7 @@
 #include "support/Timing.h"
 #include "verify/Verify.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -143,7 +144,8 @@ const std::uint8_t *recCode(const std::uint8_t *P) {
 /// Process-wide cumulative mirrors in the metrics registry (the counters
 /// tickc-report renders). Per-instance mirrors live in SnapshotStats.
 struct SnapMetrics {
-  obs::Counter &Hits, &Misses, &Rejects, &Saves, &Unportable, &Compactions;
+  obs::Counter &Hits, &Misses, &Rejects, &Saves, &Unportable, &Compactions,
+      &Evictions;
   obs::Histogram &Load;
   static SnapMetrics &get() {
     namespace N = obs::names;
@@ -154,6 +156,7 @@ struct SnapMetrics {
                          R.counter(N::SnapshotSaves),
                          R.counter(N::SnapshotUnportable),
                          R.counter(N::SnapshotCompactions),
+                         R.counter(N::SnapshotEvictions),
                          R.histogram(N::HistSnapshotLoad)};
     return M;
   }
@@ -196,10 +199,12 @@ bool writeAll(int Fd, const std::uint8_t *P, std::size_t N) {
 } // namespace
 
 std::unique_ptr<SnapshotCache> SnapshotCache::open(const std::string &Dir,
-                                                   std::size_t CompactThreshold) {
+                                                   std::size_t CompactThreshold,
+                                                   std::size_t BudgetBytes) {
   if (Dir.empty())
     return nullptr;
   auto SC = std::unique_ptr<SnapshotCache>(new SnapshotCache());
+  SC->Budget = BudgetBytes;
   if (!SC->openFile(Dir + "/tickc.snapshot", CompactThreshold))
     return nullptr;
   return SC;
@@ -211,7 +216,9 @@ std::unique_ptr<SnapshotCache> SnapshotCache::openFromEnv() {
     return nullptr;
   std::size_t Compact = static_cast<std::size_t>(
       tcc::envUInt64("TICKC_SNAPSHOT_COMPACT", 1u << 20));
-  return open(Dir, Compact);
+  std::size_t Budget =
+      static_cast<std::size_t>(tcc::envUInt64("TICKC_SNAPSHOT_BUDGET", 0));
+  return open(Dir, Compact, Budget);
 }
 
 SnapshotCache::~SnapshotCache() {
@@ -322,19 +329,46 @@ bool SnapshotCache::openFile(const std::string &FilePath,
       LiveBytes += rd32(Records[KV.second] + OffTotalLen);
     std::size_t DeadBytes = (End - FileHeaderLen) - LiveBytes;
 
-    if (!Compacted && CompactThreshold && DeadBytes >= CompactThreshold) {
+    if (!Compacted && ((CompactThreshold && DeadBytes >= CompactThreshold) ||
+                       (Budget && End > Budget))) {
       // Compact: rewrite the live set to a temp file and rename it into
       // place. Readers that opened before the rename keep their (complete,
       // consistent) old mapping; appends they make to the old inode are
       // lost, never corrupting — the documented cost of compaction.
+      //
+      // Live set in append order; under a size budget, evict oldest-first:
+      // keep the longest newest suffix that fits (newer records reflect the
+      // most recent working set — the same recency bet the in-memory LRU
+      // makes).
+      std::vector<std::size_t> Keep;
+      Keep.reserve(LastByKey.size());
+      for (const auto &KV : LastByKey)
+        Keep.push_back(KV.second);
+      std::sort(Keep.begin(), Keep.end());
+      if (Budget) {
+        std::size_t Used = FileHeaderLen;
+        std::size_t FirstKept = Keep.size();
+        for (std::size_t I = Keep.size(); I-- > 0;) {
+          std::size_t Len = rd32(Records[Keep[I]] + OffTotalLen);
+          if (Used + Len > Budget)
+            break;
+          Used += Len;
+          FirstKept = I;
+        }
+        if (FirstKept > 0) {
+          countEviction(FirstKept);
+          Keep.erase(Keep.begin(),
+                     Keep.begin() + static_cast<std::ptrdiff_t>(FirstKept));
+        }
+      }
       std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
       int TFd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
                        0644);
       bool Ok = TFd >= 0 && writeAll(TFd, Header, FileHeaderLen);
-      for (const auto &KV : LastByKey) {
+      for (std::size_t I : Keep) {
         if (!Ok)
           break;
-        const std::uint8_t *R = Records[KV.second];
+        const std::uint8_t *R = Records[I];
         Ok = writeAll(TFd, R, rd32(R + OffTotalLen));
       }
       Ok = Ok && ::fsync(TFd) == 0 && ::rename(Tmp.c_str(), Path.c_str()) == 0;
@@ -383,13 +417,26 @@ const std::uint8_t *SnapshotCache::findRecord(const cache::PersistKey &K) const 
   return nullptr;
 }
 
-void SnapshotCache::appendRecord(std::vector<std::uint8_t> &&Bytes) {
+bool SnapshotCache::appendRecord(std::vector<std::uint8_t> &&Bytes) {
   std::lock_guard<std::mutex> G(M);
   // Whole-record append under the file lock: concurrent processes
   // interleave records, never bytes. A failure partway leaves a torn tail
   // the next opener's scan truncates.
   if (::flock(Fd, LOCK_EX) != 0)
-    return;
+    return false;
+  if (Budget) {
+    // The budget gate reads the *current* size under the lock, so it holds
+    // against concurrent writer processes too: whoever locks last sees the
+    // others' appends. Over budget, the record is dropped (a counted
+    // eviction) — the in-memory cache still serves this process.
+    struct stat St;
+    if (::fstat(Fd, &St) == 0 &&
+        static_cast<std::size_t>(St.st_size) + Bytes.size() > Budget) {
+      ::flock(Fd, LOCK_UN);
+      countEviction();
+      return false;
+    }
+  }
   if (::lseek(Fd, 0, SEEK_END) != static_cast<off_t>(-1))
     writeAll(Fd, Bytes.data(), Bytes.size());
   ::flock(Fd, LOCK_UN);
@@ -399,6 +446,13 @@ void SnapshotCache::appendRecord(std::vector<std::uint8_t> &&Bytes) {
   std::memcpy(Own.get(), Bytes.data(), Bytes.size());
   indexRecord(Own.get());
   Owned.push_back(std::move(Own));
+  return true;
+}
+
+void SnapshotCache::countEviction(std::uint64_t N) {
+  SnapMetrics::get().Evictions.inc(N);
+  std::lock_guard<std::mutex> G(StatsM);
+  Stats.Evictions += N;
 }
 
 core::CompiledFn SnapshotCache::tryLoad(const cache::PersistKey &K,
@@ -608,7 +662,8 @@ void SnapshotCache::trySave(const cache::PersistKey &K,
       support::hashBytes(Rec.data() + RecordHeaderLen, Rec.size() - RecordHeaderLen);
   std::memcpy(Rec.data() + OffChecksum, &Sum, 8);
 
-  appendRecord(std::move(Rec));
+  if (!appendRecord(std::move(Rec)))
+    return;
   GM.Saves.inc();
   {
     std::lock_guard<std::mutex> G(StatsM);

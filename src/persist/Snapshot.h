@@ -67,6 +67,9 @@ struct SnapshotStats {
   std::uint64_t Unportable = 0;  ///< Compiles not persisted because a
                                  ///< pointer escaped the imm64 form.
   std::uint64_t Compactions = 0; ///< Open-time rewrites of the live set.
+  std::uint64_t Evictions = 0;   ///< Records dropped (oldest-first at open,
+                                 ///< or appends refused) to keep the file
+                                 ///< under its size budget.
 };
 
 /// One open snapshot file: an mmap'd read view of the records present at
@@ -77,12 +80,18 @@ public:
   /// Opens (creating if absent) \p Dir/tickc.snapshot. Recovery, fingerprint
   /// check, and compaction all happen here, under the file lock. Returns
   /// null when the directory is unusable — persistence then simply stays
-  /// off. \p CompactThreshold of 0 disables compaction.
+  /// off. \p CompactThreshold of 0 disables compaction. \p BudgetBytes of 0
+  /// leaves the file unbounded; nonzero, an over-budget file is rewritten
+  /// at open keeping the newest live records that fit, and appends that
+  /// would grow the file past the budget are dropped (both counted as
+  /// cache.snapshot.evictions) — the bound long-lived snapshot dirs need.
   static std::unique_ptr<SnapshotCache> open(const std::string &Dir,
-                                             std::size_t CompactThreshold);
+                                             std::size_t CompactThreshold,
+                                             std::size_t BudgetBytes = 0);
 
   /// open() configured from TICKC_SNAPSHOT_DIR / TICKC_SNAPSHOT_COMPACT
-  /// (default 1 MiB of dead bytes); null when TICKC_SNAPSHOT_DIR is unset.
+  /// (default 1 MiB of dead bytes) / TICKC_SNAPSHOT_BUDGET (default
+  /// unbounded); null when TICKC_SNAPSHOT_DIR is unset.
   static std::unique_ptr<SnapshotCache> openFromEnv();
 
   ~SnapshotCache();
@@ -119,12 +128,16 @@ private:
   };
 
   bool openFile(const std::string &FilePath, std::size_t CompactThreshold);
+  /// Counts one budget eviction in both the registry and Stats.
+  void countEviction(std::uint64_t N = 1);
   void indexRecord(const std::uint8_t *Rec);
   const std::uint8_t *findRecord(const cache::PersistKey &K) const;
-  void appendRecord(std::vector<std::uint8_t> &&Bytes);
+  /// False when the append was refused (lock failure or budget).
+  bool appendRecord(std::vector<std::uint8_t> &&Bytes);
 
   std::string Path;
   int Fd = -1;
+  std::size_t Budget = 0; ///< Per-file size bound; 0 = unbounded.
   const std::uint8_t *Map = nullptr; ///< Read view of the open-time file.
   std::size_t MapLen = 0;
 

@@ -43,6 +43,7 @@
 #define TICKC_TIER_TIER_H
 
 #include "cache/CompileService.h"
+#include "core/SpecInterp.h"
 #include "observability/Profile.h"
 
 #include <array>
@@ -86,6 +87,9 @@ struct TierConfig {
 
 /// Where a dispatch slot currently stands.
 enum class TierState : std::uint8_t {
+  /// Tier 0: answering from the spec-tree interpreter while the baseline
+  /// compiles in the background (Entry is still null).
+  Interpreted,
   Baseline, ///< Running VCODE code, counting invocations.
   Queued,   ///< Promotion request enqueued or being compiled.
   Promoted, ///< Slot points at the ICODE-compiled body.
@@ -93,6 +97,14 @@ enum class TierState : std::uint8_t {
 };
 
 class TierManager;
+
+namespace detail {
+/// Marshals a call<FnT>() invocation into the interpreter's SysV-split
+/// argument arrays. Specialized on the *declared* signature so argument
+/// conversions (int literal to a double parameter, etc.) happen exactly
+/// where the compiled call would perform them.
+template <typename FnT> struct InterpMarshal;
+} // namespace detail
 
 /// A per-function dispatch slot. Callers invoke through call<>(), which
 /// pins the retirement epoch, loads the entry pointer, runs the generated
@@ -107,6 +119,12 @@ public:
 
   /// Invokes the current tier: `TF->call<int(const Record *)>(&R)`.
   template <typename FnT, typename... ArgTs> auto call(ArgTs... Args) {
+    // Tier-0 slots count invocations here: the interpreter has no profiling
+    // prologue, and after the swap the compiled prologue bumps the
+    // *compile's own* (cache-shared) entry, not this slot's — the wrapper
+    // keeps one continuous count so the promotion trigger never stalls.
+    if (IsTier0)
+      Prof->Invocations.fetch_add(1, std::memory_order_relaxed);
     // Pin before loading the entry: any caller the retirement drain can
     // miss on the old parity is then guaranteed (seq_cst) to observe the
     // already-swapped entry, so it never runs retired code.
@@ -114,7 +132,20 @@ public:
     Pins[P].fetch_add(1);
     auto *Fn = reinterpret_cast<FnT *>(Entry.load());
     using RetT = decltype(Fn(Args...));
-    if constexpr (std::is_void_v<RetT>) {
+    if (!Fn) {
+      // Tier 0 before the baseline swap: no machine code yet. The
+      // interpreter lives for the slot's whole lifetime, so it needs no
+      // pin; the epoch/pin machinery only guards retirable compiled code.
+      Pins[P].fetch_sub(1);
+      if constexpr (std::is_void_v<RetT>) {
+        detail::InterpMarshal<FnT>::invoke(*this, Args...);
+        maybeRequestPromotion();
+      } else {
+        RetT R = detail::InterpMarshal<FnT>::invoke(*this, Args...);
+        maybeRequestPromotion();
+        return R;
+      }
+    } else if constexpr (std::is_void_v<RetT>) {
       Fn(Args...);
       Pins[P].fetch_sub(1);
       maybeRequestPromotion();
@@ -129,6 +160,9 @@ public:
   /// The current tier as a refcounted handle — the steady-state batch
   /// path: one refcount bump amortized over many direct calls, immune to
   /// retirement by construction. Does not advance the promotion trigger.
+  /// Null while the slot is still interpreted (tier 0): there is no
+  /// compiled body yet — dispatch through call<>() or waitCompiled()
+  /// first.
   cache::FnHandle handle() const {
     std::lock_guard<std::mutex> G(M);
     return Promoted ? Promoted : Baseline;
@@ -136,9 +170,19 @@ public:
 
   TierState state() const { return State.load(); }
   bool promoted() const { return state() == TierState::Promoted; }
+  /// True once machine code is installed (baseline or promoted); false
+  /// only while a tier-0 slot still answers from the interpreter.
+  bool compiled() const {
+    return Entry.load(std::memory_order_acquire) != nullptr;
+  }
 
   /// Blocks until the slot is promoted (or fails) or \p Timeout elapses.
   bool waitPromoted(std::chrono::milliseconds Timeout =
+                        std::chrono::milliseconds(10000)) const;
+  /// Blocks until the slot has machine code — the tier-0 baseline swap (or
+  /// any later tier, or failure) — or \p Timeout elapses. Returns
+  /// compiled().
+  bool waitCompiled(std::chrono::milliseconds Timeout =
                         std::chrono::milliseconds(10000)) const;
 
   /// The baseline profile entry carrying the invocation counter.
@@ -148,6 +192,22 @@ public:
   }
   /// Enqueue -> slot-swap latency of the completed promotion, or 0.
   std::uint64_t promoteLatencyNanos() const { return PromoteLatencyNs.load(); }
+  /// Slot-creation -> baseline-swap latency of a tier-0 slot, or 0 while
+  /// still interpreted (and always 0 for non-tier-0 slots).
+  std::uint64_t tier0SwapNanos() const { return Tier0SwapNs.load(); }
+  /// True for slots created on the interpreter tier (even after they swap
+  /// to compiled code).
+  bool isTier0() const { return IsTier0; }
+  /// The tier-0 execution profile, or null (profiling disabled / legacy
+  /// slot).
+  const core::Tier0Profile *tier0Profile() const { return T0Prof.get(); }
+
+  /// Implementation detail of call<>'s interpreted path: counts the
+  /// dispatch and runs the spec-tree interpreter. Public only for
+  /// detail::InterpMarshal.
+  core::InterpResult dispatchInterp(const std::int64_t *IntArgs,
+                                    unsigned NumInt, const double *FpArgs,
+                                    unsigned NumFp) const;
 
 private:
   friend class TierManager;
@@ -170,6 +230,13 @@ private:
   /// baseline region, publish Promoted state.
   void installPromoted(cache::FnHandle NewFn);
 
+  /// Worker side of the tier-0 swap: install the freshly compiled baseline
+  /// into a still-interpreted slot. No retirement — the interpreter is not
+  /// freed (it lives as long as the slot) — so this is just the entry
+  /// store, the latency record, and the chained promotion check for slots
+  /// that crossed the trigger while interpreted.
+  void installBaseline(cache::FnHandle NewFn);
+
   // --- Dispatch fast path ---------------------------------------------------
   std::atomic<void *> Entry{nullptr};
   std::atomic<std::uint64_t> Epoch{0};
@@ -179,6 +246,7 @@ private:
   /// promotion is dropped as stale.
   std::atomic<std::uint64_t> TriggerAt{0};
   std::atomic<std::uint64_t> PromoteLatencyNs{0};
+  std::atomic<std::uint64_t> Tier0SwapNs{0};
 
   // --- Fixed at creation ----------------------------------------------------
   TierManager *Manager = nullptr;
@@ -186,8 +254,17 @@ private:
   SpecBuild Build;
   core::EvalType RetType = core::EvalType::Int;
   core::CompileOptions PromoteOpts;
+  core::CompileOptions BaselineOpts; ///< The background baseline compile.
   cache::SpecKey BaselineKey; ///< !Cacheable skips the residency check.
   std::shared_ptr<obs::ProfileEntry> Prof;
+  /// Tier-0 machinery, set only when the slot was created interpreted.
+  /// Interp is never destroyed before the slot: a caller racing the
+  /// baseline swap may still be executing run().
+  std::unique_ptr<core::SpecInterp> Interp;
+  std::shared_ptr<core::Tier0Profile> T0Prof;
+  bool IsTier0 = false;
+  std::uint64_t CreatedNs = 0;  ///< Slot creation, for tier0.swap_latency.
+  std::uint64_t CreatedTsc = 0;
 
   // --- Tier handles + promotion rendezvous ----------------------------------
   mutable std::mutex M;
@@ -197,6 +274,40 @@ private:
   std::uint64_t EnqueuedNs = 0;
   std::uint64_t EnqueuedTsc = 0;
 };
+
+namespace detail {
+template <typename R, typename... Ps> struct InterpMarshal<R(Ps...)> {
+  static R invoke(const TieredFn &TF, Ps... Args) {
+    // SysV split, mirroring both the compiled calling convention and
+    // SpecInterp's parameter binding: doubles in FpArgs, everything else
+    // (sign-extended ints, longs, pointers) in IntArgs, each in
+    // declaration order within its class.
+    std::int64_t IA[8] = {};
+    double FA[8] = {};
+    unsigned NI = 0, ND = 0;
+    auto Put = [&](auto V) {
+      using T = decltype(V);
+      if constexpr (std::is_floating_point_v<T>)
+        FA[ND++] = static_cast<double>(V);
+      else if constexpr (std::is_pointer_v<T>)
+        IA[NI++] = static_cast<std::int64_t>(
+            reinterpret_cast<std::uintptr_t>(V));
+      else
+        IA[NI++] = static_cast<std::int64_t>(V);
+    };
+    (Put(Args), ...);
+    core::InterpResult Res = TF.dispatchInterp(IA, NI, FA, ND);
+    if constexpr (std::is_void_v<R>)
+      return;
+    else if constexpr (std::is_floating_point_v<R>)
+      return static_cast<R>(Res.D);
+    else if constexpr (std::is_pointer_v<R>)
+      return reinterpret_cast<R>(static_cast<std::uintptr_t>(Res.I));
+    else
+      return static_cast<R>(Res.I);
+  }
+};
+} // namespace detail
 
 /// Owns the promotion queue and worker pool, and memoizes dispatch slots by
 /// spec identity so repeated tiered instantiations of one spec share one
@@ -237,6 +348,17 @@ private:
   void workerLoop();
   /// Recompile + verify + swap for one dequeued slot.
   void promote(const std::shared_ptr<TieredFn> &Fn);
+  /// Worker side of tier 0: compile the baseline for a still-interpreted
+  /// slot and swap it in (installBaseline). Failure marks the slot Failed;
+  /// it keeps answering from the interpreter.
+  void compileBaseline(const std::shared_ptr<TieredFn> &Fn);
+  /// Names and registers a tier-0 slot's deferred profile entry (see
+  /// getOrCreate): runs on the worker, or inline on the degraded
+  /// synchronous path — never on slot creation's critical path.
+  void publishSlotProfile(TieredFn &Fn);
+  /// Memoizes \p Fn in Slots/AllSlots; returns the already-published slot
+  /// instead when another creator won the race for the same key.
+  TieredFnHandle publishSlot(const std::shared_ptr<TieredFn> &Fn);
   /// Polls AllSlots for baseline slots whose execution-sample count crossed
   /// Config.SamplePromoteThreshold and enqueues them (runs only when the
   /// threshold is nonzero).

@@ -1,26 +1,30 @@
 //===- tests/differential_test.cpp - Cross-backend differential fuzzing ---===//
 //
 // Generates random structured programs (locals, arithmetic, nested ifs and
-// bounded loops) and checks that every configuration of the system —
-// VCODE, PCODE (copy-and-patch), ICODE with linear scan, ICODE with graph
-// coloring, and both spill heuristics — computes exactly the same result as
-// a host-side reference interpreter. This is the strongest whole-pipeline
-// invariant we have: any divergence in the encoder, stencil patching,
-// register allocators, spill paths, strength reduction, or the CGF walk
-// shows up as a value mismatch. PCODE is additionally held to byte
-// identity against VCODE on every random program.
+// bounded loops) and checks that every configuration of the system — the
+// tier-0 spec-tree interpreter, VCODE, PCODE (copy-and-patch), ICODE with
+// linear scan, ICODE with graph coloring, and both spill heuristics —
+// computes exactly the same result as a host-side reference interpreter.
+// This is the strongest whole-pipeline invariant we have: any divergence in
+// the interpreter's evaluator, the encoder, stencil patching, register
+// allocators, spill paths, strength reduction, or the CGF walk shows up as
+// a value mismatch. PCODE is additionally held to byte identity against
+// VCODE on every random program.
 //
 //===----------------------------------------------------------------------===//
 
 #include "cache/CompileService.h"
 #include "core/Compile.h"
 #include "core/Context.h"
+#include "core/SpecInterp.h"
 #include "tier/Tier.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <random>
+#include <thread>
 #include <vector>
 
 using namespace tcc;
@@ -243,17 +247,30 @@ TEST(Differential, AllConfigurationsAgree) {
     ASSERT_EQ(FV.stats().CodeBytes, FP.stats().CodeBytes) << "trial " << Trial;
     EXPECT_EQ(std::memcmp(FV.entry(), FP.entry(), FV.stats().CodeBytes), 0)
         << "trial " << Trial;
+
+    // Tier 0: the interpreter executes the same tree the backends compile
+    // and must agree exactly with all of them.
+    ASSERT_TRUE(specInterpretable(C, Fn, EvalType::Int)) << "trial " << Trial;
+    SpecInterp Interp(C, Fn, EvalType::Int);
+    for (auto [A0, A1] : Inputs) {
+      long long Want = Gen.runReference(A0, A1);
+      std::int64_t IA[2] = {A0, A1};
+      InterpResult R = Interp.run(IA, 2, nullptr, 0);
+      EXPECT_EQ(static_cast<int>(R.I), static_cast<int>(Want))
+          << "trial " << Trial << " config interp args (" << A0 << ", " << A1
+          << ")";
+    }
   }
 }
 
 // The tiered configuration: the same random programs dispatched through a
-// TieredFn slot with a promotion mid-stream. The baseline tier is the
-// default from baselineBackendFromEnv() — PCODE unless TICKC_BACKEND
-// overrides it — so this pins the PCODE-baseline → ICODE promotion path.
-// The reference must agree before the swap (stencil-instantiated tier),
-// across it (concurrent background compile), and after it (ICODE tier) —
-// any divergence between the two tiers of one spec, or any tearing during
-// the swap, shows up as a value mismatch.
+// TieredFn slot with a promotion mid-stream. With tier 0 on (the default)
+// the slot is born interpreted, so the stream crosses TWO swaps: the
+// interpreter answers until the background baseline compile lands — PCODE
+// unless TICKC_BACKEND overrides it — and the baseline answers until the
+// ICODE promotion lands. The reference must agree on every tier and across
+// both swaps — any divergence between the tiers of one spec, or any
+// tearing during a swap, shows up as a value mismatch.
 TEST(Differential, TieredPromotionAgreesMidStream) {
   std::mt19937 Rng(20260806);
   const std::pair<int, int> Inputs[] = {
@@ -305,6 +322,77 @@ TEST(Differential, TieredPromotionAgreesMidStream) {
           << "trial " << Trial << " post-promotion args (" << A0 << ", "
           << A1 << ")";
     }
+  }
+}
+
+// Tier 0 under load: many threads hammer a freshly created slot from its
+// interpreted birth through the baseline swap and the ICODE promotion,
+// while the answers are checked on every call. Run under TSan in CI — the
+// interpreted-entry swap (Entry null -> baseline) is the newest race
+// surface in the dispatch path.
+TEST(Differential, TieredInterpretedPromotionUnderLoad) {
+  std::mt19937 Rng(20260807);
+  const std::pair<int, int> Inputs[] = {
+      {0, 0}, {1, -1}, {17, 5}, {-100, 99}, {12345, -777}};
+
+  cache::CompileService Service;
+  tier::TierConfig TC;
+  TC.Workers = 2;
+  TC.PromoteThreshold = 64;
+  tier::TierManager TM(TC);
+
+  for (int Trial = 0; Trial < 6; ++Trial) {
+    const std::mt19937 RngAtTrial = Rng;
+    Context C;
+    ProgramGen Gen(C, Rng);
+    Stmt Body = Gen.build(3);
+    Stmt Fn = C.block({Body, C.ret(Gen.checksum())});
+    (void)Body;
+    (void)Fn; // Reference only; the slot rebuilds from the snapshot.
+
+    // Precompute the expected values: runReference mutates shared state,
+    // so it cannot be called from the racing threads.
+    int Want[std::size(Inputs)];
+    for (std::size_t I = 0; I < std::size(Inputs); ++I)
+      Want[I] = static_cast<int>(
+          Gen.runReference(Inputs[I].first, Inputs[I].second));
+
+    tier::TieredFnHandle TF = Service.getOrCompileTiered(
+        [RngAtTrial](Context &C2) {
+          std::mt19937 R = RngAtTrial;
+          ProgramGen G(C2, R);
+          Stmt B = G.build(3);
+          return C2.block({B, C2.ret(G.checksum())});
+        },
+        EvalType::Int, CompileOptions(), &TM);
+    ASSERT_TRUE(TF);
+
+    constexpr unsigned NumThreads = 8;
+    std::atomic<unsigned> Failures{0};
+    std::atomic<bool> Stop{false};
+    std::vector<std::thread> Threads;
+    for (unsigned T = 0; T < NumThreads; ++T) {
+      Threads.emplace_back([&] {
+        for (unsigned Sweep = 0; Sweep < 300 && !Stop.load(); ++Sweep)
+          for (std::size_t I = 0; I < std::size(Inputs); ++I)
+            if (TF->call<int(int, int)>(Inputs[I].first, Inputs[I].second) !=
+                Want[I])
+              Failures.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    bool Promoted = TF->waitPromoted();
+    Stop.store(true);
+    for (std::thread &T : Threads)
+      T.join();
+    EXPECT_TRUE(Promoted) << "trial " << Trial;
+    EXPECT_EQ(Failures.load(), 0u) << "trial " << Trial;
+    // Both swaps landed; the slot ends on the optimized tier and the
+    // answers never wavered along the way.
+    for (std::size_t I = 0; I < std::size(Inputs); ++I)
+      EXPECT_EQ(
+          (TF->call<int(int, int)>(Inputs[I].first, Inputs[I].second)),
+          Want[I])
+          << "trial " << Trial << " post-promotion input " << I;
   }
 }
 

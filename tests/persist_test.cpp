@@ -5,8 +5,9 @@
 // back ends (every load re-audited by the strict x86 decoder before it can
 // execute), relocation patching against moved free variables and fresh
 // profile counters, rejection of wrong-fingerprint / corrupted / torn
-// files, and an 8-thread concurrent load+compile stress (run under
-// -fsanitize=thread in CI).
+// files, the per-file size budget (oldest-first eviction at open, refused
+// over-budget appends), and an 8-thread concurrent load+compile stress
+// (run under -fsanitize=thread in CI).
 //
 //===----------------------------------------------------------------------===//
 
@@ -416,6 +417,68 @@ TEST(Snapshot, UncacheableSpecsNeverPersist) {
   EXPECT_EQ(S.snapshot()->stats().Hits, 0u);
   EXPECT_EQ(S.snapshot()->stats().Misses, 0u);
   EXPECT_EQ(fileSize(Dir.file()), 16); // Header only — nothing appended.
+}
+
+// --- Size budget ------------------------------------------------------------
+
+TEST(Snapshot, BudgetEvictsOldestAtOpenAndBoundsFile) {
+  TempDir Dir;
+  std::vector<apps::PowerApp> Apps;
+  for (int E = 2; E <= 9; ++E)
+    Apps.emplace_back(E);
+  {
+    CompileService Seed(snapConfig(Dir)); // Unbounded: all eight persist.
+    for (apps::PowerApp &A : Apps)
+      (void)A.specializeCached(Seed);
+    EXPECT_EQ(Seed.snapshot()->stats().Saves, Apps.size());
+  }
+  off_t Full = fileSize(Dir.file());
+  ASSERT_GT(Full, 16);
+
+  // Reopen under a budget of roughly half the file: the opener rewrites
+  // keeping the longest *newest* suffix of records that fits (recently
+  // written specs are the better warm-start bet), counting the dropped
+  // prefix as evictions.
+  ServiceConfig Cfg = snapConfig(Dir);
+  Cfg.SnapshotBudgetBytes = static_cast<std::size_t>(Full / 2);
+  CompileService S(Cfg);
+  ASSERT_NE(S.snapshot(), nullptr);
+  EXPECT_GT(S.snapshot()->stats().Evictions, 0u);
+  EXPECT_LE(fileSize(Dir.file()), Full / 2);
+  std::size_t Kept = S.snapshot()->recordCount();
+  EXPECT_GT(Kept, 0u);
+  EXPECT_LT(Kept, Apps.size());
+
+  // The newest record (highest exponent, appended last) survived; the
+  // oldest did not and recompiles.
+  FnHandle HNew = Apps.back().specializeCached(S);
+  EXPECT_TRUE(HNew->fromSnapshot());
+  EXPECT_EQ(HNew->as<int(int)>()(2), 1 << 9);
+  FnHandle HOld = Apps.front().specializeCached(S);
+  EXPECT_FALSE(HOld->fromSnapshot());
+  EXPECT_EQ(HOld->as<int(int)>()(2), 1 << 2);
+  // The recompile's re-append may or may not fit the remaining slack, but
+  // the file never grows past its budget either way.
+  EXPECT_LE(fileSize(Dir.file()),
+            static_cast<off_t>(Cfg.SnapshotBudgetBytes));
+
+  // A third service under the same budget still serves what was kept.
+  CompileService S3(Cfg);
+  EXPECT_TRUE(Apps.back().specializeCached(S3)->fromSnapshot());
+}
+
+TEST(Snapshot, BudgetRefusesAppendsThatWouldOverflow) {
+  TempDir Dir;
+  ServiceConfig Cfg = snapConfig(Dir);
+  Cfg.SnapshotBudgetBytes = 64; // Room for the header, not for any record.
+  CompileService S(Cfg);
+  ASSERT_NE(S.snapshot(), nullptr);
+  apps::PowerApp P(13);
+  FnHandle H = P.specializeCached(S);
+  EXPECT_EQ(H->as<int(int)>()(2), 8192); // Compile unaffected.
+  EXPECT_EQ(S.snapshot()->stats().Saves, 0u); // Refused, not saved.
+  EXPECT_GT(S.snapshot()->stats().Evictions, 0u);
+  EXPECT_EQ(fileSize(Dir.file()), 16); // Header only.
 }
 
 // --- Concurrency ------------------------------------------------------------

@@ -63,7 +63,11 @@ TEST(Tier, QueryPromotesToICodeAndAgrees) {
 
   TieredFnHandle TF = App.specializeTiered(Q, S, &TM);
   ASSERT_TRUE(TF);
-  EXPECT_EQ(TF->state(), TierState::Baseline);
+  // With tier 0 on (the default) the slot is born interpreted; the baseline
+  // swap may or may not have landed by the time we look.
+  TierState St0 = TF->state();
+  EXPECT_TRUE(St0 == TierState::Interpreted || St0 == TierState::Baseline)
+      << static_cast<int>(St0);
 
   auto CountViaSlot = [&] {
     int N = 0;
@@ -208,9 +212,13 @@ TEST(Tier, ShutdownWithPendingRequestsFailsThemCleanly) {
                 St == TierState::Baseline)
         << static_cast<int>(St);
     EXPECT_NE(St, TierState::Queued);
-    // Whatever tier survived, the slot still answers correctly.
+    // Whatever tier survived, the slot still answers correctly. A slot
+    // whose baseline compile died in the queue keeps interpreting and has
+    // no handle — the call itself must still work.
     int X = TF->call<int(int)>(2);
-    EXPECT_EQ(TF->handle()->as<int(int)>()(2), X);
+    if (FnHandle H = TF->handle()) {
+      EXPECT_EQ(H->as<int(int)>()(2), X);
+    }
   }
 }
 
@@ -289,10 +297,11 @@ TEST(Tier, CallersSurviveEvictionChurnAroundPromotion) {
   EXPECT_EQ(Failures.load(), 0u);
   EXPECT_GT(S.cache().stats().Evictions, 0u);
   // Promotion may have been dropped as stale (baseline evicted) — that is
-  // legal; what is not legal is a wrong answer or a torn state.
+  // legal; so is a background baseline compile still in flight (tier 0).
+  // What is not legal is a wrong answer or a torn state.
   TierState St = TF->state();
-  EXPECT_TRUE(St == TierState::Baseline || St == TierState::Queued ||
-              St == TierState::Promoted);
+  EXPECT_TRUE(St == TierState::Interpreted || St == TierState::Baseline ||
+              St == TierState::Queued || St == TierState::Promoted);
   EXPECT_EQ(TF->call<int(int)>(Key), Want);
 }
 
