@@ -51,7 +51,7 @@ CodeCache::CodeCache(unsigned NumShards, std::size_t MaxBytes) {
 FnHandle CodeCache::lookup(const SpecKey &K) {
   obs::TraceSpan Span(obs::SpanKind::CacheProbe);
   Shard &S = shardFor(K);
-  std::lock_guard<std::mutex> G(S.M);
+  support::MutexLock G(S.M);
   auto It = S.Map.find(K);
   if (It == S.Map.end()) {
     Misses.inc();
@@ -74,7 +74,7 @@ FnHandle CodeCache::insert(const SpecKey &K, core::CompiledFn &&Fn) {
   E.Fn = std::make_shared<core::CompiledFn>(std::move(Fn));
 
   Shard &S = shardFor(K);
-  std::lock_guard<std::mutex> G(S.M);
+  support::MutexLock G(S.M);
   auto It = S.Map.find(K);
   if (It != S.Map.end()) {
     // Lost an insert race: the first compile wins so every caller shares
@@ -112,7 +112,7 @@ FnHandle CodeCache::insert(const SpecKey &K, core::CompiledFn &&Fn) {
 
 void CodeCache::clear() {
   for (auto &SP : Shards) {
-    std::lock_guard<std::mutex> G(SP->M);
+    support::MutexLock G(SP->M);
     SP->Map.clear();
     SP->Lru.clear();
     SP->Bytes = 0;
@@ -127,7 +127,7 @@ CacheStats CodeCache::stats() const {
   St.Insertions = Insertions.value();
   St.SnapshotLoads = SnapshotLoads.value();
   for (const auto &SP : Shards) {
-    std::lock_guard<std::mutex> G(SP->M);
+    support::MutexLock G(SP->M);
     St.CodeBytes += SP->Bytes;
     St.Entries += SP->Lru.size();
   }

@@ -28,11 +28,11 @@
 #include "cache/SpecKey.h"
 #include "core/Compile.h"
 #include "observability/Metrics.h"
+#include "support/ThreadSafety.h"
 
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -95,11 +95,12 @@ private:
     std::size_t Bytes = 0;
   };
   struct Shard {
-    std::mutex M;
+    support::Mutex M;
     /// Front = most recently used.
-    std::list<Entry> Lru;
-    std::unordered_map<SpecKey, std::list<Entry>::iterator, SpecKeyHash> Map;
-    std::size_t Bytes = 0;
+    std::list<Entry> Lru TICKC_GUARDED_BY(M);
+    std::unordered_map<SpecKey, std::list<Entry>::iterator, SpecKeyHash>
+        Map TICKC_GUARDED_BY(M);
+    std::size_t Bytes TICKC_GUARDED_BY(M) = 0;
   };
 
   Shard &shardFor(const SpecKey &K) {

@@ -26,6 +26,7 @@ ServiceConfig ServiceConfig::fromEnv() {
       envUInt64("TICKC_SNAPSHOT_COMPACT", C.SnapshotCompactBytes));
   C.SnapshotBudgetBytes = static_cast<std::size_t>(
       envUInt64("TICKC_SNAPSHOT_BUDGET", C.SnapshotBudgetBytes));
+  C.SnapshotTtlSec = envUInt64("TICKC_SNAPSHOT_TTL", C.SnapshotTtlSec);
   C.EnableTier0 = envUInt64("TICKC_TIER0", C.EnableTier0 ? 1 : 0) != 0;
   C.EnableTier0Profile =
       envUInt64("TICKC_TIER0_PROFILE", C.EnableTier0Profile ? 1 : 0) != 0;
@@ -38,7 +39,8 @@ CompileService::CompileService(ServiceConfig Config)
   if (!this->Config.SnapshotDir.empty() && this->Config.EnableCache)
     Snap = persist::SnapshotCache::open(this->Config.SnapshotDir,
                                         this->Config.SnapshotCompactBytes,
-                                        this->Config.SnapshotBudgetBytes);
+                                        this->Config.SnapshotBudgetBytes,
+                                        this->Config.SnapshotTtlSec);
 }
 
 CompileService::~CompileService() = default;
@@ -105,7 +107,7 @@ FnHandle CompileService::getOrCompileKeyed(Context &Ctx, Stmt Body,
   std::shared_ptr<InFlightCompile> Fl;
   bool Leader = false;
   {
-    std::lock_guard<std::mutex> G(InFlightM);
+    support::MutexLock G(InFlightM);
     auto It = InFlight.find(K);
     if (It != InFlight.end()) {
       Fl = It->second;
@@ -120,8 +122,9 @@ FnHandle CompileService::getOrCompileKeyed(Context &Ctx, Stmt Body,
     static obs::Counter &Waits =
         obs::MetricsRegistry::global().counter(obs::names::CacheSingleflightWait);
     Waits.inc();
-    std::unique_lock<std::mutex> L(Fl->M);
-    Fl->CV.wait(L, [&] { return Fl->Done; });
+    support::MutexLock L(Fl->M);
+    while (!Fl->Done)
+      Fl->CV.wait(Fl->M);
     return Fl->Result;
   }
 
@@ -151,11 +154,11 @@ FnHandle CompileService::getOrCompileKeyed(Context &Ctx, Stmt Body,
   {
     // Retire the flight before publishing: the cache already holds the
     // entry, so late arrivals that miss the flight re-probe and hit.
-    std::lock_guard<std::mutex> G(InFlightM);
+    support::MutexLock G(InFlightM);
     InFlight.erase(K);
   }
   {
-    std::lock_guard<std::mutex> L(Fl->M);
+    support::MutexLock L(Fl->M);
     Fl->Done = true;
     Fl->Result = H;
   }

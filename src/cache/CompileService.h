@@ -32,6 +32,7 @@
 #include "core/Compile.h"
 #include "core/CompileContext.h"
 #include "support/CodeBuffer.h"
+#include "support/ThreadSafety.h"
 
 #include <condition_variable>
 #include <functional>
@@ -79,6 +80,10 @@ struct ServiceConfig {
   /// compaction pass and oversized appends are dropped (counted as
   /// cache.snapshot.evictions). 0 = unbounded (the pre-budget behavior).
   std::size_t SnapshotBudgetBytes = 0;
+  /// Per-record snapshot lifetime in seconds: probes skip records saved
+  /// longer ago (counted as cache.snapshot.expired) and the open-time
+  /// compaction drops them. 0 = records never expire.
+  std::uint64_t SnapshotTtlSec = 0;
   /// Interpreter tier 0 (tier/Tier.h): getOrCompileTiered answers from the
   /// spec-tree interpreter immediately and compiles the baseline in the
   /// background. Off, every tiered slot compiles its baseline
@@ -172,12 +177,13 @@ public:
   static CompileService &instance();
 
 private:
-  /// One in-flight compile that duplicate-key racers block on.
+  /// One in-flight compile that duplicate-key racers block on. CV is _any
+  /// so it can sleep on the annotated Mutex directly.
   struct InFlightCompile {
-    std::mutex M;
-    std::condition_variable CV;
-    bool Done = false;
-    FnHandle Result;
+    support::Mutex M;
+    std::condition_variable_any CV;
+    bool Done TICKC_GUARDED_BY(M) = false;
+    FnHandle Result TICKC_GUARDED_BY(M);
   };
 
   /// Compiles with the service's scratch-context pool threaded into Opts
@@ -198,9 +204,9 @@ private:
   /// dropped before the service that produced them.
   RegionPool Pool;
   CodeCache Cache;
-  std::mutex InFlightM;
+  support::Mutex InFlightM;
   std::unordered_map<SpecKey, std::shared_ptr<InFlightCompile>, SpecKeyHash>
-      InFlight;
+      InFlight TICKC_GUARDED_BY(InFlightM);
 };
 
 } // namespace cache

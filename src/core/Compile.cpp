@@ -1831,6 +1831,41 @@ CompiledFn core::compileFn(Context &Ctx, Stmt Body, EvalType RetType,
       if (!R.ok())
         verify::failCompile(R);
     }
+    if (DoVerify) {
+      // The flow-sensitive admission pass over the same bytes: CFG
+      // recovery plus the worklist abstract interpretation proving
+      // stack/callee-saved discipline on all paths. Fresh compiles get it
+      // under the verify gate for all three backends — the same analysis
+      // every snapshot load faces unconditionally, so a shape the verifier
+      // would reject at load time can never be saved unnoticed. When this
+      // compile recorded a portable reloc table, it is handed over and the
+      // call-target confinement proof runs exactly as it will on reload.
+      std::uint64_t Cyc = 0;
+      verify::Result R;
+      {
+        PhaseScope T(Cyc);
+        verify::AdmissionInputs AI;
+        AI.Code = F.Region->base();
+        AI.Size = F.Stats.CodeBytes;
+        AI.ProfileCounter =
+            F.Prof ? static_cast<const void *>(&F.Prof->Invocations) : nullptr;
+        AI.ExpectProfile = Opts.Profile && F.Prof != nullptr;
+        std::vector<verify::AdmissionReloc> ARelocs;
+        if (Opts.Relocs && !Opts.Relocs->Unportable) {
+          ARelocs.reserve(Opts.Relocs->Entries.size());
+          for (const support::RelocEntry &E : Opts.Relocs->Entries)
+            ARelocs.push_back({E.Offset, static_cast<std::uint8_t>(E.Kind)});
+          AI.Relocs = ARelocs.data();
+          AI.NumRelocs = ARelocs.size();
+          AI.HaveRelocs = true;
+        }
+        R = verify::verifyAdmission(AI);
+      }
+      VerifyCyc += Cyc;
+      verify::recordOutcome(verify::Layer::Admit, !R.ok(), Cyc);
+      if (!R.ok())
+        verify::failCompile(R);
+    }
     {
       // Finalization is part of what a compile costs; charge it inside the
       // total so the phase breakdown sums to the whole. For dual-mapped

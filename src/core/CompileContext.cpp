@@ -35,7 +35,7 @@ CompileContextPool::Handle CompileContextPool::acquire() {
   CompileContext *C = nullptr;
   bool Hit = false;
   {
-    std::lock_guard<std::mutex> G(M);
+    support::MutexLock G(M);
     if (!Free.empty()) {
       C = Free.back();
       Free.pop_back();
@@ -53,16 +53,16 @@ CompileContextPool::Handle CompileContextPool::acquire() {
 }
 
 void CompileContextPool::release(CompileContext &C) {
-  std::lock_guard<std::mutex> G(M);
+  support::MutexLock G(M);
   Free.push_back(&C);
 }
 
 CompileContextPool::Stats CompileContextPool::stats() const {
-  std::lock_guard<std::mutex> G(M);
+  support::MutexLock G(M);
   return Stats{Hits, Misses};
 }
 
 std::size_t CompileContextPool::size() const {
-  std::lock_guard<std::mutex> G(M);
+  support::MutexLock G(M);
   return All.size();
 }

@@ -23,11 +23,11 @@
 #define TICKC_CORE_COMPILECONTEXT_H
 
 #include "support/Arena.h"
+#include "support/ThreadSafety.h"
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 namespace tcc {
@@ -155,11 +155,11 @@ private:
   friend class Handle;
   void release(CompileContext &C);
 
-  mutable std::mutex M;
-  std::vector<std::unique_ptr<CompileContext>> All;
-  std::vector<CompileContext *> Free;
-  std::uint64_t Hits = 0;
-  std::uint64_t Misses = 0;
+  mutable support::Mutex M;
+  std::vector<std::unique_ptr<CompileContext>> All TICKC_GUARDED_BY(M);
+  std::vector<CompileContext *> Free TICKC_GUARDED_BY(M);
+  std::uint64_t Hits TICKC_GUARDED_BY(M) = 0;
+  std::uint64_t Misses TICKC_GUARDED_BY(M) = 0;
 };
 
 } // namespace core

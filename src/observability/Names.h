@@ -100,6 +100,9 @@ inline constexpr char SnapshotUnportable[] = "cache.snapshot.unportable";
 inline constexpr char SnapshotCompactions[] = "cache.snapshot.compactions";
 /// Records dropped to keep a snapshot file under TICKC_SNAPSHOT_BUDGET.
 inline constexpr char SnapshotEvictions[] = "cache.snapshot.evictions";
+/// Probes that matched a record older than TICKC_SNAPSHOT_TTL (skipped;
+/// the fresh compile re-saves the key with a new timestamp).
+inline constexpr char SnapshotExpired[] = "cache.snapshot.expired";
 inline constexpr char HistSnapshotLoad[] = "cache.snapshot.load.cycles";
 
 // Region pool (all RegionPool instances, cumulative).
@@ -164,6 +167,17 @@ inline constexpr char VerifyAllocFailed[] = "verify.alloc.failed";
 inline constexpr char VerifyCodeChecked[] = "verify.code.checked";
 inline constexpr char VerifyCodeFailed[] = "verify.code.failed";
 inline constexpr char VerifyCycles[] = "verify.cycles";
+
+// Flow-sensitive machine-code admission (src/verify/AdmissionVerify.cpp):
+// every snapshot load runs it unconditionally before the bytes can execute;
+// fresh compiles run it under TICKC_VERIFY. Blocks/calls count the CFG
+// blocks analyzed and the indirect-call sites whose targets were proven
+// confined to the key's declared callees.
+inline constexpr char VerifyAdmitChecked[] = "verify.admit.checked";
+inline constexpr char VerifyAdmitFailed[] = "verify.admit.failed";
+inline constexpr char VerifyAdmitCycles[] = "verify.admit.cycles";
+inline constexpr char VerifyAdmitBlocks[] = "verify.admit.blocks";
+inline constexpr char VerifyAdmitCalls[] = "verify.admit.calls";
 
 } // namespace names
 } // namespace obs

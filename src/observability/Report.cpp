@@ -352,6 +352,7 @@ std::string tcc::obs::renderReport(const MetricsSnapshot &S) {
       {"ir verifier", names::VerifyIrChecked, names::VerifyIrFailed},
       {"alloc audit", names::VerifyAllocChecked, names::VerifyAllocFailed},
       {"code audit", names::VerifyCodeChecked, names::VerifyCodeFailed},
+      {"admission", names::VerifyAdmitChecked, names::VerifyAdmitFailed},
   };
   std::uint64_t VChecked = 0;
   for (const VerifyRow &V : VRows)
@@ -366,6 +367,14 @@ std::string tcc::obs::renderReport(const MetricsSnapshot &S) {
               static_cast<unsigned long long>(C),
               static_cast<unsigned long long>(F), F ? "  <-- FAIL" : "");
     }
+    std::uint64_t ABlk = S.counter(names::VerifyAdmitBlocks);
+    std::uint64_t ACall = S.counter(names::VerifyAdmitCalls);
+    if (ABlk)
+      appendf(Out,
+              "  admission: %llu CFG blocks analyzed, %llu indirect calls "
+              "proven confined\n",
+              static_cast<unsigned long long>(ABlk),
+              static_cast<unsigned long long>(ACall));
     std::uint64_t VCyc = S.counter(names::VerifyCycles);
     appendf(Out, "  verify time: %llu cycles (%.1f%% of compile cycles)\n",
             static_cast<unsigned long long>(VCyc),

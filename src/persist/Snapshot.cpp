@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <unordered_map>
 
@@ -37,14 +38,16 @@ namespace {
 // boundaries need no alignment.
 //
 //   file      := fileHeader record*
-//   fileHeader:= "TKSNAP01" u64 buildFingerprint                  (16 bytes)
+//   fileHeader:= "TKSNAP02" u64 buildFingerprint                  (16 bytes)
 //   record    := recordHeader key refs relocs code
 //   recordHeader (48 bytes):
 //     u32 Magic ("TKSR")   u32 TotalLen (whole record)
 //     u64 KeyHash          u64 Checksum (hashBytes over everything
-//                                        after this header)
+//                                        from KeyLen to the record end —
+//                                        the section lengths, instr count,
+//                                        and save timestamp are covered)
 //     u32 KeyLen  u32 CodeLen  u32 NumRelocs  u32 NumRefs
-//     u32 MachineInstrs    u32 Reserved0
+//     u32 MachineInstrs    u32 SavedAt (unix seconds; TTL expiry)
 //   ref       := u32 Kind  u64 Addr                               (12 bytes)
 //   reloc     := u32 Offset u32 Kind u32 RefOrdinal               (12 bytes)
 //
@@ -55,7 +58,7 @@ namespace {
 // at load time, not captured in the key.
 // ---------------------------------------------------------------------------
 
-constexpr char FileMagic[8] = {'T', 'K', 'S', 'N', 'A', 'P', '0', '1'};
+constexpr char FileMagic[8] = {'T', 'K', 'S', 'N', 'A', 'P', '0', '2'};
 constexpr std::size_t FileHeaderLen = 16;
 constexpr std::uint32_t RecordMagic = 0x52534B54u; // "TKSR"
 constexpr std::size_t RecordHeaderLen = 48;
@@ -74,7 +77,15 @@ enum : std::size_t {
   OffNumRelocs = 32,
   OffNumRefs = 36,
   OffMachineInstrs = 40,
+  OffSavedAt = 44,
 };
+
+/// First checksum-covered byte. The hash runs from the section-length words
+/// to the record end, so a flipped bit in KeyLen/CodeLen/NumRelocs/NumRefs/
+/// MachineInstrs/SavedAt — not just the payload — is a checksum miss. The
+/// fields before it are self-checking: Magic and TotalLen structurally, the
+/// checksum by definition, KeyHash by the byte-exact key compare at probe.
+constexpr std::size_t ChecksumFrom = OffKeyLen;
 
 std::uint32_t rd32(const std::uint8_t *P) {
   std::uint32_t V;
@@ -121,7 +132,7 @@ std::size_t validateRecord(const std::uint8_t *P, std::size_t Avail) {
                        NumRefs * RefLen + NumRelocs * RelocLen + CodeLen;
   if (Want != Total)
     return 0;
-  if (support::hashBytes(P + RecordHeaderLen, Total - RecordHeaderLen) !=
+  if (support::hashBytes(P + ChecksumFrom, Total - ChecksumFrom) !=
       rd64(P + OffChecksum))
     return 0;
   return Total;
@@ -145,7 +156,7 @@ const std::uint8_t *recCode(const std::uint8_t *P) {
 /// tickc-report renders). Per-instance mirrors live in SnapshotStats.
 struct SnapMetrics {
   obs::Counter &Hits, &Misses, &Rejects, &Saves, &Unportable, &Compactions,
-      &Evictions;
+      &Evictions, &Expired;
   obs::Histogram &Load;
   static SnapMetrics &get() {
     namespace N = obs::names;
@@ -157,6 +168,7 @@ struct SnapMetrics {
                          R.counter(N::SnapshotUnportable),
                          R.counter(N::SnapshotCompactions),
                          R.counter(N::SnapshotEvictions),
+                         R.counter(N::SnapshotExpired),
                          R.histogram(N::HistSnapshotLoad)};
     return M;
   }
@@ -200,11 +212,13 @@ bool writeAll(int Fd, const std::uint8_t *P, std::size_t N) {
 
 std::unique_ptr<SnapshotCache> SnapshotCache::open(const std::string &Dir,
                                                    std::size_t CompactThreshold,
-                                                   std::size_t BudgetBytes) {
+                                                   std::size_t BudgetBytes,
+                                                   std::uint64_t TtlSeconds) {
   if (Dir.empty())
     return nullptr;
   auto SC = std::unique_ptr<SnapshotCache>(new SnapshotCache());
   SC->Budget = BudgetBytes;
+  SC->Ttl = TtlSeconds;
   if (!SC->openFile(Dir + "/tickc.snapshot", CompactThreshold))
     return nullptr;
   return SC;
@@ -218,7 +232,17 @@ std::unique_ptr<SnapshotCache> SnapshotCache::openFromEnv() {
       tcc::envUInt64("TICKC_SNAPSHOT_COMPACT", 1u << 20));
   std::size_t Budget =
       static_cast<std::size_t>(tcc::envUInt64("TICKC_SNAPSHOT_BUDGET", 0));
-  return open(Dir, Compact, Budget);
+  std::uint64_t Ttl = tcc::envUInt64("TICKC_SNAPSHOT_TTL", 0);
+  return open(Dir, Compact, Budget, Ttl);
+}
+
+bool SnapshotCache::expired(const std::uint8_t *Rec) const {
+  if (!Ttl)
+    return false;
+  std::uint64_t SavedAt = rd32(Rec + OffSavedAt);
+  if (!SavedAt) // Pre-TTL record with no timestamp: never expires.
+    return false;
+  return static_cast<std::uint64_t>(::time(nullptr)) > SavedAt + Ttl;
 }
 
 SnapshotCache::~SnapshotCache() {
@@ -262,7 +286,7 @@ bool SnapshotCache::openFile(const std::string &FilePath,
           rd64(Header + 8) != support::buildFingerprint()) {
         SnapMetrics::get().Rejects.inc();
         {
-          std::lock_guard<std::mutex> G(StatsM);
+          support::MutexLock G(StatsM);
           ++Stats.Rejects;
         }
         NeedFreshHeader = true;
@@ -318,9 +342,13 @@ bool SnapshotCache::openFile(const std::string &FilePath,
     // key more than once (benign duplicates). The *last* record per key is
     // live — matching the probe order below is not required for soundness
     // (duplicates are byte-equal in practice), only for the accounting.
+    // TTL-expired records are dead outright: never indexed, never kept by a
+    // compaction, and their bytes push the dead count toward the rewrite.
     std::unordered_map<std::string, std::size_t> LastByKey;
     for (std::size_t I = 0; I < Records.size(); ++I) {
       const std::uint8_t *R = Records[I];
+      if (expired(R))
+        continue;
       LastByKey[std::string(reinterpret_cast<const char *>(recKey(R)),
                             rd32(R + OffKeyLen))] = I;
     }
@@ -377,7 +405,7 @@ bool SnapshotCache::openFile(const std::string &FilePath,
       if (Ok) {
         SnapMetrics::get().Compactions.inc();
         {
-          std::lock_guard<std::mutex> G(StatsM);
+          support::MutexLock G(StatsM);
           ++Stats.Compactions;
         }
         if (M8)
@@ -389,11 +417,17 @@ bool SnapshotCache::openFile(const std::string &FilePath,
       ::unlink(Tmp.c_str()); // Failed compaction: keep the valid old file.
     }
 
-    // Index the valid prefix and keep the mapping + (unlocked) fd.
+    // Index the valid prefix and keep the mapping + (unlocked) fd. Open
+    // runs before the instance is shared, but indexRecord requires the
+    // index mutex, so take it (uncontended) for the analysis's sake.
     Map = M8;
     MapLen = M8 ? FileLen : 0;
-    for (const std::uint8_t *R : Records)
-      indexRecord(R);
+    {
+      support::MutexLock G(M);
+      for (const std::uint8_t *R : Records)
+        if (!expired(R))
+          indexRecord(R);
+    }
     ::flock(Fd, LOCK_UN);
     return true;
   }
@@ -404,21 +438,31 @@ void SnapshotCache::indexRecord(const std::uint8_t *Rec) {
 }
 
 const std::uint8_t *SnapshotCache::findRecord(const cache::PersistKey &K) const {
-  std::lock_guard<std::mutex> G(M);
+  support::MutexLock G(M);
   auto Range = Index.equal_range(K.Hash);
   for (auto It = Range.first; It != Range.second; ++It) {
     const std::uint8_t *R = It->second.Rec;
     if (rd32(R + OffKeyLen) != K.Bytes.size() ||
         rd32(R + OffNumRefs) != K.Refs.size())
       continue;
-    if (std::memcmp(recKey(R), K.Bytes.data(), K.Bytes.size()) == 0)
-      return R;
+    if (std::memcmp(recKey(R), K.Bytes.data(), K.Bytes.size()) != 0)
+      continue;
+    // A record that was fresh at open can age out during a long-lived
+    // process: re-checked per probe, counted, treated as absent (so a
+    // fresh compile re-saves it with a new timestamp).
+    if (expired(R)) {
+      SnapMetrics::get().Expired.inc();
+      support::MutexLock SG(StatsM);
+      ++Stats.Expired;
+      continue;
+    }
+    return R;
   }
   return nullptr;
 }
 
 bool SnapshotCache::appendRecord(std::vector<std::uint8_t> &&Bytes) {
-  std::lock_guard<std::mutex> G(M);
+  support::MutexLock G(M);
   // Whole-record append under the file lock: concurrent processes
   // interleave records, never bytes. A failure partway leaves a torn tail
   // the next opener's scan truncates.
@@ -451,7 +495,7 @@ bool SnapshotCache::appendRecord(std::vector<std::uint8_t> &&Bytes) {
 
 void SnapshotCache::countEviction(std::uint64_t N) {
   SnapMetrics::get().Evictions.inc(N);
-  std::lock_guard<std::mutex> G(StatsM);
+  support::MutexLock G(StatsM);
   Stats.Evictions += N;
 }
 
@@ -464,14 +508,14 @@ core::CompiledFn SnapshotCache::tryLoad(const cache::PersistKey &K,
   const std::uint8_t *R = findRecord(K);
   if (!R) {
     GM.Misses.inc();
-    std::lock_guard<std::mutex> G(StatsM);
+    support::MutexLock G(StatsM);
     ++Stats.Misses;
     return {};
   }
 
   auto Reject = [&]() -> core::CompiledFn {
     GM.Rejects.inc();
-    std::lock_guard<std::mutex> G(StatsM);
+    support::MutexLock G(StatsM);
     ++Stats.Rejects;
     return {};
   };
@@ -523,22 +567,45 @@ core::CompiledFn SnapshotCache::tryLoad(const cache::PersistKey &K,
     std::memcpy(Base + Offset, &Target, 8);
   }
 
-  // The gate: loaded bytes face the same strict decoder audit a verified
-  // fresh compile does, unconditionally, before they can ever execute.
-  // (The emitter-usage/spill/stencil cross-checks need compile-time state
-  // that does not exist on the warm path; the decode, boundary, frame, and
-  // profile-counter checks all run.)
+  // The gate: the flow-sensitive admission verifier runs unconditionally on
+  // the *patched* bytes before they can ever execute. It recovers the full
+  // CFG, proves stack/callee-saved discipline on all paths by abstract
+  // interpretation, and — because the record's reloc table is handed over —
+  // confines every indirect call to addresses the loader's own key walk
+  // declared. A hostile record with a stray call target, a mid-instruction
+  // branch, an unbalanced path, or a reloc aimed at an opcode byte is a
+  // counted reject that falls back to a fresh compile.
+  std::vector<verify::AdmissionReloc> ARelocs;
+  ARelocs.reserve(NumRelocs);
+  const std::uint8_t *RL2 = recRelocs(R);
+  for (std::size_t I = 0; I < NumRelocs; ++I, RL2 += RelocLen)
+    ARelocs.push_back(
+        {rd32(RL2), static_cast<std::uint8_t>(rd32(RL2 + 4))});
   std::uint64_t A0 = readCycleCounterBegin();
-  verify::MachineAuditInputs MA;
-  MA.Code = Base;
-  MA.Size = CodeLen;
-  MA.ProfileCounter = Prof ? &Prof->Invocations : nullptr;
-  MA.ExpectProfile = Prof != nullptr;
-  verify::Result VR = verify::auditMachineCode(MA);
-  verify::recordOutcome(verify::Layer::Machine, !VR.ok(),
+  verify::AdmissionInputs AI;
+  AI.Code = Base;
+  AI.Size = CodeLen;
+  AI.ProfileCounter = Prof ? &Prof->Invocations : nullptr;
+  AI.ExpectProfile = Prof != nullptr;
+  AI.Relocs = ARelocs.data();
+  AI.NumRelocs = ARelocs.size();
+  AI.HaveRelocs = true;
+  verify::Result VR = verify::verifyAdmission(AI);
+  verify::recordOutcome(verify::Layer::Admit, !VR.ok(),
                         readCycleCounterEnd() - A0);
-  if (!VR.ok())
+  if (!VR.ok()) {
+    // The render (with CFG + abstract-state dump) is observable without
+    // aborting: hostile input must degrade to a recompile, not kill the
+    // process. TICKC_ADMIT_LOG names a file to append diagnostics to.
+    if (const char *LogPath = std::getenv("TICKC_ADMIT_LOG")) {
+      if (std::FILE *LF = std::fopen(LogPath, "a")) {
+        std::string Rendered = VR.render();
+        std::fwrite(Rendered.data(), 1, Rendered.size(), LF);
+        std::fclose(LF);
+      }
+    }
     return Reject();
+  }
 
   core::LoadedCode L;
   L.Region = std::move(Region);
@@ -551,7 +618,7 @@ core::CompiledFn SnapshotCache::tryLoad(const cache::PersistKey &K,
   GM.Hits.inc();
   GM.Load.record(readCycleCounterEnd() - T0);
   {
-    std::lock_guard<std::mutex> G(StatsM);
+    support::MutexLock G(StatsM);
     ++Stats.Hits;
   }
   return F;
@@ -566,7 +633,7 @@ void SnapshotCache::trySave(const cache::PersistKey &K,
 
   auto Unportable = [&] {
     GM.Unportable.inc();
-    std::lock_guard<std::mutex> G(StatsM);
+    support::MutexLock G(StatsM);
     ++Stats.Unportable;
   };
   if (Relocs.Unportable) {
@@ -643,7 +710,7 @@ void SnapshotCache::trySave(const cache::PersistKey &K,
   push32(Rec, static_cast<std::uint32_t>(Wire.size()));
   push32(Rec, static_cast<std::uint32_t>(K.Refs.size()));
   push32(Rec, static_cast<std::uint32_t>(F.stats().MachineInstrs));
-  push32(Rec, 0); // Reserved0.
+  push32(Rec, static_cast<std::uint32_t>(::time(nullptr))); // SavedAt.
   Rec.insert(Rec.end(), K.Bytes.begin(), K.Bytes.end());
   for (const cache::ExtRef &Ref : K.Refs) {
     push32(Rec, Ref.Kind);
@@ -659,24 +726,24 @@ void SnapshotCache::trySave(const cache::PersistKey &K,
   std::uint32_t Total = static_cast<std::uint32_t>(Rec.size());
   std::memcpy(Rec.data() + OffTotalLen, &Total, 4);
   std::uint64_t Sum =
-      support::hashBytes(Rec.data() + RecordHeaderLen, Rec.size() - RecordHeaderLen);
+      support::hashBytes(Rec.data() + ChecksumFrom, Rec.size() - ChecksumFrom);
   std::memcpy(Rec.data() + OffChecksum, &Sum, 8);
 
   if (!appendRecord(std::move(Rec)))
     return;
   GM.Saves.inc();
   {
-    std::lock_guard<std::mutex> G(StatsM);
+    support::MutexLock G(StatsM);
     ++Stats.Saves;
   }
 }
 
 SnapshotStats SnapshotCache::stats() const {
-  std::lock_guard<std::mutex> G(StatsM);
+  support::MutexLock G(StatsM);
   return Stats;
 }
 
 std::size_t SnapshotCache::recordCount() const {
-  std::lock_guard<std::mutex> G(M);
+  support::MutexLock G(M);
   return Index.size();
 }

@@ -12,13 +12,15 @@
 ///
 /// Format. One file per snapshot directory (TICKC_SNAPSHOT_DIR):
 ///
-///   file header   "TKSNAP01" magic + the build/ISA fingerprint
+///   file header   "TKSNAP02" magic + the build/ISA fingerprint
 ///                 (support/Fingerprint.h) of the writing build
 ///   record*       { magic, total length, key hash, payload checksum,
 ///                   key/code/reloc/ref section lengths, machine-instr
-///                   count } followed by the canonical key bytes, the
-///                   external-reference table, the relocation side table
-///                   (imm64 offsets as ref ordinals), and the raw code
+///                   count, save timestamp } followed by the canonical key
+///                   bytes, the external-reference table, the relocation
+///                   side table (imm64 offsets as ref ordinals), and the
+///                   raw code. The checksum covers everything from the
+///                   section lengths to the record end.
 ///
 /// Write model (write-ahead-log style). Records are appended whole under an
 /// exclusive flock, so concurrent processes interleave records, never
@@ -33,9 +35,15 @@
 /// matched this build, (2) its checksum and section bounds verified, (3)
 /// its key bytes compared equal (not just hash-equal), (4) every recorded
 /// imm64 slot was re-pointed at this process's addresses, and (5) the
-/// patched bytes passed the strict x86 machine audit (src/verify) — the
-/// same decoder gate a fresh verified compile faces, run unconditionally.
-/// Any failure is a counted reject and falls back to compiling.
+/// patched bytes passed the flow-sensitive admission verifier
+/// (verify::verifyAdmission): full CFG recovery over the strict decode,
+/// worklist abstract interpretation proving stack-depth balance and
+/// callee-saved save/restore on all paths to every ret, frame-pointer
+/// integrity, and — against the record's own reloc table — confinement of
+/// every indirect call to addresses the loader's key walk declared. Any
+/// failure is a counted reject and falls back to compiling. With
+/// TICKC_SNAPSHOT_TTL set, records older than the TTL are additionally
+/// skipped at probe time and dropped by open-time compaction.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,10 +53,10 @@
 #include "cache/SpecKey.h"
 #include "core/Compile.h"
 #include "support/Reloc.h"
+#include "support/ThreadSafety.h"
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -70,6 +78,8 @@ struct SnapshotStats {
   std::uint64_t Evictions = 0;   ///< Records dropped (oldest-first at open,
                                  ///< or appends refused) to keep the file
                                  ///< under its size budget.
+  std::uint64_t Expired = 0;     ///< Probes that matched a record older
+                                 ///< than the configured TTL (skipped).
 };
 
 /// One open snapshot file: an mmap'd read view of the records present at
@@ -85,13 +95,19 @@ public:
   /// at open keeping the newest live records that fit, and appends that
   /// would grow the file past the budget are dropped (both counted as
   /// cache.snapshot.evictions) — the bound long-lived snapshot dirs need.
+  /// \p TtlSeconds of 0 disables per-entry expiry; nonzero, records whose
+  /// save timestamp is older than the TTL are skipped at probe time
+  /// (counted as cache.snapshot.expired) and treated as dead bytes by the
+  /// open-time compaction.
   static std::unique_ptr<SnapshotCache> open(const std::string &Dir,
                                              std::size_t CompactThreshold,
-                                             std::size_t BudgetBytes = 0);
+                                             std::size_t BudgetBytes = 0,
+                                             std::uint64_t TtlSeconds = 0);
 
   /// open() configured from TICKC_SNAPSHOT_DIR / TICKC_SNAPSHOT_COMPACT
   /// (default 1 MiB of dead bytes) / TICKC_SNAPSHOT_BUDGET (default
-  /// unbounded); null when TICKC_SNAPSHOT_DIR is unset.
+  /// unbounded) / TICKC_SNAPSHOT_TTL (seconds, default no expiry); null
+  /// when TICKC_SNAPSHOT_DIR is unset.
   static std::unique_ptr<SnapshotCache> openFromEnv();
 
   ~SnapshotCache();
@@ -128,27 +144,33 @@ private:
   };
 
   bool openFile(const std::string &FilePath, std::size_t CompactThreshold);
+  /// True when TTL expiry is on and \p Rec's save timestamp has aged out.
+  bool expired(const std::uint8_t *Rec) const;
   /// Counts one budget eviction in both the registry and Stats.
   void countEviction(std::uint64_t N = 1);
-  void indexRecord(const std::uint8_t *Rec);
+  void indexRecord(const std::uint8_t *Rec) TICKC_REQUIRES(M);
   const std::uint8_t *findRecord(const cache::PersistKey &K) const;
   /// False when the append was refused (lock failure or budget).
   bool appendRecord(std::vector<std::uint8_t> &&Bytes);
 
   std::string Path;
   int Fd = -1;
-  std::size_t Budget = 0; ///< Per-file size bound; 0 = unbounded.
+  std::size_t Budget = 0;   ///< Per-file size bound; 0 = unbounded.
+  std::uint64_t Ttl = 0;    ///< Per-record lifetime, seconds; 0 = forever.
   const std::uint8_t *Map = nullptr; ///< Read view of the open-time file.
   std::size_t MapLen = 0;
 
-  mutable std::mutex M;
-  std::unordered_multimap<std::uint64_t, RecordRef> Index;
+  mutable support::Mutex M;
+  std::unordered_multimap<std::uint64_t, RecordRef>
+      Index TICKC_GUARDED_BY(M);
   /// Heap copies of records this process appended (stable addresses; the
   /// mmap only covers the file as it was at open).
-  std::vector<std::unique_ptr<std::uint8_t[]>> Owned;
+  std::vector<std::unique_ptr<std::uint8_t[]>> Owned TICKC_GUARDED_BY(M);
 
-  mutable std::mutex StatsM;
-  SnapshotStats Stats;
+  mutable support::Mutex StatsM;
+  /// Mutable: findRecord (const, called from the also-const probe path)
+  /// counts TTL expiries it skips.
+  mutable SnapshotStats Stats TICKC_GUARDED_BY(StatsM);
 };
 
 } // namespace persist

@@ -1,0 +1,101 @@
+//===- support/ThreadSafety.h - Clang thread-safety annotations -*- C++ -*-===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static lock-discipline checking. The macros below expand to clang's
+/// thread-safety attributes (https://clang.llvm.org/docs/ThreadSafetyAnalysis)
+/// under clang and to nothing elsewhere, so annotated code builds
+/// identically under gcc; enforcement happens in the clang CI job, which
+/// compiles with -Wthread-safety -Werror=thread-safety (the CMake option
+/// TICKC_THREAD_SAFETY).
+///
+/// std::mutex carries no capability attribute in libstdc++, so annotated
+/// code uses the support::Mutex wrapper (a std::mutex declared as a
+/// capability) and support::MutexLock (an annotated lock_guard). A
+/// condition variable that sleeps on an annotated mutex must be a
+/// std::condition_variable_any waiting on the Mutex directly — Mutex is
+/// BasicLockable — with the predicate loop written out in the holding
+/// function so the analysis sees every guarded read under the capability:
+///
+///   support::MutexLock L(M);            // ACQUIRE(M) ... RELEASE(M)
+///   while (!Done)                       // guarded read, capability held
+///     CV.wait(M);                       // releases/reacquires inside
+///
+/// (The wait itself releases and reacquires M behind the analysis's back;
+/// that is invisible but sound — on every path the analysis checks, the
+/// capability really is held.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TICKC_SUPPORT_THREADSAFETY_H
+#define TICKC_SUPPORT_THREADSAFETY_H
+
+#include <mutex>
+
+#if defined(__clang__)
+#define TICKC_TSA(x) __attribute__((x))
+#else
+#define TICKC_TSA(x)
+#endif
+
+/// Declares a type whose instances are lockable capabilities.
+#define TICKC_CAPABILITY(x) TICKC_TSA(capability(x))
+/// Declares an RAII type that acquires in its ctor, releases in its dtor.
+#define TICKC_SCOPED_CAPABILITY TICKC_TSA(scoped_lockable)
+/// Data member readable/writable only while holding the named capability.
+#define TICKC_GUARDED_BY(x) TICKC_TSA(guarded_by(x))
+/// Pointer member whose *pointee* is guarded by the named capability.
+#define TICKC_PT_GUARDED_BY(x) TICKC_TSA(pt_guarded_by(x))
+/// Function that acquires the capability and returns holding it.
+#define TICKC_ACQUIRE(...) TICKC_TSA(acquire_capability(__VA_ARGS__))
+/// Function that releases the capability.
+#define TICKC_RELEASE(...) TICKC_TSA(release_capability(__VA_ARGS__))
+/// Function that may acquire; check the return value.
+#define TICKC_TRY_ACQUIRE(...) TICKC_TSA(try_acquire_capability(__VA_ARGS__))
+/// Function callable only while already holding the capability.
+#define TICKC_REQUIRES(...) TICKC_TSA(requires_capability(__VA_ARGS__))
+/// Function that must NOT be entered holding the capability (deadlock
+/// documentation for self-locking public entry points).
+#define TICKC_EXCLUDES(...) TICKC_TSA(locks_excluded(__VA_ARGS__))
+/// Escape hatch for code the analysis cannot model (init/teardown paths).
+#define TICKC_NO_TSA TICKC_TSA(no_thread_safety_analysis)
+
+namespace tcc {
+namespace support {
+
+/// std::mutex wearing the capability attribute. BasicLockable, so it works
+/// as the lock argument of std::condition_variable_any::wait directly.
+class TICKC_CAPABILITY("mutex") Mutex {
+public:
+  Mutex() = default;
+  Mutex(const Mutex &) = delete;
+  Mutex &operator=(const Mutex &) = delete;
+
+  void lock() TICKC_ACQUIRE() { M.lock(); }
+  void unlock() TICKC_RELEASE() { M.unlock(); }
+  bool try_lock() TICKC_TRY_ACQUIRE(true) { return M.try_lock(); }
+
+private:
+  std::mutex M;
+};
+
+/// Annotated lock_guard over support::Mutex.
+class TICKC_SCOPED_CAPABILITY MutexLock {
+public:
+  explicit MutexLock(Mutex &M) TICKC_ACQUIRE(M) : M(M) { M.lock(); }
+  ~MutexLock() TICKC_RELEASE() { M.unlock(); }
+  MutexLock(const MutexLock &) = delete;
+  MutexLock &operator=(const MutexLock &) = delete;
+
+private:
+  Mutex &M;
+};
+
+} // namespace support
+} // namespace tcc
+
+#endif // TICKC_SUPPORT_THREADSAFETY_H

@@ -44,20 +44,29 @@ TierConfig TierConfig::fromEnv() {
 // TieredFn
 //===----------------------------------------------------------------------===//
 
+// The waits hold the annotated mutex via MutexLock and loop on their
+// predicate inline (not through a lambda passed into wait_for) so the
+// thread-safety analysis checks every guarded read under the capability.
+
 bool TieredFn::waitPromoted(std::chrono::milliseconds Timeout) const {
-  std::unique_lock<std::mutex> L(M);
-  CV.wait_for(L, Timeout, [&] {
+  auto Deadline = std::chrono::steady_clock::now() + Timeout;
+  support::MutexLock L(M);
+  for (;;) {
     TierState S = State.load();
-    return S == TierState::Promoted || S == TierState::Failed;
-  });
+    if (S == TierState::Promoted || S == TierState::Failed)
+      break;
+    if (CV.wait_until(M, Deadline) == std::cv_status::timeout)
+      break;
+  }
   return State.load() == TierState::Promoted;
 }
 
 bool TieredFn::waitCompiled(std::chrono::milliseconds Timeout) const {
-  std::unique_lock<std::mutex> L(M);
-  CV.wait_for(L, Timeout, [&] {
-    return Entry.load() != nullptr || State.load() == TierState::Failed;
-  });
+  auto Deadline = std::chrono::steady_clock::now() + Timeout;
+  support::MutexLock L(M);
+  while (Entry.load() == nullptr && State.load() != TierState::Failed)
+    if (CV.wait_until(M, Deadline) == std::cv_status::timeout)
+      break;
   return compiled();
 }
 
@@ -77,7 +86,7 @@ void TieredFn::requestPromotion() {
 
   obs::TraceSpan Span(obs::SpanKind::TierEnqueue);
   {
-    std::lock_guard<std::mutex> G(M);
+    support::MutexLock G(M);
     EnqueuedNs = readMonotonicNanos();
     EnqueuedTsc = readCycleCounter();
   }
@@ -98,7 +107,7 @@ void TieredFn::installPromoted(cache::FnHandle NewFn) {
   std::uint64_t StartNs, StartTsc;
   {
     obs::TraceSpan Swap(obs::SpanKind::TierSwap);
-    std::lock_guard<std::mutex> G(M);
+    support::MutexLock G(M);
     StartNs = EnqueuedNs;
     StartTsc = EnqueuedTsc;
     void *OldEntry = Entry.load();
@@ -126,7 +135,7 @@ void TieredFn::installPromoted(cache::FnHandle NewFn) {
 
     cache::FnHandle Old;
     {
-      std::lock_guard<std::mutex> G(M);
+      support::MutexLock G(M);
       Old = std::move(Baseline);
       Baseline.reset();
     }
@@ -148,7 +157,7 @@ void TieredFn::installPromoted(cache::FnHandle NewFn) {
   counter(obs::names::TierPromotions).inc();
 
   {
-    std::lock_guard<std::mutex> G(M);
+    support::MutexLock G(M);
     State.store(TierState::Promoted);
   }
   CV.notify_all();
@@ -163,7 +172,7 @@ void TieredFn::installBaseline(cache::FnHandle NewFn) {
       .record(readCycleCounter() - CreatedTsc);
   {
     obs::TraceSpan Swap(obs::SpanKind::TierSwap);
-    std::lock_guard<std::mutex> G(M);
+    support::MutexLock G(M);
     Baseline = std::move(NewFn);
     Entry.store(Baseline->entry());
     obs::flightRecord(obs::FlightEvent::TierSwap, 0,
@@ -195,7 +204,7 @@ TierManager::TierManager(TierConfig Config) : Config(Config) {
 
 TierManager::~TierManager() {
   {
-    std::lock_guard<std::mutex> G(QueueM);
+    support::MutexLock G(QueueM);
     Stopping = true;
     Queue.clear(); // Never-reached requests are failed via AllSlots below.
   }
@@ -208,14 +217,14 @@ TierManager::~TierManager() {
   // this (dead) manager the next time its counter crossed the trigger.
   // Failed slots keep dispatching whatever tier they reached and never
   // enqueue again; waitPromoted() callers unblock.
-  std::lock_guard<std::mutex> SG(SlotsM);
+  support::MutexLock SG(SlotsM);
   for (std::weak_ptr<TieredFn> &W : AllSlots) {
     std::shared_ptr<TieredFn> Fn = W.lock();
     if (!Fn || Fn->State.load() == TierState::Promoted)
       continue;
     counter(obs::names::TierAbandoned).inc();
     {
-      std::lock_guard<std::mutex> G(Fn->M);
+      support::MutexLock G(Fn->M);
       Fn->State.store(TierState::Failed);
     }
     Fn->CV.notify_all();
@@ -224,7 +233,7 @@ TierManager::~TierManager() {
 
 bool TierManager::enqueue(const std::shared_ptr<TieredFn> &Fn) {
   {
-    std::lock_guard<std::mutex> G(QueueM);
+    support::MutexLock G(QueueM);
     if (Stopping || Queue.size() >= Config.QueueCapacity)
       return false;
     Queue.emplace_back(Fn);
@@ -234,7 +243,7 @@ bool TierManager::enqueue(const std::shared_ptr<TieredFn> &Fn) {
 }
 
 std::size_t TierManager::queueDepth() {
-  std::lock_guard<std::mutex> G(QueueM);
+  support::MutexLock G(QueueM);
   return Queue.size();
 }
 
@@ -242,8 +251,9 @@ void TierManager::workerLoop() {
   for (;;) {
     std::weak_ptr<TieredFn> W;
     {
-      std::unique_lock<std::mutex> L(QueueM);
-      QueueCV.wait(L, [&] { return Stopping || !Queue.empty(); });
+      support::MutexLock L(QueueM);
+      while (!Stopping && Queue.empty())
+        QueueCV.wait(QueueM);
       if (Stopping)
         return; // Leftover queue entries are failed by the destructor.
       W = std::move(Queue.front());
@@ -271,15 +281,18 @@ void TierManager::sampleWatchLoop() {
   std::vector<std::shared_ptr<TieredFn>> Live;
   for (;;) {
     {
-      std::unique_lock<std::mutex> L(QueueM);
-      QueueCV.wait_for(L, std::chrono::milliseconds(Config.SampleWatchMs),
-                       [&] { return Stopping; });
+      auto Deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(Config.SampleWatchMs);
+      support::MutexLock L(QueueM);
+      while (!Stopping)
+        if (QueueCV.wait_until(QueueM, Deadline) == std::cv_status::timeout)
+          break;
       if (Stopping)
         return;
     }
     Live.clear();
     {
-      std::lock_guard<std::mutex> G(SlotsM);
+      support::MutexLock G(SlotsM);
       for (std::weak_ptr<TieredFn> &W : AllSlots)
         if (std::shared_ptr<TieredFn> Fn = W.lock())
           if (Fn->State.load(std::memory_order_relaxed) ==
@@ -316,7 +329,7 @@ void TierManager::promote(const std::shared_ptr<TieredFn> &Fn) {
     Fn->TriggerAt.store(std::max<std::uint64_t>(Inv * 2, Inv + 1),
                         std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> G(Fn->M);
+      support::MutexLock G(Fn->M);
       Fn->State.store(TierState::Baseline);
     }
     Fn->CV.notify_all();
@@ -381,7 +394,7 @@ void TierManager::compileBaseline(const std::shared_ptr<TieredFn> &Fn) {
     // The slot keeps answering from the interpreter; it just never tiers
     // up. waitCompiled()/waitPromoted() callers unblock with failure.
     {
-      std::lock_guard<std::mutex> G(Fn->M);
+      support::MutexLock G(Fn->M);
       Fn->State.store(TierState::Failed);
     }
     Fn->CV.notify_all();
@@ -417,7 +430,7 @@ TieredFnHandle TierManager::getOrCreate(cache::CompileService &Service,
   cache::SpecKey Key = cache::buildSpecKey(Ctx, Body, RetType, BaselineOpts);
 
   if (Key.Cacheable) {
-    std::lock_guard<std::mutex> G(SlotsM);
+    support::MutexLock G(SlotsM);
     auto It = Slots.find(Key);
     if (It != Slots.end())
       if (std::shared_ptr<TieredFn> Existing = It->second.lock())
@@ -516,14 +529,14 @@ TieredFnHandle TierManager::getOrCreate(cache::CompileService &Service,
                       std::memory_order_relaxed);
   Fn->Entry.store(Baseline->entry());
   {
-    std::lock_guard<std::mutex> G(Fn->M);
+    support::MutexLock G(Fn->M);
     Fn->Baseline = std::move(Baseline);
   }
   return publishSlot(Fn);
 }
 
 TieredFnHandle TierManager::publishSlot(const std::shared_ptr<TieredFn> &Fn) {
-  std::lock_guard<std::mutex> G(SlotsM);
+  support::MutexLock G(SlotsM);
   if (Fn->BaselineKey.Cacheable) {
     auto It = Slots.find(Fn->BaselineKey);
     if (It != Slots.end()) {

@@ -45,13 +45,13 @@
 #include "cache/CompileService.h"
 #include "core/SpecInterp.h"
 #include "observability/Profile.h"
+#include "support/ThreadSafety.h"
 
 #include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -164,7 +164,7 @@ public:
   /// compiled body yet — dispatch through call<>() or waitCompiled()
   /// first.
   cache::FnHandle handle() const {
-    std::lock_guard<std::mutex> G(M);
+    support::MutexLock G(M);
     return Promoted ? Promoted : Baseline;
   }
 
@@ -267,12 +267,16 @@ private:
   std::uint64_t CreatedTsc = 0;
 
   // --- Tier handles + promotion rendezvous ----------------------------------
-  mutable std::mutex M;
-  mutable std::condition_variable CV;
-  cache::FnHandle Baseline; ///< Dropped once the retirement epoch drains.
-  cache::FnHandle Promoted;
-  std::uint64_t EnqueuedNs = 0;
-  std::uint64_t EnqueuedTsc = 0;
+  // CV is _any so it can sleep on the annotated Mutex directly (it is
+  // BasicLockable); wait sites hold M via support::MutexLock and loop on
+  // the predicate themselves so the analysis sees every guarded read.
+  mutable support::Mutex M;
+  mutable std::condition_variable_any CV;
+  /// Dropped once the retirement epoch drains.
+  cache::FnHandle Baseline TICKC_GUARDED_BY(M);
+  cache::FnHandle Promoted TICKC_GUARDED_BY(M);
+  std::uint64_t EnqueuedNs TICKC_GUARDED_BY(M) = 0;
+  std::uint64_t EnqueuedTsc TICKC_GUARDED_BY(M) = 0;
 };
 
 namespace detail {
@@ -366,20 +370,20 @@ private:
 
   TierConfig Config;
 
-  std::mutex QueueM;
-  std::condition_variable QueueCV;
-  std::deque<std::weak_ptr<TieredFn>> Queue;
-  bool Stopping = false;
+  support::Mutex QueueM;
+  std::condition_variable_any QueueCV;
+  std::deque<std::weak_ptr<TieredFn>> Queue TICKC_GUARDED_BY(QueueM);
+  bool Stopping TICKC_GUARDED_BY(QueueM) = false;
   std::vector<std::thread> Workers;
   std::thread SampleWatcher;
 
-  std::mutex SlotsM;
+  support::Mutex SlotsM;
   std::unordered_map<cache::SpecKey, std::weak_ptr<TieredFn>,
                      cache::SpecKeyHash>
-      Slots;
+      Slots TICKC_GUARDED_BY(SlotsM);
   /// Every slot ever created (uncacheable ones included): the destructor's
   /// detach list. Compacted alongside Slots.
-  std::vector<std::weak_ptr<TieredFn>> AllSlots;
+  std::vector<std::weak_ptr<TieredFn>> AllSlots TICKC_GUARDED_BY(SlotsM);
 };
 
 } // namespace tier

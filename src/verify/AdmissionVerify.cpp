@@ -1,0 +1,819 @@
+//===- verify/AdmissionVerify.cpp - Flow-sensitive code admission ---------===//
+//
+// Part of tickc, a reproduction of "tcc: A System for Fast, Flexible, and
+// High-level Dynamic Code Generation" (PLDI 1997).
+//
+//===----------------------------------------------------------------------===//
+//
+// Layer 5: proof-before-execute admission of finalized machine code, in the
+// spirit of SFI/NaCl-style static validators. Where MachineAudit checks the
+// *linear* shape of the stream, this pass recovers the control-flow graph
+// and proves path-sensitive properties by worklist abstract interpretation:
+//
+//  * CFG recovery — every relative branch lands on an instruction boundary
+//    inside the region, the region ends in a terminator (no fallthrough off
+//    the end), and indirect jumps are never admitted. Unreachable ranges
+//    are admitted but proven inert (no reachable transfer can enter them),
+//    since the walkers legitimately emit dead jumps and epilogue tails
+//    after explicit returns;
+//  * stack discipline — an abstract stack depth (bytes below the entry rsp)
+//    is computed per block; paths may only join at equal depth, every ret
+//    is proven to unwind to exactly the entry depth with the frame pointer
+//    restored, and every indirect call happens at an ABI-aligned depth;
+//  * frame integrity — rsp/rbp are written only by the canonical frame
+//    protocol, their values never escape into a general register (which
+//    would open a store-to-own-stack laundering channel), rsp-based memory
+//    operands are never admitted, and rbp-relative stores stay strictly
+//    inside the reserved frame (the saved rbp and the return address are
+//    unreachable);
+//  * callee-saved obligations — rbx/r12..r15 must be stored to their
+//    canonical save slots before being written, and every may-clobbered
+//    register is proven restored from its slot on all paths to every ret;
+//  * call-target confinement — with a relocation side table in hand (every
+//    snapshot load has one), each reloc must land exactly on a decoded
+//    movabs payload, and an indirect call may only target a value that is
+//    either computed at run time or materialized by a Callee/Ptr reloc slot
+//    (an address the PersistKey's own walk declared). A stray embedded
+//    imm64 used as a call target — the patched-but-hostile-record attack —
+//    is rejected. Provenance is tracked through register moves and through
+//    rbp-relative spill slots so the property cannot be laundered through
+//    a store/reload.
+//
+// The abstract state lattice is documented in DESIGN.md ("Machine-code
+// admission"); rejection diagnostics carry a hex window plus a CFG +
+// abstract-state dump.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Verify.h"
+#include "verify/VerifyInternal.h"
+
+#include "observability/Metrics.h"
+#include "observability/Names.h"
+#include "support/Reloc.h"
+#include "x86/X86Decoder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace tcc {
+namespace verify {
+
+using x86::Decoded;
+using x86::InstrClass;
+
+namespace {
+
+constexpr std::uint8_t RegRBX = 3, RegRSP = 4, RegRBP = 5, RegR10 = 10;
+
+/// Callee-saved pool registers and their canonical save slots below rbp
+/// (vcode::detail::IntPoolPhys order: rbx, r12..r15 at [rbp-8(i+1)]).
+constexpr std::uint8_t CalleeSavedRegs[5] = {RegRBX, 12, 13, 14, 15};
+
+constexpr std::uint16_t calleeBit(std::uint8_t R) {
+  return static_cast<std::uint16_t>(1u << R);
+}
+
+constexpr std::uint16_t CalleeSavedMask =
+    calleeBit(RegRBX) | calleeBit(12) | calleeBit(13) | calleeBit(14) |
+    calleeBit(15);
+
+std::uint8_t calleeRegForSlot(std::int32_t Disp) {
+  for (unsigned I = 0; I < 5; ++I)
+    if (Disp == -8 * static_cast<std::int32_t>(I + 1))
+      return CalleeSavedRegs[I];
+  return 0xff;
+}
+
+/// Provenance of a 64-bit value, for the call-target confinement proof.
+/// Ordered so that join = max:
+///   Trusted  — materialized by a reloc-slot movabs (Callee/Ptr kind): an
+///              address the PersistKey's own walk declared. Admissible as
+///              an indirect-call target.
+///   Computed — produced at run time (loads, arithmetic, call results).
+///              Admissible: this is how emitCallIndirect feeds fn pointers.
+///   Plain    — an embedded immediate outside the reloc table (or a profile
+///              slot, or a popped/unknown stack cell). Using one as a call
+///              target means the record transfers somewhere the key never
+///              declared — rejected.
+enum class Prov : std::uint8_t { Trusted = 0, Computed = 1, Plain = 2 };
+
+Prov provJoin(Prov A, Prov B) { return A > B ? A : B; }
+
+struct AbsState {
+  bool Valid = false;          ///< Block has received an entry state.
+  std::int64_t Depth = 0;      ///< Bytes below the entry rsp.
+  std::int64_t RbpDepth = -1;  ///< Depth captured in rbp; -1 = not a frame.
+  std::uint16_t Saved = 0;     ///< Must-saved callee regs (∩ at joins).
+  std::uint16_t Restored = 0;  ///< Must-restored callee regs (∩ at joins).
+  std::uint16_t Clobbered = 0; ///< May-clobbered callee regs (∪ at joins).
+  Prov Reg[16] = {};           ///< Per-GPR value provenance.
+  std::vector<Prov> Slot;      ///< Per tracked rbp-slot provenance.
+
+  bool sameShape(const AbsState &O) const {
+    return Depth == O.Depth && RbpDepth == O.RbpDepth;
+  }
+};
+
+struct Admission {
+  Admission(const AdmissionInputs &I, Result &Res) : In(I), R(Res) {}
+
+  const AdmissionInputs &In;
+  Result &R;
+  std::vector<Decoded> Ins;
+  std::vector<std::uint32_t> Starts;
+  std::vector<std::uint8_t> IsStart;
+  std::vector<std::size_t> StartToIdx;
+
+  // Per decoded movabs: the reloc kind of the slot its payload sits on, or
+  // 0xff when the immediate is outside the table.
+  std::vector<std::uint8_t> ImmSlotKind;
+
+  std::int64_t Reserve = 0; ///< Prologue frame reserve (sub rsp, imm).
+
+  // Tracked rbp-relative 64-bit slots (provenance flows through them).
+  std::vector<std::int32_t> Slots;
+
+  struct Blk {
+    std::size_t Begin = 0, End = 0; // [Begin, End) instruction indices
+    std::size_t Succ[2] = {0, 0};
+    unsigned NumSucc = 0;
+    bool Reachable = false;
+    bool JoinReported = false;
+  };
+  std::vector<Blk> Blocks;
+  std::vector<std::size_t> BlockOf;
+  std::vector<AbsState> InState;
+
+  std::string CfgDump; // Built lazily on first flow failure.
+
+  void fail(std::size_t Off, const char *Cat, std::string Msg,
+            bool WithCfg = false) {
+    if (R.diags().size() > 16)
+      return;
+    std::string Dump = detail::hexWindow(In.Code, In.Size, Off);
+    if (WithCfg) {
+      if (CfgDump.empty())
+        CfgDump = renderCfg();
+      Dump += CfgDump;
+    }
+    R.fail(Layer::Admit, Cat,
+           Msg + " (at offset 0x" + [&] {
+             char B[16];
+             std::snprintf(B, sizeof(B), "%zx", Off);
+             return std::string(B);
+           }() + ")",
+           std::move(Dump));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Phase 1: strict decode.
+  //===--------------------------------------------------------------------===
+
+  bool decodeAll() {
+    IsStart.assign(In.Size, 0);
+    StartToIdx.assign(In.Size, SIZE_MAX);
+    if (In.Size == 0) {
+      fail(0, "boundary", "empty code region");
+      return false;
+    }
+    std::size_t Off = 0;
+    while (Off < In.Size) {
+      Decoded D;
+      const char *Err = nullptr;
+      if (!x86::decodeOne(In.Code, In.Size, Off, D, &Err)) {
+        bool Truncated = Err && std::strstr(Err, "truncated");
+        fail(Off, Truncated ? "boundary" : "decode",
+             std::string(Err ? Err : "undecodable bytes"));
+        return false;
+      }
+      IsStart[Off] = 1;
+      StartToIdx[Off] = Ins.size();
+      Starts.push_back(static_cast<std::uint32_t>(Off));
+      Ins.push_back(D);
+      Off += D.Len;
+    }
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Phase 2: prologue shape + reloc-shape.
+  //===--------------------------------------------------------------------===
+
+  bool checkPrologue() {
+    if (Ins.size() < 4) {
+      fail(0, "prologue", "region too short for a frame setup");
+      return false;
+    }
+    bool Ok = true;
+    if (Ins[0].Cls != InstrClass::Push || Ins[0].Rm != RegRBP) {
+      fail(Starts[0], "prologue", "function does not start with `push rbp`");
+      Ok = false;
+    }
+    const Decoded &M = Ins[1];
+    if (M.Cls != InstrClass::MovRR || !M.RexW || M.Reg != RegRBP ||
+        M.Rm != RegRSP) {
+      fail(Starts[1], "prologue", "missing `mov rbp, rsp`");
+      Ok = false;
+    }
+    const Decoded &S = Ins[2];
+    if (S.Cls != InstrClass::AluRI || !S.RexW || (S.Reg & 7) != 5 ||
+        S.Rm != RegRSP || S.IsMem) {
+      fail(Starts[2], "prologue", "missing frame reserve `sub rsp, imm`");
+      Ok = false;
+    } else if (S.Imm < 40 || (S.Imm & 15) != 0) {
+      fail(Starts[2], "prologue",
+           "frame reserve " + std::to_string(S.Imm) +
+               " is not a 16-aligned size covering the callee-save area");
+      Ok = false;
+    } else {
+      Reserve = S.Imm;
+    }
+    return Ok;
+  }
+
+  /// Every reloc offset must land exactly on the imm64 payload of a decoded
+  /// movabs. This closes the hole where a hostile record's reloc *offset*
+  /// (patching happens before admission) rewrites opcode bytes or splices a
+  /// target into a displacement.
+  bool checkRelocShape() {
+    if (!In.HaveRelocs)
+      return true;
+    // Map imm64 payload offset -> movabs instruction index.
+    std::vector<std::size_t> PayloadIdx(In.Size, SIZE_MAX);
+    ImmSlotKind.assign(Ins.size(), 0xff);
+    for (std::size_t I = 0; I < Ins.size(); ++I)
+      if (Ins[I].Cls == InstrClass::MovImm64)
+        PayloadIdx[Starts[I] + Ins[I].Len - 8] = I;
+    bool Ok = true;
+    for (std::size_t I = 0; I < In.NumRelocs; ++I) {
+      std::uint32_t Off = In.Relocs[I].Offset;
+      if (Off >= In.Size || PayloadIdx[Off] == SIZE_MAX) {
+        fail(Off < In.Size ? Off : 0, "reloc-shape",
+             "relocation slot does not land on a movabs imm64 payload");
+        Ok = false;
+        continue;
+      }
+      ImmSlotKind[PayloadIdx[Off]] = In.Relocs[I].Kind;
+    }
+    return Ok;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Phase 3: CFG recovery.
+  //===--------------------------------------------------------------------===
+
+  bool isTerm(const Decoded &D) const {
+    return D.Cls == InstrClass::Jmp || D.Cls == InstrClass::Jcc ||
+           D.Cls == InstrClass::Ret;
+  }
+
+  bool buildCfg() {
+    std::size_t NI = Ins.size();
+    bool Ok = true;
+
+    // Branch-target validation.
+    for (std::size_t I = 0; I < NI; ++I) {
+      const Decoded &D = Ins[I];
+      if (D.Cls == InstrClass::JmpInd) {
+        fail(Starts[I], "branch-target",
+             "indirect jump is never admitted (computed control transfer "
+             "cannot be proven confined)");
+        Ok = false;
+      }
+      if (D.Cls != InstrClass::Jcc && D.Cls != InstrClass::Jmp)
+        continue;
+      std::int64_t T = static_cast<std::int64_t>(Starts[I]) + D.Len + D.Rel32;
+      if (T < 0 || T >= static_cast<std::int64_t>(In.Size)) {
+        fail(Starts[I], "branch-target",
+             "relative branch leaves the region (target " + std::to_string(T) +
+                 ")");
+        Ok = false;
+      } else if (!IsStart[static_cast<std::size_t>(T)]) {
+        fail(Starts[I], "branch-target",
+             "branch target 0x" + [&] {
+               char B[16];
+               std::snprintf(B, sizeof(B), "%llx",
+                             static_cast<unsigned long long>(T));
+               return std::string(B);
+             }() + " is not an instruction boundary");
+        Ok = false;
+      }
+    }
+    if (!isTerm(Ins[NI - 1]) || Ins[NI - 1].Cls == InstrClass::Jcc) {
+      fail(Starts[NI - 1], "cfg-fallthrough",
+           "region does not end in `ret` or `jmp` — execution would fall "
+           "off the end");
+      Ok = false;
+    }
+    if (!Ok)
+      return false;
+
+    // Leaders: entry, branch targets, instruction after any terminator.
+    std::vector<std::uint8_t> Leader(NI, 0);
+    Leader[0] = 1;
+    for (std::size_t I = 0; I < NI; ++I) {
+      const Decoded &D = Ins[I];
+      if (D.Cls == InstrClass::Jcc || D.Cls == InstrClass::Jmp) {
+        std::int64_t T = static_cast<std::int64_t>(Starts[I]) + D.Len + D.Rel32;
+        Leader[StartToIdx[static_cast<std::size_t>(T)]] = 1;
+      }
+      if (isTerm(D) && I + 1 < NI)
+        Leader[I + 1] = 1;
+    }
+
+    BlockOf.assign(NI, 0);
+    for (std::size_t I = 0; I < NI;) {
+      std::size_t J = I + 1;
+      while (J < NI && !Leader[J])
+        ++J;
+      for (std::size_t K = I; K < J; ++K)
+        BlockOf[K] = Blocks.size();
+      Blocks.push_back(Blk{I, J, {0, 0}, 0, false, false});
+      I = J;
+    }
+    for (Blk &B : Blocks) {
+      const Decoded &Last = Ins[B.End - 1];
+      bool Fall = Last.Cls != InstrClass::Jmp && Last.Cls != InstrClass::Ret;
+      if (Fall && B.End < NI)
+        B.Succ[B.NumSucc++] = BlockOf[B.End];
+      if (Last.Cls == InstrClass::Jcc || Last.Cls == InstrClass::Jmp) {
+        std::int64_t T = static_cast<std::int64_t>(Starts[B.End - 1]) +
+                         Last.Len + Last.Rel32;
+        std::size_t TB = BlockOf[StartToIdx[static_cast<std::size_t>(T)]];
+        if (B.NumSucc == 0 || B.Succ[0] != TB)
+          B.Succ[B.NumSucc++] = TB;
+      }
+    }
+
+    // Reachability from the entry. Unreachable ranges are *admitted but
+    // proven inert*: the walkers legitimately emit dead code (a jump over
+    // an else-arm after a `return`-terminated then-arm, dead epilogue
+    // tails), so rejecting it would reject the compilers' own output.
+    // Inertness holds because every control transfer in reachable code has
+    // just been proven to land on an instruction boundary — a target makes
+    // its block reachable by definition, so a range that ends up dead can
+    // never gain control. Dead bytes still had to decode canonically and
+    // contain no indirect jump (both checked above over the whole region),
+    // which bounds what can even be parked there; the abstract
+    // interpretation below runs over reachable blocks only.
+    std::vector<std::size_t> Work{0};
+    Blocks[0].Reachable = true;
+    while (!Work.empty()) {
+      std::size_t BI = Work.back();
+      Work.pop_back();
+      for (unsigned S = 0; S < Blocks[BI].NumSucc; ++S)
+        if (!Blocks[Blocks[BI].Succ[S]].Reachable) {
+          Blocks[Blocks[BI].Succ[S]].Reachable = true;
+          Work.push_back(Blocks[BI].Succ[S]);
+        }
+    }
+    return Ok;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Phase 4: worklist abstract interpretation.
+  //===--------------------------------------------------------------------===
+
+  int slotIndex(std::int32_t Disp) const {
+    auto It = std::find(Slots.begin(), Slots.end(), Disp);
+    return It == Slots.end() ? -1 : static_cast<int>(It - Slots.begin());
+  }
+
+  void collectSlots() {
+    for (const Decoded &D : Ins) {
+      bool Tracked = (D.Cls == InstrClass::Store64 ||
+                      (D.Cls == InstrClass::Load && D.RexW)) &&
+                     D.IsMem && D.Rm == RegRBP && D.Disp < 0;
+      if (Tracked && slotIndex(D.Disp) < 0)
+        Slots.push_back(D.Disp);
+    }
+  }
+
+  /// Provenance of the movabs at instruction \p I.
+  Prov immProv(std::size_t I) const {
+    if (!In.HaveRelocs)
+      return Prov::Trusted; // Fresh compile, no table: the emitter's own.
+    std::uint8_t Kind = ImmSlotKind[I];
+    if (Kind == static_cast<std::uint8_t>(support::RelocKind::Callee) ||
+        Kind == static_cast<std::uint8_t>(support::RelocKind::Ptr))
+      return Prov::Trusted;
+    // Outside the table, or a profile slot (whose target is a counter, not
+    // code): never admissible as a call target.
+    return Prov::Plain;
+  }
+
+  /// One instruction's transfer on \p S. When \p Report is set, violations
+  /// become diagnostics; the fixpoint iterations run with it clear. Returns
+  /// false when the state is too broken to keep interpreting the block.
+  bool step(AbsState &S, std::size_t I, bool Report) {
+    const Decoded &D = Ins[I];
+    auto Bad = [&](const char *Cat, std::string Msg) {
+      if (Report)
+        fail(Starts[I], Cat, std::move(Msg), /*WithCfg=*/true);
+      return false;
+    };
+
+    // A write to a callee-saved register other than its canonical restore.
+    auto clobberCheck = [&](std::uint8_t Reg) {
+      std::uint16_t Bit = calleeBit(Reg);
+      if (!(Bit & CalleeSavedMask))
+        return true;
+      if (!(S.Saved & Bit))
+        return Bad("callee-saved",
+                   std::string("callee-saved ") + "register r" +
+                       std::to_string(Reg) +
+                       " written before being saved to its slot");
+      S.Clobbered = static_cast<std::uint16_t>(S.Clobbered | Bit);
+      S.Restored = static_cast<std::uint16_t>(S.Restored & ~Bit);
+      return true;
+    };
+
+    // Frame-integrity gates on the memory operand.
+    if (D.IsMem) {
+      if (D.Rm == RegRSP)
+        return Bad("frame-escape",
+                   "rsp-based memory operand is never admitted");
+      bool IsStore =
+          D.Cls == InstrClass::Store8 || D.Cls == InstrClass::Store16 ||
+          D.Cls == InstrClass::Store32 || D.Cls == InstrClass::Store64 ||
+          D.Cls == InstrClass::SseStore || D.Cls == InstrClass::LockInc;
+      if (D.Rm == RegRBP && IsStore) {
+        if (S.RbpDepth < 0)
+          return Bad("frame-escape",
+                     "rbp-relative store while rbp does not hold the frame");
+        if (D.Disp >= 0 || D.Disp < -Reserve)
+          return Bad("frame-escape",
+                     "store at [rbp" +
+                         (D.Disp >= 0 ? "+" + std::to_string(D.Disp)
+                                      : std::to_string(D.Disp)) +
+                         "] lands outside the reserved frame (saved rbp and "
+                         "return address are off limits)");
+      }
+    }
+
+    switch (D.Cls) {
+    case InstrClass::Push:
+      // The only admitted push is the prologue's `push rbp` at the entry
+      // depth — anything else would open an untracked stack cell the
+      // provenance analysis cannot see.
+      if (D.Rm != RegRBP || S.Depth != 0)
+        return Bad("stack-balance", "push outside the canonical prologue");
+      S.Depth += 8;
+      return true;
+    case InstrClass::Pop:
+      if (D.Rm != RegRBP)
+        return Bad("stack-balance", "pop of a register other than rbp");
+      if (S.Depth != 8)
+        return Bad("stack-balance",
+                   "`pop rbp` at depth " + std::to_string(S.Depth) +
+                       " (frame not unwound)");
+      S.Depth = 0;
+      S.RbpDepth = -1; // rbp holds the caller's value again.
+      return true;
+    case InstrClass::Ret:
+      if (S.Depth != 0)
+        return Bad("stack-balance",
+                   "ret at depth " + std::to_string(S.Depth) +
+                       " — stack not balanced on this path");
+      if (S.RbpDepth >= 0)
+        return Bad("stack-balance", "ret with rbp still holding the frame");
+      if (S.Clobbered & ~S.Restored)
+        return Bad("callee-saved",
+                   "ret on a path where a clobbered callee-saved register "
+                   "was not restored");
+      return true;
+    case InstrClass::AluRI:
+      if (!D.IsMem && D.Rm == RegRSP) {
+        if (!D.RexW)
+          return Bad("stack-balance", "32-bit arithmetic on rsp");
+        std::uint8_t Digit = D.Reg & 7;
+        if (Digit == 5)
+          S.Depth += D.Imm;
+        else if (Digit == 0)
+          S.Depth -= D.Imm;
+        else
+          return Bad("stack-balance", "non add/sub arithmetic on rsp");
+        if (S.Depth < 0)
+          return Bad("stack-balance",
+                     "stack depth went above the entry rsp");
+        return true;
+      }
+      if (!D.IsMem && D.Rm == RegRBP && (D.Reg & 7) != 7)
+        return Bad("stack-balance", "arithmetic writes rbp");
+      break;
+    case InstrClass::MovRR:
+      if (D.Reg == RegRSP) {
+        if (!(D.RexW && D.Rm == RegRBP))
+          return Bad("stack-balance", "rsp written from a non-rbp source");
+        if (S.RbpDepth < 0)
+          return Bad("stack-balance",
+                     "`mov rsp, rbp` while rbp does not hold the frame");
+        S.Depth = S.RbpDepth;
+        return true;
+      }
+      if (D.Reg == RegRBP) {
+        if (!(D.RexW && D.Rm == RegRSP))
+          return Bad("stack-balance", "rbp written from a non-rsp source");
+        S.RbpDepth = S.Depth;
+        return true;
+      }
+      if (D.Rm == RegRSP || D.Rm == RegRBP)
+        return Bad("frame-escape",
+                   "frame/stack pointer value copied into a general "
+                   "register");
+      if (!clobberCheck(D.Reg))
+        return false;
+      S.Reg[D.Reg] = S.Reg[D.Rm];
+      return true;
+    case InstrClass::Lea:
+      if (D.Rm == RegRSP || D.Rm == RegRBP)
+        return Bad("frame-escape",
+                   "lea materializes a frame/stack address in a general "
+                   "register");
+      break;
+    case InstrClass::Load:
+      if (D.Reg == RegRSP || D.Reg == RegRBP)
+        return Bad("stack-balance", "load writes the stack/frame pointer");
+      if (D.Rm == RegRBP && D.RexW) {
+        // Canonical callee-saved restore?
+        if (calleeRegForSlot(D.Disp) == D.Reg) {
+          std::uint16_t Bit = calleeBit(D.Reg);
+          if (!(S.Saved & Bit))
+            return Bad("callee-saved",
+                       "restore load from a slot that was never saved");
+          S.Restored = static_cast<std::uint16_t>(S.Restored | Bit);
+          S.Clobbered = static_cast<std::uint16_t>(S.Clobbered & ~Bit);
+          S.Reg[D.Reg] = Prov::Computed;
+          return true;
+        }
+        if (!clobberCheck(D.Reg))
+          return false;
+        int SI = slotIndex(D.Disp);
+        S.Reg[D.Reg] =
+            SI >= 0 ? S.Slot[static_cast<std::size_t>(SI)] : Prov::Computed;
+        return true;
+      }
+      if (!clobberCheck(D.Reg))
+        return false;
+      S.Reg[D.Reg] = Prov::Computed;
+      return true;
+    case InstrClass::Store64:
+      if (D.Rm == RegRBP) {
+        // Canonical callee-saved save? Only counts while the register still
+        // holds its entry value.
+        if (calleeRegForSlot(D.Disp) == D.Reg &&
+            !(S.Clobbered & calleeBit(D.Reg)))
+          S.Saved = static_cast<std::uint16_t>(S.Saved | calleeBit(D.Reg));
+        int SI = slotIndex(D.Disp);
+        if (SI >= 0)
+          S.Slot[static_cast<std::size_t>(SI)] = S.Reg[D.Reg];
+      }
+      return true;
+    case InstrClass::MovImm64:
+      if (D.Rm == RegRSP || D.Rm == RegRBP)
+        return Bad("stack-balance", "immediate written to rsp/rbp");
+      if (!clobberCheck(D.Rm))
+        return false;
+      S.Reg[D.Rm] = immProv(I);
+      return true;
+    case InstrClass::CallInd: {
+      if ((S.Depth & 15) != 8)
+        return Bad("stack-balance",
+                   "indirect call at depth " + std::to_string(S.Depth) +
+                       " — rsp not 16-byte aligned at the call");
+      if (S.Reg[D.Rm] == Prov::Plain)
+        return Bad("call-target",
+                   "indirect call through an immediate that is not a "
+                   "declared Callee/Ptr relocation slot — the record would "
+                   "transfer outside the key's declared callees");
+      // SysV: caller-saved GPRs are dead across the call.
+      for (std::uint8_t Rg : {std::uint8_t(0), std::uint8_t(1),
+                              std::uint8_t(2), std::uint8_t(6),
+                              std::uint8_t(7), std::uint8_t(8),
+                              std::uint8_t(9), std::uint8_t(10),
+                              std::uint8_t(11)})
+        S.Reg[Rg] = Prov::Computed;
+      return true;
+    }
+    default:
+      break;
+    }
+
+    // Generic register writes (provenance kill + callee-saved obligation).
+    std::uint8_t W[2];
+    unsigned NW = x86::decodedGprWrites(D, W);
+    for (unsigned K = 0; K < NW; ++K) {
+      if (W[K] == RegRSP || W[K] == RegRBP)
+        return Bad("stack-balance",
+                   "instruction writes the stack/frame pointer");
+      if (!clobberCheck(W[K]))
+        return false;
+      Prov P = Prov::Computed;
+      if (D.Cls == InstrClass::MovImm32 || D.Cls == InstrClass::MovImmSExt)
+        P = In.HaveRelocs ? Prov::Plain : Prov::Trusted;
+      S.Reg[W[K]] = P;
+    }
+    return true;
+  }
+
+  /// Join \p Out into block \p BI's entry state. Returns true when the
+  /// entry state changed (block must be (re)visited).
+  bool joinInto(std::size_t BI, const AbsState &Out) {
+    AbsState &T = InState[BI];
+    if (!T.Valid) {
+      T = Out;
+      T.Valid = true;
+      return true;
+    }
+    if (!T.sameShape(Out)) {
+      if (!Blocks[BI].JoinReported) {
+        Blocks[BI].JoinReported = true;
+        fail(Starts[Blocks[BI].Begin], "stack-balance",
+             "paths join at different stack depths (" +
+                 std::to_string(T.Depth) + " vs " + std::to_string(Out.Depth) +
+                 ") — unbalanced path",
+             /*WithCfg=*/true);
+      }
+      return false;
+    }
+    bool Changed = false;
+    auto mergeMask = [&](std::uint16_t &Dst, std::uint16_t Src, bool Union) {
+      std::uint16_t N = Union ? static_cast<std::uint16_t>(Dst | Src)
+                              : static_cast<std::uint16_t>(Dst & Src);
+      if (N != Dst) {
+        Dst = N;
+        Changed = true;
+      }
+    };
+    mergeMask(T.Saved, Out.Saved, false);
+    mergeMask(T.Restored, Out.Restored, false);
+    mergeMask(T.Clobbered, Out.Clobbered, true);
+    for (unsigned Rg = 0; Rg < 16; ++Rg) {
+      Prov N = provJoin(T.Reg[Rg], Out.Reg[Rg]);
+      if (N != T.Reg[Rg]) {
+        T.Reg[Rg] = N;
+        Changed = true;
+      }
+    }
+    for (std::size_t SI = 0; SI < T.Slot.size(); ++SI) {
+      Prov N = provJoin(T.Slot[SI], Out.Slot[SI]);
+      if (N != T.Slot[SI]) {
+        T.Slot[SI] = N;
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+  void interpret() {
+    collectSlots();
+    InState.assign(Blocks.size(), AbsState{});
+
+    AbsState Entry;
+    Entry.Valid = true;
+    Entry.Slot.assign(Slots.size(), Prov::Computed);
+    InState[0] = Entry;
+
+    std::vector<std::size_t> Work{0};
+    std::vector<std::uint8_t> InWork(Blocks.size(), 0);
+    InWork[0] = 1;
+    // Fixpoint: run silently; diagnostics come from the reporting pass over
+    // the converged states (so transient pre-fixpoint states cannot produce
+    // spurious findings). Join-shape mismatches are definitive (equality
+    // domain) and report immediately.
+    while (!Work.empty()) {
+      std::size_t BI = Work.back();
+      Work.pop_back();
+      InWork[BI] = 0;
+      AbsState S = InState[BI];
+      bool Alive = true;
+      for (std::size_t I = Blocks[BI].Begin; Alive && I < Blocks[BI].End; ++I)
+        Alive = step(S, I, /*Report=*/false);
+      if (!Alive)
+        continue; // Broken path: the reporting pass will say why.
+      for (unsigned K = 0; K < Blocks[BI].NumSucc; ++K) {
+        std::size_t SB = Blocks[BI].Succ[K];
+        if (joinInto(SB, S) && !InWork[SB]) {
+          InWork[SB] = 1;
+          Work.push_back(SB);
+        }
+      }
+    }
+
+    // Reporting pass over the converged entry states.
+    for (std::size_t BI = 0; BI < Blocks.size(); ++BI) {
+      if (!InState[BI].Valid)
+        continue; // Only reachable via a path already reported broken.
+      AbsState S = InState[BI];
+      for (std::size_t I = Blocks[BI].Begin; I < Blocks[BI].End; ++I)
+        if (!step(S, I, /*Report=*/true))
+          break;
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Phase 5: profile hook (same linear pairing MachineAudit proves).
+  //===--------------------------------------------------------------------===
+
+  void checkProfile() {
+    unsigned Hooks = 0;
+    for (std::size_t I = 0; I < Ins.size(); ++I) {
+      if (Ins[I].Cls != InstrClass::LockInc)
+        continue;
+      ++Hooks;
+      if (!In.ExpectProfile) {
+        fail(Starts[I], "profile",
+             "profiling hook present but profiling is off");
+        continue;
+      }
+      if (Ins[I].Rm != RegR10 || Ins[I].Disp != 0) {
+        fail(Starts[I], "profile",
+             "counter increment does not use the planted [r10] form");
+        continue;
+      }
+      if (I == 0 || Ins[I - 1].Cls != InstrClass::MovImm64 ||
+          Ins[I - 1].Rm != RegR10) {
+        fail(Starts[I], "profile",
+             "counter increment not preceded by `movabs r10, counter`");
+        continue;
+      }
+      auto Want = reinterpret_cast<std::uint64_t>(In.ProfileCounter);
+      if (Ins[I - 1].Imm64 != Want)
+        fail(Starts[I - 1], "profile",
+             "profiling hook targets a counter that was never registered");
+    }
+    if (In.ExpectProfile && Hooks == 0)
+      fail(0, "profile", "profiling requested but no hook was planted");
+  }
+
+  //===--------------------------------------------------------------------===
+  // Diagnostics: CFG + abstract-state dump.
+  //===--------------------------------------------------------------------===
+
+  std::string renderCfg() const {
+    std::string S = "  cfg:\n";
+    char Buf[160];
+    for (std::size_t BI = 0; BI < Blocks.size(); ++BI) {
+      const Blk &B = Blocks[BI];
+      std::snprintf(Buf, sizeof(Buf), "    B%zu [%#x, %#x)%s", BI,
+                    Starts[B.Begin],
+                    B.End < Ins.size() ? Starts[B.End]
+                                       : static_cast<unsigned>(In.Size),
+                    B.Reachable ? "" : " UNREACHABLE");
+      S += Buf;
+      for (unsigned K = 0; K < B.NumSucc; ++K) {
+        std::snprintf(Buf, sizeof(Buf), "%s B%zu", K ? "," : " ->",
+                      B.Succ[K]);
+        S += Buf;
+      }
+      if (BI < InState.size() && InState[BI].Valid) {
+        const AbsState &A = InState[BI];
+        std::snprintf(Buf, sizeof(Buf),
+                      "  depth=%lld rbp=%lld saved=%03x restored=%03x "
+                      "clobbered=%03x",
+                      static_cast<long long>(A.Depth),
+                      static_cast<long long>(A.RbpDepth), A.Saved, A.Restored,
+                      A.Clobbered);
+        S += Buf;
+      }
+      S += '\n';
+    }
+    return S;
+  }
+
+  void run() {
+    if (!decodeAll())
+      return;
+    bool PrologueOk = checkPrologue();
+    checkRelocShape();
+    if (!buildCfg())
+      return;
+    if (PrologueOk && R.ok())
+      interpret();
+    checkProfile();
+
+    auto &Reg = obs::MetricsRegistry::global();
+    Reg.counter(obs::names::VerifyAdmitBlocks).inc(Blocks.size());
+    std::uint64_t Calls = 0;
+    for (const Decoded &D : Ins)
+      if (D.Cls == InstrClass::CallInd)
+        ++Calls;
+    Reg.counter(obs::names::VerifyAdmitCalls).inc(Calls);
+  }
+};
+
+} // namespace
+
+Result verifyAdmission(const AdmissionInputs &In) {
+  Result R;
+  Admission A{In, R};
+  A.run();
+  return R;
+}
+
+} // namespace verify
+} // namespace tcc

@@ -31,6 +31,7 @@ const char *layerName(Layer L) {
   case Layer::IR: return "ir";
   case Layer::RegAlloc: return "alloc";
   case Layer::Machine: return "code";
+  case Layer::Admit: return "admit";
   }
   return "?";
 }
@@ -76,6 +77,7 @@ struct VerifyMetrics {
   obs::Counter &IrChecked, &IrFailed;
   obs::Counter &AllocChecked, &AllocFailed;
   obs::Counter &CodeChecked, &CodeFailed;
+  obs::Counter &AdmitChecked, &AdmitFailed, &AdmitCycles;
   obs::Counter &Cycles;
 
   static VerifyMetrics &get() {
@@ -90,6 +92,9 @@ struct VerifyMetrics {
                            R.counter(N::VerifyAllocFailed),
                            R.counter(N::VerifyCodeChecked),
                            R.counter(N::VerifyCodeFailed),
+                           R.counter(N::VerifyAdmitChecked),
+                           R.counter(N::VerifyAdmitFailed),
+                           R.counter(N::VerifyAdmitCycles),
                            R.counter(N::VerifyCycles)};
     }();
     return M;
@@ -120,6 +125,12 @@ void recordOutcome(Layer L, bool Failed, std::uint64_t Cycles) {
     M.CodeChecked.inc();
     if (Failed)
       M.CodeFailed.inc();
+    break;
+  case Layer::Admit:
+    M.AdmitChecked.inc();
+    if (Failed)
+      M.AdmitFailed.inc();
+    M.AdmitCycles.inc(Cycles);
     break;
   }
   M.Cycles.inc(Cycles);

@@ -52,7 +52,7 @@ struct StmtNode;
 
 namespace verify {
 
-enum class Layer : std::uint8_t { Spec, IR, RegAlloc, Machine };
+enum class Layer : std::uint8_t { Spec, IR, RegAlloc, Machine, Admit };
 
 const char *layerName(Layer L);
 
@@ -136,6 +136,48 @@ struct MachineAuditInputs {
 
 /// Layer 3: strict decode + structural audit of the emitted bytes.
 Result auditMachineCode(const MachineAuditInputs &In);
+
+/// One relocation slot the admission verifier may trust: \p Offset is the
+/// byte offset of a movabs imm64 *payload* inside the region, \p Kind a
+/// support::RelocKind. Slots are the only immediates whose values came from
+/// the loader's own PersistKey::Refs walk (or a freshly created profile
+/// counter) — everything else embedded in the bytes is untrusted input.
+struct AdmissionReloc {
+  std::uint32_t Offset = 0;
+  std::uint8_t Kind = 0;
+};
+
+/// Inputs for the flow-sensitive admission verifier (AdmissionVerify.cpp).
+/// Code must be a readable view of the finalized region *after* relocation
+/// patching — the analysis proves properties of the bytes that will run.
+struct AdmissionInputs {
+  const std::uint8_t *Code = nullptr;
+  std::size_t Size = 0;
+  /// Address the ProfileInc counter must target; null when profiling is off.
+  const void *ProfileCounter = nullptr;
+  bool ExpectProfile = false;
+  /// The relocation side table (snapshot record or fresh RelocTable). When
+  /// HaveRelocs is set, every slot must land exactly on a decoded movabs
+  /// payload, and an indirect call may only target a value materialized by
+  /// a reloc-slot movabs or computed at run time — a stray embedded imm64
+  /// used as a call target is rejected. When clear (fresh compile with no
+  /// recorded table), immediates are the emitter's own and are trusted.
+  const AdmissionReloc *Relocs = nullptr;
+  std::size_t NumRelocs = 0;
+  bool HaveRelocs = false;
+};
+
+/// Layer 5: flow-sensitive machine-code admission. Recovers the full CFG
+/// from the decoded stream (branch targets on boundaries, well-formed
+/// terminator structure; unreachable ranges are admitted but proven inert —
+/// no reachable transfer can enter them), then runs a worklist
+/// abstract interpretation proving stack-depth balance and callee-saved
+/// save/restore obligations on *all* paths to every ret, frame-pointer
+/// integrity (no rsp/rbp escape, no store above the frame), and the
+/// reloc-shape/call-target confinement properties. Every snapshot load must
+/// pass this before its bytes can execute; under TICKC_VERIFY it also runs
+/// on fresh compiles from all three backends.
+Result verifyAdmission(const AdmissionInputs &In);
 
 /// Feeds verify.<layer>.{checked,failed} and verify.cycles into the
 /// MetricsRegistry.

@@ -596,6 +596,63 @@ bool decodeOne(const std::uint8_t *Code, std::size_t Size, std::size_t Off,
   }
 }
 
+unsigned decodedGprWrites(const Decoded &D, std::uint8_t Out[2]) {
+  switch (D.Cls) {
+  // ModRM.reg destination.
+  case InstrClass::MovRR:
+  case InstrClass::Load:
+  case InstrClass::LoadSExt8:
+  case InstrClass::LoadZExt8:
+  case InstrClass::LoadSExt16:
+  case InstrClass::LoadZExt16:
+  case InstrClass::Lea:
+  case InstrClass::ImulRR:
+  case InstrClass::ImulRRI:
+  case InstrClass::Movsxd:
+  case InstrClass::Movzx8RR:
+  case InstrClass::Movsx8RR:
+  case InstrClass::Movzx16RR:
+  case InstrClass::Movsx16RR:
+  case InstrClass::SseCvtSD2SI:
+    Out[0] = D.Reg;
+    return 1;
+  case InstrClass::AluRR:
+    if (D.Op8 == 0x3B) // cmp writes only flags
+      return 0;
+    Out[0] = D.Reg;
+    return 1;
+  // ModRM.rm / +r destination.
+  case InstrClass::MovImm32:
+  case InstrClass::MovImm64:
+  case InstrClass::MovImmSExt:
+  case InstrClass::Pop:
+  case InstrClass::Setcc:
+  case InstrClass::ShiftCl:
+  case InstrClass::ShiftImm:
+  case InstrClass::MovqRX:
+    Out[0] = D.Rm;
+    return 1;
+  case InstrClass::AluRI:
+    if ((D.Reg & 7) == 7) // cmp writes only flags
+      return 0;
+    Out[0] = D.Rm;
+    return 1;
+  case InstrClass::UnaryGrp:
+    if ((D.Reg & 7) == 2 || (D.Reg & 7) == 3) { // not/neg
+      Out[0] = D.Rm;
+      return 1;
+    }
+    Out[0] = 0; // div/idiv write rax:rdx
+    Out[1] = 2;
+    return 2;
+  case InstrClass::Cdq:
+    Out[0] = 2; // edx/rdx
+    return 1;
+  default:
+    return 0;
+  }
+}
+
 const char *instrClassName(InstrClass Cl) {
   switch (Cl) {
   case InstrClass::Push: return "push";

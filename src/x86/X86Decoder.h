@@ -109,6 +109,14 @@ struct Decoded {
 bool decodeOne(const std::uint8_t *Code, std::size_t Size, std::size_t Off,
                Decoded &Out, const char **Err);
 
+/// General-purpose registers \p D explicitly writes (REX-extended numbers),
+/// filled into \p Out; returns the count (0..2). Implicit stack-pointer
+/// adjustment by push/pop and the ABI clobbers of an indirect call are
+/// deliberately excluded — they are calling-convention policy, which the
+/// admission verifier models itself. Partial writes (setcc's byte, a 32-bit
+/// mov's zero-extension) count as writes of the full register.
+unsigned decodedGprWrites(const Decoded &D, std::uint8_t Out[2]);
+
 } // namespace x86
 } // namespace tcc
 

@@ -2,12 +2,13 @@
 //
 // Covers the warm-start path end to end: relocation side-table capture,
 // address-independent PersistKeys, save/load round trips through all three
-// back ends (every load re-audited by the strict x86 decoder before it can
-// execute), relocation patching against moved free variables and fresh
-// profile counters, rejection of wrong-fingerprint / corrupted / torn
-// files, the per-file size budget (oldest-first eviction at open, refused
-// over-budget appends), and an 8-thread concurrent load+compile stress
-// (run under -fsanitize=thread in CI).
+// back ends (every load must pass the flow-sensitive admission verifier
+// before it can execute), relocation patching against moved free variables
+// and fresh profile counters, rejection of wrong-fingerprint / corrupted /
+// torn files, a deterministic every-byte corruption sweep, the per-file
+// size budget (oldest-first eviction at open, refused over-budget appends),
+// the per-entry TTL, and an 8-thread concurrent load+compile stress (run
+// under -fsanitize=thread in CI).
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +21,7 @@
 #include "core/Context.h"
 #include "persist/Snapshot.h"
 #include "support/Fingerprint.h"
+#include "support/Hash.h"
 #include "support/Reloc.h"
 
 #include <gtest/gtest.h>
@@ -28,6 +30,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <thread>
 #include <vector>
@@ -570,4 +573,203 @@ TEST(Snapshot, SharedDirAcrossRunsServesWithoutRecompile) {
   EXPECT_EQ(S2.Hits, 1u);
   EXPECT_EQ(S2.Saves, 0u);
   EXPECT_EQ(Second.cache().stats().SnapshotLoads, 1u);
+}
+
+// --- Hostile-byte sweep -----------------------------------------------------
+
+namespace {
+
+std::vector<std::uint8_t> readFileBytes(const std::string &File) {
+  std::vector<std::uint8_t> Buf;
+  int Fd = ::open(File.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return Buf;
+  struct stat St;
+  if (::fstat(Fd, &St) == 0) {
+    Buf.resize(static_cast<std::size_t>(St.st_size));
+    if (::pread(Fd, Buf.data(), Buf.size(), 0) !=
+        static_cast<ssize_t>(Buf.size()))
+      Buf.clear();
+  }
+  ::close(Fd);
+  return Buf;
+}
+
+void writeFileBytes(const std::string &File,
+                    const std::vector<std::uint8_t> &Buf) {
+  int Fd = ::open(File.c_str(), O_WRONLY | O_TRUNC);
+  ASSERT_GE(Fd, 0);
+  ASSERT_EQ(::pwrite(Fd, Buf.data(), Buf.size(), 0),
+            static_cast<ssize_t>(Buf.size()));
+  ::close(Fd);
+}
+
+/// Rewrites every record's save timestamp to \p SavedAt and fixes the
+/// checksum up to match (the timestamp is checksum-covered — the sweep test
+/// proves a stale checksum is fatal; the TTL tests need a record that is
+/// *valid* but old).
+void backdateRecords(const std::string &File, std::uint32_t SavedAt) {
+  std::vector<std::uint8_t> Buf = readFileBytes(File);
+  ASSERT_GT(Buf.size(), 16u);
+  std::size_t Off = 16; // File header: magic + build fingerprint.
+  while (Off + 48 <= Buf.size()) {
+    std::uint32_t Total;
+    std::memcpy(&Total, Buf.data() + Off + 4, 4);
+    if (Total < 48 || Off + Total > Buf.size())
+      break;
+    std::memcpy(Buf.data() + Off + 44, &SavedAt, 4); // SavedAt
+    std::uint64_t Sum =
+        support::hashBytes(Buf.data() + Off + 24, Total - 24);
+    std::memcpy(Buf.data() + Off + 16, &Sum, 8); // Checksum
+    Off += Total;
+  }
+  writeFileBytes(File, Buf);
+}
+
+} // namespace
+
+TEST(Snapshot, EveryByteFlipRejectsOrRecompilesNeverAdopts) {
+  // The deterministic corruption sweep: for every single byte of the
+  // snapshot file — header, record header, key, refs, relocs, code — a
+  // flipped copy must end in reject-and-recompile or a checksum/probe miss.
+  // Never a crash, never adoption of altered bytes. The layered defense
+  // (fingerprint, structural bounds, checksum over everything after the
+  // record header, byte-exact key compare, flow-sensitive admission) must
+  // leave no window.
+  static int Cell = 77;
+  TempDir Dir;
+  {
+    CompileService Seed(snapConfig(Dir));
+    EXPECT_EQ(compileCell(Seed, &Cell)->as<int(int)>()(1), 78);
+    EXPECT_EQ(Seed.snapshot()->stats().Saves, 1u);
+  }
+  std::vector<std::uint8_t> Pristine = readFileBytes(Dir.file());
+  ASSERT_GT(Pristine.size(), 16u);
+
+  unsigned Adopted = 0;
+  for (std::size_t Off = 0; Off < Pristine.size(); ++Off) {
+    writeFileBytes(Dir.file(), Pristine);
+    flipByte(Dir.file(), static_cast<long>(Off));
+    CompileService S(snapConfig(Dir));
+    ASSERT_NE(S.snapshot(), nullptr) << "flip at " << Off;
+    FnHandle H = compileCell(S, &Cell);
+    ASSERT_NE(H, nullptr) << "flip at " << Off;
+    EXPECT_EQ(H->as<int(int)>()(5), 82) << "flip at " << Off;
+    if (H->fromSnapshot())
+      ++Adopted;
+  }
+  EXPECT_EQ(Adopted, 0u) << "a flipped record was adopted";
+}
+
+// --- Per-entry TTL ----------------------------------------------------------
+
+TEST(Snapshot, TtlExpiredRecordSkippedAtOpenAndReseeded) {
+  static int Cell = 31;
+  TempDir Dir;
+  {
+    CompileService Seed(snapConfig(Dir));
+    EXPECT_EQ(compileCell(Seed, &Cell)->as<int(int)>()(1), 32);
+  }
+  // Age the record far past a one-hour TTL (timestamp stays checksum-valid).
+  backdateRecords(Dir.file(),
+                  static_cast<std::uint32_t>(::time(nullptr)) - 100000);
+
+  ServiceConfig Cfg = snapConfig(Dir);
+  Cfg.SnapshotTtlSec = 3600;
+  CompileService S(Cfg);
+  ASSERT_NE(S.snapshot(), nullptr);
+  // The expired record was never indexed: the probe is a plain miss, the
+  // compile runs fresh and re-seeds the file with a new timestamp.
+  EXPECT_EQ(S.snapshot()->recordCount(), 0u);
+  FnHandle H = compileCell(S, &Cell);
+  EXPECT_FALSE(H->fromSnapshot());
+  EXPECT_EQ(H->as<int(int)>()(1), 32);
+  EXPECT_EQ(S.snapshot()->stats().Saves, 1u);
+
+  // The re-seeded record is fresh: the next service under the same TTL
+  // serves it.
+  CompileService S2(Cfg);
+  FnHandle H2 = compileCell(S2, &Cell);
+  EXPECT_TRUE(H2->fromSnapshot());
+  EXPECT_EQ(H2->as<int(int)>()(1), 32);
+}
+
+TEST(Snapshot, TtlZeroAndUnexpiredRecordsStillServe) {
+  static int Cell = 13;
+  TempDir Dir;
+  {
+    CompileService Seed(snapConfig(Dir));
+    (void)compileCell(Seed, &Cell);
+  }
+  backdateRecords(Dir.file(),
+                  static_cast<std::uint32_t>(::time(nullptr)) - 100000);
+
+  // TTL off (the default): age is irrelevant.
+  CompileService NoTtl(snapConfig(Dir));
+  EXPECT_TRUE(compileCell(NoTtl, &Cell)->fromSnapshot());
+
+  // TTL comfortably larger than the record's age: still served.
+  ServiceConfig Wide = snapConfig(Dir);
+  Wide.SnapshotTtlSec = 1000000;
+  CompileService S(Wide);
+  FnHandle H = compileCell(S, &Cell);
+  EXPECT_TRUE(H->fromSnapshot());
+  EXPECT_EQ(H->as<int(int)>()(2), 15);
+  EXPECT_EQ(S.snapshot()->stats().Expired, 0u);
+}
+
+TEST(Snapshot, TtlAgeOutDuringProcessCountsExpiredAndRecompiles) {
+  static int Cell = 91;
+  TempDir Dir;
+  {
+    CompileService Seed(snapConfig(Dir));
+    (void)compileCell(Seed, &Cell);
+  }
+  // Fresh at open under a 1-second TTL, expired by probe time: findRecord
+  // re-checks per probe so long-lived processes do not serve stale records
+  // forever.
+  ServiceConfig Cfg = snapConfig(Dir);
+  Cfg.SnapshotTtlSec = 1;
+  CompileService S(Cfg);
+  EXPECT_EQ(S.snapshot()->recordCount(), 1u);
+  ::sleep(2);
+  FnHandle H = compileCell(S, &Cell);
+  EXPECT_FALSE(H->fromSnapshot());
+  EXPECT_EQ(H->as<int(int)>()(9), 100);
+  // ≥: tier-0 promotion may probe the same key more than once.
+  EXPECT_GE(S.snapshot()->stats().Expired, 1u);
+  EXPECT_EQ(S.snapshot()->stats().Hits, 0u);
+}
+
+TEST(Snapshot, TtlCompactionDropsExpiredRecords) {
+  static int Cell = 55;
+  TempDir Dir;
+  {
+    CompileService Seed(snapConfig(Dir));
+    (void)compileCell(Seed, &Cell);
+    CompileOptions Prof; // A second key, so a second record.
+    Prof.Profile = true;
+    (void)compileCell(Seed, &Cell, Prof);
+    EXPECT_EQ(Seed.snapshot()->stats().Saves, 2u);
+  }
+  off_t Full = fileSize(Dir.file());
+  ASSERT_GT(Full, 16);
+  backdateRecords(Dir.file(),
+                  static_cast<std::uint32_t>(::time(nullptr)) - 100000);
+
+  // Expired records are dead bytes: with a 1-byte compaction threshold the
+  // opener rewrites the live set — which is empty — down to the header.
+  ServiceConfig Cfg = snapConfig(Dir);
+  Cfg.SnapshotTtlSec = 3600;
+  Cfg.SnapshotCompactBytes = 1;
+  CompileService S(Cfg);
+  ASSERT_NE(S.snapshot(), nullptr);
+  EXPECT_EQ(S.snapshot()->stats().Compactions, 1u);
+  EXPECT_EQ(S.snapshot()->recordCount(), 0u);
+  EXPECT_EQ(fileSize(Dir.file()), 16);
+  // And the working set re-seeds cleanly.
+  FnHandle H = compileCell(S, &Cell);
+  EXPECT_FALSE(H->fromSnapshot());
+  EXPECT_EQ(H->as<int(int)>()(1), 56);
+  EXPECT_EQ(S.snapshot()->stats().Saves, 1u);
 }

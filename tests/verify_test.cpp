@@ -22,12 +22,15 @@
 #include "icode/ICode.h"
 #include "observability/Metrics.h"
 #include "observability/Names.h"
+#include "support/Reloc.h"
 #include "verify/Verify.h"
 #include "vcode/VCode.h"
 #include "x86/X86Decoder.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <string>
@@ -829,4 +832,502 @@ TEST(VerifyMutation, EmitterUsageCrossCheckCatchesForeignInstructions) {
   MA.Size = Clean.size();
   R = verify::auditMachineCode(MA);
   EXPECT_TRUE(R.ok()) << R.render();
+}
+
+// --- Admission (layer 5) ----------------------------------------------------
+
+namespace {
+
+/// One unit for the admission mutation harness: finalized bytes plus the
+/// reloc side table and profile expectation — exactly what a snapshot
+/// record presents to verify::verifyAdmission after patching.
+struct AdmitProgram {
+  std::vector<std::uint8_t> Bytes;
+  std::vector<x86::Decoded> Ins;
+  std::vector<std::size_t> Starts;
+  std::vector<verify::AdmissionReloc> Relocs;
+  bool HaveRelocs = false;
+  const void *Counter = nullptr;
+  bool Profiled = false;
+
+  void decode() {
+    Ins.clear();
+    Starts.clear();
+    std::size_t Off = 0;
+    while (Off < Bytes.size()) {
+      x86::Decoded D;
+      const char *Err = nullptr;
+      if (!x86::decodeOne(Bytes.data(), Bytes.size(), Off, D, &Err))
+        break; // Hostile streams may stop decoding; the verifier says why.
+      Starts.push_back(Off);
+      Ins.push_back(D);
+      Off += D.Len;
+    }
+  }
+
+  static AdmitProgram of(const CompiledFn &F, const support::RelocTable *RT) {
+    AdmitProgram P;
+    P.Bytes.resize(F.stats().CodeBytes);
+    std::memcpy(P.Bytes.data(), F.entry(), P.Bytes.size());
+    P.Profiled = F.profile() != nullptr;
+    P.Counter = F.profile() ? &F.profile()->Invocations : nullptr;
+    if (RT && !RT->Unportable) {
+      P.HaveRelocs = true;
+      for (const support::RelocEntry &E : RT->Entries)
+        P.Relocs.push_back({E.Offset, static_cast<std::uint8_t>(E.Kind)});
+    }
+    P.decode();
+    return P;
+  }
+
+  static AdmitProgram hand(std::vector<std::uint8_t> B) {
+    AdmitProgram P;
+    P.Bytes = std::move(B);
+    P.decode();
+    return P;
+  }
+
+  verify::AdmissionInputs inputs() const {
+    verify::AdmissionInputs AI;
+    AI.Code = Bytes.data();
+    AI.Size = Bytes.size();
+    AI.ProfileCounter = Counter;
+    AI.ExpectProfile = Profiled;
+    AI.Relocs = Relocs.empty() ? nullptr : Relocs.data();
+    AI.NumRelocs = Relocs.size();
+    AI.HaveRelocs = HaveRelocs;
+    return AI;
+  }
+};
+
+/// Canonical frame around \p Body: push rbp / mov rbp, rsp / sub rsp, 48 /
+/// <body> / mov rsp, rbp / pop rbp / ret. Body instructions start at +11.
+std::vector<std::uint8_t> handFrame(const std::vector<std::uint8_t> &Body) {
+  std::vector<std::uint8_t> B = {0x55, 0x48, 0x8B, 0xEC, 0x48, 0x81,
+                                 0xEC, 0x30, 0x00, 0x00, 0x00};
+  B.insert(B.end(), Body.begin(), Body.end());
+  const std::uint8_t Epi[] = {0x48, 0x8B, 0xE5, 0x5D, 0xC3};
+  B.insert(B.end(), std::begin(Epi), std::end(Epi));
+  return B;
+}
+
+void appendU64(std::vector<std::uint8_t> &B, std::uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    B.push_back(static_cast<std::uint8_t>(V >> (8 * I)));
+}
+
+/// movabs r10, &dummyCallee / call r10 — the backends' only call shape.
+/// The movabs imm64 payload sits at body offset +2 (frame offset +13).
+std::vector<std::uint8_t> callBody() {
+  std::vector<std::uint8_t> B = {0x49, 0xBA};
+  appendU64(B, reinterpret_cast<std::uint64_t>(
+                   reinterpret_cast<const void *>(&dummyCallee)));
+  B.insert(B.end(), {0x41, 0xFF, 0xD2});
+  return B;
+}
+
+void runAdmitCase(MutationTally &T, AdmitProgram P, const char *Category,
+                  const std::function<void(AdmitProgram &)> &Mutate,
+                  const std::string &What) {
+  Mutate(P);
+  verify::Result R = verify::verifyAdmission(P.inputs());
+  ++T.Cases;
+  EXPECT_FALSE(R.ok()) << What << ": hostile record was admitted";
+  EXPECT_TRUE(R.has(Category))
+      << What << ": expected category '" << Category << "', got:\n"
+      << R.render();
+  if (!R.ok() && R.has(Category))
+    ++T.Rejected;
+}
+
+void admitNoop(AdmitProgram &) {}
+
+/// f(x) = dummyCallee(x) + x — a body with a C call under every backend.
+CompiledFn compileCallFn(const CompileOptions &Opts) {
+  Context C;
+  VSpec X = C.paramInt(0);
+  Expr Call = C.callC(reinterpret_cast<const void *>(&dummyCallee),
+                      EvalType::Int, {Expr(X)});
+  Stmt Body = C.ret(Call + Expr(X));
+  return compileFn(C, Body, EvalType::Int, Opts);
+}
+
+} // namespace
+
+TEST(VerifyAdmission, AcceptsCleanHandFrames) {
+  // The canonical empty frame.
+  verify::Result R =
+      verify::verifyAdmission(AdmitProgram::hand(handFrame({})).inputs());
+  EXPECT_TRUE(R.ok()) << R.render();
+
+  // An ABI-aligned indirect call with no reloc table: fresh-compile mode
+  // trusts the emitter's own immediates.
+  R = verify::verifyAdmission(
+      AdmitProgram::hand(handFrame(callBody())).inputs());
+  EXPECT_TRUE(R.ok()) << R.render();
+
+  // The same call as a snapshot would present it: the movabs payload is a
+  // declared Callee relocation slot, so the target is proven confined even
+  // after a round trip through a tracked spill slot.
+  std::vector<std::uint8_t> Body = {0x49, 0xBA};
+  appendU64(Body, reinterpret_cast<std::uint64_t>(
+                      reinterpret_cast<const void *>(&dummyCallee)));
+  Body.insert(Body.end(), {0x4C, 0x89, 0x55, 0xD8,   // mov [rbp-40], r10
+                           0x4C, 0x8B, 0x55, 0xD8,   // mov r10, [rbp-40]
+                           0x41, 0xFF, 0xD2});       // call r10
+  AdmitProgram P = AdmitProgram::hand(handFrame(Body));
+  P.HaveRelocs = true;
+  P.Relocs.push_back(
+      {13, static_cast<std::uint8_t>(support::RelocKind::Callee)});
+  R = verify::verifyAdmission(P.inputs());
+  EXPECT_TRUE(R.ok()) << R.render();
+}
+
+TEST(VerifyAdmission, HostileRecordsRejected) {
+  MutationTally T;
+
+  // --- CFG recovery and decode ---------------------------------------------
+  runAdmitCase(T, AdmitProgram::hand({}), "boundary", admitNoop,
+               "empty region");
+  runAdmitCase(T, AdmitProgram::hand({0x55}), "prologue", admitNoop,
+               "bare push rbp");
+  {
+    // push rax instead of push rbp.
+    std::vector<std::uint8_t> B = handFrame({});
+    B[0] = 0x50;
+    runAdmitCase(T, AdmitProgram::hand(B), "prologue", admitNoop,
+                 "wrong prologue push");
+  }
+  {
+    // Unaligned frame reserve (49 bytes).
+    std::vector<std::uint8_t> B = handFrame({});
+    B[7] = 0x31;
+    runAdmitCase(T, AdmitProgram::hand(B), "prologue", admitNoop,
+                 "unaligned frame reserve");
+  }
+  {
+    // Reserve too small to cover the callee-save area (32 bytes).
+    std::vector<std::uint8_t> B = handFrame({});
+    B[7] = 0x20;
+    runAdmitCase(T, AdmitProgram::hand(B), "prologue", admitNoop,
+                 "undersized frame reserve");
+  }
+  {
+    // Final ret smashed to nop: execution would fall off the end.
+    std::vector<std::uint8_t> B = handFrame({});
+    B.back() = 0x90;
+    runAdmitCase(T, AdmitProgram::hand(B), "cfg-fallthrough", admitNoop,
+                 "ret replaced by nop");
+  }
+  {
+    // Garbage appended after the ret still has to decode.
+    std::vector<std::uint8_t> B = handFrame({});
+    B.push_back(0x06);
+    runAdmitCase(T, AdmitProgram::hand(B), "decode", admitNoop,
+                 "undecodable trailer");
+  }
+  {
+    // Decodable trailer without a terminator.
+    std::vector<std::uint8_t> B = handFrame({});
+    B.insert(B.end(), {0x33, 0xC0});
+    runAdmitCase(T, AdmitProgram::hand(B), "cfg-fallthrough", admitNoop,
+                 "code after final ret");
+  }
+  runAdmitCase(T, AdmitProgram::hand(handFrame({0x41, 0xFF, 0xE2})),
+               "branch-target", admitNoop, "indirect jump");
+  runAdmitCase(T,
+               AdmitProgram::hand(handFrame({0xE9, 0x00, 0x00, 0x10, 0x00})),
+               "branch-target", admitNoop, "branch leaves the region");
+  runAdmitCase(T,
+               AdmitProgram::hand(handFrame({0xE9, 0xF5, 0xFF, 0xFF, 0xFF})),
+               "branch-target", admitNoop,
+               "branch into the middle of the frame reserve");
+
+  // --- Stack discipline ------------------------------------------------------
+  {
+    // Jump back to the prologue: the entry block would be re-entered at
+    // depth 56 — an equality-domain join mismatch.
+    runAdmitCase(
+        T, AdmitProgram::hand(handFrame({0xE9, 0xF0, 0xFF, 0xFF, 0xFF})),
+        "stack-balance", admitNoop, "loop back into the prologue");
+  }
+  {
+    std::vector<std::uint8_t> B = handFrame({});
+    B[B.size() - 2] = 0x5B; // pop rbx instead of pop rbp
+    runAdmitCase(T, AdmitProgram::hand(B), "stack-balance", admitNoop,
+                 "epilogue pops the wrong register");
+  }
+  runAdmitCase(T, AdmitProgram::hand(handFrame({0x48, 0x83, 0xC4, 0x40})),
+               "stack-balance", admitNoop,
+               "add rsp, 64 unwinds above the entry rsp");
+  {
+    // jz over a `sub rsp, 8`: the two paths reach the epilogue at depths
+    // 64 and 56.
+    std::vector<std::uint8_t> B =
+        handFrame({0x33, 0xC0,                         // xor eax, eax
+                   0x85, 0xC0,                         // test eax, eax
+                   0x0F, 0x84, 0x04, 0x00, 0x00, 0x00, // jz +4
+                   0x48, 0x83, 0xEC, 0x08});           // sub rsp, 8
+    runAdmitCase(T, AdmitProgram::hand(B), "stack-balance", admitNoop,
+                 "paths join at different depths");
+  }
+  {
+    // Call at depth 64: rsp not 16-byte aligned at the call.
+    std::vector<std::uint8_t> B = {0x48, 0x83, 0xEC, 0x08}; // sub rsp, 8
+    std::vector<std::uint8_t> CB = callBody();
+    B.insert(B.end(), CB.begin(), CB.end());
+    B.insert(B.end(), {0x48, 0x83, 0xC4, 0x08}); // add rsp, 8
+    runAdmitCase(T, AdmitProgram::hand(handFrame(B)), "stack-balance",
+                 admitNoop, "indirect call at misaligned depth");
+  }
+
+  // --- Frame integrity -------------------------------------------------------
+  runAdmitCase(T, AdmitProgram::hand(handFrame({0x48, 0x8B, 0xC5})),
+               "frame-escape", admitNoop, "mov rax, rbp");
+  runAdmitCase(T, AdmitProgram::hand(handFrame({0x48, 0x89, 0x45, 0x08})),
+               "frame-escape", admitNoop,
+               "store above rbp (return address reachable)");
+  runAdmitCase(T, AdmitProgram::hand(handFrame({0x48, 0x89, 0x45, 0xC8})),
+               "frame-escape", admitNoop, "store below the reserved frame");
+  runAdmitCase(T, AdmitProgram::hand(handFrame({0x48, 0x8D, 0x45, 0xF8})),
+               "frame-escape", admitNoop, "lea rax, [rbp-8]");
+  runAdmitCase(T,
+               AdmitProgram::hand(handFrame({0x48, 0x89, 0x44, 0x24, 0x08})),
+               "frame-escape", admitNoop, "rsp-based store");
+
+  // --- Callee-saved obligations ---------------------------------------------
+  runAdmitCase(T, AdmitProgram::hand(handFrame({0xBB, 0x01, 0x00, 0x00,
+                                                0x00})),
+               "callee-saved", admitNoop, "rbx written before being saved");
+  runAdmitCase(T,
+               AdmitProgram::hand(handFrame({0x48, 0x89, 0x5D, 0xF8,  // save
+                                             0x48, 0x33, 0xDB})),    // xor rbx
+               "callee-saved", admitNoop,
+               "rbx clobbered but never restored");
+  runAdmitCase(T, AdmitProgram::hand(handFrame({0x48, 0x8B, 0x5D, 0xF8})),
+               "callee-saved", admitNoop,
+               "restore load from a slot never saved");
+
+  // --- Call-target confinement ----------------------------------------------
+  {
+    // An imm64 call target that is not a declared relocation slot.
+    AdmitProgram P = AdmitProgram::hand(handFrame(callBody()));
+    P.HaveRelocs = true;
+    runAdmitCase(T, P, "call-target", admitNoop,
+                 "embedded imm64 call target outside the reloc table");
+  }
+  {
+    // The same, laundered through a store/reload of a tracked frame slot.
+    std::vector<std::uint8_t> Body = {0x49, 0xBA};
+    appendU64(Body, 0x4141414141414141ull);
+    Body.insert(Body.end(), {0x4C, 0x89, 0x55, 0xD8,  // mov [rbp-40], r10
+                             0x4C, 0x8B, 0x55, 0xD8,  // mov r10, [rbp-40]
+                             0x41, 0xFF, 0xD2});      // call r10
+    AdmitProgram P = AdmitProgram::hand(handFrame(Body));
+    P.HaveRelocs = true;
+    runAdmitCase(T, P, "call-target", admitNoop,
+                 "stray target laundered through a spill slot");
+  }
+  {
+    // A Profile-kind slot used as a call target: the counter address the
+    // loader planted is data, not code.
+    AdmitProgram P = AdmitProgram::hand(handFrame(callBody()));
+    P.HaveRelocs = true;
+    P.Relocs.push_back(
+        {13, static_cast<std::uint8_t>(support::RelocKind::Profile)});
+    runAdmitCase(T, P, "call-target", admitNoop,
+                 "profile-counter slot used as a call target");
+  }
+  {
+    // Reloc offset pointing at the prologue, not a movabs payload.
+    AdmitProgram P = AdmitProgram::hand(handFrame(callBody()));
+    P.HaveRelocs = true;
+    P.Relocs.push_back(
+        {0, static_cast<std::uint8_t>(support::RelocKind::Callee)});
+    runAdmitCase(T, P, "reloc-shape", admitNoop,
+                 "reloc offset lands on the prologue");
+  }
+  {
+    // Reloc offset off by one from the payload: patching would rewrite the
+    // call's ModRM byte.
+    AdmitProgram P = AdmitProgram::hand(handFrame(callBody()));
+    P.HaveRelocs = true;
+    P.Relocs.push_back(
+        {14, static_cast<std::uint8_t>(support::RelocKind::Callee)});
+    runAdmitCase(T, P, "reloc-shape", admitNoop,
+                 "reloc offset off by one from the movabs payload");
+  }
+
+  // --- Compiled-body mutation sweeps ----------------------------------------
+  struct Cfg {
+    const char *Name;
+    BackendKind BK;
+  } Cfgs[] = {{"vcode", BackendKind::VCode},
+              {"pcode", BackendKind::PCode},
+              {"icode", BackendKind::ICode}};
+  for (const Cfg &Cf : Cfgs) {
+    CompileOptions Opts;
+    Opts.Backend = Cf.BK;
+    std::vector<std::pair<std::string, AdmitProgram>> Bodies;
+    Bodies.emplace_back(std::string(Cf.Name) + "/loop",
+                        AdmitProgram::of(compileLoopFn(Opts), nullptr));
+    Bodies.emplace_back(std::string(Cf.Name) + "/call",
+                        AdmitProgram::of(compileCallFn(Opts), nullptr));
+    for (const auto &[Name, P] : Bodies) {
+      // Sanity: the untouched body is admitted.
+      verify::Result Clean = verify::verifyAdmission(P.inputs());
+      ASSERT_TRUE(Clean.ok()) << Name << ":\n" << Clean.render();
+
+      // Retarget every relative branch far outside the region, then into
+      // the middle of the frame-reserve instruction.
+      for (std::size_t I = 0; I < P.Ins.size(); ++I) {
+        if (P.Ins[I].Cls != x86::InstrClass::Jcc &&
+            P.Ins[I].Cls != x86::InstrClass::Jmp)
+          continue;
+        std::size_t RelOff = P.Starts[I] + P.Ins[I].Len - 4;
+        runAdmitCase(T, P, "branch-target",
+                     [RelOff](AdmitProgram &M) {
+                       M.Bytes[RelOff] = 0x00;
+                       M.Bytes[RelOff + 1] = 0x00;
+                       M.Bytes[RelOff + 2] = 0x10;
+                       M.Bytes[RelOff + 3] = 0x00;
+                     },
+                     Name + ": branch retargeted out of region @+" +
+                         std::to_string(P.Starts[I]));
+        std::size_t End = P.Starts[I] + P.Ins[I].Len;
+        std::int32_t Rel =
+            static_cast<std::int32_t>(P.Starts[2] + 1) -
+            static_cast<std::int32_t>(End);
+        runAdmitCase(T, P, "branch-target",
+                     [RelOff, Rel](AdmitProgram &M) {
+                       std::memcpy(&M.Bytes[RelOff], &Rel, 4);
+                     },
+                     Name + ": branch retargeted mid-instruction @+" +
+                         std::to_string(P.Starts[I]));
+        break; // One branch per body keeps the sweep bounded.
+      }
+
+      // Smash the final ret.
+      if (!P.Ins.empty() && P.Ins.back().Cls == x86::InstrClass::Ret)
+        runAdmitCase(T, P, "cfg-fallthrough",
+                     [](AdmitProgram &M) { M.Bytes.back() = 0x90; },
+                     Name + ": final ret smashed to nop");
+
+      // Epilogue pops rbx instead of rbp.
+      for (std::size_t I = 0; I < P.Ins.size(); ++I) {
+        if (P.Ins[I].Cls != x86::InstrClass::Pop || P.Ins[I].Rm != 5)
+          continue;
+        std::size_t Off = P.Starts[I];
+        runAdmitCase(T, P, "stack-balance",
+                     [Off](AdmitProgram &M) { M.Bytes[Off] = 0x5B; },
+                     Name + ": pop rbp flipped to pop rbx @+" +
+                         std::to_string(Off));
+        break;
+      }
+
+      // An undecodable opcode in the middle of the stream.
+      {
+        std::size_t Off = P.Starts[P.Starts.size() / 2];
+        runAdmitCase(T, P, "decode",
+                     [Off](AdmitProgram &M) { M.Bytes[Off] = 0x06; },
+                     Name + ": opcode smashed @+" + std::to_string(Off));
+      }
+
+      // Flip an indirect call into an indirect jump (ModRM /2 -> /4).
+      for (std::size_t I = 0; I < P.Ins.size(); ++I) {
+        if (P.Ins[I].Cls != x86::InstrClass::CallInd)
+          continue;
+        std::size_t Off = P.Starts[I] + P.Ins[I].Len - 1;
+        runAdmitCase(
+            T, P, "branch-target",
+            [Off](AdmitProgram &M) {
+              M.Bytes[Off] =
+                  static_cast<std::uint8_t>((M.Bytes[Off] & ~0x38u) | 0x20u);
+            },
+            Name + ": call flipped to indirect jump @+" + std::to_string(Off));
+        break;
+      }
+    }
+  }
+
+  // --- Profile hooks ---------------------------------------------------------
+  {
+    CompileOptions ProfOpts;
+    ProfOpts.Backend = BackendKind::ICode;
+    ProfOpts.Profile = true;
+    ProfOpts.ProfileName = "admit-prof";
+    CompiledFn ProfFn = compileLoopFn(ProfOpts); // Outlives its counter uses.
+    AdmitProgram PP = AdmitProgram::of(ProfFn, nullptr);
+    runAdmitCase(T, PP, "profile",
+                 [](AdmitProgram &M) { M.Profiled = false; },
+                 "profiling hook present but unexpected");
+    static std::uint64_t Decoy = 0;
+    runAdmitCase(T, PP, "profile",
+                 [](AdmitProgram &M) { M.Counter = &Decoy; },
+                 "hook targets an unregistered counter");
+    AdmitProgram NP = AdmitProgram::hand(handFrame({}));
+    runAdmitCase(T, NP, "profile",
+                 [](AdmitProgram &M) {
+                   M.Profiled = true;
+                   M.Counter = &Decoy;
+                 },
+                 "profiling expected but no hook planted");
+  }
+
+  EXPECT_GE(T.Cases, 40u);
+  EXPECT_EQ(T.Rejected, T.Cases) << "some hostile records were admitted";
+}
+
+TEST(VerifyAdmission, AcceptsCleanCompilesAllBackends) {
+  obs::MetricsSnapshot Before = obs::MetricsRegistry::global().snapshot();
+  bench::AppSet Apps;
+  const BackendKind Backends[] = {BackendKind::VCode, BackendKind::PCode,
+                                  BackendKind::ICode};
+  unsigned Compiled = 0;
+  for (BackendKind BK : Backends) {
+    for (const bench::AppCase &App : Apps.cases()) {
+      support::RelocTable RT;
+      CompileOptions Opts;
+      Opts.Backend = BK;
+      Opts.Verify = true; // The in-pipeline admission gate runs here.
+      Opts.Relocs = &RT;
+      CompiledFn F = App.Specialize(Opts);
+      ASSERT_TRUE(F.valid()) << App.Name;
+      App.RunDynamic(F.entry());
+      // Re-admit the finalized bytes exactly as a snapshot load would: with
+      // the recorded relocation table as the trusted side channel.
+      AdmitProgram P = AdmitProgram::of(F, &RT);
+      verify::Result R = verify::verifyAdmission(P.inputs());
+      EXPECT_TRUE(R.ok()) << App.Name << " (" << static_cast<int>(BK)
+                          << "):\n"
+                          << R.render();
+      ++Compiled;
+    }
+  }
+  obs::MetricsSnapshot After = obs::MetricsRegistry::global().snapshot();
+  namespace N = obs::names;
+  EXPECT_EQ(After.counter(N::VerifyAdmitFailed),
+            Before.counter(N::VerifyAdmitFailed));
+  EXPECT_GE(After.counter(N::VerifyAdmitChecked),
+            Before.counter(N::VerifyAdmitChecked) + Compiled);
+  EXPECT_GT(After.counter(N::VerifyAdmitBlocks),
+            Before.counter(N::VerifyAdmitBlocks));
+}
+
+TEST(VerifyAdmission, RejectionArtifactSample) {
+  // CI sets TICKC_ADMIT_SAMPLE to collect one full rejection report (hex
+  // window + CFG + abstract-state dump) as a build artifact; without the
+  // variable this is a no-op.
+  const char *Path = std::getenv("TICKC_ADMIT_SAMPLE");
+  if (!Path || !*Path)
+    GTEST_SKIP() << "TICKC_ADMIT_SAMPLE not set";
+  AdmitProgram P =
+      AdmitProgram::hand(handFrame({0xE9, 0xF0, 0xFF, 0xFF, 0xFF}));
+  verify::Result R = verify::verifyAdmission(P.inputs());
+  ASSERT_FALSE(R.ok());
+  std::FILE *F = std::fopen(Path, "w");
+  ASSERT_NE(F, nullptr);
+  std::string Report = R.render();
+  std::fwrite(Report.data(), 1, Report.size(), F);
+  std::fclose(F);
 }
