@@ -21,23 +21,36 @@
 //    is proven to unwind to exactly the entry depth with the frame pointer
 //    restored, and every indirect call happens at an ABI-aligned depth;
 //  * frame integrity — rsp/rbp are written only by the canonical frame
-//    protocol, their values never escape into a general register (which
-//    would open a store-to-own-stack laundering channel), rsp-based memory
-//    operands are never admitted, and rbp-relative stores stay strictly
-//    inside the reserved frame (the saved rbp and the return address are
-//    unreachable);
+//    protocol, their values never escape into a general or xmm register,
+//    into arithmetic, or into memory (any of which would open a
+//    store-to-own-stack laundering channel), rsp-based memory operands are
+//    never admitted, and rbp-relative accesses are checked as *byte
+//    ranges* [Disp, Disp+width): every store must land entirely inside the
+//    reserved frame (a qword store at [rbp-1] that would reach the saved
+//    rbp is rejected, not just stores with non-negative displacements),
+//    and loads may touch only the frame or the caller's stack-passed
+//    arguments at [rbp+16) and up — the saved rbp and the return address
+//    are unreachable for both reads and writes;
 //  * callee-saved obligations — rbx/r12..r15 must be stored to their
-//    canonical save slots before being written, and every may-clobbered
-//    register is proven restored from its slot on all paths to every ret;
+//    canonical save slots before being written, every may-clobbered
+//    register is proven restored from its slot on all paths to every ret,
+//    and while a save slot is live (its register is must-saved on every
+//    path) no other store — aligned, misaligned, or partial — may overlap
+//    it, so the restored value is provably the entry value;
 //  * call-target confinement — with a relocation side table in hand (every
 //    snapshot load has one), each reloc must land exactly on a decoded
 //    movabs payload, and an indirect call may only target a value that is
 //    either computed at run time or materialized by a Callee/Ptr reloc slot
 //    (an address the PersistKey's own walk declared). A stray embedded
 //    imm64 used as a call target — the patched-but-hostile-record attack —
-//    is rejected. Provenance is tracked through register moves and through
-//    rbp-relative spill slots so the property cannot be laundered through
-//    a store/reload.
+//    is rejected. Provenance is tracked through register moves, through
+//    arithmetic (the result of an ALU op, shift, multiply, or widening
+//    move is the join of its register inputs, and an immediate operand
+//    joins as Plain, so `movabs; add r, 0` cannot bleach a stray target),
+//    through the xmm file (movq/cvt round-trips preserve values), and
+//    byte-accurately through rbp-relative frame cells of every access
+//    width (two dword stores cannot assemble a stray target inside a
+//    qword spill slot).
 //
 // The abstract state lattice is documented in DESIGN.md ("Machine-code
 // admission"); rejection diagnostics carry a hex window plus a CFG +
@@ -111,7 +124,11 @@ struct AbsState {
   std::uint16_t Restored = 0;  ///< Must-restored callee regs (∩ at joins).
   std::uint16_t Clobbered = 0; ///< May-clobbered callee regs (∪ at joins).
   Prov Reg[16] = {};           ///< Per-GPR value provenance.
-  std::vector<Prov> Slot;      ///< Per tracked rbp-slot provenance.
+  Prov Xmm[16] = {};           ///< Per-XMM value provenance (movq round
+                               ///< trips and cvtsi2sd/cvttsd2si preserve
+                               ///< 48-bit pointers exactly, so the xmm
+                               ///< file is a laundering channel too).
+  std::vector<Prov> Slot;      ///< Per tracked rbp frame-cell provenance.
 
   bool sameShape(const AbsState &O) const {
     return Depth == O.Depth && RbpDepth == O.RbpDepth;
@@ -134,8 +151,14 @@ struct Admission {
 
   std::int64_t Reserve = 0; ///< Prologue frame reserve (sub rsp, imm).
 
-  // Tracked rbp-relative 64-bit slots (provenance flows through them).
-  std::vector<std::int32_t> Slots;
+  // Tracked rbp-relative frame cells (provenance flows through them,
+  // byte-accurately: a cell records the widest access at its displacement,
+  // and stores that only partially cover a cell weak-update it).
+  struct Cell {
+    std::int32_t Disp = 0;
+    std::int32_t Width = 0; ///< Bytes, widest access seen at Disp.
+  };
+  std::vector<Cell> Cells;
 
   struct Blk {
     std::size_t Begin = 0, End = 0; // [Begin, End) instruction indices
@@ -378,19 +401,83 @@ struct Admission {
   // Phase 4: worklist abstract interpretation.
   //===--------------------------------------------------------------------===
 
-  int slotIndex(std::int32_t Disp) const {
-    auto It = std::find(Slots.begin(), Slots.end(), Disp);
-    return It == Slots.end() ? -1 : static_cast<int>(It - Slots.begin());
+  /// Bytes the memory operand of \p D touches; 0 for classes that carry a
+  /// memory *form* without a data access of interest (lea) or none at all.
+  static std::int32_t memWidth(const Decoded &D) {
+    switch (D.Cls) {
+    case InstrClass::Store8:
+    case InstrClass::LoadSExt8:
+    case InstrClass::LoadZExt8:
+      return 1;
+    case InstrClass::Store16:
+    case InstrClass::LoadSExt16:
+    case InstrClass::LoadZExt16:
+      return 2;
+    case InstrClass::Store32:
+      return 4;
+    case InstrClass::Load:
+      return D.RexW ? 8 : 4;
+    case InstrClass::Store64:
+    case InstrClass::SseLoad:
+    case InstrClass::SseStore:
+    case InstrClass::LockInc:
+      return 8;
+    default:
+      return 0;
+    }
   }
 
-  void collectSlots() {
+  static bool isStoreCls(InstrClass C) {
+    return C == InstrClass::Store8 || C == InstrClass::Store16 ||
+           C == InstrClass::Store32 || C == InstrClass::Store64 ||
+           C == InstrClass::SseStore || C == InstrClass::LockInc;
+  }
+
+  static bool isLoadCls(InstrClass C) {
+    return C == InstrClass::Load || C == InstrClass::LoadSExt8 ||
+           C == InstrClass::LoadZExt8 || C == InstrClass::LoadSExt16 ||
+           C == InstrClass::LoadZExt16 || C == InstrClass::SseLoad;
+  }
+
+  void collectCells() {
     for (const Decoded &D : Ins) {
-      bool Tracked = (D.Cls == InstrClass::Store64 ||
-                      (D.Cls == InstrClass::Load && D.RexW)) &&
-                     D.IsMem && D.Rm == RegRBP && D.Disp < 0;
-      if (Tracked && slotIndex(D.Disp) < 0)
-        Slots.push_back(D.Disp);
+      if (!D.IsMem || D.Rm != RegRBP || D.Disp >= 0)
+        continue;
+      std::int32_t W = memWidth(D);
+      if (W == 0)
+        continue;
+      auto It = std::find_if(Cells.begin(), Cells.end(),
+                             [&](const Cell &C) { return C.Disp == D.Disp; });
+      if (It == Cells.end())
+        Cells.push_back({D.Disp, W});
+      else
+        It->Width = std::max(It->Width, W);
     }
+  }
+
+  /// Weak/strong update of every tracked cell the store range overlaps.
+  void storeToFrame(AbsState &S, std::int32_t Disp, std::int32_t W,
+                    Prov P) const {
+    for (std::size_t CI = 0; CI < Cells.size(); ++CI) {
+      const Cell &C = Cells[CI];
+      if (Disp >= C.Disp + C.Width || Disp + W <= C.Disp)
+        continue;
+      bool Covers = Disp <= C.Disp && Disp + W >= C.Disp + C.Width;
+      S.Slot[CI] = Covers ? P : provJoin(S.Slot[CI], P);
+    }
+  }
+
+  /// Provenance of a load range: the join of every overlapped cell over a
+  /// Computed base (unwritten frame memory holds run-time values).
+  Prov loadFromFrame(const AbsState &S, std::int32_t Disp,
+                     std::int32_t W) const {
+    Prov P = Prov::Computed;
+    for (std::size_t CI = 0; CI < Cells.size(); ++CI) {
+      const Cell &C = Cells[CI];
+      if (Disp < C.Disp + C.Width && Disp + W > C.Disp)
+        P = provJoin(P, S.Slot[CI]);
+    }
+    return P;
   }
 
   /// Provenance of the movabs at instruction \p I.
@@ -432,26 +519,72 @@ struct Admission {
       return true;
     };
 
-    // Frame-integrity gates on the memory operand.
+    auto isFrameReg = [](std::uint8_t Rg) {
+      return Rg == RegRSP || Rg == RegRBP;
+    };
+    auto dispStr = [](std::int32_t Disp) {
+      std::string S = std::to_string(Disp);
+      if (Disp >= 0)
+        S.insert(S.begin(), '+');
+      return S;
+    };
+    // An immediate operand's contribution to a result's provenance: under
+    // a reloc table an embedded constant is Plain, and arithmetic joins it
+    // in, so `add r, imm` / `shl r, imm` chains can never bleach a stray
+    // value into an admissible call target — nor assemble one from imm32
+    // pieces.
+    const Prov ImmP = In.HaveRelocs ? Prov::Plain : Prov::Trusted;
+
+    // Frame-integrity gates on the memory operand, checked as byte ranges
+    // [Disp, Disp+width): a qword store at [rbp-1] reaches the saved rbp
+    // even though its displacement is negative.
     if (D.IsMem) {
       if (D.Rm == RegRSP)
         return Bad("frame-escape",
                    "rsp-based memory operand is never admitted");
-      bool IsStore =
-          D.Cls == InstrClass::Store8 || D.Cls == InstrClass::Store16 ||
-          D.Cls == InstrClass::Store32 || D.Cls == InstrClass::Store64 ||
-          D.Cls == InstrClass::SseStore || D.Cls == InstrClass::LockInc;
-      if (D.Rm == RegRBP && IsStore) {
+      bool IsStore = isStoreCls(D.Cls);
+      if (D.Rm == RegRBP && (IsStore || isLoadCls(D.Cls))) {
+        std::int64_t W = memWidth(D);
         if (S.RbpDepth < 0)
           return Bad("frame-escape",
-                     "rbp-relative store while rbp does not hold the frame");
-        if (D.Disp >= 0 || D.Disp < -Reserve)
+                     "rbp-relative access while rbp does not hold the frame");
+        if (IsStore) {
+          if (D.Disp < -Reserve || D.Disp + W > 0)
+            return Bad("frame-escape",
+                       "store at [rbp" + dispStr(D.Disp) + "] (width " +
+                           std::to_string(W) +
+                           ") touches bytes outside the reserved frame "
+                           "(saved rbp and return address are off limits)");
+          // While a callee-saved register is must-saved, its slot holds
+          // the value the restore proof hands back to the caller: only
+          // the exact canonical re-save of the still-unclobbered register
+          // may touch it. Anything else — aligned, misaligned, or partial
+          // — would corrupt what ret restores.
+          for (unsigned CI = 0; CI < 5; ++CI) {
+            std::int32_t Sd = -8 * static_cast<std::int32_t>(CI + 1);
+            if (D.Disp >= Sd + 8 || D.Disp + W <= Sd)
+              continue;
+            std::uint8_t Rr = CalleeSavedRegs[CI];
+            if (!(S.Saved & calleeBit(Rr)))
+              continue;
+            bool Canonical = D.Cls == InstrClass::Store64 && D.Disp == Sd &&
+                             D.Reg == Rr && !(S.Clobbered & calleeBit(Rr));
+            if (!Canonical)
+              return Bad("callee-saved",
+                         "store at [rbp" + dispStr(D.Disp) +
+                             "] overlaps the live save slot of r" +
+                             std::to_string(Rr));
+          }
+        } else if (!(D.Disp >= 16 ||
+                     (D.Disp >= -Reserve && D.Disp + W <= 0))) {
+          // Reads of the frame and of the caller's stack-passed arguments
+          // ([rbp+16) and up) are fine; the saved rbp and the return
+          // address in between are not.
           return Bad("frame-escape",
-                     "store at [rbp" +
-                         (D.Disp >= 0 ? "+" + std::to_string(D.Disp)
-                                      : std::to_string(D.Disp)) +
-                         "] lands outside the reserved frame (saved rbp and "
-                         "return address are off limits)");
+                     "load at [rbp" + dispStr(D.Disp) + "] (width " +
+                         std::to_string(W) +
+                         ") reads the saved rbp or the return address");
+        }
       }
     }
 
@@ -538,9 +671,9 @@ struct Admission {
     case InstrClass::Load:
       if (D.Reg == RegRSP || D.Reg == RegRBP)
         return Bad("stack-balance", "load writes the stack/frame pointer");
-      if (D.Rm == RegRBP && D.RexW) {
+      if (D.Rm == RegRBP) {
         // Canonical callee-saved restore?
-        if (calleeRegForSlot(D.Disp) == D.Reg) {
+        if (D.RexW && calleeRegForSlot(D.Disp) == D.Reg) {
           std::uint16_t Bit = calleeBit(D.Reg);
           if (!(S.Saved & Bit))
             return Bad("callee-saved",
@@ -552,26 +685,85 @@ struct Admission {
         }
         if (!clobberCheck(D.Reg))
           return false;
-        int SI = slotIndex(D.Disp);
-        S.Reg[D.Reg] =
-            SI >= 0 ? S.Slot[static_cast<std::size_t>(SI)] : Prov::Computed;
+        S.Reg[D.Reg] = loadFromFrame(S, D.Disp, memWidth(D));
         return true;
       }
       if (!clobberCheck(D.Reg))
         return false;
       S.Reg[D.Reg] = Prov::Computed;
       return true;
+    case InstrClass::LoadSExt8:
+    case InstrClass::LoadZExt8:
+    case InstrClass::LoadSExt16:
+    case InstrClass::LoadZExt16:
+      if (D.Reg == RegRSP || D.Reg == RegRBP)
+        return Bad("stack-balance", "load writes the stack/frame pointer");
+      if (!clobberCheck(D.Reg))
+        return false;
+      S.Reg[D.Reg] = D.Rm == RegRBP ? loadFromFrame(S, D.Disp, memWidth(D))
+                                    : Prov::Computed;
+      return true;
+    case InstrClass::Store8:
+    case InstrClass::Store16:
+    case InstrClass::Store32:
     case InstrClass::Store64:
+      if (isFrameReg(D.Reg))
+        return Bad("frame-escape",
+                   "frame/stack pointer value stored to memory");
       if (D.Rm == RegRBP) {
         // Canonical callee-saved save? Only counts while the register still
         // holds its entry value.
-        if (calleeRegForSlot(D.Disp) == D.Reg &&
+        if (D.Cls == InstrClass::Store64 && calleeRegForSlot(D.Disp) == D.Reg &&
             !(S.Clobbered & calleeBit(D.Reg)))
           S.Saved = static_cast<std::uint16_t>(S.Saved | calleeBit(D.Reg));
-        int SI = slotIndex(D.Disp);
-        if (SI >= 0)
-          S.Slot[static_cast<std::size_t>(SI)] = S.Reg[D.Reg];
+        storeToFrame(S, D.Disp, memWidth(D), S.Reg[D.Reg]);
       }
+      return true;
+    case InstrClass::SseStore:
+      if (D.Rm == RegRBP)
+        storeToFrame(S, D.Disp, 8, S.Xmm[D.Reg]);
+      return true;
+    case InstrClass::SseLoad:
+      S.Xmm[D.Reg] =
+          D.Rm == RegRBP ? loadFromFrame(S, D.Disp, 8) : Prov::Computed;
+      return true;
+    case InstrClass::MovqXR:
+      if (isFrameReg(D.Rm))
+        return Bad("frame-escape",
+                   "frame/stack pointer value copied into an xmm register");
+      S.Xmm[D.Reg] = S.Reg[D.Rm];
+      return true;
+    case InstrClass::MovqRX:
+      if (isFrameReg(D.Rm))
+        return Bad("stack-balance",
+                   "instruction writes the stack/frame pointer");
+      if (!clobberCheck(D.Rm))
+        return false;
+      S.Reg[D.Rm] = S.Xmm[D.Reg];
+      return true;
+    case InstrClass::SseMov:
+      S.Xmm[D.Reg] = S.Xmm[D.Rm];
+      return true;
+    case InstrClass::SseArith:
+    case InstrClass::SseXorpd:
+      S.Xmm[D.Reg] = provJoin(S.Xmm[D.Reg], S.Xmm[D.Rm]);
+      return true;
+    case InstrClass::SseCvtSI2SD:
+      // cvtsi2sd represents any 48-bit pointer exactly; it propagates, not
+      // launders.
+      if (isFrameReg(D.Rm))
+        return Bad("frame-escape",
+                   "frame/stack pointer value converted into an xmm "
+                   "register");
+      S.Xmm[D.Reg] = S.Reg[D.Rm];
+      return true;
+    case InstrClass::SseCvtSD2SI:
+      if (isFrameReg(D.Reg))
+        return Bad("stack-balance",
+                   "instruction writes the stack/frame pointer");
+      if (!clobberCheck(D.Reg))
+        return false;
+      S.Reg[D.Reg] = S.Xmm[D.Rm];
       return true;
     case InstrClass::MovImm64:
       if (D.Rm == RegRSP || D.Rm == RegRBP)
@@ -581,6 +773,9 @@ struct Admission {
       S.Reg[D.Rm] = immProv(I);
       return true;
     case InstrClass::CallInd: {
+      if (isFrameReg(D.Rm))
+        return Bad("frame-escape",
+                   "indirect call through the stack/frame pointer");
       if ((S.Depth & 15) != 8)
         return Bad("stack-balance",
                    "indirect call at depth " + std::to_string(S.Depth) +
@@ -590,20 +785,101 @@ struct Admission {
                    "indirect call through an immediate that is not a "
                    "declared Callee/Ptr relocation slot — the record would "
                    "transfer outside the key's declared callees");
-      // SysV: caller-saved GPRs are dead across the call.
+      // SysV: caller-saved GPRs and the whole xmm file are dead across the
+      // call.
       for (std::uint8_t Rg : {std::uint8_t(0), std::uint8_t(1),
                               std::uint8_t(2), std::uint8_t(6),
                               std::uint8_t(7), std::uint8_t(8),
                               std::uint8_t(9), std::uint8_t(10),
                               std::uint8_t(11)})
         S.Reg[Rg] = Prov::Computed;
+      for (unsigned X = 0; X < 16; ++X)
+        S.Xmm[X] = Prov::Computed;
       return true;
     }
     default:
       break;
     }
 
-    // Generic register writes (provenance kill + callee-saved obligation).
+    // rsp/rbp as a *data source* of a value-producing op would hand the
+    // frame address to a general register (`add rax, rbp` is a mov-escape
+    // with extra steps); cmp/test read it into flags only and are inert.
+    switch (D.Cls) {
+    case InstrClass::AluRR:
+      if (D.Op8 != 0x3B && isFrameReg(D.Rm))
+        return Bad("frame-escape",
+                   "frame/stack pointer used as an arithmetic operand");
+      break;
+    case InstrClass::ImulRR:
+    case InstrClass::ImulRRI:
+    case InstrClass::Movsxd:
+    case InstrClass::Movzx8RR:
+    case InstrClass::Movsx8RR:
+    case InstrClass::Movzx16RR:
+    case InstrClass::Movsx16RR:
+      if (isFrameReg(D.Rm))
+        return Bad("frame-escape",
+                   "frame/stack pointer used as an arithmetic operand");
+      break;
+    case InstrClass::UnaryGrp:
+      if (((D.Reg & 7) == 6 || (D.Reg & 7) == 7) && isFrameReg(D.Rm))
+        return Bad("frame-escape",
+                   "frame/stack pointer used as an arithmetic operand");
+      break;
+    default:
+      break;
+    }
+
+    // Result provenance: the join of the instruction's register inputs
+    // (including the destination for read-modify-write ops), with an
+    // immediate operand joining as ImmP. A Plain value therefore stays
+    // Plain through mov/add/shift/imul/widening chains — arithmetic
+    // cannot launder a stray embedded constant into a Computed call
+    // target, and imm32 pieces cannot be assembled into a fresh one.
+    Prov ResP = Prov::Computed;
+    switch (D.Cls) {
+    case InstrClass::MovImm32:
+    case InstrClass::MovImmSExt:
+      ResP = ImmP;
+      break;
+    case InstrClass::AluRR:
+    case InstrClass::ImulRR:
+      ResP = provJoin(S.Reg[D.Reg], S.Reg[D.Rm]);
+      break;
+    case InstrClass::AluRI:
+    case InstrClass::ShiftImm:
+    case InstrClass::ImulRRI:
+      ResP = provJoin(S.Reg[D.Rm], ImmP);
+      break;
+    case InstrClass::ShiftCl:
+      ResP = provJoin(S.Reg[D.Rm], S.Reg[1]); // rcx holds the count.
+      break;
+    case InstrClass::UnaryGrp:
+      ResP = (D.Reg & 7) == 2 || (D.Reg & 7) == 3
+                 ? S.Reg[D.Rm] // not/neg: RMW on the operand.
+                 : provJoin(provJoin(S.Reg[0], S.Reg[2]),
+                            S.Reg[D.Rm]); // div/idiv: rdx:rax op src.
+      break;
+    case InstrClass::Movsxd:
+    case InstrClass::Movzx8RR:
+    case InstrClass::Movsx8RR:
+    case InstrClass::Movzx16RR:
+    case InstrClass::Movsx16RR:
+      ResP = S.Reg[D.Rm];
+      break;
+    case InstrClass::Lea:
+      // lea dst, [base+disp] is base+disp arithmetic (the base is proven
+      // non-frame above).
+      ResP = D.Disp == 0 ? S.Reg[D.Rm] : provJoin(S.Reg[D.Rm], ImmP);
+      break;
+    default:
+      // setcc/cdq produce 0/1 or a sign fill — incapable of carrying an
+      // embedded pointer — and everything else is a genuine run-time
+      // value.
+      break;
+    }
+
+    // Generic register writes (provenance + callee-saved obligation).
     std::uint8_t W[2];
     unsigned NW = x86::decodedGprWrites(D, W);
     for (unsigned K = 0; K < NW; ++K) {
@@ -612,10 +888,7 @@ struct Admission {
                    "instruction writes the stack/frame pointer");
       if (!clobberCheck(W[K]))
         return false;
-      Prov P = Prov::Computed;
-      if (D.Cls == InstrClass::MovImm32 || D.Cls == InstrClass::MovImmSExt)
-        P = In.HaveRelocs ? Prov::Plain : Prov::Trusted;
-      S.Reg[W[K]] = P;
+      S.Reg[W[K]] = ResP;
     }
     return true;
   }
@@ -658,6 +931,11 @@ struct Admission {
         T.Reg[Rg] = N;
         Changed = true;
       }
+      Prov NX = provJoin(T.Xmm[Rg], Out.Xmm[Rg]);
+      if (NX != T.Xmm[Rg]) {
+        T.Xmm[Rg] = NX;
+        Changed = true;
+      }
     }
     for (std::size_t SI = 0; SI < T.Slot.size(); ++SI) {
       Prov N = provJoin(T.Slot[SI], Out.Slot[SI]);
@@ -670,12 +948,16 @@ struct Admission {
   }
 
   void interpret() {
-    collectSlots();
+    collectCells();
     InState.assign(Blocks.size(), AbsState{});
 
     AbsState Entry;
     Entry.Valid = true;
-    Entry.Slot.assign(Slots.size(), Prov::Computed);
+    // Entry registers and frame memory hold run-time values (arguments,
+    // caller state) — Computed, admissible as call targets by design.
+    std::fill(std::begin(Entry.Reg), std::end(Entry.Reg), Prov::Computed);
+    std::fill(std::begin(Entry.Xmm), std::end(Entry.Xmm), Prov::Computed);
+    Entry.Slot.assign(Cells.size(), Prov::Computed);
     InState[0] = Entry;
 
     std::vector<std::size_t> Work{0};

@@ -966,6 +966,27 @@ TEST(VerifyAdmission, AcceptsCleanHandFrames) {
       AdmitProgram::hand(handFrame(callBody())).inputs());
   EXPECT_TRUE(R.ok()) << R.render();
 
+  // A stack-passed argument load ([rbp+16] and up is the caller's arg
+  // area — above the unreachable saved rbp / return address window).
+  R = verify::verifyAdmission(
+      AdmitProgram::hand(handFrame({0x48, 0x8B, 0x45, 0x10})).inputs());
+  EXPECT_TRUE(R.ok()) << R.render();
+
+  // Arithmetic on run-time values stays an admissible call target: an
+  // indirect call through a register computed from a loaded value (via a
+  // register-register add) is how generated dispatch code looks.
+  {
+    std::vector<std::uint8_t> Body = {
+        0x48, 0x8B, 0x45, 0x10,  // mov rax, [rbp+16]
+        0x48, 0x8B, 0x55, 0xD0,  // mov rdx, [rbp-48]
+        0x48, 0x03, 0xC2,        // add rax, rdx
+        0xFF, 0xD0};             // call rax
+    AdmitProgram P = AdmitProgram::hand(handFrame(Body));
+    P.HaveRelocs = true;
+    R = verify::verifyAdmission(P.inputs());
+    EXPECT_TRUE(R.ok()) << R.render();
+  }
+
   // The same call as a snapshot would present it: the movabs payload is a
   // declared Callee relocation slot, so the target is proven confined even
   // after a round trip through a tracked spill slot.
@@ -1095,6 +1116,33 @@ TEST(VerifyAdmission, HostileRecordsRejected) {
                AdmitProgram::hand(handFrame({0x48, 0x89, 0x44, 0x24, 0x08})),
                "frame-escape", admitNoop, "rsp-based store");
 
+  // --- Width-aware frame integrity (access ranges, not just displacements) --
+  runAdmitCase(T, AdmitProgram::hand(handFrame({0x48, 0x89, 0x45, 0xFF})),
+               "frame-escape", admitNoop,
+               "qword store at [rbp-1] reaches the saved rbp");
+  runAdmitCase(T, AdmitProgram::hand(handFrame({0x89, 0x45, 0xFD})),
+               "frame-escape", admitNoop,
+               "dword store at [rbp-3] reaches the saved rbp");
+  runAdmitCase(T, AdmitProgram::hand(handFrame({0x48, 0x8B, 0x45, 0x00})),
+               "frame-escape", admitNoop, "load of the saved rbp");
+  runAdmitCase(T, AdmitProgram::hand(handFrame({0x48, 0x8B, 0x45, 0x08})),
+               "frame-escape", admitNoop, "load of the return address");
+  runAdmitCase(T, AdmitProgram::hand(handFrame({0x48, 0x8B, 0x45, 0xFC})),
+               "frame-escape", admitNoop,
+               "qword load at [rbp-4] crossing into the saved rbp");
+
+  // --- Frame-address escape channels beyond `mov r, rbp` --------------------
+  runAdmitCase(T, AdmitProgram::hand(handFrame({0x48, 0x89, 0x6D, 0xD0})),
+               "frame-escape", admitNoop,
+               "rbp value stored to a frame slot");
+  runAdmitCase(T, AdmitProgram::hand(handFrame({0x48, 0x03, 0xC5})),
+               "frame-escape", admitNoop, "add rax, rbp");
+  runAdmitCase(T,
+               AdmitProgram::hand(handFrame({0x66, 0x48, 0x0F, 0x6E, 0xC5})),
+               "frame-escape", admitNoop, "movq xmm0, rbp");
+  runAdmitCase(T, AdmitProgram::hand(handFrame({0xFF, 0xD5})),
+               "frame-escape", admitNoop, "call through rbp");
+
   // --- Callee-saved obligations ---------------------------------------------
   runAdmitCase(T, AdmitProgram::hand(handFrame({0xBB, 0x01, 0x00, 0x00,
                                                 0x00})),
@@ -1107,6 +1155,37 @@ TEST(VerifyAdmission, HostileRecordsRejected) {
   runAdmitCase(T, AdmitProgram::hand(handFrame({0x48, 0x8B, 0x5D, 0xF8})),
                "callee-saved", admitNoop,
                "restore load from a slot never saved");
+  {
+    // Save rbx, clobber it, then overwrite the live save slot: the value
+    // the restore proof would hand back to the caller is gone.
+    std::vector<std::uint8_t> B =
+        handFrame({0x48, 0x89, 0x5D, 0xF8,   // mov [rbp-8], rbx (save)
+                   0x48, 0x33, 0xDB,         // xor rbx, rbx
+                   0x48, 0x89, 0x45, 0xF8,   // mov [rbp-8], rax
+                   0x48, 0x8B, 0x5D, 0xF8}); // mov rbx, [rbp-8] (restore)
+    runAdmitCase(T, AdmitProgram::hand(B), "callee-saved", admitNoop,
+                 "live save slot overwritten before the restore");
+  }
+  {
+    // Misaligned qword store straddling the live rbx save slot.
+    std::vector<std::uint8_t> B =
+        handFrame({0x48, 0x89, 0x5D, 0xF8,   // mov [rbp-8], rbx (save)
+                   0x48, 0x33, 0xDB,         // xor rbx, rbx
+                   0x48, 0x89, 0x45, 0xF7,   // mov [rbp-9], rax
+                   0x48, 0x8B, 0x5D, 0xF8}); // mov rbx, [rbp-8] (restore)
+    runAdmitCase(T, AdmitProgram::hand(B), "callee-saved", admitNoop,
+                 "misaligned store straddling a live save slot");
+  }
+  {
+    // Partial dword store into the live rbx save slot.
+    std::vector<std::uint8_t> B =
+        handFrame({0x48, 0x89, 0x5D, 0xF8,   // mov [rbp-8], rbx (save)
+                   0x48, 0x33, 0xDB,         // xor rbx, rbx
+                   0x89, 0x45, 0xF8,         // mov [rbp-8], eax
+                   0x48, 0x8B, 0x5D, 0xF8}); // mov rbx, [rbp-8] (restore)
+    runAdmitCase(T, AdmitProgram::hand(B), "callee-saved", admitNoop,
+                 "partial store into a live save slot");
+  }
 
   // --- Call-target confinement ----------------------------------------------
   {
@@ -1127,6 +1206,82 @@ TEST(VerifyAdmission, HostileRecordsRejected) {
     P.HaveRelocs = true;
     runAdmitCase(T, P, "call-target", admitNoop,
                  "stray target laundered through a spill slot");
+  }
+  {
+    // Arithmetic laundering: `add r10, 0x10` must not turn the stray
+    // immediate into an admissible Computed value.
+    std::vector<std::uint8_t> Body = {0x49, 0xBA};
+    appendU64(Body, 0x4141414141414141ull);
+    Body.insert(Body.end(), {0x49, 0x83, 0xC2, 0x10,  // add r10, 16
+                             0x41, 0xFF, 0xD2});      // call r10
+    AdmitProgram P = AdmitProgram::hand(handFrame(Body));
+    P.HaveRelocs = true;
+    runAdmitCase(T, P, "call-target", admitNoop,
+                 "stray target laundered through add-immediate");
+  }
+  {
+    // The same through register-register arithmetic.
+    std::vector<std::uint8_t> Body = {0x49, 0xBA};
+    appendU64(Body, 0x4141414141414141ull);
+    Body.insert(Body.end(), {0x33, 0xC0,        // xor eax, eax
+                             0x49, 0x03, 0xC2,  // add rax, r10
+                             0xFF, 0xD0});      // call rax
+    AdmitProgram P = AdmitProgram::hand(handFrame(Body));
+    P.HaveRelocs = true;
+    runAdmitCase(T, P, "call-target", admitNoop,
+                 "stray target laundered through add rax, r10");
+  }
+  {
+    // The same through a shift.
+    std::vector<std::uint8_t> Body = {0x49, 0xBA};
+    appendU64(Body, 0x4141414141414141ull << 1);
+    Body.insert(Body.end(), {0x49, 0xC1, 0xEA, 0x01,  // shr r10, 1
+                             0x41, 0xFF, 0xD2});      // call r10
+    AdmitProgram P = AdmitProgram::hand(handFrame(Body));
+    P.HaveRelocs = true;
+    runAdmitCase(T, P, "call-target", admitNoop,
+                 "stray target laundered through a shift");
+  }
+  {
+    // The same through an xmm round trip (movq preserves all 64 bits).
+    std::vector<std::uint8_t> Body = {0x48, 0xB8};
+    appendU64(Body, 0x4141414141414141ull);
+    Body.insert(Body.end(), {0x66, 0x48, 0x0F, 0x6E, 0xC0,  // movq xmm0, rax
+                             0x66, 0x48, 0x0F, 0x7E, 0xC0,  // movq rax, xmm0
+                             0xFF, 0xD0});                  // call rax
+    AdmitProgram P = AdmitProgram::hand(handFrame(Body));
+    P.HaveRelocs = true;
+    runAdmitCase(T, P, "call-target", admitNoop,
+                 "stray target laundered through the xmm file");
+  }
+  {
+    // A target assembled from imm32 pieces with shift+or: the immediate
+    // contribution keeps every piece Plain.
+    std::vector<std::uint8_t> Body = {
+        0xB8, 0xEF, 0xBE, 0xAD, 0xDE,  // mov eax, 0xDEADBEEF
+        0xBA, 0x41, 0x41, 0x41, 0x41,  // mov edx, 0x41414141
+        0x48, 0xC1, 0xE2, 0x20,        // shl rdx, 32
+        0x48, 0x0B, 0xC2,              // or rax, rdx
+        0xFF, 0xD0};                   // call rax
+    AdmitProgram P = AdmitProgram::hand(handFrame(Body));
+    P.HaveRelocs = true;
+    runAdmitCase(T, P, "call-target", admitNoop,
+                 "call target assembled from imm32 pieces");
+  }
+  {
+    // A target assembled inside a qword spill slot by two dword stores,
+    // then reloaded whole: the frame cells track partial-width writes.
+    std::vector<std::uint8_t> Body = {
+        0xB8, 0xEF, 0xBE, 0xAD, 0xDE,  // mov eax, 0xDEADBEEF
+        0x89, 0x45, 0xD0,              // mov [rbp-48], eax
+        0xB8, 0x41, 0x41, 0x41, 0x41,  // mov eax, 0x41414141
+        0x89, 0x45, 0xD4,              // mov [rbp-44], eax
+        0x48, 0x8B, 0x45, 0xD0,        // mov rax, [rbp-48]
+        0xFF, 0xD0};                   // call rax
+    AdmitProgram P = AdmitProgram::hand(handFrame(Body));
+    P.HaveRelocs = true;
+    runAdmitCase(T, P, "call-target", admitNoop,
+                 "call target assembled by partial stores in a spill slot");
   }
   {
     // A Profile-kind slot used as a call target: the counter address the
